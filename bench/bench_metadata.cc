@@ -1,0 +1,130 @@
+// Figure 2: journal-based metadata vs. conventional versioning.
+//
+// Paper claim: a conventional versioning system materialises a new data
+// block, new indirect block(s), a new inode, and an inode-log entry for every
+// update — up to 4x growth in disk usage for small writes to a large file.
+// S4's journal-based metadata replaces all of that with one compact journal
+// entry, so versioning metadata is nearly free.
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "src/baseline/conventional_versioning.h"
+#include "src/util/rng.h"
+
+namespace s4 {
+namespace bench {
+namespace {
+
+constexpr uint64_t kFileBytes = 3ull * 1024 * 1024;  // deep into double-indirect
+constexpr uint32_t kUpdates = 500;
+constexpr uint32_t kUpdateBytes = 4096;
+
+struct MetadataRow {
+  double data_bytes_per_update = 0;
+  double metadata_bytes_per_update = 0;
+  double growth_factor = 0;  // total consumed / data written
+};
+MetadataRow g_conventional;
+MetadataRow g_s4;
+
+void RunConventional(::benchmark::State& state) {
+  for (auto _ : state) {
+    SimClock clock;
+    BlockDevice device((1ull << 30) / kSectorSize, &clock);
+    ConventionalVersioningStore store(&device, &clock);
+    auto id = store.CreateObject();
+    S4_CHECK(id.ok());
+    Rng rng(1);
+    Bytes base = rng.RandomBytes(kFileBytes);
+    S4_CHECK(store.Write(*id, 0, base).ok());
+
+    ConventionalStats before = store.stats();
+    SimTime t0 = clock.Now();
+    for (uint32_t i = 0; i < kUpdates; ++i) {
+      uint64_t offset = (rng.Below(kFileBytes / kBlockSize)) * kBlockSize;
+      Bytes data = rng.RandomBytes(kUpdateBytes);
+      S4_CHECK(store.Write(*id, offset, data).ok());
+    }
+    ConventionalStats after = store.stats();
+    state.SetIterationTime(ToSeconds(clock.Now() - t0));
+
+    double data = static_cast<double>(after.data_bytes - before.data_bytes) / kUpdates;
+    double meta = static_cast<double>(after.metadata_bytes - before.metadata_bytes) / kUpdates;
+    g_conventional = MetadataRow{data, meta, (data + meta) / kUpdateBytes};
+    state.counters["meta_B_per_update"] = meta;
+    state.counters["growth_x"] = g_conventional.growth_factor;
+  }
+}
+
+void RunS4(::benchmark::State& state) {
+  for (auto _ : state) {
+    SimClock clock;
+    BlockDevice device((1ull << 30) / kSectorSize, &clock);
+    S4DriveOptions opts;
+    auto drive = S4Drive::Format(&device, &clock, opts);
+    S4_CHECK(drive.ok());
+    Credentials user;
+    user.user = 1;
+    auto id = (*drive)->Create(user, {});
+    S4_CHECK(id.ok());
+    Rng rng(1);
+    Bytes base = rng.RandomBytes(kFileBytes);
+    S4_CHECK((*drive)->Write(user, *id, 0, base).ok());
+    S4_CHECK((*drive)->Sync(user).ok());
+
+    const DriveStats& s0 = (*drive)->stats();
+    uint64_t journal_before = s0.journal_sectors_written;
+    uint64_t checkpoints_before = s0.inode_checkpoints;
+    uint64_t data_before = s0.data_blocks_written;
+    SimTime t0 = clock.Now();
+    for (uint32_t i = 0; i < kUpdates; ++i) {
+      uint64_t offset = (rng.Below(kFileBytes / kBlockSize)) * kBlockSize;
+      Bytes data = rng.RandomBytes(kUpdateBytes);
+      S4_CHECK((*drive)->Write(user, *id, offset, data).ok());
+      S4_CHECK((*drive)->Sync(user).ok());
+    }
+    const DriveStats& s1 = (*drive)->stats();
+    state.SetIterationTime(ToSeconds(clock.Now() - t0));
+
+    double data =
+        static_cast<double>(s1.data_blocks_written - data_before) * kBlockSize / kUpdates;
+    // Journal sectors are the versioning metadata; amortise any checkpoints
+    // the cache wrote during the run.
+    double meta = (static_cast<double>(s1.journal_sectors_written - journal_before) *
+                       kSectorSize +
+                   static_cast<double>(s1.inode_checkpoints - checkpoints_before) * 2048.0) /
+                  kUpdates;
+    g_s4 = MetadataRow{data, meta, (data + meta) / kUpdateBytes};
+    state.counters["meta_B_per_update"] = meta;
+    state.counters["growth_x"] = g_s4.growth_factor;
+  }
+}
+
+void PrintFigure2() {
+  std::printf("\n=== Figure 2: metadata versioning efficiency ===\n");
+  std::printf("(%u random %uB block updates to a %.0fMB file; bytes consumed per update)\n\n",
+              kUpdates, kUpdateBytes, kFileBytes / 1048576.0);
+  std::printf("%-28s %14s %16s %10s\n", "system", "data (B)", "metadata (B)", "growth");
+  std::printf("%-28s %14.0f %16.0f %9.2fx\n", "conventional versioning",
+              g_conventional.data_bytes_per_update, g_conventional.metadata_bytes_per_update,
+              g_conventional.growth_factor);
+  std::printf("%-28s %14.0f %16.0f %9.2fx\n", "S4 journal-based metadata",
+              g_s4.data_bytes_per_update, g_s4.metadata_bytes_per_update, g_s4.growth_factor);
+  std::printf("\nExpected shape (paper): conventional versioning approaches 4x growth for\n"
+              "indirect-block files; journal-based metadata stays close to 1x (a journal\n"
+              "entry of a few dozen bytes per update).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace s4
+
+BENCHMARK(s4::bench::RunConventional)->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+BENCHMARK(s4::bench::RunS4)->UseManualTime()->Iterations(1)->Unit(benchmark::kSecond);
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  s4::bench::PrintFigure2();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 3: PostMark on the four server configurations.
+//
+// Paper result: the S4 systems perform comparably to the BSD and Linux NFS
+// servers — slightly better, thanks to the log-structured layout turning
+// PostMark's small synchronous writes into sequential segment writes.
+//
+// Usage: bench_postmark [--quick] [google-benchmark flags]
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+
+#include "bench/harness.h"
+#include "src/workload/postmark.h"
+
+namespace s4 {
+namespace bench {
+namespace {
+
+PostMarkConfig Config(bool quick) {
+  PostMarkConfig config;  // paper defaults: 5,000 files, 20,000 transactions
+  if (quick) {
+    config.file_count = 1000;
+    config.transactions = 4000;
+  }
+  return config;
+}
+
+struct Row {
+  PostMarkReport report;
+  uint32_t transactions = 0;
+};
+std::map<ServerKind, Row> g_rows;
+bool g_quick = false;
+
+void RunPostMark(::benchmark::State& state, ServerKind kind) {
+  for (auto _ : state) {
+    auto server = MakeServer(kind);
+    PostMarkConfig config = Config(g_quick);
+    config.cleaner_hook = [s = server.get()] { s->Tick(); };
+    PostMark pm(server->fs, server->clock.get(), config);
+    auto report = pm.Run();
+    S4_CHECK(report.ok());
+    state.SetIterationTime(ToSeconds(report->create_phase + report->transaction_phase));
+    state.counters["create_s"] = ToSeconds(report->create_phase);
+    state.counters["txn_s"] = ToSeconds(report->transaction_phase);
+    state.counters["tx_per_s"] = report->TransactionsPerSecond(config.transactions);
+    g_rows[kind] = Row{*report, config.transactions};
+  }
+}
+
+void PrintFigure3() {
+  std::printf("\n=== Figure 3: PostMark benchmark (simulated seconds) ===\n");
+  std::printf("%-18s %12s %14s %10s\n", "server", "create (s)", "transact (s)", "tx/sec");
+  for (auto kind : {ServerKind::kS4Nas, ServerKind::kS4Nfs, ServerKind::kFfsNfs,
+                    ServerKind::kExt2Nfs}) {
+    auto it = g_rows.find(kind);
+    if (it == g_rows.end()) {
+      continue;
+    }
+    const Row& row = it->second;
+    std::printf("%-18s %12s %14s %10.1f\n", ServerName(kind), Secs(row.report.create_phase).c_str(),
+                Secs(row.report.transaction_phase).c_str(),
+                row.report.TransactionsPerSecond(row.transactions));
+  }
+  std::printf("\nExpected shape (paper): S4 comparable to, slightly faster than, the\n"
+              "in-place NFS servers on both phases.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace s4
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      s4::bench::g_quick = true;
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
+  using s4::bench::ServerKind;
+  for (auto kind : {ServerKind::kS4Nas, ServerKind::kS4Nfs, ServerKind::kFfsNfs,
+                    ServerKind::kExt2Nfs}) {
+    std::string name = std::string("PostMark/") + s4::bench::ServerName(kind);
+    ::benchmark::RegisterBenchmark(
+        name.c_str(),
+        [kind](::benchmark::State& state) { s4::bench::RunPostMark(state, kind); })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(::benchmark::kSecond);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  s4::bench::PrintFigure3();
+  return 0;
+}

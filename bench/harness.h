@@ -1,0 +1,177 @@
+// Shared benchmark harness: constructs the four server configurations the
+// paper compares (section 5.1.1) on identical simulated hardware.
+//
+//   s4-nas  - S4 drive as network-attached object store; the S4 client
+//             daemon runs on the client machine, so every S4 RPC crosses
+//             the 100Mb network (Figure 1a).
+//   s4-nfs  - S4-enhanced NFS server: NFS-to-S4 translation co-located with
+//             the drive; only NFS operations cross the network (Figure 1b).
+//   ffs-nfs - FreeBSD-like NFS server exporting an FFS-style in-place file
+//             system with synchronous metadata.
+//   ext2-nfs- Linux-2.2-like NFS server whose "synchronous" mount defers
+//             metadata writes (the flaw the paper observed).
+#ifndef S4_BENCH_HARNESS_H_
+#define S4_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baseline/ffs_like.h"
+#include "src/drive/s4_drive.h"
+#include "src/fs/nfs_wrapper.h"
+#include "src/fs/s4_fs.h"
+#include "src/rpc/client.h"
+#include "src/rpc/transport.h"
+#include "src/sim/block_device.h"
+#include "src/sim/sim_clock.h"
+#include "src/util/check.h"
+
+namespace s4 {
+namespace bench {
+
+enum class ServerKind { kS4Nas, kS4Nfs, kFfsNfs, kExt2Nfs };
+
+inline const char* ServerName(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::kS4Nas:
+      return "S4-NAS";
+    case ServerKind::kS4Nfs:
+      return "S4-NFS";
+    case ServerKind::kFfsNfs:
+      return "BSD-FFS-NFS";
+    case ServerKind::kExt2Nfs:
+      return "Linux-ext2-NFS";
+  }
+  return "?";
+}
+
+struct ServerOptions {
+  uint64_t disk_bytes = 2ull << 30;
+  // Paper testbed: 128MB drive buffer cache, 32MB object cache, 512MB server
+  // RAM for the NFS baselines. Buffer cache scaled ~1/2 to keep the harness
+  // snappy while preserving cache-to-working-set ratios.
+  uint64_t s4_block_cache = 64ull << 20;
+  uint64_t s4_object_cache = 32ull << 20;
+  uint64_t ffs_buffer_cache = 96ull << 20;
+  SimDuration detection_window = 7 * kDay;
+  bool audit_enabled = true;
+  bool versioning_enabled = true;
+  bool cleaner_enabled = true;
+  // ext2 personality: background metadata write-back cadence.
+  uint32_t ext2_flush_every_ops = 512;
+};
+
+// One fully wired server + client stack. All members are owned; `fs` is the
+// FileSystemApi workloads should use.
+struct Server {
+  ServerKind kind;
+  std::unique_ptr<SimClock> clock;
+  std::unique_ptr<BlockDevice> device;
+  std::unique_ptr<S4Drive> drive;
+  std::unique_ptr<S4RpcServer> rpc_server;
+  std::unique_ptr<LoopbackTransport> transport;
+  std::unique_ptr<S4Client> client;
+  std::unique_ptr<S4FileSystem> s4_fs;
+  std::unique_ptr<FfsLikeServer> ffs;
+  std::unique_ptr<NfsServerWrapper> nfs;
+  FileSystemApi* fs = nullptr;
+  uint32_t ext2_flush_every_ops = 0;
+  uint64_t ops_since_flush = 0;
+
+  // Housekeeping between operations: background cleaning for S4, deferred
+  // metadata write-back for the ext2 personality. Call periodically from
+  // workload hooks.
+  void Tick() {
+    if (drive != nullptr && drive->CleanerNeeded()) {
+      S4_CHECK(drive->RunCleanerPass(2).ok());
+    }
+    if (ffs != nullptr && ext2_flush_every_ops > 0 &&
+        ++ops_since_flush >= ext2_flush_every_ops) {
+      ops_since_flush = 0;
+      S4_CHECK(ffs->FlushMetadata().ok());
+    }
+  }
+
+  double SimSeconds() const { return ToSeconds(clock->Now()); }
+};
+
+inline std::unique_ptr<Server> MakeServer(ServerKind kind, ServerOptions options = {}) {
+  auto server = std::make_unique<Server>();
+  server->kind = kind;
+  server->clock = std::make_unique<SimClock>(SimTime{0});
+  server->device =
+      std::make_unique<BlockDevice>(options.disk_bytes / kSectorSize, server->clock.get());
+
+  Credentials user;
+  user.user = 100;
+  user.client = 1;
+
+  switch (kind) {
+    case ServerKind::kS4Nas:
+    case ServerKind::kS4Nfs: {
+      S4DriveOptions drive_opts;
+      drive_opts.block_cache_bytes = options.s4_block_cache;
+      drive_opts.object_cache_bytes = options.s4_object_cache;
+      drive_opts.detection_window = options.detection_window;
+      drive_opts.audit_enabled = options.audit_enabled;
+      drive_opts.versioning_enabled = options.versioning_enabled;
+      drive_opts.cleaner_enabled = options.cleaner_enabled;
+      auto drive = S4Drive::Format(server->device.get(), server->clock.get(), drive_opts);
+      S4_CHECK(drive.ok());
+      server->drive = std::move(*drive);
+      server->rpc_server = std::make_unique<S4RpcServer>(server->drive.get());
+      NetModel net;
+      if (kind == ServerKind::kS4Nfs) {
+        // Translation co-located with the drive: S4 RPCs are local.
+        net.per_message_latency = 2;
+        net.bandwidth_mb_s = 400.0;
+      }
+      server->transport = std::make_unique<LoopbackTransport>(server->rpc_server.get(),
+                                                              server->clock.get(), net);
+      server->client = std::make_unique<S4Client>(server->transport.get(), user);
+      auto fs = S4FileSystem::Format(server->client.get(), "root");
+      S4_CHECK(fs.ok());
+      server->s4_fs = std::move(*fs);
+      if (kind == ServerKind::kS4Nfs) {
+        server->nfs = std::make_unique<NfsServerWrapper>(server->s4_fs.get(),
+                                                         server->clock.get());
+        server->fs = server->nfs.get();
+      } else {
+        server->fs = server->s4_fs.get();
+      }
+      break;
+    }
+    case ServerKind::kFfsNfs:
+    case ServerKind::kExt2Nfs: {
+      FfsOptions ffs_opts;
+      ffs_opts.sync_metadata = kind == ServerKind::kFfsNfs;
+      ffs_opts.buffer_cache_bytes = options.ffs_buffer_cache;
+      auto fs = FfsLikeServer::Format(server->device.get(), server->clock.get(), ffs_opts);
+      S4_CHECK(fs.ok());
+      server->ffs = std::move(*fs);
+      server->nfs =
+          std::make_unique<NfsServerWrapper>(server->ffs.get(), server->clock.get());
+      server->fs = server->nfs.get();
+      if (kind == ServerKind::kExt2Nfs) {
+        server->ext2_flush_every_ops = options.ext2_flush_every_ops;
+      }
+      break;
+    }
+  }
+  return server;
+}
+
+// Formats a simulated duration as seconds with 2 decimals.
+inline std::string Secs(SimDuration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", ToSeconds(d));
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace s4
+
+#endif  // S4_BENCH_HARNESS_H_

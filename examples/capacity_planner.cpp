@@ -1,0 +1,49 @@
+// Detection-window capacity planner (the Figure 7 analysis as a tool).
+//
+//   ./capacity_planner [pool_gb] [write_mb_per_day]
+//
+// Answers the administrator's sizing question from section 3.3: given a
+// history pool budget and a measured write rate, how many days of complete
+// version history — the guaranteed detection window — can the drive hold?
+// The differencing and compression multipliers are measured live using the
+// repository's delta/LZ implementations.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/workload/capacity.h"
+
+using namespace s4;
+
+int main(int argc, char** argv) {
+  double pool_gb = argc > 1 ? std::atof(argv[1]) : 10.0;
+  double custom_rate = argc > 2 ? std::atof(argv[2]) : 0.0;
+
+  std::printf("Measuring achievable history-pool compaction on a synthetic\n"
+              "versioned source tree (delta + LZ, this repo's implementations)...\n");
+  CompactionRatios ratios = MeasureCompactionRatios(/*files=*/30, /*versions=*/8,
+                                                    /*file_bytes=*/60000,
+                                                    /*edit_fraction=*/0.5, /*seed=*/7);
+  std::printf("  cross-version differencing: %.1fx\n", ratios.differencing);
+  std::printf("  differencing + compression: %.1fx\n\n",
+              ratios.differencing_and_compression);
+
+  std::printf("History pool: %.1f GB\n\n", pool_gb);
+  std::printf("%-36s %10s %10s %12s %14s\n", "workload", "MB/day", "baseline",
+              "+differencing", "+compression");
+  auto print_row = [&](const std::string& name, double rate) {
+    std::printf("%-36s %10.0f %9.0fd %12.0fd %13.0fd\n", name.c_str(), rate,
+                DetectionWindowDays(pool_gb, rate, 1.0),
+                DetectionWindowDays(pool_gb, rate, ratios.differencing),
+                DetectionWindowDays(pool_gb, rate, ratios.differencing_and_compression));
+  };
+  for (const TraceStudy& study : PaperTraceStudies()) {
+    print_row(study.name, study.write_mb_per_day);
+  }
+  if (custom_rate > 0) {
+    print_row("your workload", custom_rate);
+  }
+  std::printf("\nRule of thumb (paper section 5.2): dedicating 20%% of a modern disk\n"
+              "buys multi-week windows in most environments; differencing and\n"
+              "compression extend them several-fold.\n");
+  return 0;
+}

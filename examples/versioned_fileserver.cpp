@@ -1,0 +1,103 @@
+// A self-securing NFS file server in action (Figure 1 of the paper).
+//
+//   ./versioned_fileserver
+//
+// Mounts the S4/NFS translation layer over the drive, edits a small project
+// tree the way a user would, and then browses the tree *as it was* at
+// several points in the past with time-enhanced ls/cat — ending with a
+// one-call restore of an accidentally clobbered file.
+#include <cstdio>
+
+#include "src/fs/s4_fs.h"
+#include "src/recovery/history_browser.h"
+#include "src/rpc/client.h"
+#include "src/rpc/transport.h"
+#include "src/sim/block_device.h"
+
+using namespace s4;
+
+namespace {
+
+void TimeLs(HistoryBrowser* browser, const std::string& path, SimTime at,
+            const char* label) {
+  std::printf("\n$ ls --time=%s %s\n", label, path.c_str());
+  auto entries = browser->ListAt(path, at);
+  if (!entries.ok()) {
+    std::printf("  (%s)\n", entries.status().ToString().c_str());
+    return;
+  }
+  for (const auto& e : *entries) {
+    std::printf("  %-6s %8llu  %s\n", e.type == FileType::kDirectory ? "dir" : "file",
+                static_cast<unsigned long long>(e.size), e.name.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  SimClock clock;
+  BlockDevice disk((512ull << 20) / kSectorSize, &clock);
+  S4DriveOptions options;
+  auto drive = S4Drive::Format(&disk, &clock, options).value();
+  S4RpcServer rpc(drive.get());
+  LoopbackTransport transport(&rpc, &clock);
+  Credentials dev;
+  dev.user = 500;
+  dev.client = 1;
+  S4Client client(&transport, dev);
+  auto fs = S4FileSystem::Format(&client, "root").value();
+
+  // Monday: the project starts.
+  FileHandle src = MakeDirs(fs.get(), "/project/src").value();
+  FileHandle main_c = fs->CreateFile(src, "main.c", 0644).value();
+  fs->WriteFile(main_c, 0, BytesOf("int main() { return 0; }\n"));
+  FileHandle readme = fs->CreateFile(
+      ResolvePath(fs.get(), "/project").value(), "README", 0644).value();
+  fs->WriteFile(readme, 0, BytesOf("project v0.1\n"));
+  SimTime monday = clock.Now();
+
+  // Tuesday: a feature lands, a scratch file comes and goes.
+  clock.Advance(kDay);
+  fs->WriteFile(main_c, 0, BytesOf("int main() { do_feature(); return 0; }\n"));
+  FileHandle scratch = fs->CreateFile(src, "notes.tmp", 0644).value();
+  fs->WriteFile(scratch, 0, BytesOf("ideas: refactor parser\n"));
+  SimTime tuesday = clock.Now();
+  clock.Advance(kHour);
+  fs->Remove(src, "notes.tmp");
+
+  // Wednesday: disaster — main.c is clobbered by a bad script.
+  clock.Advance(kDay);
+  fs->WriteFile(main_c, 0, BytesOf("#OVERWRITTEN BY BROKEN DEPLOY SCRIPT#\n"));
+  fs->SetSize(main_c, 38);
+  SimTime wednesday = clock.Now();
+
+  // Browse history. The developer created these files, so the Recovery flag
+  // on their ACLs lets them read their own old versions.
+  HistoryBrowser browser(&client, "root");
+  TimeLs(&browser, "/project/src", monday, "monday");
+  TimeLs(&browser, "/project/src", tuesday, "tuesday");
+  TimeLs(&browser, "/project/src", wednesday, "wednesday");
+
+  std::printf("\n$ cat --time=tuesday /project/src/main.c\n%s",
+              StringOf(browser.ReadAt("/project/src/main.c", tuesday).value()).c_str());
+  std::printf("\n$ cat /project/src/main.c   # current, clobbered\n%s",
+              StringOf(fs->ReadFile(main_c, 0, 256).value()).c_str());
+
+  // The deleted scratch file is still reachable through Tuesday's directory.
+  std::printf("\n$ cat --time=tuesday /project/src/notes.tmp\n%s",
+              StringOf(browser.ReadAt("/project/src/notes.tmp", tuesday).value()).c_str());
+
+  // One-call restore of the clobbered file.
+  browser.RestoreFile("/project/src/main.c", tuesday).ToString();
+  std::printf("\n$ s4-restore --time=tuesday /project/src/main.c\n");
+  std::printf("$ cat /project/src/main.c   # restored\n%s",
+              StringOf(fs->ReadFile(main_c, 0, 256).value()).c_str());
+
+  // Version history of the file, oldest first.
+  auto versions = browser.VersionsOf("/project/src/main.c", clock.Now()).value();
+  std::printf("\n$ s4-versions /project/src/main.c\n");
+  for (const auto& [time, cause] : versions) {
+    std::printf("  t=%8llds  cause=%u\n", static_cast<long long>(time / kSecond), cause);
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "src/audit/audit_log.h"
+
+namespace s4 {
+
+const char* RpcOpName(RpcOp op) {
+  switch (op) {
+    case RpcOp::kCreate:
+      return "Create";
+    case RpcOp::kDelete:
+      return "Delete";
+    case RpcOp::kRead:
+      return "Read";
+    case RpcOp::kWrite:
+      return "Write";
+    case RpcOp::kAppend:
+      return "Append";
+    case RpcOp::kTruncate:
+      return "Truncate";
+    case RpcOp::kGetAttr:
+      return "GetAttr";
+    case RpcOp::kSetAttr:
+      return "SetAttr";
+    case RpcOp::kGetAclByUser:
+      return "GetACLByUser";
+    case RpcOp::kGetAclByIndex:
+      return "GetACLByIndex";
+    case RpcOp::kSetAcl:
+      return "SetACL";
+    case RpcOp::kPCreate:
+      return "PCreate";
+    case RpcOp::kPDelete:
+      return "PDelete";
+    case RpcOp::kPList:
+      return "PList";
+    case RpcOp::kPMount:
+      return "PMount";
+    case RpcOp::kSync:
+      return "Sync";
+    case RpcOp::kFlush:
+      return "Flush";
+    case RpcOp::kFlushObject:
+      return "FlushO";
+    case RpcOp::kSetWindow:
+      return "SetWindow";
+    case RpcOp::kGetVersionList:
+      return "GetVersionList";
+  }
+  return "Unknown";
+}
+
+void AuditRecord::EncodeTo(Encoder* enc) const {
+  enc->PutI64(time);
+  enc->PutU32(client);
+  enc->PutU32(user);
+  enc->PutU8(static_cast<uint8_t>(op));
+  enc->PutVarint(object);
+  enc->PutVarint(offset);
+  enc->PutVarint(length);
+  enc->PutU8(result);
+  enc->PutU8(time_based ? 1 : 0);
+}
+
+Result<AuditRecord> AuditRecord::DecodeFrom(Decoder* dec) {
+  AuditRecord r;
+  S4_ASSIGN_OR_RETURN(r.time, dec->I64());
+  S4_ASSIGN_OR_RETURN(r.client, dec->U32());
+  S4_ASSIGN_OR_RETURN(r.user, dec->U32());
+  S4_ASSIGN_OR_RETURN(uint8_t op, dec->U8());
+  if (op < 1 || op > 20) {
+    return Status::DataCorruption("bad audit op");
+  }
+  r.op = static_cast<RpcOp>(op);
+  S4_ASSIGN_OR_RETURN(r.object, dec->Varint());
+  S4_ASSIGN_OR_RETURN(r.offset, dec->Varint());
+  S4_ASSIGN_OR_RETURN(r.length, dec->Varint());
+  S4_ASSIGN_OR_RETURN(r.result, dec->U8());
+  S4_ASSIGN_OR_RETURN(uint8_t tb, dec->U8());
+  r.time_based = tb != 0;
+  return r;
+}
+
+bool AuditQuery::Matches(const AuditRecord& r) const {
+  if (r.time < from || r.time > to) {
+    return false;
+  }
+  if (client.has_value() && r.client != *client) {
+    return false;
+  }
+  if (user.has_value() && r.user != *user) {
+    return false;
+  }
+  if (object.has_value() && r.object != *object) {
+    return false;
+  }
+  if (op.has_value() && r.op != *op) {
+    return false;
+  }
+  return true;
+}
+
+void AuditLogCodec::Buffer(const AuditRecord& record) {
+  record.EncodeTo(&buffer_);
+  ++records_total_;
+}
+
+Bytes AuditLogCodec::TakeBuffered() {
+  Bytes out = buffer_.Take();
+  buffer_ = Encoder();
+  return out;
+}
+
+Status AuditLogCodec::DecodeAll(ByteSpan stream, const AuditQuery& query,
+                                std::vector<AuditRecord>* out) {
+  Decoder dec(stream);
+  while (!dec.done()) {
+    auto rec = AuditRecord::DecodeFrom(&dec);
+    if (!rec.ok()) {
+      // A truncated tail (crash before the final flush) is expected; stop.
+      return Status::Ok();
+    }
+    if (query.Matches(*rec)) {
+      out->push_back(*rec);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace s4

@@ -1,0 +1,133 @@
+#include "src/baseline/conventional_versioning.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+namespace s4 {
+
+ConventionalVersioningStore::ConventionalVersioningStore(BlockDevice* device, SimClock* clock)
+    : device_(device), clock_(clock) {
+  (void)clock_;
+}
+
+Result<uint64_t> ConventionalVersioningStore::CreateObject() {
+  uint64_t id = next_id_++;
+  objects_[id] = Object();
+  return id;
+}
+
+Result<DiskAddr> ConventionalVersioningStore::AppendRaw(ByteSpan data) {
+  uint64_t sectors = (data.size() + kSectorSize - 1) / kSectorSize;
+  if (next_sector_ + sectors > device_->sector_count()) {
+    return Status::OutOfSpace("conventional store full");
+  }
+  Bytes padded(data.begin(), data.end());
+  padded.resize(sectors * kSectorSize, 0);
+  DiskAddr addr = next_sector_;
+  S4_RETURN_IF_ERROR(device_->Write(addr, padded));
+  next_sector_ += sectors;
+  return addr;
+}
+
+Status ConventionalVersioningStore::Write(uint64_t id, uint64_t offset, ByteSpan data) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object");
+  }
+  Object& obj = it->second;
+  if (data.empty()) {
+    return Status::Ok();
+  }
+  uint64_t first = offset / kBlockSize;
+  uint64_t last = (offset + data.size() - 1) / kBlockSize;
+
+  // New data blocks (read-modify-write for partial blocks).
+  for (uint64_t b = first; b <= last; ++b) {
+    Bytes content(kBlockSize, 0);
+    DiskAddr old = 0;
+    if (auto bit = obj.blocks.find(b); bit != obj.blocks.end()) {
+      old = bit->second;
+    }
+    uint64_t block_start = b * kBlockSize;
+    uint64_t from = std::max(offset, block_start);
+    uint64_t to = std::min(offset + data.size(), block_start + kBlockSize);
+    if (old != 0 && (from != block_start || to != block_start + kBlockSize)) {
+      S4_RETURN_IF_ERROR(device_->Read(old, kSectorsPerBlock, &content));
+    }
+    std::memcpy(content.data() + (from - block_start), data.data() + (from - offset),
+                to - from);
+    S4_ASSIGN_OR_RETURN(DiskAddr addr, AppendRaw(content));
+    obj.blocks[b] = addr;
+    stats_.data_bytes += kBlockSize;
+  }
+
+  // The versioned metadata chain: one new copy of every indirect block whose
+  // pointer set changed, a new inode, and an inode-log entry.
+  uint64_t new_size = std::max(obj.size, offset + data.size());
+  std::set<uint64_t> single_groups;  // which single-indirect blocks changed
+  bool double_changed = false;
+  for (uint64_t b = first; b <= last; ++b) {
+    if (b < kDirect) {
+      continue;  // covered by the inode itself
+    }
+    uint64_t rel = b - kDirect;
+    if (rel < kPtrs) {
+      single_groups.insert(0);  // the single-indirect block
+    } else {
+      rel -= kPtrs;
+      single_groups.insert(1 + rel / kPtrs);  // a leaf under the double ind.
+      double_changed = true;
+    }
+  }
+  Bytes indirect_block(kBlockSize, 0);
+  for (uint64_t g : single_groups) {
+    (void)g;
+    S4_RETURN_IF_ERROR(AppendRaw(indirect_block).status());
+    stats_.metadata_bytes += kBlockSize;
+  }
+  if (double_changed) {
+    S4_RETURN_IF_ERROR(AppendRaw(indirect_block).status());
+    stats_.metadata_bytes += kBlockSize;
+  }
+  // New inode (one sector) + inode-log entry (one sector).
+  Bytes inode_sector(kSectorSize, 0);
+  S4_RETURN_IF_ERROR(AppendRaw(inode_sector).status());
+  S4_RETURN_IF_ERROR(AppendRaw(inode_sector).status());
+  stats_.metadata_bytes += 2 * kSectorSize;
+
+  obj.size = new_size;
+  ++stats_.versions;
+  return Status::Ok();
+}
+
+Result<Bytes> ConventionalVersioningStore::Read(uint64_t id, uint64_t offset,
+                                                uint64_t length) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object");
+  }
+  const Object& obj = it->second;
+  if (offset >= obj.size) {
+    return Bytes{};
+  }
+  length = std::min(length, obj.size - offset);
+  Bytes out(length, 0);
+  uint64_t first = offset / kBlockSize;
+  uint64_t last = (offset + length - 1) / kBlockSize;
+  for (uint64_t b = first; b <= last; ++b) {
+    auto bit = obj.blocks.find(b);
+    if (bit == obj.blocks.end()) {
+      continue;
+    }
+    Bytes content;
+    S4_RETURN_IF_ERROR(device_->Read(bit->second, kSectorsPerBlock, &content));
+    uint64_t block_start = b * kBlockSize;
+    uint64_t from = std::max(offset, block_start);
+    uint64_t to = std::min(offset + length, block_start + kBlockSize);
+    std::memcpy(out.data() + (from - offset), content.data() + (from - block_start), to - from);
+  }
+  return out;
+}
+
+}  // namespace s4

@@ -1,0 +1,63 @@
+#include "src/baseline/snapshot_store.h"
+
+namespace s4 {
+
+uint64_t SnapshotStore::CreateObject() {
+  uint64_t id = next_id_++;
+  current_[id] = std::make_shared<const Bytes>();
+  return id;
+}
+
+Status SnapshotStore::Write(uint64_t id, Bytes content) {
+  auto it = current_.find(id);
+  if (it == current_.end()) {
+    return Status::NotFound("no such object");
+  }
+  // Copy-on-write: snapshots holding the old shared_ptr are unaffected.
+  it->second = std::make_shared<const Bytes>(std::move(content));
+  return Status::Ok();
+}
+
+Status SnapshotStore::Delete(uint64_t id) {
+  if (current_.erase(id) == 0) {
+    return Status::NotFound("no such object");
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> SnapshotStore::ReadCurrent(uint64_t id) const {
+  auto it = current_.find(id);
+  if (it == current_.end()) {
+    return Status::NotFound("no such object");
+  }
+  return *it->second;
+}
+
+size_t SnapshotStore::TakeSnapshot() {
+  snapshots_.push_back(Snapshot{clock_->Now(), current_});
+  return snapshots_.size() - 1;
+}
+
+Result<Bytes> SnapshotStore::ReadAtSnapshot(size_t index, uint64_t id) const {
+  if (index >= snapshots_.size()) {
+    return Status::InvalidArgument("no such snapshot");
+  }
+  const Table& table = snapshots_[index].table;
+  auto it = table.find(id);
+  if (it == table.end()) {
+    return Status::NotFound("object not present in snapshot");
+  }
+  return *it->second;
+}
+
+bool SnapshotStore::AnySnapshotHolds(uint64_t id, const Bytes& content) const {
+  for (const auto& snap : snapshots_) {
+    auto it = snap.table.find(id);
+    if (it != snap.table.end() && *it->second == content) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace s4

@@ -1,0 +1,229 @@
+#include "src/cluster/mirrored_drive.h"
+
+#include "src/util/check.h"
+
+namespace s4 {
+
+MirroredDrive::MirroredDrive(std::vector<S4Drive*> replicas)
+    : replicas_(std::move(replicas)), healthy_(replicas_.size(), true) {
+  S4_CHECK(!replicas_.empty());
+}
+
+size_t MirroredDrive::healthy_count() const {
+  size_t n = 0;
+  for (bool h : healthy_) {
+    n += h ? 1 : 0;
+  }
+  return n;
+}
+
+void MirroredDrive::FailReplica(size_t index) {
+  S4_CHECK(index < replicas_.size());
+  healthy_[index] = false;
+}
+
+Result<size_t> MirroredDrive::PickReadReplica() const {
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (healthy_[i]) {
+      return i;
+    }
+  }
+  return Status::FailedPrecondition("no healthy replica");
+}
+
+template <typename Fn>
+Status MirroredDrive::Mutate(Fn&& fn) {
+  bool any = false;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (!healthy_[i]) {
+      continue;
+    }
+    Status s = fn(replicas_[i]);
+    if (!s.ok()) {
+      // Client-caused failures (ACL, not-found) are consistent across
+      // replicas — report the first. Device-level failures fail the replica.
+      if (s.code() == ErrorCode::kOutOfSpace || s.code() == ErrorCode::kDataCorruption ||
+          s.code() == ErrorCode::kInternal) {
+        healthy_[i] = false;
+        continue;
+      }
+      return s;
+    }
+    any = true;
+  }
+  return any ? Status::Ok() : Status::FailedPrecondition("no healthy replica");
+}
+
+Result<ObjectId> MirroredDrive::Create(const Credentials& creds, Bytes opaque_attrs) {
+  ObjectId id = kInvalidObjectId;
+  S4_RETURN_IF_ERROR(Mutate([&](S4Drive* drive) -> Status {
+    auto result = drive->Create(creds, opaque_attrs);
+    if (!result.ok()) {
+      return result.status();
+    }
+    // Freshly formatted replicas allocate ids in lockstep; a mismatch means
+    // the mirror set diverged and must not be written further.
+    if (id == kInvalidObjectId) {
+      id = *result;
+    } else {
+      S4_CHECK(id == *result);
+    }
+    return Status::Ok();
+  }));
+  return id;
+}
+
+Status MirroredDrive::Delete(const Credentials& creds, ObjectId id) {
+  return Mutate([&](S4Drive* drive) { return drive->Delete(creds, id); });
+}
+
+Status MirroredDrive::Write(const Credentials& creds, ObjectId id, uint64_t offset,
+                            ByteSpan data) {
+  return Mutate([&](S4Drive* drive) { return drive->Write(creds, id, offset, data); });
+}
+
+Result<uint64_t> MirroredDrive::Append(const Credentials& creds, ObjectId id, ByteSpan data) {
+  uint64_t size = 0;
+  S4_RETURN_IF_ERROR(Mutate([&](S4Drive* drive) -> Status {
+    auto result = drive->Append(creds, id, data);
+    if (!result.ok()) {
+      return result.status();
+    }
+    size = *result;
+    return Status::Ok();
+  }));
+  return size;
+}
+
+Status MirroredDrive::Truncate(const Credentials& creds, ObjectId id, uint64_t new_size) {
+  return Mutate([&](S4Drive* drive) { return drive->Truncate(creds, id, new_size); });
+}
+
+Status MirroredDrive::SetAttr(const Credentials& creds, ObjectId id, Bytes opaque_attrs) {
+  return Mutate([&](S4Drive* drive) { return drive->SetAttr(creds, id, opaque_attrs); });
+}
+
+Status MirroredDrive::SetAcl(const Credentials& creds, ObjectId id, AclEntry entry) {
+  return Mutate([&](S4Drive* drive) { return drive->SetAcl(creds, id, entry); });
+}
+
+Status MirroredDrive::Sync(const Credentials& creds) {
+  return Mutate([&](S4Drive* drive) { return drive->Sync(creds); });
+}
+
+Result<Bytes> MirroredDrive::Read(const Credentials& creds, ObjectId id, uint64_t offset,
+                                  uint64_t length, std::optional<SimTime> at) {
+  Status last = Status::FailedPrecondition("no healthy replica");
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (!healthy_[i]) {
+      continue;
+    }
+    auto result = replicas_[i]->Read(creds, id, offset, length, at);
+    if (result.ok() || result.status().code() != ErrorCode::kDataCorruption) {
+      return result;  // success, or a consistent client-visible error
+    }
+    // Corrupt replica: fail it and try the next.
+    healthy_[i] = false;
+    last = result.status();
+  }
+  return last;
+}
+
+Result<ObjectAttrs> MirroredDrive::GetAttr(const Credentials& creds, ObjectId id,
+                                           std::optional<SimTime> at) {
+  S4_ASSIGN_OR_RETURN(size_t index, PickReadReplica());
+  return replicas_[index]->GetAttr(creds, id, at);
+}
+
+Result<std::vector<VersionInfo>> MirroredDrive::GetVersionList(const Credentials& creds,
+                                                               ObjectId id) {
+  S4_ASSIGN_OR_RETURN(size_t index, PickReadReplica());
+  return replicas_[index]->GetVersionList(creds, id);
+}
+
+Result<bool> MirroredDrive::ReplicasAgree(const Credentials& admin, ObjectId id,
+                                          std::optional<SimTime> at) {
+  bool have_reference = false;
+  Bytes reference;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (!healthy_[i]) {
+      continue;
+    }
+    auto attrs = replicas_[i]->GetAttr(admin, id, at);
+    if (!attrs.ok()) {
+      return attrs.status();
+    }
+    S4_ASSIGN_OR_RETURN(Bytes content, replicas_[i]->Read(admin, id, 0, attrs->size, at));
+    if (!have_reference) {
+      reference = std::move(content);
+      have_reference = true;
+    } else if (content != reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status MirroredDrive::ReplaceReplica(size_t index, S4Drive* replacement,
+                                     const Credentials& admin) {
+  S4_CHECK(index < replicas_.size());
+  S4_CHECK(!healthy_[index]);
+  S4_ASSIGN_OR_RETURN(size_t source_index, PickReadReplica());
+  S4Drive* source = replicas_[source_index];
+  if (!source->IsAdmin(admin)) {
+    return Status::PermissionDenied("rebuild requires administrative access");
+  }
+
+  // Recreate every live object with its current contents. Replicas stay
+  // interchangeable because ids are reproduced: objects are recreated in
+  // ascending id order on a freshly formatted drive whose allocator starts
+  // at the same origin, with tombstones burning the ids of deleted or
+  // aged-out objects. Pre-failure history cannot be recreated (writes stamp
+  // the current time); it remains available on the surviving replicas.
+  S4_ASSIGN_OR_RETURN(auto partitions, source->PList(admin));
+  ObjectId probe = kFirstUserObjectId;
+  const ObjectId end = source->PeekNextObjectId();
+  while (probe < end) {
+    auto attrs = source->GetAttr(admin, probe);
+    if (!attrs.ok()) {
+      if (attrs.status().code() == ErrorCode::kNotFound ||
+          attrs.status().code() == ErrorCode::kFailedPrecondition) {
+        // Aged-out or deleted object: reserve its id on the replacement with
+        // a create+delete tombstone so later ids stay aligned.
+        auto placeholder = replacement->Create(admin, {});
+        if (placeholder.ok()) {
+          S4_CHECK(*placeholder == probe);
+          S4_RETURN_IF_ERROR(replacement->Delete(admin, probe));
+        }
+        ++probe;
+        continue;
+      }
+      return attrs.status();
+    }
+    S4_ASSIGN_OR_RETURN(Bytes content, source->Read(admin, probe, 0, attrs->size));
+    S4_ASSIGN_OR_RETURN(ObjectId new_id, replacement->Create(admin, attrs->opaque));
+    S4_CHECK(new_id == probe);
+    if (!content.empty()) {
+      S4_RETURN_IF_ERROR(replacement->Write(admin, probe, 0, content));
+    }
+    // Mirror the ACL table.
+    for (uint32_t acl_index = 0;; ++acl_index) {
+      auto acl_entry = source->GetAclByIndex(admin, probe, acl_index);
+      if (!acl_entry.ok()) {
+        break;
+      }
+      S4_RETURN_IF_ERROR(replacement->SetAcl(admin, probe, *acl_entry));
+    }
+    ++probe;
+  }
+  for (const auto& [name, object] : partitions) {
+    S4_RETURN_IF_ERROR(replacement->PCreate(admin, name, object));
+  }
+  S4_RETURN_IF_ERROR(replacement->Sync(admin));
+
+  replicas_[index] = replacement;
+  healthy_[index] = true;
+  return Status::Ok();
+}
+
+}  // namespace s4

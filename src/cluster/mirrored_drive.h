@@ -1,0 +1,78 @@
+// Multi-device coordination (paper section 6, "Multi-device coordination").
+//
+// MirroredDrive replicates every mutation synchronously across N self-
+// securing drives that share one simulation clock, so version timestamps —
+// and therefore time-based reads — agree across replicas. Reads are served
+// by the lowest-numbered healthy replica with automatic failover; a failed
+// replica can be replaced and rebuilt from a survivor.
+//
+// Coordinated history: because replicas see identical op sequences with
+// identical timestamps, any version readable on one replica is readable at
+// the same time coordinate on every replica — the paper's requirement that
+// "recovery operations must also coordinate old versions". A rebuilt
+// replacement holds current state only; its history pool fills from the
+// rebuild point onward (pre-failure history survives on the other
+// replicas).
+#ifndef S4_SRC_CLUSTER_MIRRORED_DRIVE_H_
+#define S4_SRC_CLUSTER_MIRRORED_DRIVE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/drive/s4_drive.h"
+
+namespace s4 {
+
+class MirroredDrive {
+ public:
+  // All drives must share the same SimClock and start freshly formatted (so
+  // their ObjectId counters align).
+  explicit MirroredDrive(std::vector<S4Drive*> replicas);
+
+  size_t replica_count() const { return replicas_.size(); }
+  bool healthy(size_t index) const { return healthy_[index]; }
+  size_t healthy_count() const;
+
+  // Marks a replica failed (its device died); subsequent ops skip it.
+  void FailReplica(size_t index);
+  // Replaces a failed replica with a freshly formatted drive and rebuilds
+  // the current state of every live object from a healthy peer. `admin` must
+  // carry the admin key (rebuild reads bypass ACLs).
+  Status ReplaceReplica(size_t index, S4Drive* replacement, const Credentials& admin);
+
+  // --- mirrored S4 operations (the subset file systems need) ---
+  Result<ObjectId> Create(const Credentials& creds, Bytes opaque_attrs);
+  Status Delete(const Credentials& creds, ObjectId id);
+  Status Write(const Credentials& creds, ObjectId id, uint64_t offset, ByteSpan data);
+  Result<uint64_t> Append(const Credentials& creds, ObjectId id, ByteSpan data);
+  Status Truncate(const Credentials& creds, ObjectId id, uint64_t new_size);
+  Status SetAttr(const Credentials& creds, ObjectId id, Bytes opaque_attrs);
+  Status SetAcl(const Credentials& creds, ObjectId id, AclEntry entry);
+  Status Sync(const Credentials& creds);
+
+  // Reads go to one healthy replica (failover on error).
+  Result<Bytes> Read(const Credentials& creds, ObjectId id, uint64_t offset, uint64_t length,
+                     std::optional<SimTime> at = std::nullopt);
+  Result<ObjectAttrs> GetAttr(const Credentials& creds, ObjectId id,
+                              std::optional<SimTime> at = std::nullopt);
+  Result<std::vector<VersionInfo>> GetVersionList(const Credentials& creds, ObjectId id);
+
+  // Diagnosis helper: true if all healthy replicas return identical bytes
+  // for this object at `at` (detects a divergent / tampered replica).
+  Result<bool> ReplicasAgree(const Credentials& admin, ObjectId id,
+                             std::optional<SimTime> at = std::nullopt);
+
+ private:
+  // Applies a mutation to every healthy replica; a replica that errors is
+  // failed (split-brain is avoided by the shared clock + deterministic ids).
+  template <typename Fn>
+  Status Mutate(Fn&& fn);
+  Result<size_t> PickReadReplica() const;
+
+  std::vector<S4Drive*> replicas_;
+  std::vector<bool> healthy_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_CLUSTER_MIRRORED_DRIVE_H_

@@ -1,0 +1,105 @@
+#include "src/cluster/striped_volume.h"
+
+#include "src/util/check.h"
+
+namespace s4 {
+
+StripedVolume::StripedVolume(std::vector<S4Drive*> drives) : drives_(std::move(drives)) {
+  S4_CHECK(!drives_.empty());
+  S4_CHECK(drives_.size() < 256);
+}
+
+Result<S4Drive*> StripedVolume::Route(ObjectId id) const {
+  size_t drive = DriveOf(id);
+  if (drive >= drives_.size()) {
+    return Status::NotFound("no such drive in volume");
+  }
+  return drives_[drive];
+}
+
+Result<ObjectId> StripedVolume::Create(const Credentials& creds, Bytes opaque_attrs) {
+  // Place on the drive with the least occupied log; ties go round-robin, so
+  // versioning load spreads across the cluster's shared history pool.
+  size_t best = next_drive_;
+  double best_util = 2.0;
+  for (size_t probe = 0; probe < drives_.size(); ++probe) {
+    size_t i = (next_drive_ + probe) % drives_.size();
+    double util = drives_[i]->SpaceUtilization();
+    if (util + 0.02 < best_util) {
+      best_util = util;
+      best = i;
+    }
+  }
+  next_drive_ = (best + 1) % drives_.size();
+  S4_ASSIGN_OR_RETURN(ObjectId backend_id, drives_[best]->Create(creds, opaque_attrs));
+  S4_CHECK(backend_id < (1ull << 56));
+  return (static_cast<ObjectId>(best) << 56) | backend_id;
+}
+
+Status StripedVolume::Delete(const Credentials& creds, ObjectId id) {
+  S4_ASSIGN_OR_RETURN(S4Drive * drive, Route(id));
+  return drive->Delete(creds, BackendOf(id));
+}
+
+Result<Bytes> StripedVolume::Read(const Credentials& creds, ObjectId id, uint64_t offset,
+                                  uint64_t length, std::optional<SimTime> at) {
+  S4_ASSIGN_OR_RETURN(S4Drive * drive, Route(id));
+  return drive->Read(creds, BackendOf(id), offset, length, at);
+}
+
+Status StripedVolume::Write(const Credentials& creds, ObjectId id, uint64_t offset,
+                            ByteSpan data) {
+  S4_ASSIGN_OR_RETURN(S4Drive * drive, Route(id));
+  return drive->Write(creds, BackendOf(id), offset, data);
+}
+
+Result<uint64_t> StripedVolume::Append(const Credentials& creds, ObjectId id, ByteSpan data) {
+  S4_ASSIGN_OR_RETURN(S4Drive * drive, Route(id));
+  return drive->Append(creds, BackendOf(id), data);
+}
+
+Status StripedVolume::Truncate(const Credentials& creds, ObjectId id, uint64_t new_size) {
+  S4_ASSIGN_OR_RETURN(S4Drive * drive, Route(id));
+  return drive->Truncate(creds, BackendOf(id), new_size);
+}
+
+Result<ObjectAttrs> StripedVolume::GetAttr(const Credentials& creds, ObjectId id,
+                                           std::optional<SimTime> at) {
+  S4_ASSIGN_OR_RETURN(S4Drive * drive, Route(id));
+  return drive->GetAttr(creds, BackendOf(id), at);
+}
+
+Status StripedVolume::SetAttr(const Credentials& creds, ObjectId id, Bytes opaque_attrs) {
+  S4_ASSIGN_OR_RETURN(S4Drive * drive, Route(id));
+  return drive->SetAttr(creds, BackendOf(id), std::move(opaque_attrs));
+}
+
+Result<std::vector<VersionInfo>> StripedVolume::GetVersionList(const Credentials& creds,
+                                                               ObjectId id) {
+  S4_ASSIGN_OR_RETURN(S4Drive * drive, Route(id));
+  return drive->GetVersionList(creds, BackendOf(id));
+}
+
+Status StripedVolume::Sync(const Credentials& creds) {
+  for (S4Drive* drive : drives_) {
+    S4_RETURN_IF_ERROR(drive->Sync(creds));
+  }
+  return Status::Ok();
+}
+
+uint64_t StripedVolume::HistoryPoolBytes() const {
+  uint64_t total = 0;
+  for (const S4Drive* drive : drives_) {
+    total += drive->HistoryPoolBytes();
+  }
+  return total;
+}
+
+Status StripedVolume::RunCleanerPasses(uint32_t max_compactions) {
+  for (S4Drive* drive : drives_) {
+    S4_RETURN_IF_ERROR(drive->RunCleanerPass(max_compactions).status());
+  }
+  return Status::Ok();
+}
+
+}  // namespace s4

@@ -1,0 +1,180 @@
+#include "src/delta/delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/codec.h"
+
+namespace s4 {
+namespace {
+
+constexpr size_t kSeedSize = 16;        // rolling-hash window
+constexpr uint32_t kDeltaMagic = 0x53344454;  // "S4DT"
+
+enum class Instr : uint8_t { kCopy = 1, kInsert = 2 };
+
+// Polynomial rolling hash over a kSeedSize window.
+struct RollingHash {
+  static constexpr uint64_t kBase = 1000000007ull;
+
+  static uint64_t PowBase() {
+    static const uint64_t kPow = [] {
+      uint64_t p = 1;
+      for (size_t i = 0; i + 1 < kSeedSize; ++i) {
+        p *= kBase;
+      }
+      return p;
+    }();
+    return kPow;
+  }
+
+  static uint64_t Hash(const uint8_t* p) {
+    uint64_t h = 0;
+    for (size_t i = 0; i < kSeedSize; ++i) {
+      h = h * kBase + p[i];
+    }
+    return h;
+  }
+
+  static uint64_t Roll(uint64_t h, uint8_t out, uint8_t in) {
+    return (h - out * PowBase()) * kBase + in;
+  }
+};
+
+}  // namespace
+
+Bytes ComputeDelta(ByteSpan source, ByteSpan target) {
+  Encoder enc(64 + target.size() / 8);
+  enc.PutU32(kDeltaMagic);
+  enc.PutVarint(target.size());
+
+  // Index the source by seed hash (one offset per hash bucket; last wins —
+  // simple and effective for version chains).
+  std::unordered_map<uint64_t, size_t> index;
+  if (source.size() >= kSeedSize) {
+    uint64_t h = RollingHash::Hash(source.data());
+    index[h] = 0;
+    for (size_t i = 1; i + kSeedSize <= source.size(); ++i) {
+      h = RollingHash::Roll(h, source[i - 1], source[i + kSeedSize - 1]);
+      // Sparse indexing every 4 bytes keeps the table small on big inputs.
+      if (i % 4 == 0) {
+        index[h] = i;
+      }
+    }
+  }
+
+  size_t pos = 0;
+  size_t pending_insert_start = 0;
+  auto flush_insert = [&](size_t end) {
+    if (end > pending_insert_start) {
+      enc.PutU8(static_cast<uint8_t>(Instr::kInsert));
+      enc.PutLengthPrefixed(target.subspan(pending_insert_start, end - pending_insert_start));
+    }
+  };
+
+  if (target.size() >= kSeedSize && !index.empty()) {
+    uint64_t h = RollingHash::Hash(target.data());
+    size_t hash_pos = 0;  // h corresponds to target[hash_pos, hash_pos+seed)
+    while (pos + kSeedSize <= target.size()) {
+      // Advance the rolling hash to `pos`.
+      while (hash_pos < pos) {
+        h = RollingHash::Roll(h, target[hash_pos], target[hash_pos + kSeedSize]);
+        ++hash_pos;
+      }
+      auto it = index.find(h);
+      bool matched = false;
+      if (it != index.end()) {
+        size_t src = it->second;
+        if (src + kSeedSize <= source.size() &&
+            std::memcmp(source.data() + src, target.data() + pos, kSeedSize) == 0) {
+          // Extend the match backwards into pending insert territory...
+          size_t back = 0;
+          while (src - back > 0 && pos - back > pending_insert_start &&
+                 source[src - back - 1] == target[pos - back - 1]) {
+            ++back;
+          }
+          // ...and forwards as far as it goes.
+          size_t fwd = kSeedSize;
+          while (src + fwd < source.size() && pos + fwd < target.size() &&
+                 source[src + fwd] == target[pos + fwd]) {
+            ++fwd;
+          }
+          flush_insert(pos - back);
+          enc.PutU8(static_cast<uint8_t>(Instr::kCopy));
+          enc.PutVarint(src - back);
+          enc.PutVarint(back + fwd);
+          pos += fwd;
+          pending_insert_start = pos;
+          matched = true;
+          if (pos + kSeedSize <= target.size()) {
+            h = RollingHash::Hash(target.data() + pos);
+            hash_pos = pos;
+          }
+        }
+      }
+      if (!matched) {
+        ++pos;
+      }
+    }
+  }
+  flush_insert(target.size());
+  return enc.Take();
+}
+
+Result<Bytes> ApplyDelta(ByteSpan source, ByteSpan delta) {
+  Decoder dec(delta);
+  S4_ASSIGN_OR_RETURN(uint32_t magic, dec.U32());
+  if (magic != kDeltaMagic) {
+    return Status::DataCorruption("bad delta magic");
+  }
+  S4_ASSIGN_OR_RETURN(uint64_t target_size, dec.Varint());
+  Bytes out;
+  out.reserve(target_size);
+  while (!dec.done()) {
+    S4_ASSIGN_OR_RETURN(uint8_t instr, dec.U8());
+    if (instr == static_cast<uint8_t>(Instr::kCopy)) {
+      S4_ASSIGN_OR_RETURN(uint64_t offset, dec.Varint());
+      S4_ASSIGN_OR_RETURN(uint64_t length, dec.Varint());
+      if (offset + length > source.size() || offset + length < offset) {
+        return Status::DataCorruption("delta copy out of range");
+      }
+      out.insert(out.end(), source.begin() + offset, source.begin() + offset + length);
+    } else if (instr == static_cast<uint8_t>(Instr::kInsert)) {
+      S4_ASSIGN_OR_RETURN(Bytes literal, dec.LengthPrefixed());
+      out.insert(out.end(), literal.begin(), literal.end());
+    } else {
+      return Status::DataCorruption("bad delta instruction");
+    }
+  }
+  if (out.size() != target_size) {
+    return Status::DataCorruption("delta target size mismatch");
+  }
+  return out;
+}
+
+Result<double> DeltaCopyFraction(ByteSpan delta) {
+  Decoder dec(delta);
+  S4_ASSIGN_OR_RETURN(uint32_t magic, dec.U32());
+  if (magic != kDeltaMagic) {
+    return Status::DataCorruption("bad delta magic");
+  }
+  S4_ASSIGN_OR_RETURN(uint64_t target_size, dec.Varint());
+  uint64_t copied = 0;
+  while (!dec.done()) {
+    S4_ASSIGN_OR_RETURN(uint8_t instr, dec.U8());
+    if (instr == static_cast<uint8_t>(Instr::kCopy)) {
+      S4_ASSIGN_OR_RETURN(uint64_t offset, dec.Varint());
+      (void)offset;
+      S4_ASSIGN_OR_RETURN(uint64_t length, dec.Varint());
+      copied += length;
+    } else {
+      S4_ASSIGN_OR_RETURN(Bytes literal, dec.LengthPrefixed());
+      (void)literal;
+    }
+  }
+  return target_size == 0 ? 0.0 : static_cast<double>(copied) / target_size;
+}
+
+}  // namespace s4

@@ -1,0 +1,29 @@
+// Cross-version binary differencing (Xdelta-style), used to compact old
+// versions in the history pool (paper sections 4.2.2 and 5.2).
+//
+// ComputeDelta finds byte ranges of `target` that already exist in `source`
+// using a rolling hash over fixed-size seeds, greedily extends matches in
+// both directions, and emits a COPY/INSERT instruction stream. ApplyDelta
+// reconstructs `target` exactly from `source` + delta.
+#ifndef S4_SRC_DELTA_DELTA_H_
+#define S4_SRC_DELTA_DELTA_H_
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace s4 {
+
+// Computes a delta encoding of `target` relative to `source`. The result is
+// never larger than an all-INSERT encoding (target size + small framing).
+Bytes ComputeDelta(ByteSpan source, ByteSpan target);
+
+// Reconstructs the target from the source and a delta produced by
+// ComputeDelta. Fails with kDataCorruption on malformed input.
+Result<Bytes> ApplyDelta(ByteSpan source, ByteSpan delta);
+
+// Fraction of the target covered by COPY instructions (diagnostics).
+Result<double> DeltaCopyFraction(ByteSpan delta);
+
+}  // namespace s4
+
+#endif  // S4_SRC_DELTA_DELTA_H_

@@ -1,0 +1,128 @@
+#include "src/delta/lz.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/util/codec.h"
+
+namespace s4 {
+namespace {
+
+constexpr uint32_t kLzMagic = 0x53344C5A;  // "S4LZ"
+constexpr size_t kWindow = 64 * 1024;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 1 << 16;
+constexpr size_t kHashBits = 15;
+constexpr size_t kMaxChain = 16;  // probes per position
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+enum class Token : uint8_t { kLiteral = 1, kMatch = 2 };
+
+}  // namespace
+
+Bytes LzCompress(ByteSpan input) {
+  Encoder enc(16 + input.size() / 4);
+  enc.PutU32(kLzMagic);
+  enc.PutVarint(input.size());
+
+  std::vector<int64_t> head(1 << kHashBits, -1);
+  std::vector<int64_t> prev(input.size(), -1);
+
+  size_t pos = 0;
+  size_t literal_start = 0;
+  auto flush_literals = [&](size_t end) {
+    if (end > literal_start) {
+      enc.PutU8(static_cast<uint8_t>(Token::kLiteral));
+      enc.PutLengthPrefixed(input.subspan(literal_start, end - literal_start));
+    }
+  };
+
+  while (pos + kMinMatch <= input.size()) {
+    uint32_t h = Hash4(input.data() + pos);
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    int64_t candidate = head[h];
+    size_t chain = 0;
+    while (candidate >= 0 && chain < kMaxChain &&
+           pos - static_cast<size_t>(candidate) <= kWindow) {
+      size_t cand = static_cast<size_t>(candidate);
+      size_t len = 0;
+      size_t limit = std::min(input.size() - pos, kMaxMatch);
+      while (len < limit && input[cand + len] == input[pos + len]) {
+        ++len;
+      }
+      if (len > best_len) {
+        best_len = len;
+        best_dist = pos - cand;
+      }
+      candidate = prev[cand];
+      ++chain;
+    }
+
+    if (best_len >= kMinMatch) {
+      flush_literals(pos);
+      enc.PutU8(static_cast<uint8_t>(Token::kMatch));
+      enc.PutVarint(best_dist);
+      enc.PutVarint(best_len);
+      // Insert hash entries for the matched region (sparsely, for speed).
+      size_t end = pos + best_len;
+      for (; pos < end && pos + kMinMatch <= input.size(); pos += 2) {
+        uint32_t h2 = Hash4(input.data() + pos);
+        prev[pos] = head[h2];
+        head[h2] = static_cast<int64_t>(pos);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      prev[pos] = head[h];
+      head[h] = static_cast<int64_t>(pos);
+      ++pos;
+    }
+  }
+  flush_literals(input.size());
+  return enc.Take();
+}
+
+Result<Bytes> LzDecompress(ByteSpan compressed) {
+  Decoder dec(compressed);
+  S4_ASSIGN_OR_RETURN(uint32_t magic, dec.U32());
+  if (magic != kLzMagic) {
+    return Status::DataCorruption("bad lz magic");
+  }
+  S4_ASSIGN_OR_RETURN(uint64_t size, dec.Varint());
+  Bytes out;
+  out.reserve(size);
+  while (!dec.done()) {
+    S4_ASSIGN_OR_RETURN(uint8_t token, dec.U8());
+    if (token == static_cast<uint8_t>(Token::kLiteral)) {
+      S4_ASSIGN_OR_RETURN(Bytes literal, dec.LengthPrefixed());
+      out.insert(out.end(), literal.begin(), literal.end());
+    } else if (token == static_cast<uint8_t>(Token::kMatch)) {
+      S4_ASSIGN_OR_RETURN(uint64_t dist, dec.Varint());
+      S4_ASSIGN_OR_RETURN(uint64_t len, dec.Varint());
+      if (dist == 0 || dist > out.size()) {
+        return Status::DataCorruption("lz match distance out of range");
+      }
+      // Byte-by-byte copy: overlapping matches (dist < len) are legal and
+      // reproduce run-length behaviour.
+      size_t from = out.size() - dist;
+      for (uint64_t i = 0; i < len; ++i) {
+        out.push_back(out[from + i]);
+      }
+    } else {
+      return Status::DataCorruption("bad lz token");
+    }
+  }
+  if (out.size() != size) {
+    return Status::DataCorruption("lz size mismatch");
+  }
+  return out;
+}
+
+}  // namespace s4

@@ -1,0 +1,20 @@
+// LZ77-style compressor (hash chains, 64KB window), used together with
+// differencing to estimate achievable history-pool compaction (Figure 7).
+#ifndef S4_SRC_DELTA_LZ_H_
+#define S4_SRC_DELTA_LZ_H_
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace s4 {
+
+// Compresses `input`. Incompressible data grows by at most a tiny framing
+// overhead (stored-literal fallback).
+Bytes LzCompress(ByteSpan input);
+
+// Exact inverse of LzCompress.
+Result<Bytes> LzDecompress(ByteSpan compressed);
+
+}  // namespace s4
+
+#endif  // S4_SRC_DELTA_LZ_H_

@@ -1,0 +1,298 @@
+// S4Drive history pool: version reconstruction (time-based access), version
+// enumeration, and administrative purging (Flush/FlushO).
+#include <algorithm>
+#include <cstring>
+
+#include "src/drive/s4_drive.h"
+#include "src/util/check.h"
+
+namespace s4 {
+
+DiskAddr S4Drive::VersionView::BlockAt(uint64_t index) const {
+  auto it = overlay.find(index);
+  if (it != overlay.end()) {
+    return it->second;
+  }
+  return base->inode.BlockAddr(index);
+}
+
+Status S4Drive::WalkJournal(ObjectId id, const CachedObject* obj,
+                            const std::function<Result<bool>(const JournalEntry&)>& fn) {
+  const ObjectMapEntry* entry = object_map_.Find(id);
+  if (entry == nullptr) {
+    return Status::NotFound("no such object");
+  }
+  SimTime barrier = entry->history_barrier;
+
+  // Newest first: in-memory pending entries...
+  if (obj != nullptr) {
+    for (auto it = obj->pending.rbegin(); it != obj->pending.rend(); ++it) {
+      if (it->time <= barrier) {
+        return Status::Ok();
+      }
+      S4_ASSIGN_OR_RETURN(bool keep_going, fn(*it));
+      if (!keep_going) {
+        return Status::Ok();
+      }
+    }
+  }
+  // ...then the on-disk backward chain.
+  DiskAddr addr = entry->journal_head;
+  while (addr != kNullAddr) {
+    S4_ASSIGN_OR_RETURN(Bytes raw, ReadRecord(addr, 1));
+    auto sector = JournalSector::Decode(raw);
+    if (!sector.ok() || sector->object_id != id) {
+      // The chain crossed into reclaimed space; everything older is gone.
+      return Status::Ok();
+    }
+    for (auto it = sector->entries.rbegin(); it != sector->entries.rend(); ++it) {
+      if (it->time <= barrier) {
+        return Status::Ok();
+      }
+      S4_ASSIGN_OR_RETURN(bool keep_going, fn(*it));
+      if (!keep_going) {
+        return Status::Ok();
+      }
+    }
+    // Never follow the chain past fully expired territory.
+    if (!sector->entries.empty() && sector->entries.front().time <= barrier) {
+      return Status::Ok();
+    }
+    addr = sector->prev;
+  }
+  return Status::Ok();
+}
+
+bool S4Drive::IsPurged(ObjectId id, SimTime t) const {
+  auto it = purged_.find(id);
+  if (it == purged_.end()) {
+    return false;
+  }
+  for (const auto& r : it->second) {
+    if (t > r.from && t <= r.to) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<S4Drive::VersionView> S4Drive::ReconstructVersion(ObjectId id, SimTime at) {
+  const ObjectMapEntry* entry = object_map_.Find(id);
+  if (entry == nullptr) {
+    return Status::NotFound("no such object");
+  }
+  if (at < entry->create_time) {
+    return Status::NotFound("object did not exist at that time");
+  }
+  if (!entry->live() && at >= entry->delete_time) {
+    return Status::NotFound("object was deleted at that time");
+  }
+  if (at < entry->history_barrier) {
+    return Status::FailedPrecondition("version aged out of the history pool");
+  }
+  S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
+
+  VersionView view;
+  view.existed = true;
+  view.base = obj;
+  view.size = obj->inode.attrs.size;
+  view.opaque = obj->inode.attrs.opaque;
+  view.acl = obj->inode.acl;
+  view.create_time = entry->create_time;
+  view.modify_time = entry->create_time;
+
+  // Undo every mutation newer than `at`, newest first. Entries inside an
+  // administratively purged range have had their old data destroyed; mark
+  // affected blocks with the sentinel so reads fail loudly instead of
+  // returning reused disk contents.
+  Status walk = WalkJournal(id, obj.get(), [&](const JournalEntry& e) -> Result<bool> {
+    if (e.time <= at) {
+      view.modify_time = e.time;
+      return false;
+    }
+    bool purged = IsPurged(id, e.time);
+    switch (e.type) {
+      case JournalEntryType::kWrite:
+      case JournalEntryType::kTruncate:
+        view.size = e.old_size;
+        for (const auto& d : e.blocks) {
+          view.overlay[d.block_index] =
+              purged && d.old_addr != kNullAddr ? kPurgedAddr : d.old_addr;
+        }
+        break;
+      case JournalEntryType::kSetAttr:
+        view.opaque = e.old_blob;
+        break;
+      case JournalEntryType::kSetAcl: {
+        Decoder dec(e.old_blob);
+        S4_ASSIGN_OR_RETURN(view.acl, DecodeAcl(&dec));
+        break;
+      }
+      case JournalEntryType::kCreate:
+        view.existed = false;
+        return false;
+      case JournalEntryType::kDelete:
+      case JournalEntryType::kCheckpoint:
+        break;
+    }
+    return true;
+  });
+  S4_RETURN_IF_ERROR(walk);
+  if (!view.existed) {
+    return Status::NotFound("object did not exist at that time");
+  }
+  return view;
+}
+
+Result<Bytes> S4Drive::ReadVersionBytes(const VersionView& view, uint64_t offset,
+                                        uint64_t length) {
+  if (offset >= view.size) {
+    return Bytes{};
+  }
+  length = std::min(length, view.size - offset);
+  Bytes out(length, 0);
+  uint64_t first = offset / kBlockSize;
+  uint64_t last = (offset + length - 1) / kBlockSize;
+  for (uint64_t b = first; b <= last; ++b) {
+    DiskAddr addr = view.BlockAt(b);
+    if (addr == kNullAddr) {
+      continue;  // hole
+    }
+    if (addr == kPurgedAddr) {
+      return Status::FailedPrecondition("version data was administratively purged");
+    }
+    uint64_t block_start = b * kBlockSize;
+    uint64_t from = std::max(offset, block_start);
+    uint64_t to = std::min(offset + length, block_start + kBlockSize);
+    S4_ASSIGN_OR_RETURN(Bytes content, ReadRecord(addr, kSectorsPerBlock));
+    std::memcpy(out.data() + (from - offset), content.data() + (from - block_start), to - from);
+  }
+  return out;
+}
+
+Status S4Drive::CheckHistoryAccess(const Acl& version_acl, const Credentials& creds) const {
+  if (IsAdmin(creds)) {
+    return Status::Ok();
+  }
+  // The Recovery flag (section 3.4): a user may resurrect old versions only
+  // when the version's ACL granted them both Read and Recovery.
+  if (AclAllows(version_acl, creds, kPermRead | kPermRecovery)) {
+    return Status::Ok();
+  }
+  return Status::PermissionDenied("history pool access requires the Recovery flag or admin");
+}
+
+Result<std::vector<VersionInfo>> S4Drive::GetVersionList(const Credentials& creds, ObjectId id) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    Audit(creds, RpcOp::kGetVersionList, id, 0, 0, s, false);
+    return s;
+  };
+  const ObjectMapEntry* entry = object_map_.Find(id);
+  if (entry == nullptr) {
+    return fail(Status::NotFound("no such object"));
+  }
+  auto loaded = LoadObject(id);
+  if (!loaded.ok()) {
+    return fail(loaded.status());
+  }
+  ObjectHandle obj = *loaded;
+  if (Status s = CheckHistoryAccess(obj->inode.acl, creds); !s.ok()) {
+    return fail(s);
+  }
+  std::vector<VersionInfo> versions;
+  Status walk = WalkJournal(id, obj.get(), [&](const JournalEntry& e) -> Result<bool> {
+    if (e.type != JournalEntryType::kCheckpoint) {
+      versions.push_back(VersionInfo{e.time, e.type});
+    }
+    return true;
+  });
+  if (!walk.ok()) {
+    return fail(walk);
+  }
+  std::reverse(versions.begin(), versions.end());
+  Audit(creds, RpcOp::kGetVersionList, id, 0, versions.size(), Status::Ok(), false);
+  return versions;
+}
+
+Status S4Drive::PurgeObjectVersions(ObjectId id, SimTime from, SimTime to) {
+  ObjectMapEntry* entry = object_map_.Find(id);
+  if (entry == nullptr) {
+    return Status::NotFound("no such object");
+  }
+  ObjectHandle obj;
+  if (auto loaded = LoadObject(id); loaded.ok()) {
+    obj = *loaded;
+  }
+  bool versioned = ObjectIsVersioned(id);
+  uint64_t purged_count = 0;
+  Status walk = WalkJournal(id, obj.get(), [&](const JournalEntry& e) -> Result<bool> {
+    if (e.time <= from) {
+      return false;
+    }
+    if (e.time > to || IsPurged(id, e.time)) {
+      return true;
+    }
+    if (e.type == JournalEntryType::kWrite || e.type == JournalEntryType::kTruncate) {
+      for (const auto& d : e.blocks) {
+        if (d.old_addr != kNullAddr && versioned) {
+          sut_->ReleaseHistory(sb_.SegmentOf(d.old_addr), kSectorsPerBlock);
+        }
+      }
+      ++purged_count;
+    }
+    return true;
+  });
+  S4_RETURN_IF_ERROR(walk);
+  if (purged_count > 0) {
+    auto& ranges = purged_[id];
+    ranges.push_back(PurgedRange{from, to});
+    stats_.versions_purged += purged_count;
+  }
+  return Status::Ok();
+}
+
+Status S4Drive::FlushObject(const Credentials& creds, ObjectId id, SimTime from, SimTime to) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  if (!IsAdmin(creds)) {
+    ++stats_.ops_denied;
+    Status s = Status::PermissionDenied("FlushO requires administrative access");
+    Audit(creds, RpcOp::kFlushObject, id, 0, 0, s, false);
+    return s;
+  }
+  Status s = PurgeObjectVersions(id, from, to);
+  Audit(creds, RpcOp::kFlushObject, id, static_cast<uint64_t>(from),
+        static_cast<uint64_t>(to), s, false);
+  return s;
+}
+
+Status S4Drive::Flush(const Credentials& creds, SimTime from, SimTime to) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  if (!IsAdmin(creds)) {
+    ++stats_.ops_denied;
+    Status s = Status::PermissionDenied("Flush requires administrative access");
+    Audit(creds, RpcOp::kFlush, kInvalidObjectId, 0, 0, s, false);
+    return s;
+  }
+  std::vector<ObjectId> ids;
+  for (const auto& [id, entry] : object_map_.entries()) {
+    (void)entry;
+    if (id != kAuditLogObjectId) {
+      ids.push_back(id);
+    }
+  }
+  for (ObjectId id : ids) {
+    Status s = PurgeObjectVersions(id, from, to);
+    if (!s.ok() && s.code() != ErrorCode::kNotFound) {
+      return s;
+    }
+  }
+  Audit(creds, RpcOp::kFlush, kInvalidObjectId, static_cast<uint64_t>(from),
+        static_cast<uint64_t>(to), Status::Ok(), false);
+  return Status::Ok();
+}
+
+}  // namespace s4

@@ -1,0 +1,840 @@
+// S4Drive data path: the Table 1 object, partition, and device operations.
+#include <algorithm>
+#include <cstring>
+
+#include "src/drive/s4_drive.h"
+#include "src/util/check.h"
+
+namespace s4 {
+
+namespace {
+
+// Caps that keep every journal entry within a single journal sector.
+constexpr size_t kMaxOpaqueAttrBytes = 200;
+constexpr size_t kMaxAclEntries = 40;
+constexpr size_t kMaxPartitionName = 255;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Object operations
+// ---------------------------------------------------------------------------
+
+Result<ObjectId> S4Drive::Create(const Credentials& creds, Bytes opaque_attrs) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  if (opaque_attrs.size() > kMaxOpaqueAttrBytes) {
+    Status s = Status::InvalidArgument("opaque attrs too large");
+    Audit(creds, RpcOp::kCreate, kInvalidObjectId, 0, opaque_attrs.size(), s, false);
+    return s;
+  }
+  SimTime now = clock_->Now();
+  ObjectId id = object_map_.AllocateId();
+  ObjectMapEntry entry;
+  entry.create_time = now;
+  entry.oldest_time = now;
+  object_map_.Put(id, entry);
+
+  auto obj = std::make_shared<CachedObject>();
+  obj->inode.id = id;
+  obj->inode.attrs.create_time = now;
+  obj->inode.attrs.modify_time = now;
+  obj->inode.attrs.opaque = opaque_attrs;
+  obj->inode.acl.push_back(AclEntry{creds.user, kPermAll});
+  obj->dirty = true;
+
+  JournalEntry e;
+  e.type = JournalEntryType::kCreate;
+  e.time = now;
+  Encoder acl_enc;
+  EncodeAcl(obj->inode.acl, &acl_enc);
+  e.old_blob = acl_enc.Take();
+  e.new_blob = std::move(opaque_attrs);
+  obj->pending.push_back(std::move(e));
+  ++stats_.journal_entries;
+  pending_dirty_.insert(id);
+
+  object_cache_->Put(id, obj, 256);
+  Audit(creds, RpcOp::kCreate, id, 0, 0, Status::Ok(), false);
+  return id;
+}
+
+Result<S4Drive::ObjectHandle> S4Drive::ResolveForWrite(const Credentials& creds, ObjectId id,
+                                                       uint8_t needed) {
+  if (id == kAuditLogObjectId || id == kPartitionTableObjectId) {
+    return Status::PermissionDenied("reserved object is drive-managed");
+  }
+  S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
+  if (!obj->exists) {
+    return Status::FailedPrecondition("object is deleted");
+  }
+  S4_RETURN_IF_ERROR(CheckAccess(*obj, creds, needed));
+  return obj;
+}
+
+Result<Bytes> S4Drive::BuildBlockContent(const CachedObject& obj, uint64_t block_index,
+                                         uint64_t valid_bytes, uint64_t write_off,
+                                         ByteSpan data) {
+  // Invariant maintained by all writers: on-disk bytes at offsets >= object
+  // size are zero, so reads never leak stale data across truncate/extend.
+  uint64_t block_start = block_index * kBlockSize;
+  Bytes content;
+  DiskAddr old_addr = obj.inode.BlockAddr(block_index);
+  if (old_addr != kNullAddr) {
+    S4_ASSIGN_OR_RETURN(content, ReadRecord(old_addr, kSectorsPerBlock));
+  } else {
+    content.assign(kBlockSize, 0);
+  }
+  // Zero anything beyond the currently valid prefix of this block.
+  uint64_t valid_in_block =
+      valid_bytes > block_start ? std::min<uint64_t>(valid_bytes - block_start, kBlockSize) : 0;
+  if (valid_in_block < kBlockSize) {
+    std::memset(content.data() + valid_in_block, 0, kBlockSize - valid_in_block);
+  }
+  // Lay in the new data overlapping this block.
+  uint64_t write_end = write_off + data.size();
+  uint64_t block_end = block_start + kBlockSize;
+  uint64_t copy_from = std::max(write_off, block_start);
+  uint64_t copy_to = std::min(write_end, block_end);
+  if (copy_from < copy_to) {
+    std::memcpy(content.data() + (copy_from - block_start), data.data() + (copy_from - write_off),
+                copy_to - copy_from);
+  }
+  return content;
+}
+
+void S4Drive::SupersedeBlock(ObjectId id, DiskAddr old_addr) {
+  if (old_addr == kNullAddr) {
+    return;
+  }
+  if (ObjectIsVersioned(id)) {
+    sut_->LiveToHistory(sb_.SegmentOf(old_addr), kSectorsPerBlock);
+  } else {
+    sut_->ReleaseLive(sb_.SegmentOf(old_addr), kSectorsPerBlock);
+  }
+}
+
+Status S4Drive::ApplyBlockWrite(ObjectId id, CachedObject* obj, SimTime now, uint64_t old_size,
+                                uint64_t new_size, std::vector<BlockDelta> deltas) {
+  // Split into journal entries that each fit a single journal sector.
+  size_t i = 0;
+  do {
+    JournalEntry e;
+    e.type = JournalEntryType::kWrite;
+    e.time = now;
+    e.old_size = old_size;
+    e.new_size = new_size;
+    size_t n = std::min<size_t>(options_.max_deltas_per_entry, deltas.size() - i);
+    e.blocks.assign(deltas.begin() + i, deltas.begin() + i + n);
+    i += n;
+    obj->pending.push_back(std::move(e));
+    ++stats_.journal_entries;
+  } while (i < deltas.size());
+  pending_dirty_.insert(id);
+
+  obj->inode.attrs.size = new_size;
+  obj->inode.attrs.modify_time = now;
+  obj->dirty = true;
+
+  if (obj->pending.size() >= options_.journal_flush_entries) {
+    S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj));
+  }
+  return Status::Ok();
+}
+
+Status S4Drive::WriteInternal(const Credentials& creds, ObjectId id, uint64_t offset,
+                              ByteSpan data, bool is_append, RpcOp op) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    if (s.code() == ErrorCode::kPermissionDenied) {
+      ++stats_.ops_denied;
+    }
+    Audit(creds, op, id, offset, data.size(), s, false);
+    return s;
+  };
+  auto resolved = ResolveForWrite(creds, id, kPermWrite);
+  if (!resolved.ok()) {
+    return fail(resolved.status());
+  }
+  ObjectHandle obj = *resolved;
+  if (Status s = ThrottleCheck(creds, data.size()); !s.ok()) {
+    return fail(s);
+  }
+
+  SimTime now = clock_->Now();
+  uint64_t old_size = obj->inode.attrs.size;
+  uint64_t start = is_append ? old_size : offset;
+  if (data.empty()) {
+    Audit(creds, op, id, start, 0, Status::Ok(), false);
+    return Status::Ok();
+  }
+  uint64_t new_size = std::max(old_size, start + data.size());
+
+  uint64_t first = start / kBlockSize;
+  uint64_t last = (start + data.size() - 1) / kBlockSize;
+  std::vector<BlockDelta> deltas;
+  deltas.reserve(last - first + 1);
+  for (uint64_t b = first; b <= last; ++b) {
+    S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, start, data));
+    S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, id, b, content));
+    block_cache_->Insert(addr, content);
+    DiskAddr old_addr = obj->inode.BlockAddr(b);
+    deltas.push_back(BlockDelta{b, old_addr, addr});
+    obj->inode.blocks[b] = addr;
+    SupersedeBlock(id, old_addr);
+    ++stats_.data_blocks_written;
+  }
+  S4_RETURN_IF_ERROR(ApplyBlockWrite(id, obj.get(), now, old_size, new_size, std::move(deltas)));
+
+  bytes_since_checkpoint_ += data.size();
+  NoteClientWrite(creds.client, data.size());
+  Audit(creds, op, id, start, data.size(), Status::Ok(), false);
+  return MaybeAutoCheckpoint();
+}
+
+Status S4Drive::Write(const Credentials& creds, ObjectId id, uint64_t offset, ByteSpan data) {
+  return WriteInternal(creds, id, offset, data, /*is_append=*/false, RpcOp::kWrite);
+}
+
+Result<uint64_t> S4Drive::Append(const Credentials& creds, ObjectId id, ByteSpan data) {
+  S4_RETURN_IF_ERROR(WriteInternal(creds, id, 0, data, /*is_append=*/true, RpcOp::kAppend));
+  S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
+  return obj->inode.attrs.size;
+}
+
+Result<Bytes> S4Drive::ReadCurrent(const CachedObject& obj, uint64_t offset, uint64_t length) {
+  uint64_t size = obj.inode.attrs.size;
+  if (offset >= size) {
+    return Bytes{};
+  }
+  length = std::min(length, size - offset);
+  Bytes out(length, 0);
+  uint64_t first = offset / kBlockSize;
+  uint64_t last = (offset + length - 1) / kBlockSize;
+  for (uint64_t b = first; b <= last; ++b) {
+    DiskAddr addr = obj.inode.BlockAddr(b);
+    uint64_t block_start = b * kBlockSize;
+    uint64_t from = std::max(offset, block_start);
+    uint64_t to = std::min(offset + length, block_start + kBlockSize);
+    if (addr == kNullAddr) {
+      continue;  // hole: already zero
+    }
+    S4_ASSIGN_OR_RETURN(Bytes content, ReadRecord(addr, kSectorsPerBlock));
+    std::memcpy(out.data() + (from - offset), content.data() + (from - block_start), to - from);
+  }
+  return out;
+}
+
+Result<Bytes> S4Drive::Read(const Credentials& creds, ObjectId id, uint64_t offset,
+                            uint64_t length, std::optional<SimTime> at) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    if (s.code() == ErrorCode::kPermissionDenied) {
+      ++stats_.ops_denied;
+    }
+    Audit(creds, RpcOp::kRead, id, offset, length, s, at.has_value());
+    return s;
+  };
+  if (at.has_value()) {
+    ++stats_.time_based_reads;
+    if (!options_.versioning_enabled) {
+      return fail(Status::Unimplemented("versioning disabled"));
+    }
+    auto view = ReconstructVersion(id, *at);
+    if (!view.ok()) {
+      return fail(view.status());
+    }
+    if (Status s = CheckHistoryAccess(view->acl, creds); !s.ok()) {
+      return fail(s);
+    }
+    auto bytes = ReadVersionBytes(*view, offset, length);
+    if (!bytes.ok()) {
+      return fail(bytes.status());
+    }
+    Audit(creds, RpcOp::kRead, id, offset, length, Status::Ok(), true);
+    return bytes;
+  }
+  auto loaded = LoadObject(id);
+  if (!loaded.ok()) {
+    return fail(loaded.status());
+  }
+  ObjectHandle obj = *loaded;
+  if (!obj->exists) {
+    return fail(Status::FailedPrecondition("object is deleted"));
+  }
+  // The audit log is admin-readable only; everything else goes by ACL.
+  if (id == kAuditLogObjectId && !IsAdmin(creds)) {
+    return fail(Status::PermissionDenied("audit log is admin-only"));
+  }
+  if (id != kAuditLogObjectId) {
+    if (Status s = CheckAccess(*obj, creds, kPermRead); !s.ok()) {
+      return fail(s);
+    }
+  }
+  auto bytes = ReadCurrent(*obj, offset, length);
+  if (!bytes.ok()) {
+    return fail(bytes.status());
+  }
+  Audit(creds, RpcOp::kRead, id, offset, length, Status::Ok(), false);
+  return bytes;
+}
+
+Status S4Drive::Truncate(const Credentials& creds, ObjectId id, uint64_t new_size) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    if (s.code() == ErrorCode::kPermissionDenied) {
+      ++stats_.ops_denied;
+    }
+    Audit(creds, RpcOp::kTruncate, id, new_size, 0, s, false);
+    return s;
+  };
+  auto resolved = ResolveForWrite(creds, id, kPermWrite);
+  if (!resolved.ok()) {
+    return fail(resolved.status());
+  }
+  ObjectHandle obj = *resolved;
+  SimTime now = clock_->Now();
+  uint64_t old_size = obj->inode.attrs.size;
+  if (new_size == old_size) {
+    Audit(creds, RpcOp::kTruncate, id, new_size, 0, Status::Ok(), false);
+    return Status::Ok();
+  }
+
+  std::vector<BlockDelta> deltas;
+  if (new_size < old_size) {
+    // Drop whole blocks past the new end.
+    uint64_t keep_blocks = (new_size + kBlockSize - 1) / kBlockSize;
+    auto it = obj->inode.blocks.lower_bound(keep_blocks);
+    while (it != obj->inode.blocks.end()) {
+      deltas.push_back(BlockDelta{it->first, it->second, kNullAddr});
+      SupersedeBlock(id, it->second);
+      it = obj->inode.blocks.erase(it);
+    }
+    // Rewrite the boundary block with a zeroed tail to preserve the
+    // "bytes beyond size are zero" invariant.
+    if (new_size % kBlockSize != 0) {
+      uint64_t b = new_size / kBlockSize;
+      DiskAddr old_addr = obj->inode.BlockAddr(b);
+      if (old_addr != kNullAddr) {
+        S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, new_size, 0, ByteSpan{}));
+        S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, id, b, content));
+        block_cache_->Insert(addr, content);
+        deltas.push_back(BlockDelta{b, old_addr, addr});
+        obj->inode.blocks[b] = addr;
+        SupersedeBlock(id, old_addr);
+        ++stats_.data_blocks_written;
+      }
+    }
+  }
+
+  JournalEntry e;
+  e.type = JournalEntryType::kTruncate;
+  e.time = now;
+  e.old_size = old_size;
+  e.new_size = new_size;
+  // Split oversized delta lists across multiple entries.
+  if (deltas.size() <= options_.max_deltas_per_entry) {
+    e.blocks = std::move(deltas);
+    obj->pending.push_back(std::move(e));
+    ++stats_.journal_entries;
+  } else {
+    for (size_t i = 0; i < deltas.size(); i += options_.max_deltas_per_entry) {
+      JournalEntry part = e;
+      size_t n = std::min<size_t>(options_.max_deltas_per_entry, deltas.size() - i);
+      part.blocks.assign(deltas.begin() + i, deltas.begin() + i + n);
+      obj->pending.push_back(std::move(part));
+      ++stats_.journal_entries;
+    }
+  }
+  pending_dirty_.insert(id);
+  obj->inode.attrs.size = new_size;
+  obj->inode.attrs.modify_time = now;
+  obj->dirty = true;
+  if (obj->pending.size() >= options_.journal_flush_entries) {
+    S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj.get()));
+  }
+  Audit(creds, RpcOp::kTruncate, id, new_size, 0, Status::Ok(), false);
+  return Status::Ok();
+}
+
+Status S4Drive::Delete(const Credentials& creds, ObjectId id) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    if (s.code() == ErrorCode::kPermissionDenied) {
+      ++stats_.ops_denied;
+    }
+    Audit(creds, RpcOp::kDelete, id, 0, 0, s, false);
+    return s;
+  };
+  auto resolved = ResolveForWrite(creds, id, kPermDelete);
+  if (!resolved.ok()) {
+    return fail(resolved.status());
+  }
+  ObjectHandle obj = *resolved;
+  ObjectMapEntry* entry = object_map_.Find(id);
+  S4_CHECK(entry != nullptr);
+
+  // Checkpoint the final state: the anchor from which pre-deletion versions
+  // are reconstructed.
+  if (Status s = CheckpointObject(id, obj.get()); !s.ok()) {
+    return fail(s);
+  }
+  SimTime now = clock_->Now();
+  JournalEntry e;
+  e.type = JournalEntryType::kDelete;
+  e.time = now;
+  e.checkpoint_addr = entry->checkpoint_addr;
+  e.checkpoint_sectors = entry->checkpoint_sectors;
+  obj->pending.push_back(std::move(e));
+  ++stats_.journal_entries;
+  pending_dirty_.insert(id);
+  if (Status s = FlushObjectJournal(id, obj.get()); !s.ok()) {
+    return fail(s);
+  }
+
+  // All current data becomes history (or is freed when unversioned).
+  for (const auto& [index, addr] : obj->inode.blocks) {
+    (void)index;
+    SupersedeBlock(id, addr);
+  }
+  entry->delete_time = now;
+  obj->exists = false;
+  obj->dirty = false;
+  Audit(creds, RpcOp::kDelete, id, 0, 0, Status::Ok(), false);
+  return Status::Ok();
+}
+
+Result<ObjectAttrs> S4Drive::GetAttr(const Credentials& creds, ObjectId id,
+                                     std::optional<SimTime> at) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    Audit(creds, RpcOp::kGetAttr, id, 0, 0, s, at.has_value());
+    return s;
+  };
+  if (at.has_value()) {
+    if (!options_.versioning_enabled) {
+      return fail(Status::Unimplemented("versioning disabled"));
+    }
+    auto view = ReconstructVersion(id, *at);
+    if (!view.ok()) {
+      return fail(view.status());
+    }
+    if (Status s = CheckHistoryAccess(view->acl, creds); !s.ok()) {
+      return fail(s);
+    }
+    ObjectAttrs attrs;
+    attrs.size = view->size;
+    attrs.create_time = view->create_time;
+    attrs.modify_time = view->modify_time;
+    attrs.opaque = view->opaque;
+    Audit(creds, RpcOp::kGetAttr, id, 0, 0, Status::Ok(), true);
+    return attrs;
+  }
+  auto loaded = LoadObject(id);
+  if (!loaded.ok()) {
+    return fail(loaded.status());
+  }
+  ObjectHandle obj = *loaded;
+  if (!obj->exists) {
+    return fail(Status::FailedPrecondition("object is deleted"));
+  }
+  if (Status s = CheckAccess(*obj, creds, kPermRead); !s.ok()) {
+    return fail(s);
+  }
+  Audit(creds, RpcOp::kGetAttr, id, 0, 0, Status::Ok(), false);
+  return obj->inode.attrs;
+}
+
+Status S4Drive::SetAttr(const Credentials& creds, ObjectId id, Bytes opaque_attrs) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    Audit(creds, RpcOp::kSetAttr, id, 0, opaque_attrs.size(), s, false);
+    return s;
+  };
+  if (opaque_attrs.size() > kMaxOpaqueAttrBytes) {
+    return fail(Status::InvalidArgument("opaque attrs too large"));
+  }
+  auto resolved = ResolveForWrite(creds, id, kPermSetAttr);
+  if (!resolved.ok()) {
+    return fail(resolved.status());
+  }
+  ObjectHandle obj = *resolved;
+  SimTime now = clock_->Now();
+  JournalEntry e;
+  e.type = JournalEntryType::kSetAttr;
+  e.time = now;
+  e.old_blob = obj->inode.attrs.opaque;
+  e.new_blob = opaque_attrs;
+  obj->pending.push_back(std::move(e));
+  ++stats_.journal_entries;
+  pending_dirty_.insert(id);
+  obj->inode.attrs.opaque = std::move(opaque_attrs);
+  obj->inode.attrs.modify_time = now;
+  obj->dirty = true;
+  if (obj->pending.size() >= options_.journal_flush_entries) {
+    S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj.get()));
+  }
+  Audit(creds, RpcOp::kSetAttr, id, 0, 0, Status::Ok(), false);
+  return Status::Ok();
+}
+
+Result<AclEntry> S4Drive::GetAclByUser(const Credentials& creds, ObjectId id, UserId user,
+                                       std::optional<SimTime> at) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto find = [&](const Acl& acl) -> Result<AclEntry> {
+    for (const auto& e : acl) {
+      if (e.user == user) {
+        return e;
+      }
+    }
+    return Status::NotFound("no acl entry for user");
+  };
+  auto fail = [&](Status s) {
+    Audit(creds, RpcOp::kGetAclByUser, id, user, 0, s, at.has_value());
+    return s;
+  };
+  if (at.has_value()) {
+    auto view = ReconstructVersion(id, *at);
+    if (!view.ok()) {
+      return fail(view.status());
+    }
+    if (Status s = CheckHistoryAccess(view->acl, creds); !s.ok()) {
+      return fail(s);
+    }
+    Audit(creds, RpcOp::kGetAclByUser, id, user, 0, Status::Ok(), true);
+    return find(view->acl);
+  }
+  auto loaded = LoadObject(id);
+  if (!loaded.ok()) {
+    return fail(loaded.status());
+  }
+  if (Status s = CheckAccess(**loaded, creds, kPermRead); !s.ok()) {
+    return fail(s);
+  }
+  Audit(creds, RpcOp::kGetAclByUser, id, user, 0, Status::Ok(), false);
+  return find((*loaded)->inode.acl);
+}
+
+Result<AclEntry> S4Drive::GetAclByIndex(const Credentials& creds, ObjectId id, uint32_t index,
+                                        std::optional<SimTime> at) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto pick = [&](const Acl& acl) -> Result<AclEntry> {
+    if (index >= acl.size()) {
+      return Status::NotFound("acl index out of range");
+    }
+    return acl[index];
+  };
+  auto fail = [&](Status s) {
+    Audit(creds, RpcOp::kGetAclByIndex, id, index, 0, s, at.has_value());
+    return s;
+  };
+  if (at.has_value()) {
+    auto view = ReconstructVersion(id, *at);
+    if (!view.ok()) {
+      return fail(view.status());
+    }
+    if (Status s = CheckHistoryAccess(view->acl, creds); !s.ok()) {
+      return fail(s);
+    }
+    Audit(creds, RpcOp::kGetAclByIndex, id, index, 0, Status::Ok(), true);
+    return pick(view->acl);
+  }
+  auto loaded = LoadObject(id);
+  if (!loaded.ok()) {
+    return fail(loaded.status());
+  }
+  if (Status s = CheckAccess(**loaded, creds, kPermRead); !s.ok()) {
+    return fail(s);
+  }
+  Audit(creds, RpcOp::kGetAclByIndex, id, index, 0, Status::Ok(), false);
+  return pick((*loaded)->inode.acl);
+}
+
+Status S4Drive::SetAcl(const Credentials& creds, ObjectId id, AclEntry new_entry) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    if (s.code() == ErrorCode::kPermissionDenied) {
+      ++stats_.ops_denied;
+    }
+    Audit(creds, RpcOp::kSetAcl, id, new_entry.user, 0, s, false);
+    return s;
+  };
+  auto resolved = ResolveForWrite(creds, id, kPermSetAcl);
+  if (!resolved.ok()) {
+    return fail(resolved.status());
+  }
+  ObjectHandle obj = *resolved;
+  Acl new_acl = obj->inode.acl;
+  bool replaced = false;
+  for (auto& e : new_acl) {
+    if (e.user == new_entry.user) {
+      e = new_entry;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) {
+    if (new_acl.size() >= kMaxAclEntries) {
+      return fail(Status::InvalidArgument("acl full"));
+    }
+    new_acl.push_back(new_entry);
+  }
+
+  SimTime now = clock_->Now();
+  JournalEntry e;
+  e.type = JournalEntryType::kSetAcl;
+  e.time = now;
+  Encoder old_enc;
+  EncodeAcl(obj->inode.acl, &old_enc);
+  e.old_blob = old_enc.Take();
+  Encoder new_enc;
+  EncodeAcl(new_acl, &new_enc);
+  e.new_blob = new_enc.Take();
+  obj->pending.push_back(std::move(e));
+  ++stats_.journal_entries;
+  pending_dirty_.insert(id);
+  obj->inode.acl = std::move(new_acl);
+  obj->dirty = true;
+  if (obj->pending.size() >= options_.journal_flush_entries) {
+    S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj.get()));
+  }
+  Audit(creds, RpcOp::kSetAcl, id, new_entry.user, 0, Status::Ok(), false);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Partition (named object) table
+// ---------------------------------------------------------------------------
+
+Result<std::vector<std::pair<std::string, ObjectId>>> S4Drive::ReadPartitionTable(
+    std::optional<SimTime> at) {
+  Bytes raw;
+  if (at.has_value()) {
+    S4_ASSIGN_OR_RETURN(VersionView view, ReconstructVersion(kPartitionTableObjectId, *at));
+    S4_ASSIGN_OR_RETURN(raw, ReadVersionBytes(view, 0, view.size));
+  } else {
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(kPartitionTableObjectId));
+    S4_ASSIGN_OR_RETURN(raw, ReadCurrent(*obj, 0, obj->inode.attrs.size));
+  }
+  std::vector<std::pair<std::string, ObjectId>> table;
+  if (raw.empty()) {
+    return table;
+  }
+  Decoder dec(raw);
+  S4_ASSIGN_OR_RETURN(uint64_t n, dec.Varint());
+  for (uint64_t i = 0; i < n; ++i) {
+    S4_ASSIGN_OR_RETURN(std::string name, dec.String());
+    S4_ASSIGN_OR_RETURN(uint64_t id, dec.Varint());
+    table.emplace_back(std::move(name), id);
+  }
+  return table;
+}
+
+Status S4Drive::WritePartitionTable(
+    const std::vector<std::pair<std::string, ObjectId>>& table) {
+  Encoder enc;
+  enc.PutVarint(table.size());
+  for (const auto& [name, id] : table) {
+    enc.PutString(name);
+    enc.PutVarint(id);
+  }
+  Bytes data = enc.Take();
+  S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(kPartitionTableObjectId));
+  uint64_t old_size = obj->inode.attrs.size;
+  SimTime now = clock_->Now();
+
+  uint64_t last = data.empty() ? 0 : (data.size() - 1) / kBlockSize;
+  std::vector<BlockDelta> deltas;
+  for (uint64_t b = 0; b <= last && !data.empty(); ++b) {
+    S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, 0, data));
+    S4_ASSIGN_OR_RETURN(DiskAddr addr,
+                        writer_->Append(RecordKind::kData, kPartitionTableObjectId, b, content));
+    block_cache_->Insert(addr, content);
+    DiskAddr old_addr = obj->inode.BlockAddr(b);
+    deltas.push_back(BlockDelta{b, old_addr, addr});
+    obj->inode.blocks[b] = addr;
+    SupersedeBlock(kPartitionTableObjectId, old_addr);
+    ++stats_.data_blocks_written;
+  }
+  // Drop blocks past the new end (table shrank).
+  uint64_t keep_blocks = (data.size() + kBlockSize - 1) / kBlockSize;
+  auto it = obj->inode.blocks.lower_bound(keep_blocks);
+  while (it != obj->inode.blocks.end()) {
+    deltas.push_back(BlockDelta{it->first, it->second, kNullAddr});
+    SupersedeBlock(kPartitionTableObjectId, it->second);
+    it = obj->inode.blocks.erase(it);
+  }
+  return ApplyBlockWrite(kPartitionTableObjectId, obj.get(), now, old_size, data.size(),
+                         std::move(deltas));
+}
+
+Status S4Drive::PCreate(const Credentials& creds, const std::string& name, ObjectId id) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    Audit(creds, RpcOp::kPCreate, id, 0, 0, s, false);
+    return s;
+  };
+  if (name.empty() || name.size() > kMaxPartitionName) {
+    return fail(Status::InvalidArgument("bad partition name"));
+  }
+  if (object_map_.Find(id) == nullptr) {
+    return fail(Status::NotFound("no such object"));
+  }
+  auto table = ReadPartitionTable(std::nullopt);
+  if (!table.ok()) {
+    return fail(table.status());
+  }
+  for (const auto& [existing, eid] : *table) {
+    (void)eid;
+    if (existing == name) {
+      return fail(Status::AlreadyExists("partition name in use"));
+    }
+  }
+  table->emplace_back(name, id);
+  if (Status s = WritePartitionTable(*table); !s.ok()) {
+    return fail(s);
+  }
+  Audit(creds, RpcOp::kPCreate, id, 0, 0, Status::Ok(), false);
+  return Status::Ok();
+}
+
+Status S4Drive::PDelete(const Credentials& creds, const std::string& name) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    Audit(creds, RpcOp::kPDelete, kInvalidObjectId, 0, 0, s, false);
+    return s;
+  };
+  auto table = ReadPartitionTable(std::nullopt);
+  if (!table.ok()) {
+    return fail(table.status());
+  }
+  auto it = std::find_if(table->begin(), table->end(),
+                         [&](const auto& p) { return p.first == name; });
+  if (it == table->end()) {
+    return fail(Status::NotFound("no such partition"));
+  }
+  table->erase(it);
+  if (Status s = WritePartitionTable(*table); !s.ok()) {
+    return fail(s);
+  }
+  Audit(creds, RpcOp::kPDelete, kInvalidObjectId, 0, 0, Status::Ok(), false);
+  return Status::Ok();
+}
+
+Result<std::vector<std::pair<std::string, ObjectId>>> S4Drive::PList(
+    const Credentials& creds, std::optional<SimTime> at) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto table = ReadPartitionTable(at);
+  Audit(creds, RpcOp::kPList, kPartitionTableObjectId, 0, 0, table.status(), at.has_value());
+  return table;
+}
+
+Result<ObjectId> S4Drive::PMount(const Credentials& creds, const std::string& name,
+                                 std::optional<SimTime> at) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  auto fail = [&](Status s) {
+    Audit(creds, RpcOp::kPMount, kInvalidObjectId, 0, 0, s, at.has_value());
+    return s;
+  };
+  auto table = ReadPartitionTable(at);
+  if (!table.ok()) {
+    return fail(table.status());
+  }
+  for (const auto& [existing, id] : *table) {
+    if (existing == name) {
+      Audit(creds, RpcOp::kPMount, id, 0, 0, Status::Ok(), at.has_value());
+      return id;
+    }
+  }
+  return fail(Status::NotFound("no such partition"));
+}
+
+// ---------------------------------------------------------------------------
+// Device operations
+// ---------------------------------------------------------------------------
+
+Status S4Drive::Sync(const Credentials& creds) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  S4_RETURN_IF_ERROR(FlushAllPending());
+  S4_RETURN_IF_ERROR(writer_->Flush());
+  Audit(creds, RpcOp::kSync, kInvalidObjectId, 0, 0, Status::Ok(), false);
+  return MaybeAutoCheckpoint();
+}
+
+Status S4Drive::SetWindow(const Credentials& creds, SimDuration window) {
+  ++stats_.ops_total;
+  ChargeCpu();
+  if (!IsAdmin(creds)) {
+    ++stats_.ops_denied;
+    Status s = Status::PermissionDenied("SetWindow requires administrative access");
+    Audit(creds, RpcOp::kSetWindow, kInvalidObjectId, 0, 0, s, false);
+    return s;
+  }
+  if (window < 0) {
+    return Status::InvalidArgument("negative window");
+  }
+  detection_window_ = window;
+  Audit(creds, RpcOp::kSetWindow, kInvalidObjectId, 0, static_cast<uint64_t>(window),
+        Status::Ok(), false);
+  return Status::Ok();
+}
+
+Status S4Drive::AppendAuditBuffered(bool force) {
+  if (audit_codec_.buffered_bytes() == 0) {
+    return Status::Ok();
+  }
+  if (!force && audit_codec_.buffered_bytes() < kBlockSize) {
+    return Status::Ok();
+  }
+  Bytes data = audit_codec_.TakeBuffered();
+  S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(kAuditLogObjectId));
+  uint64_t old_size = obj->inode.attrs.size;
+  uint64_t start = old_size;
+  SimTime now = clock_->Now();
+  uint64_t first = start / kBlockSize;
+  uint64_t last = (start + data.size() - 1) / kBlockSize;
+  std::vector<BlockDelta> deltas;
+  for (uint64_t b = first; b <= last; ++b) {
+    S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, start, data));
+    S4_ASSIGN_OR_RETURN(DiskAddr addr,
+                        writer_->Append(RecordKind::kData, kAuditLogObjectId, b, content));
+    block_cache_->Insert(addr, content);
+    DiskAddr old_addr = obj->inode.BlockAddr(b);
+    deltas.push_back(BlockDelta{b, old_addr, addr});
+    obj->inode.blocks[b] = addr;
+    SupersedeBlock(kAuditLogObjectId, old_addr);
+    ++stats_.audit_blocks_written;
+  }
+  return ApplyBlockWrite(kAuditLogObjectId, obj.get(), now, old_size, start + data.size(),
+                         std::move(deltas));
+}
+
+Result<std::vector<AuditRecord>> S4Drive::QueryAudit(const Credentials& creds,
+                                                     const AuditQuery& query) {
+  if (!IsAdmin(creds)) {
+    return Status::PermissionDenied("audit log is admin-only");
+  }
+  // Include buffered records: flush them into the object first.
+  S4_RETURN_IF_ERROR(AppendAuditBuffered(/*force=*/true));
+  S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(kAuditLogObjectId));
+  S4_ASSIGN_OR_RETURN(Bytes raw, ReadCurrent(*obj, 0, obj->inode.attrs.size));
+  std::vector<AuditRecord> out;
+  S4_RETURN_IF_ERROR(AuditLogCodec::DecodeAll(raw, query, &out));
+  return out;
+}
+
+}  // namespace s4

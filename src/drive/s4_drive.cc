@@ -1,0 +1,805 @@
+// S4Drive core: format, mount, crash recovery, checkpointing, caching, and
+// the audit plumbing. The data-path operations live in drive_ops.cc, history
+// reconstruction in drive_history.cc, and the cleaner in drive_cleaner.cc.
+#include "src/drive/s4_drive.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/crc32.h"
+#include "src/util/logging.h"
+
+namespace s4 {
+
+// Applies a journal entry in the forward (replay) direction. Defined below;
+// shared by crash recovery and lazy object loading.
+void ApplyEntryForward(Inode* inode, bool* exists, const JournalEntry& e);
+
+namespace {
+
+// Estimated resident cost of a cached object, for the object cache budget.
+uint64_t CachedObjectCostImpl(uint64_t blocks, uint64_t pending, uint64_t opaque,
+                              uint64_t acl_entries) {
+  return 128 + blocks * 24 + pending * 96 + opaque + acl_entries * 8;
+}
+
+}  // namespace
+
+S4Drive::S4Drive(BlockDevice* device, SimClock* clock, S4DriveOptions options)
+    : device_(device), clock_(clock), options_(options),
+      detection_window_(options.detection_window) {}
+
+S4Drive::~S4Drive() = default;
+
+Result<std::unique_ptr<S4Drive>> S4Drive::Format(BlockDevice* device, SimClock* clock,
+                                                 S4DriveOptions options) {
+  std::unique_ptr<S4Drive> drive(new S4Drive(device, clock, options));
+  S4_RETURN_IF_ERROR(drive->DoFormat());
+  return drive;
+}
+
+Result<std::unique_ptr<S4Drive>> S4Drive::Mount(BlockDevice* device, SimClock* clock,
+                                                S4DriveOptions options) {
+  std::unique_ptr<S4Drive> drive(new S4Drive(device, clock, options));
+  S4_RETURN_IF_ERROR(drive->DoMount());
+  return drive;
+}
+
+Status S4Drive::DoFormat() {
+  uint64_t total = device_->sector_count();
+  // Checkpoint regions scale with the disk: object map + SUT must fit.
+  uint32_t cp_sectors = static_cast<uint32_t>(std::max<uint64_t>(2048, total / 128));
+  sb_ = Superblock();
+  sb_.total_sectors = total;
+  sb_.segment_sectors = options_.segment_sectors;
+  sb_.checkpoint_a = 1;
+  sb_.checkpoint_b = 1 + cp_sectors;
+  sb_.checkpoint_sectors = cp_sectors;
+  sb_.first_segment = 1 + 2ull * cp_sectors;
+  if (sb_.first_segment + options_.segment_sectors > total) {
+    return Status::InvalidArgument("device too small for S4 layout");
+  }
+  sb_.segment_count =
+      static_cast<uint32_t>((total - sb_.first_segment) / options_.segment_sectors);
+
+  S4_RETURN_IF_ERROR(device_->Write(0, sb_.Encode()));
+
+  sut_ = std::make_unique<SegmentUsageTable>(sb_.segment_count, sb_.segment_sectors);
+  writer_ = std::make_unique<SegmentWriter>(device_, &sb_, sut_.get(), clock_, /*next_seq=*/1);
+  block_cache_ = std::make_unique<BlockCache>(device_, options_.block_cache_bytes);
+  object_cache_ =
+      std::make_unique<LruCache<ObjectId, ObjectHandle>>(options_.object_cache_bytes);
+  object_cache_->set_evict_fn([this](const ObjectId& id, ObjectHandle&& obj) {
+    Status s = EvictObject(id, std::move(obj));
+    if (!s.ok() && eviction_error_.ok()) {
+      eviction_error_ = s;
+    }
+  });
+
+  S4_RETURN_IF_ERROR(InitReservedObjects());
+  return WriteCheckpoint();
+}
+
+Status S4Drive::InitReservedObjects() {
+  SimTime now = clock_->Now();
+  // The audit log: a reserved object only the drive front end writes. It is
+  // not user-writable and not versioned (section 4.2.3).
+  {
+    ObjectMapEntry e;
+    e.create_time = now;
+    e.oldest_time = now;
+    object_map_.Put(kAuditLogObjectId, e);
+    auto obj = std::make_shared<CachedObject>();
+    obj->inode.id = kAuditLogObjectId;
+    obj->inode.attrs.create_time = now;
+    obj->inode.attrs.modify_time = now;
+    obj->dirty = true;
+    object_cache_->Put(kAuditLogObjectId, obj, CachedObjectCostImpl(0, 0, 0, 0));
+  }
+  // The partition (named object) table: versioned like any other object.
+  {
+    ObjectMapEntry e;
+    e.create_time = now;
+    e.oldest_time = now;
+    object_map_.Put(kPartitionTableObjectId, e);
+    auto obj = std::make_shared<CachedObject>();
+    obj->inode.id = kPartitionTableObjectId;
+    obj->inode.attrs.create_time = now;
+    obj->inode.attrs.modify_time = now;
+    obj->inode.acl.push_back(AclEntry{kEveryoneUserId, kPermRead});
+    obj->dirty = true;
+    object_cache_->Put(kPartitionTableObjectId, obj, CachedObjectCostImpl(0, 0, 0, 1));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Device checkpoint
+// ---------------------------------------------------------------------------
+
+Result<Bytes> S4Drive::EncodeDeviceCheckpoint() const {
+  Encoder enc(1 << 16);
+  enc.PutU32(kCheckpointMagic);
+  enc.PutU64(checkpoint_generation_);
+  enc.PutU64(writer_->next_seq());
+  enc.PutI64(detection_window_);
+  object_map_.EncodeTo(&enc);
+  sut_->EncodeTo(&enc);
+  enc.PutVarint(purged_.size());
+  for (const auto& [id, ranges] : purged_) {
+    enc.PutVarint(id);
+    enc.PutVarint(ranges.size());
+    for (const auto& r : ranges) {
+      enc.PutI64(r.from);
+      enc.PutI64(r.to);
+    }
+  }
+  Bytes out = enc.Take();
+  size_t body = out.size();
+  size_t total = ((body + 12 + kSectorSize - 1) / kSectorSize) * kSectorSize;
+  if (total > static_cast<size_t>(sb_.checkpoint_sectors) * kSectorSize) {
+    return Status::OutOfSpace("device checkpoint exceeds checkpoint region");
+  }
+  Encoder framed(total);
+  framed.PutU64(body);
+  framed.PutBytes(out);
+  Bytes framed_bytes = framed.Take();
+  framed_bytes.resize(total - 4, 0);
+  uint32_t crc = Crc32c(framed_bytes);
+  Encoder tail;
+  tail.PutU32(crc);
+  framed_bytes.insert(framed_bytes.end(), tail.bytes().begin(), tail.bytes().end());
+  return framed_bytes;
+}
+
+Status S4Drive::WriteCheckpoint() {
+  S4_RETURN_IF_ERROR(FlushAllPending(/*force_audit=*/true));
+  S4_RETURN_IF_ERROR(writer_->Flush());
+
+  ++checkpoint_generation_;
+  S4_ASSIGN_OR_RETURN(Bytes blob, EncodeDeviceCheckpoint());
+  DiskAddr region = (checkpoint_generation_ % 2 == 0) ? sb_.checkpoint_a : sb_.checkpoint_b;
+  S4_RETURN_IF_ERROR(device_->Write(region, blob));
+  checkpoint_seq_ = writer_->next_seq();
+  bytes_since_checkpoint_ = 0;
+  ++stats_.device_checkpoints;
+
+  // Segments fully expired by the cleaner become allocatable only now: any
+  // recovery from this point on starts from a checkpoint that already knows
+  // they are empty, so stale chunks inside them can never be replayed.
+  for (SegmentId seg = 0; seg < sut_->segment_count(); ++seg) {
+    if (sut_->Reclaimable(seg)) {
+      sut_->Reclaim(seg);
+      ++stats_.cleaner_segments_reclaimed;
+    }
+  }
+  return Status::Ok();
+}
+
+Status S4Drive::LoadDeviceCheckpoint() {
+  auto try_region = [&](DiskAddr region) -> Result<std::pair<uint64_t, Bytes>> {
+    Bytes head;
+    S4_RETURN_IF_ERROR(device_->Read(region, 1, &head));
+    Decoder dec(head);
+    S4_ASSIGN_OR_RETURN(uint64_t body, dec.U64());
+    uint64_t total = ((body + 12 + kSectorSize - 1) / kSectorSize) * kSectorSize;
+    if (total > static_cast<uint64_t>(sb_.checkpoint_sectors) * kSectorSize) {
+      return Status::DataCorruption("checkpoint length invalid");
+    }
+    Bytes blob;
+    S4_RETURN_IF_ERROR(device_->Read(region, total / kSectorSize, &blob));
+    uint32_t stored_crc;
+    {
+      Decoder crc_dec(ByteSpan(blob).subspan(blob.size() - 4));
+      S4_ASSIGN_OR_RETURN(stored_crc, crc_dec.U32());
+    }
+    if (Crc32c(ByteSpan(blob).subspan(0, blob.size() - 4)) != stored_crc) {
+      return Status::DataCorruption("checkpoint crc mismatch");
+    }
+    Decoder body_dec(ByteSpan(blob).subspan(8, body));
+    S4_ASSIGN_OR_RETURN(uint32_t magic, body_dec.U32());
+    if (magic != kCheckpointMagic) {
+      return Status::DataCorruption("checkpoint bad magic");
+    }
+    S4_ASSIGN_OR_RETURN(uint64_t generation, body_dec.U64());
+    return std::make_pair(generation, Bytes(blob.begin() + 8, blob.begin() + 8 + body));
+  };
+
+  auto a = try_region(sb_.checkpoint_a);
+  auto b = try_region(sb_.checkpoint_b);
+  const Bytes* chosen = nullptr;
+  uint64_t generation = 0;
+  if (a.ok() && (!b.ok() || a->first >= b->first)) {
+    chosen = &a->second;
+    generation = a->first;
+  } else if (b.ok()) {
+    chosen = &b->second;
+    generation = b->first;
+  } else {
+    return Status::DataCorruption("no valid device checkpoint");
+  }
+
+  Decoder dec(*chosen);
+  S4_RETURN_IF_ERROR(dec.Skip(4 + 8));  // magic + generation
+  S4_ASSIGN_OR_RETURN(uint64_t next_seq, dec.U64());
+  S4_ASSIGN_OR_RETURN(detection_window_, dec.I64());
+  S4_ASSIGN_OR_RETURN(object_map_, ObjectMap::DecodeFrom(&dec));
+  S4_ASSIGN_OR_RETURN(SegmentUsageTable sut, SegmentUsageTable::DecodeFrom(&dec));
+  sut_ = std::make_unique<SegmentUsageTable>(std::move(sut));
+  S4_ASSIGN_OR_RETURN(uint64_t npurged, dec.Varint());
+  purged_.clear();
+  for (uint64_t i = 0; i < npurged; ++i) {
+    S4_ASSIGN_OR_RETURN(uint64_t id, dec.Varint());
+    S4_ASSIGN_OR_RETURN(uint64_t nranges, dec.Varint());
+    std::vector<PurgedRange> ranges;
+    for (uint64_t k = 0; k < nranges; ++k) {
+      PurgedRange r;
+      S4_ASSIGN_OR_RETURN(r.from, dec.I64());
+      S4_ASSIGN_OR_RETURN(r.to, dec.I64());
+      ranges.push_back(r);
+    }
+    purged_[id] = std::move(ranges);
+  }
+  checkpoint_generation_ = generation;
+  checkpoint_seq_ = next_seq;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Mount & crash recovery
+// ---------------------------------------------------------------------------
+
+Status S4Drive::DoMount() {
+  Bytes sb_sector;
+  S4_RETURN_IF_ERROR(device_->Read(0, 1, &sb_sector));
+  S4_ASSIGN_OR_RETURN(sb_, Superblock::Decode(sb_sector));
+
+  S4_RETURN_IF_ERROR(LoadDeviceCheckpoint());
+
+  block_cache_ = std::make_unique<BlockCache>(device_, options_.block_cache_bytes);
+  object_cache_ =
+      std::make_unique<LruCache<ObjectId, ObjectHandle>>(options_.object_cache_bytes);
+  object_cache_->set_evict_fn([this](const ObjectId& id, ObjectHandle&& obj) {
+    Status s = EvictObject(id, std::move(obj));
+    if (!s.ok() && eviction_error_.ok()) {
+      eviction_error_ = s;
+    }
+  });
+  writer_ = std::make_unique<SegmentWriter>(device_, &sb_, sut_.get(), clock_, checkpoint_seq_);
+
+  return RollForward(checkpoint_seq_);
+}
+
+Status S4Drive::RollForward(uint64_t checkpoint_seq) {
+  // Scan every segment that could contain post-checkpoint chunks. Segments
+  // sealed before the checkpoint cannot (the writer never returns to them).
+  struct SegmentScan {
+    SegmentId seg;
+    std::vector<ScannedChunk> chunks;  // monotonic prefix only
+    uint32_t fill_sectors = 0;
+  };
+  std::vector<SegmentScan> scans;
+  for (SegmentId seg = 0; seg < sut_->segment_count(); ++seg) {
+    if (sut_->Info(seg).state == SegmentState::kFull) {
+      continue;
+    }
+    S4_ASSIGN_OR_RETURN(std::vector<ScannedChunk> raw, ScanSegment(device_, sb_, seg));
+    SegmentScan scan;
+    scan.seg = seg;
+    uint64_t last_seq = 0;
+    uint32_t fill = 0;
+    for (auto& chunk : raw) {
+      if (chunk.seq < last_seq) {
+        break;  // stale chunk from the segment's previous life
+      }
+      last_seq = chunk.seq;
+      uint32_t sectors = 1;
+      for (const auto& r : chunk.records) {
+        sectors += r.sectors;
+      }
+      fill += sectors;
+      scan.chunks.push_back(std::move(chunk));
+    }
+    scan.fill_sectors = fill;
+    if (!scan.chunks.empty()) {
+      scans.push_back(std::move(scan));
+    }
+  }
+
+  // Gather fresh chunks in global seq order.
+  std::vector<const ScannedChunk*> fresh;
+  for (const auto& scan : scans) {
+    for (const auto& chunk : scan.chunks) {
+      if (chunk.seq >= checkpoint_seq) {
+        fresh.push_back(&chunk);
+      }
+    }
+  }
+  std::sort(fresh.begin(), fresh.end(),
+            [](const ScannedChunk* a, const ScannedChunk* b) { return a->seq < b->seq; });
+
+  // Replay. Objects touched post-checkpoint are materialised from their inode
+  // checkpoints and mutated forward so deletes can account their blocks.
+  std::map<ObjectId, std::shared_ptr<CachedObject>> rebuilt;
+  auto materialize = [&](ObjectId id) -> Result<std::shared_ptr<CachedObject>> {
+    auto it = rebuilt.find(id);
+    if (it != rebuilt.end()) {
+      return it->second;
+    }
+    auto obj = std::make_shared<CachedObject>();
+    const ObjectMapEntry* entry = object_map_.Find(id);
+    if (entry != nullptr && entry->checkpoint_addr != kNullAddr) {
+      Bytes record;
+      S4_RETURN_IF_ERROR(device_->Read(entry->checkpoint_addr, entry->checkpoint_sectors,
+                                       &record));
+      S4_ASSIGN_OR_RETURN(obj->inode, Inode::DecodeCheckpoint(record));
+      obj->exists = entry->live();
+    } else {
+      obj->inode.id = id;
+      obj->exists = entry != nullptr && entry->live();
+    }
+    rebuilt[id] = obj;
+    return obj;
+  };
+  // materialize() gives the state as of the object's last inode checkpoint.
+  // Entries between that inode checkpoint and the device checkpoint live in
+  // journal sectors the checkpointed map already references (journal_head);
+  // materialize_full applies those too — the chain replay is done inline so
+  // recovery never depends on the object cache.
+  auto materialize_full = [&](ObjectId id) -> Result<std::shared_ptr<CachedObject>> {
+    auto it = rebuilt.find(id);
+    if (it != rebuilt.end()) {
+      return it->second;
+    }
+    S4_ASSIGN_OR_RETURN(std::shared_ptr<CachedObject> obj, materialize(id));
+    const ObjectMapEntry* entry = object_map_.Find(id);
+    if (entry != nullptr && entry->journal_head != kNullAddr) {
+      // Collect sectors newer than the inode checkpoint, oldest first.
+      std::vector<JournalSector> sectors;
+      DiskAddr addr = entry->journal_head;
+      while (addr != kNullAddr) {
+        Bytes raw;
+        S4_RETURN_IF_ERROR(device_->Read(addr, 1, &raw));
+        auto sector = JournalSector::Decode(raw);
+        if (!sector.ok() || sector->object_id != id) {
+          break;  // chain ran into reclaimed space; older state unreachable
+        }
+        bool all_older = !sector->entries.empty() &&
+                         sector->entries.back().time <= entry->checkpoint_time;
+        DiskAddr prev = sector->prev;
+        sectors.push_back(std::move(*sector));
+        if (all_older) {
+          break;
+        }
+        addr = prev;
+      }
+      std::reverse(sectors.begin(), sectors.end());
+      for (const auto& sector : sectors) {
+        for (const auto& e : sector.entries) {
+          if (e.time <= entry->checkpoint_time) {
+            continue;
+          }
+          ApplyEntryForward(&obj->inode, &obj->exists, e);
+        }
+      }
+    }
+    return obj;
+  };
+
+  uint64_t max_seq = checkpoint_seq > 0 ? checkpoint_seq - 1 : 0;
+  for (const ScannedChunk* chunk : fresh) {
+    max_seq = std::max(max_seq, chunk->seq);
+    SegmentId seg = chunk->segment;
+    if (sut_->Info(seg).state == SegmentState::kFree) {
+      sut_->SetState(seg, SegmentState::kActive);
+    }
+    sut_->AddWritten(seg, 1);  // summary sector
+    for (const auto& rec : chunk->records) {
+      sut_->AddWritten(seg, rec.sectors);
+      if (rec.kind != RecordKind::kJournal) {
+        continue;  // accounted when a journal entry references it
+      }
+      sut_->AddLive(seg, 1, chunk->write_time);
+      Bytes raw;
+      S4_RETURN_IF_ERROR(device_->Read(rec.addr, 1, &raw));
+      S4_ASSIGN_OR_RETURN(JournalSector sector, JournalSector::Decode(raw));
+      ObjectId id = sector.object_id;
+      ObjectMapEntry* entry = object_map_.Find(id);
+      for (const auto& e : sector.entries) {
+        if (e.type == JournalEntryType::kCreate) {
+          ObjectMapEntry fresh_entry;
+          fresh_entry.create_time = e.time;
+          fresh_entry.oldest_time = e.time;
+          object_map_.Put(id, fresh_entry);
+          object_map_.ReserveThrough(id);
+          entry = object_map_.Find(id);
+          auto obj = std::make_shared<CachedObject>();
+          obj->inode.id = id;
+          rebuilt[id] = obj;
+        }
+        S4_ASSIGN_OR_RETURN(std::shared_ptr<CachedObject> obj, materialize_full(id));
+        if (entry == nullptr) {
+          entry = object_map_.Find(id);
+        }
+        if (entry == nullptr) {
+          return Status::DataCorruption("journal entry for unknown object");
+        }
+        bool versioned = ObjectIsVersioned(id);
+        // Accounting for data the entry introduced / superseded.
+        for (const auto& d : e.blocks) {
+          if (d.new_addr != kNullAddr) {
+            sut_->AddLive(sb_.SegmentOf(d.new_addr), kSectorsPerBlock, e.time);
+          }
+          if (d.old_addr != kNullAddr) {
+            if (versioned) {
+              sut_->LiveToHistory(sb_.SegmentOf(d.old_addr), kSectorsPerBlock);
+            } else {
+              sut_->ReleaseLive(sb_.SegmentOf(d.old_addr), kSectorsPerBlock);
+            }
+          }
+        }
+        if (e.type == JournalEntryType::kCheckpoint ||
+            e.type == JournalEntryType::kDelete) {
+          if (e.checkpoint_addr != kNullAddr) {
+            sut_->AddLive(sb_.SegmentOf(e.checkpoint_addr), e.checkpoint_sectors, e.time);
+            if (entry->checkpoint_addr != kNullAddr &&
+                entry->checkpoint_addr != e.checkpoint_addr) {
+              sut_->ReleaseLive(sb_.SegmentOf(entry->checkpoint_addr),
+                                entry->checkpoint_sectors);
+            }
+            entry->checkpoint_addr = e.checkpoint_addr;
+            entry->checkpoint_sectors = e.checkpoint_sectors;
+            entry->checkpoint_time = e.time;
+          }
+        }
+        if (e.type == JournalEntryType::kDelete) {
+          entry->delete_time = e.time;
+          // The object's current blocks become history (or are freed).
+          for (const auto& [index, addr] : obj->inode.blocks) {
+            (void)index;
+            if (addr != kNullAddr) {
+              if (versioned) {
+                sut_->LiveToHistory(sb_.SegmentOf(addr), kSectorsPerBlock);
+              } else {
+                sut_->ReleaseLive(sb_.SegmentOf(addr), kSectorsPerBlock);
+              }
+            }
+          }
+        }
+        ApplyEntryForward(&obj->inode, &obj->exists, e);
+      }
+      entry->journal_head = rec.addr;
+    }
+  }
+
+  // Resume the writer in the segment holding the newest chunk.
+  writer_ = std::make_unique<SegmentWriter>(device_, &sb_, sut_.get(), clock_, max_seq + 1);
+  SegmentId resume_seg = kNullSegment;
+  uint32_t resume_fill = 0;
+  uint64_t best_seq = 0;
+  for (const auto& scan : scans) {
+    uint64_t seg_max = scan.chunks.back().seq;
+    if (seg_max >= best_seq) {
+      best_seq = seg_max;
+      resume_seg = scan.seg;
+      resume_fill = scan.fill_sectors;
+    }
+  }
+  for (const auto& scan : scans) {
+    if (scan.seg != resume_seg &&
+        sut_->Info(scan.seg).state == SegmentState::kActive) {
+      // Writer moved past this segment before the crash.
+      sut_->SetState(scan.seg, SegmentState::kFull);
+    }
+  }
+  if (resume_seg != kNullSegment) {
+    if (sut_->Info(resume_seg).state != SegmentState::kActive) {
+      sut_->SetState(resume_seg, SegmentState::kActive);
+    }
+    writer_->Resume(resume_seg, resume_fill);
+  }
+  return Status::Ok();
+}
+
+// Applies a journal entry forward (roll-forward / chain replay direction).
+void ApplyEntryForward(Inode* inode, bool* exists, const JournalEntry& e) {
+  switch (e.type) {
+    case JournalEntryType::kCreate: {
+      Decoder acl_dec(e.old_blob);
+      auto acl = DecodeAcl(&acl_dec);
+      if (acl.ok()) {
+        inode->acl = *acl;
+      }
+      inode->attrs.opaque = e.new_blob;
+      inode->attrs.create_time = e.time;
+      inode->attrs.modify_time = e.time;
+      *exists = true;
+      break;
+    }
+    case JournalEntryType::kWrite:
+    case JournalEntryType::kTruncate:
+      inode->attrs.size = e.new_size;
+      inode->attrs.modify_time = e.time;
+      for (const auto& d : e.blocks) {
+        if (d.new_addr == kNullAddr) {
+          inode->blocks.erase(d.block_index);
+        } else {
+          inode->blocks[d.block_index] = d.new_addr;
+        }
+      }
+      break;
+    case JournalEntryType::kSetAttr:
+      inode->attrs.opaque = e.new_blob;
+      inode->attrs.modify_time = e.time;
+      break;
+    case JournalEntryType::kSetAcl: {
+      Decoder acl_dec(e.new_blob);
+      auto acl = DecodeAcl(&acl_dec);
+      if (acl.ok()) {
+        inode->acl = *acl;
+      }
+      break;
+    }
+    case JournalEntryType::kDelete:
+      *exists = false;
+      break;
+    case JournalEntryType::kCheckpoint:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Object cache and journal/checkpoint plumbing
+// ---------------------------------------------------------------------------
+
+void S4Drive::ChargeCpu() { clock_->Advance(options_.cpu_per_op); }
+
+bool S4Drive::ObjectIsVersioned(ObjectId id) const {
+  if (id == kAuditLogObjectId) {
+    return false;
+  }
+  return options_.versioning_enabled;
+}
+
+Result<Bytes> S4Drive::ReadRecord(DiskAddr addr, uint32_t sectors) {
+  Bytes out;
+  if (writer_->ReadPending(addr, sectors, &out)) {
+    return out;
+  }
+  if (sectors == 1) {
+    // Journal sectors: cluster the read backward along the chain direction.
+    S4_RETURN_IF_ERROR(block_cache_->ReadSectorClustered(addr, &out));
+    return out;
+  }
+  S4_RETURN_IF_ERROR(block_cache_->Read(addr, sectors, &out));
+  return out;
+}
+
+Result<S4Drive::ObjectHandle> S4Drive::LoadObject(ObjectId id) {
+  if (ObjectHandle* cached = object_cache_->Get(id); cached != nullptr) {
+    return *cached;
+  }
+  const ObjectMapEntry* entry = object_map_.Find(id);
+  if (entry == nullptr) {
+    return Status::NotFound("no such object");
+  }
+  auto obj = std::make_shared<CachedObject>();
+  obj->exists = entry->live();
+  if (entry->checkpoint_addr != kNullAddr) {
+    S4_ASSIGN_OR_RETURN(Bytes record, ReadRecord(entry->checkpoint_addr,
+                                                 entry->checkpoint_sectors));
+    S4_ASSIGN_OR_RETURN(obj->inode, Inode::DecodeCheckpoint(record));
+  } else {
+    obj->inode.id = id;
+  }
+  // Replay journal entries newer than the inode checkpoint.
+  if (entry->journal_head != kNullAddr) {
+    std::vector<JournalSector> sectors;
+    DiskAddr addr = entry->journal_head;
+    while (addr != kNullAddr) {
+      S4_ASSIGN_OR_RETURN(Bytes raw, ReadRecord(addr, 1));
+      auto sector = JournalSector::Decode(raw);
+      if (!sector.ok() || sector->object_id != id) {
+        break;  // chain crossed the history barrier into reclaimed space
+      }
+      bool all_older = !sector->entries.empty() &&
+                       sector->entries.back().time <= entry->checkpoint_time;
+      DiskAddr prev = sector->prev;
+      bool oldest_reached = !sector->entries.empty() &&
+                            sector->entries.front().time <= entry->history_barrier;
+      sectors.push_back(std::move(*sector));
+      if (all_older || oldest_reached) {
+        break;
+      }
+      addr = prev;
+    }
+    std::reverse(sectors.begin(), sectors.end());
+    bool exists = obj->exists;
+    for (const auto& sector : sectors) {
+      for (const auto& e : sector.entries) {
+        if (e.time <= entry->checkpoint_time) {
+          continue;
+        }
+        ApplyEntryForward(&obj->inode, &exists, e);
+      }
+    }
+    obj->exists = entry->live();
+  }
+  obj->inode.id = id;
+  object_cache_->Put(id, obj,
+                     CachedObjectCostImpl(obj->inode.blocks.size(), obj->pending.size(),
+                                          obj->inode.attrs.opaque.size(),
+                                          obj->inode.acl.size()));
+  // Re-fetch: Put may have evicted other entries but never the fresh one.
+  return obj;
+}
+
+Status S4Drive::EvictObject(ObjectId id, ObjectHandle obj) {
+  S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj.get()));
+  if (obj->dirty) {
+    S4_RETURN_IF_ERROR(CheckpointObject(id, obj.get()));
+  }
+  return Status::Ok();
+}
+
+Status S4Drive::FlushObjectJournal(ObjectId id, CachedObject* obj) {
+  if (obj->pending.empty()) {
+    return Status::Ok();
+  }
+  ObjectMapEntry* entry = object_map_.Find(id);
+  S4_CHECK(entry != nullptr);
+  S4_ASSIGN_OR_RETURN(PackedJournal packed,
+                      PackJournalEntries(id, entry->journal_head, obj->pending));
+  DiskAddr head = entry->journal_head;
+  for (auto& sector : packed.sectors) {
+    sector.prev = head;
+    S4_ASSIGN_OR_RETURN(Bytes encoded, sector.Encode());
+    S4_ASSIGN_OR_RETURN(DiskAddr addr,
+                        writer_->Append(RecordKind::kJournal, id, 0, encoded));
+    block_cache_->Insert(addr, encoded);
+    head = addr;
+    ++stats_.journal_sectors_written;
+  }
+  entry->journal_head = head;
+  obj->pending.clear();
+  pending_dirty_.erase(id);
+  return Status::Ok();
+}
+
+Status S4Drive::CheckpointObject(ObjectId id, CachedObject* obj) {
+  S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj));
+  ObjectMapEntry* entry = object_map_.Find(id);
+  S4_CHECK(entry != nullptr);
+
+  Bytes record = obj->inode.EncodeCheckpoint();
+  uint32_t sectors = static_cast<uint32_t>(record.size() / kSectorSize);
+  S4_ASSIGN_OR_RETURN(DiskAddr addr,
+                      writer_->Append(RecordKind::kInodeCheckpoint, id, 0, record));
+  block_cache_->Insert(addr, record);
+
+  // Journal the checkpoint location so chain replay knows where to restart.
+  JournalEntry cp;
+  cp.type = JournalEntryType::kCheckpoint;
+  cp.time = clock_->Now();
+  cp.checkpoint_addr = addr;
+  cp.checkpoint_sectors = sectors;
+  obj->pending.push_back(cp);
+  ++stats_.journal_entries;
+  pending_dirty_.insert(id);
+  S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj));
+
+  // The superseded checkpoint record is no longer needed: with journal-based
+  // metadata, historical versions are reconstructed from the *current* state
+  // plus undo entries, never from old checkpoints (the exception is the final
+  // checkpoint written at delete time, which is never superseded).
+  if (entry->checkpoint_addr != kNullAddr) {
+    sut_->ReleaseLive(sb_.SegmentOf(entry->checkpoint_addr), entry->checkpoint_sectors);
+  }
+  entry->checkpoint_addr = addr;
+  entry->checkpoint_sectors = sectors;
+  entry->checkpoint_time = cp.time;
+  obj->dirty = false;
+  ++stats_.inode_checkpoints;
+  return Status::Ok();
+}
+
+Status S4Drive::FlushAllPending(bool force_audit) {
+  // Audit records first: their append creates journal entries on the audit
+  // object that must be part of this flush. Unless forced (device checkpoint
+  // or unmount), sub-block audit tails stay buffered so audit writes
+  // piggyback on normal segment writes in whole blocks (section 4.2.3).
+  S4_RETURN_IF_ERROR(AppendAuditBuffered(force_audit));
+  // Pack the pending journal entries of every dirty object. (Eviction
+  // flushes as well, so a dirty id may already be gone from the cache.)
+  std::vector<ObjectId> dirty(pending_dirty_.begin(), pending_dirty_.end());
+  for (ObjectId id : dirty) {
+    if (ObjectHandle* obj = object_cache_->Peek(id); obj != nullptr) {
+      S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj->get()));
+    } else {
+      pending_dirty_.erase(id);
+    }
+  }
+  if (!eviction_error_.ok()) {
+    Status err = eviction_error_;
+    eviction_error_ = Status::Ok();
+    return err;
+  }
+  return Status::Ok();
+}
+
+Status S4Drive::MaybeAutoCheckpoint() {
+  if (bytes_since_checkpoint_ >= options_.checkpoint_interval_bytes) {
+    return WriteCheckpoint();
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Audit plumbing
+// ---------------------------------------------------------------------------
+
+void S4Drive::Audit(const Credentials& creds, RpcOp op, ObjectId id, uint64_t offset,
+                    uint64_t length, const Status& result, bool time_based) {
+  if (!options_.audit_enabled) {
+    return;
+  }
+  AuditRecord rec;
+  rec.time = clock_->Now();
+  rec.client = creds.client;
+  rec.user = creds.user;
+  rec.op = op;
+  rec.object = id;
+  rec.offset = offset;
+  rec.length = length;
+  rec.result = static_cast<uint8_t>(result.code());
+  rec.time_based = time_based;
+  audit_codec_.Buffer(rec);
+  ++stats_.audit_records;
+  // Whole blocks of audit data ride along with normal segment writes.
+  if (audit_codec_.buffered_bytes() >= kBlockSize) {
+    Status s = AppendAuditBuffered(/*force=*/false);
+    if (!s.ok()) {
+      S4_LOG(kWarning) << "audit append failed: " << s.ToString();
+    }
+  }
+}
+
+Status S4Drive::CheckAccess(const CachedObject& obj, const Credentials& creds,
+                            uint8_t needed) const {
+  if (IsAdmin(creds)) {
+    return Status::Ok();
+  }
+  if (!AclAllows(obj.inode.acl, creds, needed)) {
+    return Status::PermissionDenied("acl denies access");
+  }
+  return Status::Ok();
+}
+
+bool S4Drive::IsAdmin(const Credentials& creds) const {
+  return creds.admin_key != 0 && creds.admin_key == options_.admin_key;
+}
+
+double S4Drive::SpaceUtilization() const {
+  uint32_t total = sut_->segment_count();
+  uint32_t usable_free = 0;
+  for (SegmentId seg = 0; seg < total; ++seg) {
+    const SegmentInfo& info = sut_->Info(seg);
+    if (info.state == SegmentState::kFree || sut_->Reclaimable(seg)) {
+      ++usable_free;
+    }
+  }
+  return 1.0 - static_cast<double>(usable_free) / total;
+}
+
+uint64_t S4Drive::HistoryPoolBytes() const {
+  return sut_->HistorySectorsTotal() * kSectorSize;
+}
+
+uint64_t S4Drive::LiveBytes() const { return sut_->LiveSectorsTotal() * kSectorSize; }
+
+Status S4Drive::Unmount() {
+  object_cache_->Clear();
+  return WriteCheckpoint();
+}
+
+}  // namespace s4

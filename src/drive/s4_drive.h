@@ -1,0 +1,279 @@
+// S4Drive: the self-securing storage device (paper section 4).
+//
+// The drive is the security perimeter. It exports exactly the RPC operations
+// of Table 1, versions every mutation internally for the guaranteed
+// detection window, audits every request, and refuses to let any client —
+// including a compromised host OS presenting valid user credentials —
+// destroy history before it ages out.
+//
+// Internals: log-structured layout (src/lfs), journal-based metadata
+// (src/journal), object map + inode checkpoints (src/object), buffer/object
+// caches (src/cache), audit log (src/audit), plus the age-driven cleaner and
+// the space-exhaustion throttle implemented here.
+#ifndef S4_SRC_DRIVE_S4_DRIVE_H_
+#define S4_SRC_DRIVE_S4_DRIVE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/audit/audit_log.h"
+#include "src/cache/block_cache.h"
+#include "src/cache/lru.h"
+#include "src/drive/options.h"
+#include "src/drive/stats.h"
+#include "src/journal/sector.h"
+#include "src/lfs/scan.h"
+#include "src/lfs/segment_writer.h"
+#include "src/lfs/usage_table.h"
+#include "src/object/inode.h"
+#include "src/object/object_map.h"
+#include "src/sim/block_device.h"
+#include "src/sim/sim_clock.h"
+
+namespace s4 {
+
+// A named version: the time of the mutation that *created* this version.
+struct VersionInfo {
+  SimTime time = 0;
+  JournalEntryType cause = JournalEntryType::kWrite;
+};
+
+class S4Drive {
+ public:
+  // Formats the device with a fresh S4 layout and returns a mounted drive.
+  static Result<std::unique_ptr<S4Drive>> Format(BlockDevice* device, SimClock* clock,
+                                                 S4DriveOptions options);
+  // Mounts an existing S4 layout, running crash recovery (checkpoint load +
+  // log roll-forward).
+  static Result<std::unique_ptr<S4Drive>> Mount(BlockDevice* device, SimClock* clock,
+                                                S4DriveOptions options);
+
+  ~S4Drive();
+  S4Drive(const S4Drive&) = delete;
+  S4Drive& operator=(const S4Drive&) = delete;
+
+  // ---- Table 1: object operations ----
+  // Creates an object owned by creds.user (full perms incl. Recovery) with
+  // the given opaque attribute blob.
+  Result<ObjectId> Create(const Credentials& creds, Bytes opaque_attrs);
+  Status Delete(const Credentials& creds, ObjectId id);
+  // Read with optional time-based access: `at` selects the version that was
+  // most current at that time (requires Recovery flag or admin when the
+  // version is in the history pool).
+  Result<Bytes> Read(const Credentials& creds, ObjectId id, uint64_t offset, uint64_t length,
+                     std::optional<SimTime> at = std::nullopt);
+  Status Write(const Credentials& creds, ObjectId id, uint64_t offset, ByteSpan data);
+  // Appends at end-of-object; returns the new size.
+  Result<uint64_t> Append(const Credentials& creds, ObjectId id, ByteSpan data);
+  Status Truncate(const Credentials& creds, ObjectId id, uint64_t new_size);
+  Result<ObjectAttrs> GetAttr(const Credentials& creds, ObjectId id,
+                              std::optional<SimTime> at = std::nullopt);
+  Status SetAttr(const Credentials& creds, ObjectId id, Bytes opaque_attrs);
+  Result<AclEntry> GetAclByUser(const Credentials& creds, ObjectId id, UserId user,
+                                std::optional<SimTime> at = std::nullopt);
+  Result<AclEntry> GetAclByIndex(const Credentials& creds, ObjectId id, uint32_t index,
+                                 std::optional<SimTime> at = std::nullopt);
+  Status SetAcl(const Credentials& creds, ObjectId id, AclEntry entry);
+
+  // ---- Table 1: partition (named object) operations ----
+  Status PCreate(const Credentials& creds, const std::string& name, ObjectId id);
+  Status PDelete(const Credentials& creds, const std::string& name);
+  Result<std::vector<std::pair<std::string, ObjectId>>> PList(
+      const Credentials& creds, std::optional<SimTime> at = std::nullopt);
+  Result<ObjectId> PMount(const Credentials& creds, const std::string& name,
+                          std::optional<SimTime> at = std::nullopt);
+
+  // ---- Table 1: device operations ----
+  // Commits all buffered state (journal entries, data, audit records) to the
+  // log. NFSv2 semantics are built from this.
+  Status Sync(const Credentials& creds);
+  // Admin: permanently removes versions in (from, to] — all objects.
+  Status Flush(const Credentials& creds, SimTime from, SimTime to);
+  // Admin: same for one object.
+  Status FlushObject(const Credentials& creds, ObjectId id, SimTime from, SimTime to);
+  // Admin: adjusts the guaranteed detection window.
+  Status SetWindow(const Credentials& creds, SimDuration window);
+
+  // ---- Diagnosis extensions (section 3.6 tooling) ----
+  // Enumerates the reconstructible versions of an object, oldest first.
+  Result<std::vector<VersionInfo>> GetVersionList(const Credentials& creds, ObjectId id);
+  // Reads back audit records matching `query` (admin only).
+  Result<std::vector<AuditRecord>> QueryAudit(const Credentials& creds, const AuditQuery& query);
+
+  // ---- Cleaner (section 4.2.1) ----
+  // One cleaning pass: expires versions older than the detection window,
+  // reclaims empty segments, and compacts up to `max_compactions` fragmented
+  // segments. Compaction normally runs only when space is low;
+  // `force_compaction` makes it unconditional (continuous foreground
+  // cleaning, as measured in Figure 5). Returns number of segments made free.
+  Result<uint32_t> RunCleanerPass(uint32_t max_compactions, bool force_compaction = false);
+  // True when free space is low enough that cleaning should run.
+  bool CleanerNeeded() const;
+
+  // One slice of *continuous* cleaning (the paper's "cleaner competing with
+  // foreground activity", Figure 5): streams the next sealed segment off the
+  // disk in round-robin order and relocates whatever current data it holds.
+  // Returns false when there was no sealed segment to process.
+  Result<bool> CleanForegroundSlice();
+
+  // Writes a device checkpoint (object map + segment usage table). Called
+  // periodically and at clean shutdown; also makes cleaner-freed segments
+  // allocatable.
+  Status WriteCheckpoint();
+
+  // Clean shutdown: flush everything and checkpoint.
+  Status Unmount();
+
+  // ---- Introspection ----
+  const DriveStats& stats() const { return stats_; }
+  const SegmentUsageTable& usage_table() const { return *sut_; }
+  SimDuration detection_window() const { return detection_window_; }
+  // Fraction of segments not free (0..1).
+  double SpaceUtilization() const;
+  uint64_t HistoryPoolBytes() const;
+  uint64_t LiveBytes() const;
+  bool IsAdmin(const Credentials& creds) const;
+  const S4DriveOptions& options() const { return options_; }
+  // The next ObjectId this drive would assign (mirror-rebuild coordination).
+  ObjectId PeekNextObjectId() const { return object_map_.PeekNextId(); }
+
+ private:
+  // Time ranges whose versions were purged by Flush/FlushO.
+  struct PurgedRange {
+    SimTime from;
+    SimTime to;
+  };
+
+  // An object resident in the object cache.
+  struct CachedObject {
+    Inode inode;
+    bool exists = true;          // false = cached tombstone of a deleted object
+    bool dirty = false;          // inode differs from the latest checkpoint
+    // Journal entries not yet packed into sectors (newest last).
+    std::vector<JournalEntry> pending;
+  };
+  using ObjectHandle = std::shared_ptr<CachedObject>;
+
+  // Everything an operation needs to read one historical version.
+  struct VersionView {
+    bool existed = false;
+    uint64_t size = 0;
+    Bytes opaque;
+    Acl acl;
+    SimTime create_time = 0;
+    SimTime modify_time = 0;
+    // Undo overlay: block index -> address at the requested time. Entries
+    // present here override `base` (kNullAddr = hole at that time;
+    // kPurgedAddr = destroyed by an administrative Flush).
+    std::map<uint64_t, DiskAddr> overlay;
+    ObjectHandle base;  // current state the overlay applies to
+    DiskAddr BlockAt(uint64_t index) const;
+  };
+
+  // Sentinel for block data destroyed by Flush/FlushO.
+  static constexpr DiskAddr kPurgedAddr = ~0ull;
+
+  S4Drive(BlockDevice* device, SimClock* clock, S4DriveOptions options);
+
+  // --- setup / recovery (s4_drive.cc) ---
+  Status DoFormat();
+  Status DoMount();
+  Status RollForward(uint64_t checkpoint_seq);
+  Status InitReservedObjects();
+  Result<Bytes> EncodeDeviceCheckpoint() const;
+  Status LoadDeviceCheckpoint();
+
+  // --- generic internals (s4_drive.cc) ---
+  void ChargeCpu();
+  Result<Bytes> ReadRecord(DiskAddr addr, uint32_t sectors);
+  Result<ObjectHandle> LoadObject(ObjectId id);
+  Status EvictObject(ObjectId id, ObjectHandle obj);
+  Status FlushObjectJournal(ObjectId id, CachedObject* obj);
+  Status CheckpointObject(ObjectId id, CachedObject* obj);
+  Status FlushAllPending(bool force_audit = false);
+  Status MaybeAutoCheckpoint();
+  Status AppendAuditBuffered(bool force);
+  void Audit(const Credentials& creds, RpcOp op, ObjectId id, uint64_t offset, uint64_t length,
+             const Status& result, bool time_based);
+  bool ObjectIsVersioned(ObjectId id) const;
+  // ACL check against the *current* object state.
+  Status CheckAccess(const CachedObject& obj, const Credentials& creds, uint8_t needed) const;
+
+  // --- data path (drive_ops.cc) ---
+  Status WriteInternal(const Credentials& creds, ObjectId id, uint64_t offset, ByteSpan data,
+                       bool is_append, RpcOp op);
+  Result<Bytes> BuildBlockContent(const CachedObject& obj, uint64_t block_index,
+                                  uint64_t valid_bytes, uint64_t write_off, ByteSpan data);
+  Status ApplyBlockWrite(ObjectId id, CachedObject* obj, SimTime now, uint64_t old_size,
+                         uint64_t new_size, std::vector<BlockDelta> deltas);
+  void SupersedeBlock(ObjectId id, DiskAddr old_addr);
+  Status ThrottleCheck(const Credentials& creds, uint64_t bytes);
+  Result<ObjectHandle> ResolveForWrite(const Credentials& creds, ObjectId id, uint8_t needed);
+  Result<Bytes> ReadCurrent(const CachedObject& obj, uint64_t offset, uint64_t length);
+  Status WritePartitionTable(const std::vector<std::pair<std::string, ObjectId>>& table);
+  Result<std::vector<std::pair<std::string, ObjectId>>> ReadPartitionTable(
+      std::optional<SimTime> at);
+
+  // --- history (drive_history.cc) ---
+  // Reconstructs the object as it was at time `at`.
+  Result<VersionView> ReconstructVersion(ObjectId id, SimTime at);
+  // Walks the journal chain newest-to-oldest invoking fn(entry) until fn
+  // returns false or the history barrier is passed.
+  Status WalkJournal(ObjectId id, const CachedObject* obj,
+                     const std::function<Result<bool>(const JournalEntry&)>& fn);
+  Result<Bytes> ReadVersionBytes(const VersionView& view, uint64_t offset, uint64_t length);
+  Status CheckHistoryAccess(const Acl& version_acl, const Credentials& creds) const;
+  bool IsPurged(ObjectId id, SimTime t) const;
+  Status PurgeObjectVersions(ObjectId id, SimTime from, SimTime to);
+
+  // --- cleaner / throttle (drive_cleaner.cc) ---
+  Result<uint64_t> ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry, SimTime cutoff);
+  Result<bool> CompactSegment(SegmentId seg);
+  void NoteClientWrite(ClientId client, uint64_t bytes);
+
+  BlockDevice* device_;
+  SimClock* clock_;
+  S4DriveOptions options_;
+
+  Superblock sb_;
+  std::unique_ptr<SegmentUsageTable> sut_;
+  std::unique_ptr<SegmentWriter> writer_;
+  std::unique_ptr<BlockCache> block_cache_;
+  std::unique_ptr<LruCache<ObjectId, ObjectHandle>> object_cache_;
+  ObjectMap object_map_;
+  // Objects with unflushed pending journal entries (so Sync never scans the
+  // whole object cache).
+  std::unordered_set<ObjectId> pending_dirty_;
+  std::unordered_map<ObjectId, std::vector<PurgedRange>> purged_;
+
+  SimDuration detection_window_;
+  AuditLogCodec audit_codec_;
+  uint64_t checkpoint_generation_ = 0;  // alternates A/B
+  uint64_t checkpoint_seq_ = 0;         // chunk seq covered by last checkpoint
+  uint64_t bytes_since_checkpoint_ = 0;
+  // Segments reclaimed since the last checkpoint: not allocatable until the
+  // next checkpoint lands (keeps log roll-forward sound across reuse).
+  std::vector<SegmentId> deferred_free_;
+
+  SegmentId foreground_clean_cursor_ = 0;
+
+  // Throttle state: per-client exponentially decayed write volume.
+  struct ClientLoad {
+    double bytes_per_sec = 0;
+    SimTime last_update = 0;
+  };
+  std::unordered_map<ClientId, ClientLoad> client_load_;
+
+  DriveStats stats_;
+  Status eviction_error_ = Status::Ok();  // sticky error from cache eviction
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_DRIVE_S4_DRIVE_H_

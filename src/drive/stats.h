@@ -1,0 +1,46 @@
+// Operation and internals counters exposed by the drive.
+#ifndef S4_SRC_DRIVE_STATS_H_
+#define S4_SRC_DRIVE_STATS_H_
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace s4 {
+
+struct DriveStats {
+  // RPC-visible operations.
+  uint64_t ops_total = 0;
+  uint64_t ops_denied = 0;
+  uint64_t time_based_reads = 0;
+
+  // Versioning internals.
+  uint64_t journal_entries = 0;
+  uint64_t journal_sectors_written = 0;
+  uint64_t inode_checkpoints = 0;
+  uint64_t data_blocks_written = 0;
+  uint64_t device_checkpoints = 0;
+
+  // Audit.
+  uint64_t audit_records = 0;
+  uint64_t audit_blocks_written = 0;
+
+  // Cleaner.
+  uint64_t cleaner_passes = 0;
+  uint64_t cleaner_segments_reclaimed = 0;
+  uint64_t cleaner_segments_compacted = 0;
+  uint64_t cleaner_sectors_expired = 0;
+  uint64_t cleaner_sectors_copied = 0;
+  SimDuration cleaner_time = 0;
+
+  // Throttling.
+  uint64_t throttle_delays = 0;
+  uint64_t throttle_rejects = 0;
+
+  // History pool.
+  uint64_t versions_purged = 0;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_DRIVE_STATS_H_

@@ -1,0 +1,59 @@
+#include "src/fs/dir_format.h"
+
+namespace s4 {
+
+Bytes EncodeDirRecord(const DirRecord& record) {
+  Encoder enc(16 + record.name.size());
+  enc.PutU8(static_cast<uint8_t>(record.op));
+  enc.PutU8(static_cast<uint8_t>(record.type));
+  enc.PutVarint(record.handle);
+  enc.PutString(record.name);
+  return enc.Take();
+}
+
+Result<ParsedDir> ParseDirStream(ByteSpan stream) {
+  ParsedDir dir;
+  Decoder dec(stream);
+  while (!dec.done()) {
+    auto op_raw = dec.U8();
+    if (!op_raw.ok()) {
+      break;
+    }
+    if (*op_raw != 1 && *op_raw != 2) {
+      return Status::DataCorruption("bad directory record op");
+    }
+    auto type_raw = dec.U8();
+    auto handle = type_raw.ok() ? dec.Varint() : Result<uint64_t>(type_raw.status());
+    auto name = handle.ok() ? dec.String() : Result<std::string>(handle.status());
+    if (!name.ok()) {
+      break;  // truncated tail record
+    }
+    ++dir.record_count;
+    if (*op_raw == 1) {
+      DirEntry e;
+      e.name = *name;
+      e.handle = *handle;
+      e.type = static_cast<FileType>(*type_raw);
+      dir.entries[*name] = e;
+    } else {
+      dir.entries.erase(*name);
+    }
+  }
+  return dir;
+}
+
+Bytes CompactDirStream(const ParsedDir& dir) {
+  Encoder enc;
+  for (const auto& [name, e] : dir.entries) {
+    DirRecord rec;
+    rec.op = DirRecord::Op::kAdd;
+    rec.type = e.type;
+    rec.handle = e.handle;
+    rec.name = name;
+    Bytes b = EncodeDirRecord(rec);
+    enc.PutBytes(b);
+  }
+  return enc.Take();
+}
+
+}  // namespace s4

@@ -1,0 +1,46 @@
+#include "src/fs/file_system.h"
+
+#include <sstream>
+
+namespace s4 {
+namespace {
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(path);
+  while (std::getline(in, part, '/')) {
+    if (!part.empty()) {
+      parts.push_back(part);
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+Result<FileHandle> ResolvePath(FileSystemApi* fs, const std::string& path) {
+  S4_ASSIGN_OR_RETURN(FileHandle h, fs->Root());
+  for (const std::string& part : SplitPath(path)) {
+    S4_ASSIGN_OR_RETURN(h, fs->Lookup(h, part));
+  }
+  return h;
+}
+
+Result<FileHandle> MakeDirs(FileSystemApi* fs, const std::string& path) {
+  S4_ASSIGN_OR_RETURN(FileHandle h, fs->Root());
+  for (const std::string& part : SplitPath(path)) {
+    auto next = fs->Lookup(h, part);
+    if (next.ok()) {
+      h = *next;
+      continue;
+    }
+    if (next.status().code() != ErrorCode::kNotFound) {
+      return next.status();
+    }
+    S4_ASSIGN_OR_RETURN(h, fs->Mkdir(h, part, 0755));
+  }
+  return h;
+}
+
+}  // namespace s4

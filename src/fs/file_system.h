@@ -1,0 +1,75 @@
+// FileSystemApi: the NFSv2-flavoured vnode interface that workloads and
+// tools program against.
+//
+// Implementations:
+//   - S4FileSystem (src/fs/s4_fs.h): the paper's "S4 client" NFS-to-S4
+//     translator, overlaying files and directories on the flat object store.
+//   - FfsLikeServer (src/baseline): an in-place-update server standing in
+//     for the FreeBSD FFS / Linux ext2 NFS servers of the evaluation.
+//   - NfsServerWrapper (src/fs/nfs_wrapper.h): charges per-op network cost,
+//     turning any FileSystemApi into a "remote NFS server".
+#ifndef S4_SRC_FS_FILE_SYSTEM_H_
+#define S4_SRC_FS_FILE_SYSTEM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace s4 {
+
+// An NFS-style opaque file handle. For S4FileSystem it is the ObjectId.
+using FileHandle = uint64_t;
+
+enum class FileType : uint8_t { kFile = 1, kDirectory = 2, kSymlink = 3 };
+
+struct FileAttr {
+  FileType type = FileType::kFile;
+  uint32_t mode = 0644;
+  uint32_t uid = 0;
+  uint64_t size = 0;
+  SimTime ctime = 0;
+  SimTime mtime = 0;
+};
+
+struct DirEntry {
+  std::string name;
+  FileHandle handle = 0;
+  FileType type = FileType::kFile;
+};
+
+class FileSystemApi {
+ public:
+  virtual ~FileSystemApi() = default;
+
+  virtual Result<FileHandle> Root() = 0;
+  virtual Result<FileHandle> Lookup(FileHandle dir, const std::string& name) = 0;
+  virtual Result<FileHandle> CreateFile(FileHandle dir, const std::string& name,
+                                        uint32_t mode) = 0;
+  virtual Result<FileHandle> Mkdir(FileHandle dir, const std::string& name, uint32_t mode) = 0;
+  virtual Status Remove(FileHandle dir, const std::string& name) = 0;
+  virtual Status Rmdir(FileHandle dir, const std::string& name) = 0;
+  virtual Status Rename(FileHandle from_dir, const std::string& from_name, FileHandle to_dir,
+                        const std::string& to_name) = 0;
+  virtual Result<Bytes> ReadFile(FileHandle file, uint64_t offset, uint64_t length) = 0;
+  virtual Status WriteFile(FileHandle file, uint64_t offset, ByteSpan data) = 0;
+  virtual Result<FileAttr> GetAttr(FileHandle file) = 0;
+  virtual Status SetSize(FileHandle file, uint64_t size) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir(FileHandle dir) = 0;
+  virtual Result<FileHandle> Symlink(FileHandle dir, const std::string& name,
+                                     const std::string& target) = 0;
+  virtual Result<std::string> ReadLink(FileHandle link) = 0;
+};
+
+// Walks an absolute slash-separated path from the root. "" and "/" resolve
+// to the root itself.
+Result<FileHandle> ResolvePath(FileSystemApi* fs, const std::string& path);
+
+// mkdir -p equivalent; returns the handle of the final directory.
+Result<FileHandle> MakeDirs(FileSystemApi* fs, const std::string& path);
+
+}  // namespace s4
+
+#endif  // S4_SRC_FS_FILE_SYSTEM_H_

@@ -1,0 +1,26 @@
+#include "src/fs/nfs_attr.h"
+
+namespace s4 {
+
+Bytes NfsAttrBlob::Encode() const {
+  Encoder enc(12);
+  enc.PutU8(static_cast<uint8_t>(type));
+  enc.PutU32(mode);
+  enc.PutU32(uid);
+  return enc.Take();
+}
+
+Result<NfsAttrBlob> NfsAttrBlob::Decode(ByteSpan blob) {
+  Decoder dec(blob);
+  NfsAttrBlob a;
+  S4_ASSIGN_OR_RETURN(uint8_t type_raw, dec.U8());
+  if (type_raw < 1 || type_raw > 3) {
+    return Status::DataCorruption("bad file type in attr blob");
+  }
+  a.type = static_cast<FileType>(type_raw);
+  S4_ASSIGN_OR_RETURN(a.mode, dec.U32());
+  S4_ASSIGN_OR_RETURN(a.uid, dec.U32());
+  return a;
+}
+
+}  // namespace s4

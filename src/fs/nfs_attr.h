@@ -1,0 +1,23 @@
+// NFS attribute blob stored in each object's opaque attribute space
+// (paper section 4.1.2: "The NFS attribute structure is maintained within
+// the opaque attribute space of each object").
+#ifndef S4_SRC_FS_NFS_ATTR_H_
+#define S4_SRC_FS_NFS_ATTR_H_
+
+#include "src/fs/file_system.h"
+#include "src/util/codec.h"
+
+namespace s4 {
+
+struct NfsAttrBlob {
+  FileType type = FileType::kFile;
+  uint32_t mode = 0644;
+  uint32_t uid = 0;
+
+  Bytes Encode() const;
+  static Result<NfsAttrBlob> Decode(ByteSpan blob);
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_FS_NFS_ATTR_H_

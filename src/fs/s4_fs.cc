@@ -1,0 +1,299 @@
+#include "src/fs/s4_fs.h"
+
+namespace s4 {
+namespace {
+
+// The prototype's S4 client caches directories and attributes aggressively
+// (section 4.1.2); large PostMark directories need real budget.
+constexpr uint64_t kDirCacheBytes = 16ull << 20;
+constexpr uint64_t kAttrCacheBytes = 2ull << 20;
+
+FileAttr MakeAttr(const NfsAttrBlob& blob, uint64_t size, SimTime mtime, SimTime ctime) {
+  FileAttr a;
+  a.type = blob.type;
+  a.mode = blob.mode;
+  a.uid = blob.uid;
+  a.size = size;
+  a.mtime = mtime;
+  a.ctime = ctime;
+  return a;
+}
+
+}  // namespace
+
+S4FileSystem::S4FileSystem(S4Client* client)
+    : client_(client), dir_cache_(kDirCacheBytes), attr_cache_(kAttrCacheBytes) {}
+
+Result<std::unique_ptr<S4FileSystem>> S4FileSystem::Format(S4Client* client,
+                                                           const std::string& partition) {
+  NfsAttrBlob root_attr;
+  root_attr.type = FileType::kDirectory;
+  root_attr.mode = 0755;
+  root_attr.uid = client->creds().user;
+  S4_ASSIGN_OR_RETURN(ObjectId root, client->Create(root_attr.Encode()));
+  S4_RETURN_IF_ERROR(client->PCreate(partition, root));
+  S4_RETURN_IF_ERROR(client->Sync());
+  auto fs = std::unique_ptr<S4FileSystem>(new S4FileSystem(client));
+  fs->root_ = root;
+  return fs;
+}
+
+Result<std::unique_ptr<S4FileSystem>> S4FileSystem::Mount(S4Client* client,
+                                                          const std::string& partition) {
+  S4_ASSIGN_OR_RETURN(ObjectId root, client->PMount(partition));
+  auto fs = std::unique_ptr<S4FileSystem>(new S4FileSystem(client));
+  fs->root_ = root;
+  return fs;
+}
+
+Status S4FileSystem::SyncOp() {
+  ++stats_.rpc_syncs;
+  return client_->Sync();
+}
+
+Result<ParsedDir*> S4FileSystem::LoadDir(FileHandle dir) {
+  if (ParsedDir* cached = dir_cache_.Get(dir); cached != nullptr) {
+    ++stats_.dir_cache_hits;
+    return cached;
+  }
+  ++stats_.dir_cache_misses;
+  S4_ASSIGN_OR_RETURN(ObjectAttrs attrs, client_->GetAttr(dir));
+  NfsAttrBlob blob;
+  if (!attrs.opaque.empty()) {
+    S4_ASSIGN_OR_RETURN(blob, NfsAttrBlob::Decode(attrs.opaque));
+  }
+  if (blob.type != FileType::kDirectory) {
+    return Status::InvalidArgument("not a directory");
+  }
+  S4_ASSIGN_OR_RETURN(Bytes stream, client_->Read(dir, 0, attrs.size));
+  S4_ASSIGN_OR_RETURN(ParsedDir parsed, ParseDirStream(stream));
+  uint64_t cost = 64 + parsed.entries.size() * 48;
+  dir_cache_.Put(dir, std::move(parsed), cost);
+  return dir_cache_.Peek(dir);
+}
+
+Status S4FileSystem::AppendDirRecord(FileHandle dir, const DirRecord& record) {
+  Bytes encoded = EncodeDirRecord(record);
+  S4_RETURN_IF_ERROR(client_->Append(dir, encoded).status());
+  // Keep the cached parse coherent instead of invalidating (single-client
+  // loopback mount, as in the prototype).
+  if (ParsedDir* cached = dir_cache_.Peek(dir); cached != nullptr) {
+    ++cached->record_count;
+    if (record.op == DirRecord::Op::kAdd) {
+      DirEntry e;
+      e.name = record.name;
+      e.handle = record.handle;
+      e.type = record.type;
+      cached->entries[record.name] = e;
+    } else {
+      cached->entries.erase(record.name);
+    }
+  }
+  attr_cache_.Remove(dir);
+  return Status::Ok();
+}
+
+Status S4FileSystem::MaybeCompactDir(FileHandle dir) {
+  ParsedDir* cached = dir_cache_.Peek(dir);
+  if (cached == nullptr || !cached->NeedsCompaction()) {
+    return Status::Ok();
+  }
+  Bytes compacted = CompactDirStream(*cached);
+  S4_RETURN_IF_ERROR(client_->Write(dir, 0, compacted));
+  S4_RETURN_IF_ERROR(client_->Truncate(dir, compacted.size()));
+  cached->record_count = cached->entries.size();
+  attr_cache_.Remove(dir);
+  return Status::Ok();
+}
+
+Result<FileHandle> S4FileSystem::Lookup(FileHandle dir, const std::string& name) {
+  S4_ASSIGN_OR_RETURN(ParsedDir* parsed, LoadDir(dir));
+  auto it = parsed->entries.find(name);
+  if (it == parsed->entries.end()) {
+    return Status::NotFound("no such name: " + name);
+  }
+  return it->second.handle;
+}
+
+Result<FileHandle> S4FileSystem::CreateNode(FileHandle dir, const std::string& name,
+                                            FileType type, uint32_t mode,
+                                            const std::string& symlink_target) {
+  S4_ASSIGN_OR_RETURN(ParsedDir* parsed, LoadDir(dir));
+  if (parsed->entries.count(name) > 0) {
+    return Status::AlreadyExists(name);
+  }
+  NfsAttrBlob blob;
+  blob.type = type;
+  blob.mode = mode;
+  blob.uid = client_->creds().user;
+  S4_ASSIGN_OR_RETURN(ObjectId id, client_->Create(blob.Encode()));
+  if (type == FileType::kSymlink) {
+    S4_RETURN_IF_ERROR(client_->Write(id, 0, BytesOf(symlink_target)));
+  }
+  DirRecord rec;
+  rec.op = DirRecord::Op::kAdd;
+  rec.type = type;
+  rec.handle = id;
+  rec.name = name;
+  S4_RETURN_IF_ERROR(AppendDirRecord(dir, rec));
+  S4_RETURN_IF_ERROR(SyncOp());
+  return id;
+}
+
+Result<FileHandle> S4FileSystem::CreateFile(FileHandle dir, const std::string& name,
+                                            uint32_t mode) {
+  return CreateNode(dir, name, FileType::kFile, mode, "");
+}
+
+Result<FileHandle> S4FileSystem::Mkdir(FileHandle dir, const std::string& name, uint32_t mode) {
+  return CreateNode(dir, name, FileType::kDirectory, mode, "");
+}
+
+Result<FileHandle> S4FileSystem::Symlink(FileHandle dir, const std::string& name,
+                                         const std::string& target) {
+  return CreateNode(dir, name, FileType::kSymlink, 0777, target);
+}
+
+Status S4FileSystem::Remove(FileHandle dir, const std::string& name) {
+  S4_ASSIGN_OR_RETURN(ParsedDir* parsed, LoadDir(dir));
+  auto it = parsed->entries.find(name);
+  if (it == parsed->entries.end()) {
+    return Status::NotFound(name);
+  }
+  if (it->second.type == FileType::kDirectory) {
+    return Status::InvalidArgument("is a directory");
+  }
+  FileHandle victim = it->second.handle;
+  S4_RETURN_IF_ERROR(client_->Delete(victim));
+  attr_cache_.Remove(victim);
+  DirRecord rec;
+  rec.op = DirRecord::Op::kRemove;
+  rec.name = name;
+  S4_RETURN_IF_ERROR(AppendDirRecord(dir, rec));
+  S4_RETURN_IF_ERROR(MaybeCompactDir(dir));
+  return SyncOp();
+}
+
+Status S4FileSystem::Rmdir(FileHandle dir, const std::string& name) {
+  S4_ASSIGN_OR_RETURN(ParsedDir* parsed, LoadDir(dir));
+  auto it = parsed->entries.find(name);
+  if (it == parsed->entries.end()) {
+    return Status::NotFound(name);
+  }
+  if (it->second.type != FileType::kDirectory) {
+    return Status::InvalidArgument("not a directory");
+  }
+  FileHandle victim = it->second.handle;
+  S4_ASSIGN_OR_RETURN(ParsedDir* victim_dir, LoadDir(victim));
+  if (!victim_dir->entries.empty()) {
+    return Status::FailedPrecondition("directory not empty");
+  }
+  S4_RETURN_IF_ERROR(client_->Delete(victim));
+  dir_cache_.Remove(victim);
+  attr_cache_.Remove(victim);
+  DirRecord rec;
+  rec.op = DirRecord::Op::kRemove;
+  rec.name = name;
+  S4_RETURN_IF_ERROR(AppendDirRecord(dir, rec));
+  S4_RETURN_IF_ERROR(MaybeCompactDir(dir));
+  return SyncOp();
+}
+
+Status S4FileSystem::Rename(FileHandle from_dir, const std::string& from_name,
+                            FileHandle to_dir, const std::string& to_name) {
+  S4_ASSIGN_OR_RETURN(ParsedDir* src, LoadDir(from_dir));
+  auto it = src->entries.find(from_name);
+  if (it == src->entries.end()) {
+    return Status::NotFound(from_name);
+  }
+  DirEntry moving = it->second;
+
+  // NFS rename semantics: silently replace an existing target file.
+  S4_ASSIGN_OR_RETURN(ParsedDir* dst, LoadDir(to_dir));
+  auto target = dst->entries.find(to_name);
+  if (target != dst->entries.end()) {
+    if (target->second.type == FileType::kDirectory) {
+      return Status::InvalidArgument("target is a directory");
+    }
+    S4_RETURN_IF_ERROR(client_->Delete(target->second.handle));
+    attr_cache_.Remove(target->second.handle);
+    DirRecord del;
+    del.op = DirRecord::Op::kRemove;
+    del.name = to_name;
+    S4_RETURN_IF_ERROR(AppendDirRecord(to_dir, del));
+  }
+
+  DirRecord del;
+  del.op = DirRecord::Op::kRemove;
+  del.name = from_name;
+  S4_RETURN_IF_ERROR(AppendDirRecord(from_dir, del));
+  DirRecord add;
+  add.op = DirRecord::Op::kAdd;
+  add.type = moving.type;
+  add.handle = moving.handle;
+  add.name = to_name;
+  S4_RETURN_IF_ERROR(AppendDirRecord(to_dir, add));
+  return SyncOp();
+}
+
+Result<Bytes> S4FileSystem::ReadFile(FileHandle file, uint64_t offset, uint64_t length) {
+  return client_->Read(file, offset, length);
+}
+
+Status S4FileSystem::WriteFile(FileHandle file, uint64_t offset, ByteSpan data) {
+  S4_RETURN_IF_ERROR(client_->Write(file, offset, data));
+  attr_cache_.Remove(file);
+  return SyncOp();
+}
+
+Result<NfsAttrBlob> S4FileSystem::LoadAttrBlob(FileHandle file, uint64_t* size_out,
+                                               SimTime* mtime_out, SimTime* ctime_out) {
+  S4_ASSIGN_OR_RETURN(ObjectAttrs attrs, client_->GetAttr(file));
+  *size_out = attrs.size;
+  *mtime_out = attrs.modify_time;
+  *ctime_out = attrs.create_time;
+  if (attrs.opaque.empty()) {
+    return NfsAttrBlob{};
+  }
+  return NfsAttrBlob::Decode(attrs.opaque);
+}
+
+Result<FileAttr> S4FileSystem::GetAttr(FileHandle file) {
+  if (FileAttr* cached = attr_cache_.Get(file); cached != nullptr) {
+    ++stats_.attr_cache_hits;
+    return *cached;
+  }
+  ++stats_.attr_cache_misses;
+  uint64_t size = 0;
+  SimTime mtime = 0;
+  SimTime ctime = 0;
+  S4_ASSIGN_OR_RETURN(NfsAttrBlob blob, LoadAttrBlob(file, &size, &mtime, &ctime));
+  FileAttr attr = MakeAttr(blob, size, mtime, ctime);
+  attr_cache_.Put(file, attr, 64);
+  return attr;
+}
+
+Status S4FileSystem::SetSize(FileHandle file, uint64_t size) {
+  S4_RETURN_IF_ERROR(client_->Truncate(file, size));
+  attr_cache_.Remove(file);
+  return SyncOp();
+}
+
+Result<std::vector<DirEntry>> S4FileSystem::ReadDir(FileHandle dir) {
+  S4_ASSIGN_OR_RETURN(ParsedDir* parsed, LoadDir(dir));
+  std::vector<DirEntry> out;
+  out.reserve(parsed->entries.size());
+  for (const auto& [name, e] : parsed->entries) {
+    (void)name;
+    out.push_back(e);
+  }
+  return out;
+}
+
+Result<std::string> S4FileSystem::ReadLink(FileHandle link) {
+  S4_ASSIGN_OR_RETURN(ObjectAttrs attrs, client_->GetAttr(link));
+  S4_ASSIGN_OR_RETURN(Bytes target, client_->Read(link, 0, attrs.size));
+  return StringOf(target);
+}
+
+}  // namespace s4

@@ -1,0 +1,87 @@
+// S4FileSystem: the "S4 client" daemon of Figure 1 — a user-level NFS-to-S4
+// translator that overlays an NFSv2-style file system on the drive's flat
+// object namespace.
+//
+//   - Directories are objects holding add/remove records (name -> handle).
+//   - NFS attributes live in each object's opaque attribute space.
+//   - File handles hash directly to ObjectIds.
+//   - To honour NFSv2 stable-storage semantics, every state-modifying NFS
+//     operation is followed by a Sync RPC (the drive normally caches writes).
+//   - Aggressive read-only attribute and directory caches cut the RPC count,
+//     as in the paper (section 4.1.2).
+#ifndef S4_SRC_FS_S4_FS_H_
+#define S4_SRC_FS_S4_FS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/cache/lru.h"
+#include "src/fs/dir_format.h"
+#include "src/fs/file_system.h"
+#include "src/fs/nfs_attr.h"
+#include "src/rpc/client.h"
+
+namespace s4 {
+
+struct S4FileSystemStats {
+  uint64_t rpc_syncs = 0;
+  uint64_t attr_cache_hits = 0;
+  uint64_t attr_cache_misses = 0;
+  uint64_t dir_cache_hits = 0;
+  uint64_t dir_cache_misses = 0;
+};
+
+class S4FileSystem : public FileSystemApi {
+ public:
+  // Creates a fresh file system: makes the root directory object and binds
+  // it to the partition name.
+  static Result<std::unique_ptr<S4FileSystem>> Format(S4Client* client,
+                                                      const std::string& partition);
+  // Attaches to an existing file system (PMount).
+  static Result<std::unique_ptr<S4FileSystem>> Mount(S4Client* client,
+                                                     const std::string& partition);
+
+  Result<FileHandle> Root() override { return root_; }
+  Result<FileHandle> Lookup(FileHandle dir, const std::string& name) override;
+  Result<FileHandle> CreateFile(FileHandle dir, const std::string& name,
+                                uint32_t mode) override;
+  Result<FileHandle> Mkdir(FileHandle dir, const std::string& name, uint32_t mode) override;
+  Status Remove(FileHandle dir, const std::string& name) override;
+  Status Rmdir(FileHandle dir, const std::string& name) override;
+  Status Rename(FileHandle from_dir, const std::string& from_name, FileHandle to_dir,
+                const std::string& to_name) override;
+  Result<Bytes> ReadFile(FileHandle file, uint64_t offset, uint64_t length) override;
+  Status WriteFile(FileHandle file, uint64_t offset, ByteSpan data) override;
+  Result<FileAttr> GetAttr(FileHandle file) override;
+  Status SetSize(FileHandle file, uint64_t size) override;
+  Result<std::vector<DirEntry>> ReadDir(FileHandle dir) override;
+  Result<FileHandle> Symlink(FileHandle dir, const std::string& name,
+                             const std::string& target) override;
+  Result<std::string> ReadLink(FileHandle link) override;
+
+  const S4FileSystemStats& stats() const { return stats_; }
+  S4Client* client() { return client_; }
+
+ private:
+  explicit S4FileSystem(S4Client* client);
+
+  Result<ParsedDir*> LoadDir(FileHandle dir);
+  Status AppendDirRecord(FileHandle dir, const DirRecord& record);
+  Status MaybeCompactDir(FileHandle dir);
+  Result<FileHandle> CreateNode(FileHandle dir, const std::string& name, FileType type,
+                                uint32_t mode, const std::string& symlink_target);
+  Result<NfsAttrBlob> LoadAttrBlob(FileHandle file, uint64_t* size_out, SimTime* mtime_out,
+                                   SimTime* ctime_out);
+  // NFSv2: commit after every mutating op.
+  Status SyncOp();
+
+  S4Client* client_;
+  FileHandle root_ = 0;
+  LruCache<FileHandle, ParsedDir> dir_cache_;
+  LruCache<FileHandle, FileAttr> attr_cache_;
+  S4FileSystemStats stats_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_FS_S4_FS_H_

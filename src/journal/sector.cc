@@ -1,0 +1,94 @@
+#include "src/journal/sector.h"
+
+#include "src/util/crc32.h"
+
+namespace s4 {
+namespace {
+
+constexpr uint32_t kJournalMagic = 0x53344A4C;  // "S4JL"
+// magic(4) + objid(8) + prev(8) + count(2) ... crc(4) at the end.
+constexpr size_t kHeaderBytes = 4 + 8 + 8 + 2;
+constexpr size_t kTrailerBytes = 4;
+
+}  // namespace
+
+size_t JournalSector::Capacity() { return kSectorSize - kHeaderBytes - kTrailerBytes; }
+
+Result<Bytes> JournalSector::Encode() const {
+  Encoder enc(kSectorSize);
+  enc.PutU32(kJournalMagic);
+  enc.PutU64(object_id);
+  enc.PutU64(prev);
+  enc.PutU16(static_cast<uint16_t>(entries.size()));
+  for (const auto& e : entries) {
+    e.EncodeTo(&enc);
+  }
+  Bytes out = enc.Take();
+  if (out.size() + kTrailerBytes > kSectorSize) {
+    return Status::Internal("journal sector overflow");
+  }
+  out.resize(kSectorSize - kTrailerBytes, 0);
+  uint32_t crc = Crc32c(out);
+  Encoder tail;
+  tail.PutU32(crc);
+  out.insert(out.end(), tail.bytes().begin(), tail.bytes().end());
+  return out;
+}
+
+Result<JournalSector> JournalSector::Decode(ByteSpan sector) {
+  if (sector.size() != kSectorSize) {
+    return Status::DataCorruption("journal sector wrong size");
+  }
+  uint32_t stored_crc;
+  {
+    Decoder crc_dec(sector.subspan(kSectorSize - kTrailerBytes));
+    S4_ASSIGN_OR_RETURN(stored_crc, crc_dec.U32());
+  }
+  if (Crc32c(sector.subspan(0, kSectorSize - kTrailerBytes)) != stored_crc) {
+    return Status::DataCorruption("journal sector crc mismatch");
+  }
+  Decoder dec(sector.subspan(0, kSectorSize - kTrailerBytes));
+  S4_ASSIGN_OR_RETURN(uint32_t magic, dec.U32());
+  if (magic != kJournalMagic) {
+    return Status::DataCorruption("journal sector bad magic");
+  }
+  JournalSector js;
+  S4_ASSIGN_OR_RETURN(js.object_id, dec.U64());
+  S4_ASSIGN_OR_RETURN(js.prev, dec.U64());
+  S4_ASSIGN_OR_RETURN(uint16_t count, dec.U16());
+  js.entries.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    S4_ASSIGN_OR_RETURN(JournalEntry e, JournalEntry::DecodeFrom(&dec));
+    js.entries.push_back(std::move(e));
+  }
+  return js;
+}
+
+Result<PackedJournal> PackJournalEntries(uint64_t object_id, DiskAddr prev_tail,
+                                         const std::vector<JournalEntry>& entries) {
+  PackedJournal packed;
+  JournalSector current;
+  current.object_id = object_id;
+  current.prev = prev_tail;  // fixed up by the caller as sectors are placed
+  size_t used = 0;
+  for (const auto& e : entries) {
+    size_t sz = e.EncodedSize();
+    if (sz > JournalSector::Capacity()) {
+      return Status::Internal("journal entry exceeds sector capacity; caller must split");
+    }
+    if (used + sz > JournalSector::Capacity()) {
+      packed.sectors.push_back(std::move(current));
+      current = JournalSector();
+      current.object_id = object_id;
+      used = 0;
+    }
+    current.entries.push_back(e);
+    used += sz;
+  }
+  if (!current.entries.empty()) {
+    packed.sectors.push_back(std::move(current));
+  }
+  return packed;
+}
+
+}  // namespace s4

@@ -1,0 +1,43 @@
+// Journal sectors (paper section 4.2.2).
+//
+// Packed journal entries for a single object are stored in 512B journal
+// sectors. Each sector carries the address of the previous journal sector for
+// the same object, forming a per-object chain that runs BACKWARD in time —
+// the structure version reconstruction traverses. Entries within one sector
+// are stored oldest-first.
+#ifndef S4_SRC_JOURNAL_SECTOR_H_
+#define S4_SRC_JOURNAL_SECTOR_H_
+
+#include <vector>
+
+#include "src/journal/entry.h"
+
+namespace s4 {
+
+struct JournalSector {
+  uint64_t object_id = 0;
+  DiskAddr prev = kNullAddr;  // previous (older) journal sector, 0 = none
+  std::vector<JournalEntry> entries;
+
+  // Serialises into exactly one 512B sector.
+  Result<Bytes> Encode() const;
+  static Result<JournalSector> Decode(ByteSpan sector);
+
+  // Payload bytes available for entries in one sector.
+  static size_t Capacity();
+};
+
+// Packs `entries` (oldest first) into as few journal sectors as possible,
+// chaining them behind `prev_tail`. Returns the encoded sectors oldest-first;
+// the caller appends them in order, feeding each assigned address into the
+// next sector's `prev`. Entries larger than a sector must have been split by
+// the caller (the drive splits large writes into multiple entries).
+struct PackedJournal {
+  std::vector<JournalSector> sectors;
+};
+Result<PackedJournal> PackJournalEntries(uint64_t object_id, DiskAddr prev_tail,
+                                         const std::vector<JournalEntry>& entries);
+
+}  // namespace s4
+
+#endif  // S4_SRC_JOURNAL_SECTOR_H_

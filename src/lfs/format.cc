@@ -1,0 +1,117 @@
+#include "src/lfs/format.h"
+
+#include "src/util/codec.h"
+#include "src/util/crc32.h"
+
+namespace s4 {
+
+Result<Bytes> ChunkSummary::Encode() const {
+  Encoder enc(kSectorSize);
+  enc.PutU32(kChunkMagic);
+  enc.PutU64(seq);
+  enc.PutI64(write_time);
+  enc.PutVarint(records.size());
+  for (const auto& r : records) {
+    enc.PutU8(static_cast<uint8_t>(r.kind));
+    enc.PutVarint(r.object_id);
+    enc.PutVarint(r.block_index);
+    enc.PutVarint(r.sectors);
+  }
+  Bytes out = enc.Take();
+  if (out.size() + 4 > kSectorSize) {
+    return Status::Internal("chunk summary overflow");
+  }
+  out.resize(kSectorSize - 4, 0);
+  uint32_t crc = Crc32c(out);
+  Encoder tail;
+  tail.PutU32(crc);
+  out.insert(out.end(), tail.bytes().begin(), tail.bytes().end());
+  return out;
+}
+
+Result<ChunkSummary> ChunkSummary::Decode(ByteSpan sector) {
+  if (sector.size() != kSectorSize) {
+    return Status::DataCorruption("chunk summary wrong size");
+  }
+  uint32_t stored_crc;
+  {
+    Decoder crc_dec(sector.subspan(kSectorSize - 4));
+    S4_ASSIGN_OR_RETURN(stored_crc, crc_dec.U32());
+  }
+  if (Crc32c(sector.subspan(0, kSectorSize - 4)) != stored_crc) {
+    return Status::DataCorruption("chunk summary crc mismatch");
+  }
+  Decoder dec(sector.subspan(0, kSectorSize - 4));
+  S4_ASSIGN_OR_RETURN(uint32_t magic, dec.U32());
+  if (magic != kChunkMagic) {
+    return Status::DataCorruption("chunk summary bad magic");
+  }
+  ChunkSummary s;
+  S4_ASSIGN_OR_RETURN(s.seq, dec.U64());
+  S4_ASSIGN_OR_RETURN(s.write_time, dec.I64());
+  S4_ASSIGN_OR_RETURN(uint64_t n, dec.Varint());
+  s.records.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ChunkRecord r;
+    S4_ASSIGN_OR_RETURN(uint8_t kind, dec.U8());
+    if (kind < 1 || kind > 4) {
+      return Status::DataCorruption("chunk record bad kind");
+    }
+    r.kind = static_cast<RecordKind>(kind);
+    S4_ASSIGN_OR_RETURN(r.object_id, dec.Varint());
+    S4_ASSIGN_OR_RETURN(r.block_index, dec.Varint());
+    S4_ASSIGN_OR_RETURN(uint64_t sectors, dec.Varint());
+    r.sectors = static_cast<uint16_t>(sectors);
+    s.records.push_back(r);
+  }
+  return s;
+}
+
+Bytes Superblock::Encode() const {
+  Encoder enc(kSectorSize);
+  enc.PutU32(kSuperblockMagic);
+  enc.PutU64(total_sectors);
+  enc.PutU32(segment_sectors);
+  enc.PutU32(segment_count);
+  enc.PutU64(checkpoint_a);
+  enc.PutU64(checkpoint_b);
+  enc.PutU32(checkpoint_sectors);
+  enc.PutU64(first_segment);
+  Bytes out = enc.Take();
+  out.resize(kSectorSize - 4, 0);
+  uint32_t crc = Crc32c(out);
+  Encoder tail;
+  tail.PutU32(crc);
+  out.insert(out.end(), tail.bytes().begin(), tail.bytes().end());
+  return out;
+}
+
+Result<Superblock> Superblock::Decode(ByteSpan sector) {
+  if (sector.size() != kSectorSize) {
+    return Status::DataCorruption("superblock wrong size");
+  }
+  uint32_t stored_crc;
+  {
+    Decoder crc_dec(sector.subspan(kSectorSize - 4));
+    S4_ASSIGN_OR_RETURN(stored_crc, crc_dec.U32());
+  }
+  if (Crc32c(sector.subspan(0, kSectorSize - 4)) != stored_crc) {
+    return Status::DataCorruption("superblock crc mismatch");
+  }
+  Decoder dec(sector.subspan(0, kSectorSize - 4));
+  S4_ASSIGN_OR_RETURN(uint32_t magic, dec.U32());
+  if (magic != kSuperblockMagic) {
+    return Status::DataCorruption("superblock bad magic");
+  }
+  Superblock sb;
+  S4_ASSIGN_OR_RETURN(sb.total_sectors, dec.U64());
+  S4_ASSIGN_OR_RETURN(sb.segment_sectors, dec.U32());
+  S4_ASSIGN_OR_RETURN(sb.segment_count, dec.U32());
+  S4_ASSIGN_OR_RETURN(sb.checkpoint_a, dec.U64());
+  S4_ASSIGN_OR_RETURN(sb.checkpoint_b, dec.U64());
+  S4_ASSIGN_OR_RETURN(sb.checkpoint_sectors, dec.U32());
+  S4_ASSIGN_OR_RETURN(sb.first_segment, dec.U64());
+  return sb;
+}
+
+}  // namespace s4

@@ -1,0 +1,110 @@
+// On-disk format constants and record types for the S4 log-structured layout.
+//
+// Disk geometry (all addresses are sector LBAs; sector = 512B):
+//
+//   sector 0          superblock (fixed location, rewritten on format only)
+//   checkpoint A      two alternating checkpoint regions holding the object
+//   checkpoint B      map + segment usage table; highest-seq valid one wins
+//   segments...       the log: power-of-two sized segments
+//
+// Each segment is written front-to-back as a sequence of *chunks* (LFS
+// partial segments). A chunk is one summary sector followed by its payload
+// sectors, written with a single sequential disk write at sync time. Chunk
+// summaries carry a monotonically increasing sequence number and a CRC, which
+// is what crash recovery rolls forward over.
+//
+// Payload record kinds:
+//   kData            an 8-sector (4KB) object data block
+//   kJournal         a 1-sector journal sector (packed metadata deltas,
+//                    backward-chained per object; see src/journal/)
+//   kInodeCheckpoint a full serialised inode (1..n sectors)
+//   kIndirect        an indirect pointer block (8 sectors)
+#ifndef S4_SRC_LFS_FORMAT_H_
+#define S4_SRC_LFS_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/block_device.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace s4 {
+
+// Object data blocks are 4KB (8 sectors), like the paper's NFS transfer size.
+constexpr uint32_t kBlockSize = 4096;
+constexpr uint32_t kSectorsPerBlock = kBlockSize / kSectorSize;
+
+// A disk address: sector LBA. 0 is the superblock, so 0 doubles as "null".
+using DiskAddr = uint64_t;
+constexpr DiskAddr kNullAddr = 0;
+
+using SegmentId = uint32_t;
+constexpr SegmentId kNullSegment = 0xFFFFFFFFu;
+
+constexpr uint32_t kSuperblockMagic = 0x53344D47;  // "S4MG"
+constexpr uint32_t kChunkMagic = 0x53344348;       // "S4CH"
+constexpr uint32_t kCheckpointMagic = 0x53344350;  // "S4CP"
+
+enum class RecordKind : uint8_t {
+  kData = 1,
+  kJournal = 2,
+  kInodeCheckpoint = 3,
+  kIndirect = 4,
+};
+
+// One record within a chunk summary: `sectors` payload sectors belonging to
+// `object_id`. For kData/kIndirect records, `block_index` is the logical
+// block number within the object (back-reference used by the compacting
+// cleaner).
+struct ChunkRecord {
+  RecordKind kind;
+  uint64_t object_id;
+  uint64_t block_index;
+  uint16_t sectors;
+};
+
+// Summary sector at the head of each chunk.
+struct ChunkSummary {
+  uint64_t seq = 0;          // global monotonically increasing chunk number
+  SimTime write_time = 0;
+  std::vector<ChunkRecord> records;
+
+  uint32_t PayloadSectors() const {
+    uint32_t n = 0;
+    for (const auto& r : records) {
+      n += r.sectors;
+    }
+    return n;
+  }
+
+  // Serialises into exactly one sector (fails if too many records).
+  Result<Bytes> Encode() const;
+  static Result<ChunkSummary> Decode(ByteSpan sector);
+};
+
+// Superblock: static geometry, written once at format time.
+struct Superblock {
+  uint64_t total_sectors = 0;
+  uint32_t segment_sectors = 0;    // sectors per segment
+  uint32_t segment_count = 0;
+  DiskAddr checkpoint_a = 0;       // first sector of checkpoint region A
+  DiskAddr checkpoint_b = 0;
+  uint32_t checkpoint_sectors = 0; // size of each checkpoint region
+  DiskAddr first_segment = 0;      // first sector of segment 0
+
+  DiskAddr SegmentStart(SegmentId seg) const {
+    return first_segment + static_cast<uint64_t>(seg) * segment_sectors;
+  }
+  SegmentId SegmentOf(DiskAddr addr) const {
+    return static_cast<SegmentId>((addr - first_segment) / segment_sectors);
+  }
+
+  Bytes Encode() const;
+  static Result<Superblock> Decode(ByteSpan sector);
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_LFS_FORMAT_H_

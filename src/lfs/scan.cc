@@ -1,0 +1,55 @@
+#include "src/lfs/scan.h"
+
+#include <algorithm>
+
+namespace s4 {
+
+Result<std::vector<ScannedChunk>> ScanSegment(BlockDevice* device, const Superblock& sb,
+                                              SegmentId segment) {
+  std::vector<ScannedChunk> chunks;
+  DiskAddr seg_start = sb.SegmentStart(segment);
+  uint32_t offset = 0;
+  while (offset < sb.segment_sectors) {
+    Bytes sector;
+    S4_RETURN_IF_ERROR(device->Read(seg_start + offset, 1, &sector));
+    auto summary = ChunkSummary::Decode(sector);
+    if (!summary.ok()) {
+      break;  // unwritten tail or torn chunk: stop scanning this segment
+    }
+    uint32_t payload = summary->PayloadSectors();
+    if (offset + 1 + payload > sb.segment_sectors) {
+      break;  // summary claims more payload than fits: treat as torn
+    }
+    ScannedChunk chunk;
+    chunk.seq = summary->seq;
+    chunk.write_time = summary->write_time;
+    chunk.segment = segment;
+    DiskAddr addr = seg_start + offset + 1;
+    for (const auto& rec : summary->records) {
+      chunk.records.push_back(
+          ScannedRecord{rec.kind, rec.object_id, rec.block_index, addr, rec.sectors});
+      addr += rec.sectors;
+    }
+    chunks.push_back(std::move(chunk));
+    offset += 1 + payload;
+  }
+  return chunks;
+}
+
+Result<std::vector<ScannedChunk>> ScanLogAfter(BlockDevice* device, const Superblock& sb,
+                                               uint64_t after_seq) {
+  std::vector<ScannedChunk> all;
+  for (SegmentId seg = 0; seg < sb.segment_count; ++seg) {
+    S4_ASSIGN_OR_RETURN(std::vector<ScannedChunk> chunks, ScanSegment(device, sb, seg));
+    for (auto& c : chunks) {
+      if (c.seq > after_seq) {
+        all.push_back(std::move(c));
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ScannedChunk& a, const ScannedChunk& b) { return a.seq < b.seq; });
+  return all;
+}
+
+}  // namespace s4

@@ -1,0 +1,42 @@
+// Log scanning for crash recovery: iterate the chunks of a segment in write
+// order, yielding each record's kind, back-reference, and disk address.
+#ifndef S4_SRC_LFS_SCAN_H_
+#define S4_SRC_LFS_SCAN_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/lfs/format.h"
+#include "src/sim/block_device.h"
+
+namespace s4 {
+
+struct ScannedRecord {
+  RecordKind kind;
+  uint64_t object_id;
+  uint64_t block_index;
+  DiskAddr addr;
+  uint16_t sectors;
+};
+
+struct ScannedChunk {
+  uint64_t seq;
+  SimTime write_time;
+  SegmentId segment;
+  std::vector<ScannedRecord> records;
+};
+
+// Reads the chunks of `segment` front to back. Stops at the first sector that
+// does not decode as a valid chunk summary (the unwritten tail, or a torn
+// write). Returns the valid chunks found.
+Result<std::vector<ScannedChunk>> ScanSegment(BlockDevice* device, const Superblock& sb,
+                                              SegmentId segment);
+
+// Scans every segment and returns all chunks with seq > after_seq, sorted by
+// seq — the roll-forward stream for crash recovery.
+Result<std::vector<ScannedChunk>> ScanLogAfter(BlockDevice* device, const Superblock& sb,
+                                               uint64_t after_seq);
+
+}  // namespace s4
+
+#endif  // S4_SRC_LFS_SCAN_H_

@@ -1,0 +1,83 @@
+#include "src/object/inode.h"
+
+#include "src/util/crc32.h"
+
+namespace s4 {
+namespace {
+
+constexpr uint32_t kInodeMagic = 0x5334494E;  // "S4IN"
+
+}  // namespace
+
+Bytes Inode::EncodeCheckpoint() const {
+  Encoder enc(512);
+  enc.PutU32(kInodeMagic);
+  enc.PutU64(id);
+  enc.PutVarint(attrs.size);
+  enc.PutI64(attrs.create_time);
+  enc.PutI64(attrs.modify_time);
+  enc.PutLengthPrefixed(attrs.opaque);
+  EncodeAcl(acl, &enc);
+  enc.PutVarint(blocks.size());
+  uint64_t prev_index = 0;
+  DiskAddr prev_addr = 0;
+  for (const auto& [index, addr] : blocks) {
+    // Delta-encode: block maps are mostly dense and addresses mostly
+    // ascending, so deltas keep checkpoints compact.
+    enc.PutVarint(index - prev_index);
+    uint64_t delta = addr >= prev_addr ? (addr - prev_addr) << 1
+                                       : ((prev_addr - addr) << 1) | 1;
+    enc.PutVarint(delta);
+    prev_index = index;
+    prev_addr = addr;
+  }
+  Bytes out = enc.Take();
+  // Pad to whole sectors with a trailing CRC in the final 4 bytes.
+  size_t body = out.size();
+  size_t total = ((body + 4 + kSectorSize - 1) / kSectorSize) * kSectorSize;
+  out.resize(total - 4, 0);
+  uint32_t crc = Crc32c(out);
+  Encoder tail;
+  tail.PutU32(crc);
+  out.insert(out.end(), tail.bytes().begin(), tail.bytes().end());
+  return out;
+}
+
+Result<Inode> Inode::DecodeCheckpoint(ByteSpan record) {
+  if (record.size() < kSectorSize || record.size() % kSectorSize != 0) {
+    return Status::DataCorruption("inode checkpoint wrong size");
+  }
+  uint32_t stored_crc;
+  {
+    Decoder crc_dec(record.subspan(record.size() - 4));
+    S4_ASSIGN_OR_RETURN(stored_crc, crc_dec.U32());
+  }
+  if (Crc32c(record.subspan(0, record.size() - 4)) != stored_crc) {
+    return Status::DataCorruption("inode checkpoint crc mismatch");
+  }
+  Decoder dec(record.subspan(0, record.size() - 4));
+  S4_ASSIGN_OR_RETURN(uint32_t magic, dec.U32());
+  if (magic != kInodeMagic) {
+    return Status::DataCorruption("inode checkpoint bad magic");
+  }
+  Inode ino;
+  S4_ASSIGN_OR_RETURN(ino.id, dec.U64());
+  S4_ASSIGN_OR_RETURN(ino.attrs.size, dec.Varint());
+  S4_ASSIGN_OR_RETURN(ino.attrs.create_time, dec.I64());
+  S4_ASSIGN_OR_RETURN(ino.attrs.modify_time, dec.I64());
+  S4_ASSIGN_OR_RETURN(ino.attrs.opaque, dec.LengthPrefixed());
+  S4_ASSIGN_OR_RETURN(ino.acl, DecodeAcl(&dec));
+  S4_ASSIGN_OR_RETURN(uint64_t nblocks, dec.Varint());
+  uint64_t index = 0;
+  DiskAddr addr = 0;
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    S4_ASSIGN_OR_RETURN(uint64_t dindex, dec.Varint());
+    S4_ASSIGN_OR_RETURN(uint64_t daddr, dec.Varint());
+    index += dindex;
+    addr = (daddr & 1) ? addr - (daddr >> 1) : addr + (daddr >> 1);
+    ino.blocks[index] = addr;
+  }
+  return ino;
+}
+
+}  // namespace s4

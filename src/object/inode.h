@@ -1,0 +1,46 @@
+// Inode: the current (or reconstructed historical) metadata of one object.
+//
+// With journal-based metadata the inode only needs to exist in two places:
+// in memory while the object is cached, and as an occasional full checkpoint
+// record in the log (written when the object is evicted from the object cache
+// or at sync-driven checkpoints). Between checkpoints, all metadata changes
+// live solely as journal entries — that is the space saving of Figure 2.
+//
+// The block map is held complete (block index -> disk address). A checkpoint
+// record serialises the whole map; there is no separate indirect-block chain
+// to version, which is precisely what the journal-based design buys.
+#ifndef S4_SRC_OBJECT_INODE_H_
+#define S4_SRC_OBJECT_INODE_H_
+
+#include <map>
+
+#include "src/lfs/format.h"
+#include "src/object/types.h"
+
+namespace s4 {
+
+struct Inode {
+  ObjectId id = kInvalidObjectId;
+  ObjectAttrs attrs;
+  Acl acl;
+  // Logical block index -> sector address of the 4KB data block.
+  // Missing index (within size) = hole, reads as zeros.
+  std::map<uint64_t, DiskAddr> blocks;
+
+  uint64_t BlockCount() const {
+    return (attrs.size + kBlockSize - 1) / kBlockSize;
+  }
+
+  DiskAddr BlockAddr(uint64_t index) const {
+    auto it = blocks.find(index);
+    return it == blocks.end() ? kNullAddr : it->second;
+  }
+
+  // Checkpoint record serialisation (padded to whole sectors, CRC-protected).
+  Bytes EncodeCheckpoint() const;
+  static Result<Inode> DecodeCheckpoint(ByteSpan record);
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_OBJECT_INODE_H_

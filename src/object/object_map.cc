@@ -1,0 +1,66 @@
+#include "src/object/object_map.h"
+
+namespace s4 {
+
+ObjectId ObjectMap::AllocateId() { return next_id_++; }
+
+ObjectMapEntry* ObjectMap::Find(ObjectId id) {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const ObjectMapEntry* ObjectMap::Find(ObjectId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ObjectMapEntry& ObjectMap::Put(ObjectId id, ObjectMapEntry entry) {
+  return entries_[id] = entry;
+}
+
+void ObjectMap::Erase(ObjectId id) { entries_.erase(id); }
+
+void ObjectMap::ReserveThrough(ObjectId id) {
+  if (id >= next_id_) {
+    next_id_ = id + 1;
+  }
+}
+
+void ObjectMap::EncodeTo(Encoder* enc) const {
+  enc->PutU64(next_id_);
+  enc->PutVarint(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    enc->PutVarint(id);
+    enc->PutI64(e.create_time);
+    enc->PutI64(e.delete_time);
+    enc->PutVarint(e.checkpoint_addr);
+    enc->PutVarint(e.checkpoint_sectors);
+    enc->PutI64(e.checkpoint_time);
+    enc->PutVarint(e.journal_head);
+    enc->PutI64(e.history_barrier);
+    enc->PutI64(e.oldest_time);
+  }
+}
+
+Result<ObjectMap> ObjectMap::DecodeFrom(Decoder* dec) {
+  ObjectMap map;
+  S4_ASSIGN_OR_RETURN(map.next_id_, dec->U64());
+  S4_ASSIGN_OR_RETURN(uint64_t n, dec->Varint());
+  for (uint64_t i = 0; i < n; ++i) {
+    S4_ASSIGN_OR_RETURN(uint64_t id, dec->Varint());
+    ObjectMapEntry e;
+    S4_ASSIGN_OR_RETURN(e.create_time, dec->I64());
+    S4_ASSIGN_OR_RETURN(e.delete_time, dec->I64());
+    S4_ASSIGN_OR_RETURN(e.checkpoint_addr, dec->Varint());
+    S4_ASSIGN_OR_RETURN(uint64_t cs, dec->Varint());
+    e.checkpoint_sectors = static_cast<uint32_t>(cs);
+    S4_ASSIGN_OR_RETURN(e.checkpoint_time, dec->I64());
+    S4_ASSIGN_OR_RETURN(e.journal_head, dec->Varint());
+    S4_ASSIGN_OR_RETURN(e.history_barrier, dec->I64());
+    S4_ASSIGN_OR_RETURN(e.oldest_time, dec->I64());
+    map.entries_[id] = e;
+  }
+  return map;
+}
+
+}  // namespace s4

@@ -1,0 +1,79 @@
+// ObjectMap: the drive's authoritative index of every object it has ever
+// stored that is still visible — live objects plus deleted objects whose
+// versions have not yet aged out of the history pool.
+//
+// The map is persisted as part of the checkpoint region (together with the
+// segment usage table); crash recovery restores the checkpointed map and
+// rolls forward over later log chunks.
+#ifndef S4_SRC_OBJECT_OBJECT_MAP_H_
+#define S4_SRC_OBJECT_OBJECT_MAP_H_
+
+#include <map>
+#include <optional>
+
+#include "src/lfs/format.h"
+#include "src/object/types.h"
+
+namespace s4 {
+
+struct ObjectMapEntry {
+  // Lifetime.
+  SimTime create_time = 0;
+  SimTime delete_time = 0;  // 0 while live
+
+  // Newest on-disk full-metadata checkpoint, if any.
+  DiskAddr checkpoint_addr = kNullAddr;
+  uint32_t checkpoint_sectors = 0;
+  SimTime checkpoint_time = 0;
+
+  // Newest journal sector of the object's backward chain (kNullAddr if all
+  // entries so far are only in memory or none exist).
+  DiskAddr journal_head = kNullAddr;
+
+  // History barrier: versions at or before this time have been reclaimed by
+  // the cleaner and are no longer reconstructible. Backward reconstruction
+  // never walks past it, so dangling chain pointers into reclaimed segments
+  // are never followed.
+  SimTime history_barrier = 0;
+
+  // Cleaner hint (the paper's per-object "oldest time"): the time of the
+  // oldest journal entry still held. The cleaner skips objects whose oldest
+  // entry is inside the window.
+  SimTime oldest_time = 0;
+
+  bool live() const { return delete_time == 0; }
+};
+
+class ObjectMap {
+ public:
+  ObjectMap() = default;
+
+  // Allocates the next ObjectId (never recycled).
+  ObjectId AllocateId();
+  // The id the next AllocateId call would return.
+  ObjectId PeekNextId() const { return next_id_; }
+
+  ObjectMapEntry* Find(ObjectId id);
+  const ObjectMapEntry* Find(ObjectId id) const;
+  ObjectMapEntry& Put(ObjectId id, ObjectMapEntry entry);
+  void Erase(ObjectId id);
+
+  size_t size() const { return entries_.size(); }
+  const std::map<ObjectId, ObjectMapEntry>& entries() const { return entries_; }
+  std::map<ObjectId, ObjectMapEntry>& mutable_entries() { return entries_; }
+
+  // Ensures future AllocateId calls return ids above `id` (used by recovery
+  // roll-forward when it encounters creates newer than the checkpoint).
+  void ReserveThrough(ObjectId id);
+
+  void EncodeTo(Encoder* enc) const;
+  static Result<ObjectMap> DecodeFrom(Decoder* dec);
+
+ private:
+  ObjectId next_id_ = kFirstUserObjectId;
+  std::map<ObjectId, ObjectMapEntry> entries_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_OBJECT_OBJECT_MAP_H_

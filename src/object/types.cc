@@ -1,0 +1,35 @@
+#include "src/object/types.h"
+
+namespace s4 {
+
+bool AclAllows(const Acl& acl, const Credentials& creds, uint8_t needed) {
+  for (const auto& e : acl) {
+    if ((e.user == creds.user || e.user == kEveryoneUserId) && (e.perms & needed) == needed) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void EncodeAcl(const Acl& acl, Encoder* enc) {
+  enc->PutVarint(acl.size());
+  for (const auto& e : acl) {
+    enc->PutU32(e.user);
+    enc->PutU8(e.perms);
+  }
+}
+
+Result<Acl> DecodeAcl(Decoder* dec) {
+  S4_ASSIGN_OR_RETURN(uint64_t n, dec->Varint());
+  Acl acl;
+  acl.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    AclEntry e;
+    S4_ASSIGN_OR_RETURN(e.user, dec->U32());
+    S4_ASSIGN_OR_RETURN(e.perms, dec->U8());
+    acl.push_back(e);
+  }
+  return acl;
+}
+
+}  // namespace s4

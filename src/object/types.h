@@ -1,0 +1,80 @@
+// Core identifier and access-control types for the S4 object store.
+#ifndef S4_SRC_OBJECT_TYPES_H_
+#define S4_SRC_OBJECT_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/codec.h"
+#include "src/util/status.h"
+#include "src/util/time.h"
+
+namespace s4 {
+
+// Objects live in a flat namespace managed by the drive; ObjectIDs are
+// assigned by the drive at create time and never recycled (deleted ids stay
+// resolvable for time-based access until they age out of the history pool).
+using ObjectId = uint64_t;
+constexpr ObjectId kInvalidObjectId = 0;
+// Reserved object: the append-only audit log (drive-written only).
+constexpr ObjectId kAuditLogObjectId = 1;
+// Reserved object: the named-object (partition) table.
+constexpr ObjectId kPartitionTableObjectId = 2;
+constexpr ObjectId kFirstUserObjectId = 16;
+
+using UserId = uint32_t;
+using ClientId = uint32_t;
+// ACL wildcard matching any authenticated user.
+constexpr UserId kEveryoneUserId = 0xFFFFFFFEu;
+
+// Who issued an RPC. The drive treats these as *claims*: with an NFS-like
+// front end they are unauthenticated hints; the audit log records them either
+// way (paper section 3.2). The admin key models the paper's "well-protected
+// cryptographic key" for administrative access.
+struct Credentials {
+  ClientId client = 0;
+  UserId user = 0;
+  uint64_t admin_key = 0;  // non-zero and matching the drive's key => admin
+};
+
+// Permission bits. kPermRecovery is the paper's Recovery flag: whether this
+// user may read versions that have been pushed into the history pool.
+enum Perm : uint8_t {
+  kPermRead = 1 << 0,
+  kPermWrite = 1 << 1,
+  kPermDelete = 1 << 2,
+  kPermSetAttr = 1 << 3,
+  kPermSetAcl = 1 << 4,
+  kPermRecovery = 1 << 5,
+};
+constexpr uint8_t kPermAll = kPermRead | kPermWrite | kPermDelete | kPermSetAttr | kPermSetAcl |
+                             kPermRecovery;
+constexpr uint8_t kPermAllNoRecovery = kPermAll & ~kPermRecovery;
+
+struct AclEntry {
+  UserId user = 0;
+  uint8_t perms = 0;
+};
+
+using Acl = std::vector<AclEntry>;
+
+// True if `creds` grants `needed` on an object with this ACL.
+bool AclAllows(const Acl& acl, const Credentials& creds, uint8_t needed);
+
+void EncodeAcl(const Acl& acl, Encoder* enc);
+Result<Acl> DecodeAcl(Decoder* dec);
+
+// S4-native object attributes plus the opaque client attribute space used by
+// the NFS translation layer to store NFS attributes (paper section 4.1).
+struct ObjectAttrs {
+  uint64_t size = 0;
+  SimTime create_time = 0;
+  SimTime modify_time = 0;
+  Bytes opaque;  // client file system's attribute blob
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_OBJECT_TYPES_H_

@@ -1,0 +1,125 @@
+#include "src/recovery/diagnosis.h"
+
+#include <algorithm>
+
+namespace s4 {
+namespace {
+
+bool IsMutation(RpcOp op) {
+  switch (op) {
+    case RpcOp::kWrite:
+    case RpcOp::kAppend:
+    case RpcOp::kTruncate:
+    case RpcOp::kSetAttr:
+    case RpcOp::kSetAcl:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<IntrusionReport> IntrusionDiagnosis::Analyze(ClientId client, SimTime from, SimTime to,
+                                                    SimDuration taint_window) {
+  IntrusionReport report;
+  report.window_start = from;
+  report.window_end = to;
+
+  AuditQuery query;
+  query.from = from;
+  query.to = to;
+  query.client = client;
+  S4_ASSIGN_OR_RETURN(std::vector<AuditRecord> records, drive_->QueryAudit(admin_, query));
+
+  // Reads by this client, ordered by time, for the read-before-write pass.
+  std::vector<AuditRecord> reads;
+  for (const AuditRecord& r : records) {
+    if (r.result != static_cast<uint8_t>(ErrorCode::kOk)) {
+      report.denied.push_back(r);
+      continue;
+    }
+    if (IsMutation(r.op)) {
+      report.modified[r.object].push_back(r);
+    } else if (r.op == RpcOp::kDelete) {
+      report.deleted.insert(r.object);
+      report.modified[r.object].push_back(r);
+    } else if (r.op == RpcOp::kRead) {
+      report.read.insert(r.object);
+      reads.push_back(r);
+    } else if (r.op == RpcOp::kCreate) {
+      report.modified[r.object].push_back(r);
+    }
+  }
+
+  // Taint estimate: a read of A at t_r followed by a write of B != A within
+  // taint_window suggests data may have flowed A -> B (section 3.6's
+  // source-file/object-file example).
+  for (const AuditRecord& r : records) {
+    if (!IsMutation(r.op) || r.result != static_cast<uint8_t>(ErrorCode::kOk)) {
+      continue;
+    }
+    for (const AuditRecord& read : reads) {
+      if (read.time <= r.time && r.time - read.time <= taint_window &&
+          read.object != r.object) {
+        report.taint.push_back(TaintLink{read.object, r.object, read.time, r.time});
+      }
+    }
+  }
+  // Deduplicate edges, keeping the earliest occurrence.
+  std::sort(report.taint.begin(), report.taint.end(), [](const TaintLink& a, const TaintLink& b) {
+    return std::tie(a.source, a.sink, a.write_time) < std::tie(b.source, b.sink, b.write_time);
+  });
+  report.taint.erase(std::unique(report.taint.begin(), report.taint.end(),
+                                 [](const TaintLink& a, const TaintLink& b) {
+                                   return a.source == b.source && a.sink == b.sink;
+                                 }),
+                     report.taint.end());
+  return report;
+}
+
+Result<bool> IntrusionDiagnosis::IsTampered(ObjectId object, SimTime baseline) {
+  S4_ASSIGN_OR_RETURN(ObjectAttrs old_attrs, drive_->GetAttr(admin_, object, baseline));
+  auto current_attrs = drive_->GetAttr(admin_, object);
+  if (!current_attrs.ok()) {
+    return true;  // deleted or inaccessible now: that is tampering
+  }
+  if (current_attrs->size != old_attrs.size) {
+    return true;
+  }
+  // Compare contents block by block.
+  constexpr uint64_t kChunk = 64 * 1024;
+  for (uint64_t off = 0; off < old_attrs.size; off += kChunk) {
+    uint64_t n = std::min(kChunk, old_attrs.size - off);
+    S4_ASSIGN_OR_RETURN(Bytes then, drive_->Read(admin_, object, off, n, baseline));
+    S4_ASSIGN_OR_RETURN(Bytes now, drive_->Read(admin_, object, off, n));
+    if (then != now) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<ObjectId>> IntrusionDiagnosis::RestoreModified(
+    const IntrusionReport& report, SimTime baseline) {
+  std::vector<ObjectId> restored;
+  for (const auto& [object, ops] : report.modified) {
+    (void)ops;
+    if (report.deleted.count(object) > 0) {
+      continue;  // resurrection is a file-level decision (HistoryBrowser)
+    }
+    auto old_attrs = drive_->GetAttr(admin_, object, baseline);
+    if (!old_attrs.ok()) {
+      continue;  // created during the intrusion: nothing to restore to
+    }
+    S4_ASSIGN_OR_RETURN(Bytes content,
+                        drive_->Read(admin_, object, 0, old_attrs->size, baseline));
+    S4_RETURN_IF_ERROR(drive_->Write(admin_, object, 0, content));
+    S4_RETURN_IF_ERROR(drive_->Truncate(admin_, object, old_attrs->size));
+    S4_RETURN_IF_ERROR(drive_->SetAttr(admin_, object, old_attrs->opaque));
+    restored.push_back(object);
+  }
+  return restored;
+}
+
+}  // namespace s4

@@ -1,0 +1,79 @@
+// Intrusion diagnosis tools (paper sections 3.1 and 3.6): given the drive's
+// audit log and history pool, estimate the scope of an intrusion's damage
+// and drive recovery.
+//
+//   - which objects a compromised client/user touched (direct damage),
+//   - read-before-write links as an (imperfect) estimate of taint
+//     propagation (e.g. a tampered source file -> its object file),
+//   - tamper detection by comparing an object's pre-intrusion version with
+//     its current contents.
+//
+// All of these require administrative credentials: the audit log is
+// admin-read-only and diagnosis must see versions regardless of Recovery
+// flags.
+#ifndef S4_SRC_RECOVERY_DIAGNOSIS_H_
+#define S4_SRC_RECOVERY_DIAGNOSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/audit/audit_log.h"
+#include "src/drive/s4_drive.h"
+
+namespace s4 {
+
+struct TaintLink {
+  ObjectId source = kInvalidObjectId;  // object read...
+  ObjectId sink = kInvalidObjectId;    // ...shortly before this was written
+  SimTime read_time = 0;
+  SimTime write_time = 0;
+};
+
+struct IntrusionReport {
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+  // Objects directly modified (write/append/truncate/setattr/setacl) in the
+  // window, with the mutating ops observed.
+  std::map<ObjectId, std::vector<AuditRecord>> modified;
+  // Objects deleted in the window.
+  std::set<ObjectId> deleted;
+  // Objects read in the window (exposure: possible exfiltration).
+  std::set<ObjectId> read;
+  // Estimated propagation edges.
+  std::vector<TaintLink> taint;
+  // Denied operations (failed probes are themselves a signal).
+  std::vector<AuditRecord> denied;
+};
+
+class IntrusionDiagnosis {
+ public:
+  // `admin` must carry the drive's admin key.
+  IntrusionDiagnosis(S4Drive* drive, Credentials admin)
+      : drive_(drive), admin_(admin) {}
+
+  // Builds a damage report for activity by `client` in [from, to].
+  // `taint_window` bounds the read->write gap treated as a propagation link.
+  Result<IntrusionReport> Analyze(ClientId client, SimTime from, SimTime to,
+                                  SimDuration taint_window = 5 * kSecond);
+
+  // True if the object's current contents differ from its contents at
+  // `baseline` (tamper detection without checksum databases: the history
+  // pool itself is the baseline).
+  Result<bool> IsTampered(ObjectId object, SimTime baseline);
+
+  // Restores every object the report marks as modified (and still live) to
+  // its state at `baseline` by copying the old versions forward. Returns the
+  // objects restored.
+  Result<std::vector<ObjectId>> RestoreModified(const IntrusionReport& report,
+                                                SimTime baseline);
+
+ private:
+  S4Drive* drive_;
+  Credentials admin_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_RECOVERY_DIAGNOSIS_H_

@@ -1,0 +1,69 @@
+// Version and administration tools (paper section 3.6): "time-enhanced"
+// versions of ls / cat / cp that bridge the gap between the standard file
+// interface and the raw versions the drive stores.
+//
+// All access goes through the S4 RPC interface's optional time parameter, so
+// these tools work for any user whose ACLs carry the Recovery flag, and for
+// the administrator unconditionally.
+#ifndef S4_SRC_RECOVERY_HISTORY_BROWSER_H_
+#define S4_SRC_RECOVERY_HISTORY_BROWSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fs/dir_format.h"
+#include "src/fs/file_system.h"
+#include "src/rpc/client.h"
+
+namespace s4 {
+
+struct HistoricalEntry {
+  std::string name;
+  ObjectId object = kInvalidObjectId;
+  FileType type = FileType::kFile;
+  uint64_t size = 0;
+  SimTime mtime = 0;
+};
+
+class HistoryBrowser {
+ public:
+  // `partition` names the file system root (as used by S4FileSystem).
+  HistoryBrowser(S4Client* client, std::string partition)
+      : client_(client), partition_(std::move(partition)) {}
+
+  // Resolves an absolute path as of time `at` (walks directory versions).
+  Result<ObjectId> ResolveAt(const std::string& path, SimTime at);
+
+  // ls as of time `at`.
+  Result<std::vector<HistoricalEntry>> ListAt(const std::string& dir_path, SimTime at);
+
+  // cat as of time `at`.
+  Result<Bytes> ReadAt(const std::string& file_path, SimTime at);
+
+  // All reconstructible versions of a path's object, oldest first.
+  Result<std::vector<std::pair<SimTime, uint8_t>>> VersionsOf(const std::string& path,
+                                                              SimTime at);
+
+  // cp --time: copies the version of `object` at `at` forward, making it the
+  // object's new current version (the paper's restoration primitive — the
+  // restore itself becomes a new version, so nothing is lost).
+  Status RestoreObject(ObjectId object, SimTime at);
+
+  // Restores a whole file at a path: resolves it at `at` and copies that
+  // version forward.
+  Status RestoreFile(const std::string& path, SimTime at);
+
+  // Resurrects a file that has since been deleted: resolves `source_path`
+  // as of time `at`, reads that version from the history pool, and recreates
+  // it (as a brand-new object) at `dest_path` in the live file system.
+  Status ResurrectFile(class S4FileSystem* fs, const std::string& source_path, SimTime at,
+                       const std::string& dest_path);
+
+ private:
+  S4Client* client_;
+  std::string partition_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_RECOVERY_HISTORY_BROWSER_H_

@@ -1,0 +1,45 @@
+// History-pool compaction analysis (the future-work extension of paper
+// section 4.2.2: "Adding differencing technology into the S4 cleaner").
+//
+// Journal-based metadata makes cross-version differencing easy: the blocks
+// changed between versions are noted within each entry. This tool walks an
+// object's real version chain through time-based reads and measures how much
+// space a differencing (and differencing+LZ) representation of its history
+// pool would save — the per-object, on-drive analogue of the Figure 7
+// projection, and a dry run of what a delta-compacting cleaner would do.
+#ifndef S4_SRC_RECOVERY_HISTORY_COMPACTION_H_
+#define S4_SRC_RECOVERY_HISTORY_COMPACTION_H_
+
+#include <vector>
+
+#include "src/drive/s4_drive.h"
+
+namespace s4 {
+
+struct HistoryCompactionReport {
+  uint64_t versions = 0;           // historical versions measured
+  uint64_t raw_bytes = 0;          // history stored as full copies
+  uint64_t delta_bytes = 0;        // as deltas against the next-newer version
+  uint64_t delta_lz_bytes = 0;     // deltas, LZ-compressed
+  // Round-trip verified: every historical version reconstructed exactly from
+  // the delta chain.
+  bool verified = false;
+
+  double DifferencingRatio() const {
+    return delta_bytes == 0 ? 1.0 : static_cast<double>(raw_bytes) / delta_bytes;
+  }
+  double CombinedRatio() const {
+    return delta_lz_bytes == 0 ? 1.0 : static_cast<double>(raw_bytes) / delta_lz_bytes;
+  }
+};
+
+// Measures the achievable history compaction for `object`. Requires
+// administrative credentials (it reads every version regardless of Recovery
+// flags). Versions older than the history barrier are skipped.
+Result<HistoryCompactionReport> AnalyzeHistoryCompaction(S4Drive* drive,
+                                                         const Credentials& admin,
+                                                         ObjectId object);
+
+}  // namespace s4
+
+#endif  // S4_SRC_RECOVERY_HISTORY_COMPACTION_H_

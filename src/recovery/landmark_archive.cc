@@ -1,0 +1,104 @@
+#include "src/recovery/landmark_archive.h"
+
+#include "src/util/codec.h"
+
+namespace s4 {
+namespace {
+
+constexpr uint32_t kLandmarkMagic = 0x53344C4D;  // "S4LM"
+
+}  // namespace
+
+Result<std::unique_ptr<LandmarkArchive>> LandmarkArchive::Create(S4Client* client) {
+  S4_ASSIGN_OR_RETURN(ObjectId archive, client->Create(BytesOf("s4-landmark-archive")));
+  return std::unique_ptr<LandmarkArchive>(new LandmarkArchive(client, archive));
+}
+
+Result<std::unique_ptr<LandmarkArchive>> LandmarkArchive::Open(S4Client* client,
+                                                               ObjectId archive) {
+  S4_ASSIGN_OR_RETURN(ObjectAttrs attrs, client->GetAttr(archive));
+  (void)attrs;
+  return std::unique_ptr<LandmarkArchive>(new LandmarkArchive(client, archive));
+}
+
+Result<Landmark> LandmarkArchive::Preserve(ObjectId source, SimTime version_time,
+                                           const std::string& label) {
+  S4_ASSIGN_OR_RETURN(ObjectAttrs attrs, client_->GetAttr(source, version_time));
+  S4_ASSIGN_OR_RETURN(Bytes content, client_->Read(source, 0, attrs.size, version_time));
+
+  Landmark landmark;
+  landmark.source = source;
+  landmark.version_time = version_time;
+  landmark.label = label;
+  landmark.size = content.size();
+  landmark.opaque_attrs = attrs.opaque;
+
+  // Record framing: header fields, then the payload, appended atomically
+  // from the drive's point of view (a single Append RPC per part; the
+  // archive is itself versioned, so even a torn append is diagnosable).
+  Encoder enc(64 + label.size() + content.size());
+  enc.PutU32(kLandmarkMagic);
+  enc.PutVarint(source);
+  enc.PutI64(version_time);
+  enc.PutString(label);
+  enc.PutLengthPrefixed(attrs.opaque);
+  enc.PutVarint(content.size());
+  enc.PutBytes(content);
+  S4_ASSIGN_OR_RETURN(uint64_t new_size, client_->Append(archive_, enc.bytes()));
+  (void)new_size;
+  S4_RETURN_IF_ERROR(client_->Sync());
+  S4_ASSIGN_OR_RETURN(ObjectAttrs archive_attrs, client_->GetAttr(archive_));
+  landmark.preserved_at = archive_attrs.modify_time;
+  return landmark;
+}
+
+Result<std::vector<LandmarkArchive::Record>> LandmarkArchive::Parse() {
+  S4_ASSIGN_OR_RETURN(ObjectAttrs attrs, client_->GetAttr(archive_));
+  S4_ASSIGN_OR_RETURN(Bytes stream, client_->Read(archive_, 0, attrs.size));
+  std::vector<Record> records;
+  Decoder dec(stream);
+  while (!dec.done()) {
+    auto magic = dec.U32();
+    if (!magic.ok() || *magic != kLandmarkMagic) {
+      break;  // torn tail
+    }
+    Record record;
+    S4_ASSIGN_OR_RETURN(record.landmark.source, dec.Varint());
+    S4_ASSIGN_OR_RETURN(record.landmark.version_time, dec.I64());
+    S4_ASSIGN_OR_RETURN(record.landmark.label, dec.String());
+    S4_ASSIGN_OR_RETURN(record.landmark.opaque_attrs, dec.LengthPrefixed());
+    S4_ASSIGN_OR_RETURN(record.landmark.size, dec.Varint());
+    record.payload_offset = dec.position();
+    S4_RETURN_IF_ERROR(dec.Skip(record.landmark.size));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<std::vector<Landmark>> LandmarkArchive::List() {
+  S4_ASSIGN_OR_RETURN(std::vector<Record> records, Parse());
+  std::vector<Landmark> out;
+  out.reserve(records.size());
+  for (auto& record : records) {
+    out.push_back(std::move(record.landmark));
+  }
+  return out;
+}
+
+Result<Bytes> LandmarkArchive::Retrieve(size_t index) {
+  S4_ASSIGN_OR_RETURN(std::vector<Record> records, Parse());
+  if (index >= records.size()) {
+    return Status::NotFound("no such landmark");
+  }
+  return client_->Read(archive_, records[index].payload_offset,
+                       records[index].landmark.size);
+}
+
+Status LandmarkArchive::RestoreTo(size_t index, ObjectId target) {
+  S4_ASSIGN_OR_RETURN(Bytes content, Retrieve(index));
+  S4_RETURN_IF_ERROR(client_->Write(target, 0, content));
+  S4_RETURN_IF_ERROR(client_->Truncate(target, content.size()));
+  return client_->Sync();
+}
+
+}  // namespace s4

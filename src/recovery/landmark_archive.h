@@ -1,0 +1,69 @@
+// Landmark versioning (paper section 6, "Versioning file systems vs.
+// self-securing storage"): "By combining self-securing storage with
+// long-term landmark versioning, recovery from users' accidents could be
+// enhanced while also maintaining the benefits of intrusion survival."
+//
+// The detection window bounds how long the drive itself guarantees history;
+// a LandmarkArchive lets a user (or administrator) promote specific versions
+// to landmarks *before* they age out. Landmarks are copied forward into a
+// dedicated archive object on the same drive, so they inherit all
+// self-securing guarantees (versioned, auditable, not deletable by
+// compromised clients) and survive indefinitely.
+#ifndef S4_SRC_RECOVERY_LANDMARK_ARCHIVE_H_
+#define S4_SRC_RECOVERY_LANDMARK_ARCHIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/rpc/client.h"
+
+namespace s4 {
+
+struct Landmark {
+  ObjectId source = kInvalidObjectId;
+  SimTime version_time = 0;     // the version that was preserved
+  SimTime preserved_at = 0;     // when the landmark was taken
+  std::string label;
+  uint64_t size = 0;
+  Bytes opaque_attrs;
+};
+
+class LandmarkArchive {
+ public:
+  // Creates a new archive object owned by the client's principal.
+  static Result<std::unique_ptr<LandmarkArchive>> Create(S4Client* client);
+  // Opens an existing archive object.
+  static Result<std::unique_ptr<LandmarkArchive>> Open(S4Client* client, ObjectId archive);
+
+  ObjectId archive_object() const { return archive_; }
+
+  // Copies the version of `source` at `version_time` into the archive. The
+  // caller needs history access to the source (Recovery flag or admin).
+  Result<Landmark> Preserve(ObjectId source, SimTime version_time, const std::string& label);
+
+  // All landmarks, in preservation order.
+  Result<std::vector<Landmark>> List();
+
+  // Retrieves a preserved version's contents by its index in List() order.
+  Result<Bytes> Retrieve(size_t index);
+
+  // Copies landmark `index` forward as the new current version of `target`.
+  Status RestoreTo(size_t index, ObjectId target);
+
+ private:
+  explicit LandmarkArchive(S4Client* client, ObjectId archive)
+      : client_(client), archive_(archive) {}
+
+  struct Record {
+    Landmark landmark;
+    uint64_t payload_offset = 0;  // where the content lives in the archive
+  };
+  Result<std::vector<Record>> Parse();
+
+  S4Client* client_;
+  ObjectId archive_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_RECOVERY_LANDMARK_ARCHIVE_H_

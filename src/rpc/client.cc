@@ -1,0 +1,220 @@
+#include "src/rpc/client.h"
+
+namespace s4 {
+
+Result<RpcResponse> S4Client::Call(RpcRequest req) {
+  req.creds = creds_;
+  S4_ASSIGN_OR_RETURN(Bytes frame, transport_->Call(req.Encode()));
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, RpcResponse::Decode(frame));
+  return resp;
+}
+
+Result<ObjectId> S4Client::Create(Bytes opaque_attrs) {
+  RpcRequest req;
+  req.op = RpcOp::kCreate;
+  req.data = std::move(opaque_attrs);
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  if (!resp.ok()) {
+    return resp.ToStatus();
+  }
+  return resp.value;
+}
+
+Status S4Client::Delete(ObjectId id) {
+  RpcRequest req;
+  req.op = RpcOp::kDelete;
+  req.object = id;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Result<Bytes> S4Client::Read(ObjectId id, uint64_t offset, uint64_t length,
+                             std::optional<SimTime> at) {
+  RpcRequest req;
+  req.op = RpcOp::kRead;
+  req.object = id;
+  req.offset = offset;
+  req.length = length;
+  req.at = at;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  if (!resp.ok()) {
+    return resp.ToStatus();
+  }
+  return std::move(resp.data);
+}
+
+Status S4Client::Write(ObjectId id, uint64_t offset, ByteSpan data) {
+  RpcRequest req;
+  req.op = RpcOp::kWrite;
+  req.object = id;
+  req.offset = offset;
+  req.data.assign(data.begin(), data.end());
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Result<uint64_t> S4Client::Append(ObjectId id, ByteSpan data) {
+  RpcRequest req;
+  req.op = RpcOp::kAppend;
+  req.object = id;
+  req.data.assign(data.begin(), data.end());
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  if (!resp.ok()) {
+    return resp.ToStatus();
+  }
+  return resp.value;
+}
+
+Status S4Client::Truncate(ObjectId id, uint64_t new_size) {
+  RpcRequest req;
+  req.op = RpcOp::kTruncate;
+  req.object = id;
+  req.length = new_size;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Result<ObjectAttrs> S4Client::GetAttr(ObjectId id, std::optional<SimTime> at) {
+  RpcRequest req;
+  req.op = RpcOp::kGetAttr;
+  req.object = id;
+  req.at = at;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  if (!resp.ok()) {
+    return resp.ToStatus();
+  }
+  return std::move(resp.attrs);
+}
+
+Status S4Client::SetAttr(ObjectId id, Bytes opaque_attrs) {
+  RpcRequest req;
+  req.op = RpcOp::kSetAttr;
+  req.object = id;
+  req.data = std::move(opaque_attrs);
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Result<AclEntry> S4Client::GetAclByUser(ObjectId id, UserId user, std::optional<SimTime> at) {
+  RpcRequest req;
+  req.op = RpcOp::kGetAclByUser;
+  req.object = id;
+  req.user = user;
+  req.at = at;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  if (!resp.ok()) {
+    return resp.ToStatus();
+  }
+  return resp.acl_entry;
+}
+
+Result<AclEntry> S4Client::GetAclByIndex(ObjectId id, uint32_t index,
+                                         std::optional<SimTime> at) {
+  RpcRequest req;
+  req.op = RpcOp::kGetAclByIndex;
+  req.object = id;
+  req.index = index;
+  req.at = at;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  if (!resp.ok()) {
+    return resp.ToStatus();
+  }
+  return resp.acl_entry;
+}
+
+Status S4Client::SetAcl(ObjectId id, AclEntry entry) {
+  RpcRequest req;
+  req.op = RpcOp::kSetAcl;
+  req.object = id;
+  req.acl_entry = entry;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Status S4Client::PCreate(const std::string& name, ObjectId id) {
+  RpcRequest req;
+  req.op = RpcOp::kPCreate;
+  req.name = name;
+  req.object = id;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Status S4Client::PDelete(const std::string& name) {
+  RpcRequest req;
+  req.op = RpcOp::kPDelete;
+  req.name = name;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Result<std::vector<std::pair<std::string, ObjectId>>> S4Client::PList(
+    std::optional<SimTime> at) {
+  RpcRequest req;
+  req.op = RpcOp::kPList;
+  req.at = at;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  if (!resp.ok()) {
+    return resp.ToStatus();
+  }
+  return std::move(resp.partitions);
+}
+
+Result<ObjectId> S4Client::PMount(const std::string& name, std::optional<SimTime> at) {
+  RpcRequest req;
+  req.op = RpcOp::kPMount;
+  req.name = name;
+  req.at = at;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  if (!resp.ok()) {
+    return resp.ToStatus();
+  }
+  return resp.value;
+}
+
+Status S4Client::Sync() {
+  RpcRequest req;
+  req.op = RpcOp::kSync;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Status S4Client::Flush(SimTime from, SimTime to) {
+  RpcRequest req;
+  req.op = RpcOp::kFlush;
+  req.from = from;
+  req.to = to;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Status S4Client::FlushObject(ObjectId id, SimTime from, SimTime to) {
+  RpcRequest req;
+  req.op = RpcOp::kFlushObject;
+  req.object = id;
+  req.from = from;
+  req.to = to;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Status S4Client::SetWindow(SimDuration window) {
+  RpcRequest req;
+  req.op = RpcOp::kSetWindow;
+  req.window = window;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Result<std::vector<std::pair<SimTime, uint8_t>>> S4Client::GetVersionList(ObjectId id) {
+  RpcRequest req;
+  req.op = RpcOp::kGetVersionList;
+  req.object = id;
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  if (!resp.ok()) {
+    return resp.ToStatus();
+  }
+  return std::move(resp.versions);
+}
+
+}  // namespace s4

@@ -1,0 +1,56 @@
+// S4Client: typed client stub over the RPC transport — the interface file
+// systems and tools program against.
+#ifndef S4_SRC_RPC_CLIENT_H_
+#define S4_SRC_RPC_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/rpc/messages.h"
+#include "src/rpc/transport.h"
+
+namespace s4 {
+
+class S4Client {
+ public:
+  S4Client(RpcTransport* transport, Credentials creds)
+      : transport_(transport), creds_(creds) {}
+
+  const Credentials& creds() const { return creds_; }
+  void set_creds(Credentials creds) { creds_ = creds; }
+
+  Result<ObjectId> Create(Bytes opaque_attrs);
+  Status Delete(ObjectId id);
+  Result<Bytes> Read(ObjectId id, uint64_t offset, uint64_t length,
+                     std::optional<SimTime> at = std::nullopt);
+  Status Write(ObjectId id, uint64_t offset, ByteSpan data);
+  Result<uint64_t> Append(ObjectId id, ByteSpan data);
+  Status Truncate(ObjectId id, uint64_t new_size);
+  Result<ObjectAttrs> GetAttr(ObjectId id, std::optional<SimTime> at = std::nullopt);
+  Status SetAttr(ObjectId id, Bytes opaque_attrs);
+  Result<AclEntry> GetAclByUser(ObjectId id, UserId user,
+                                std::optional<SimTime> at = std::nullopt);
+  Result<AclEntry> GetAclByIndex(ObjectId id, uint32_t index,
+                                 std::optional<SimTime> at = std::nullopt);
+  Status SetAcl(ObjectId id, AclEntry entry);
+  Status PCreate(const std::string& name, ObjectId id);
+  Status PDelete(const std::string& name);
+  Result<std::vector<std::pair<std::string, ObjectId>>> PList(
+      std::optional<SimTime> at = std::nullopt);
+  Result<ObjectId> PMount(const std::string& name, std::optional<SimTime> at = std::nullopt);
+  Status Sync();
+  Status Flush(SimTime from, SimTime to);
+  Status FlushObject(ObjectId id, SimTime from, SimTime to);
+  Status SetWindow(SimDuration window);
+  Result<std::vector<std::pair<SimTime, uint8_t>>> GetVersionList(ObjectId id);
+
+ private:
+  Result<RpcResponse> Call(RpcRequest req);
+
+  RpcTransport* transport_;
+  Credentials creds_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_RPC_CLIENT_H_

@@ -1,0 +1,155 @@
+#include "src/rpc/messages.h"
+
+#include "src/util/crc32.h"
+
+namespace s4 {
+namespace {
+
+constexpr uint32_t kRequestMagic = 0x53345251;   // "S4RQ"
+constexpr uint32_t kResponseMagic = 0x53345250;  // "S4RP"
+
+Bytes Frame(uint32_t magic, Encoder body) {
+  Encoder out(body.size() + 12);
+  out.PutU32(magic);
+  out.PutBytes(body.bytes());
+  uint32_t crc = Crc32c(out.bytes());
+  out.PutU32(crc);
+  return out.Take();
+}
+
+Result<Decoder> Unframe(uint32_t magic, ByteSpan frame) {
+  if (frame.size() < 8) {
+    return Status::DataCorruption("rpc frame too short");
+  }
+  uint32_t stored;
+  {
+    Decoder tail(frame.subspan(frame.size() - 4));
+    S4_ASSIGN_OR_RETURN(stored, tail.U32());
+  }
+  if (Crc32c(frame.subspan(0, frame.size() - 4)) != stored) {
+    return Status::DataCorruption("rpc frame crc mismatch");
+  }
+  Decoder dec(frame.subspan(0, frame.size() - 4));
+  S4_ASSIGN_OR_RETURN(uint32_t m, dec.U32());
+  if (m != magic) {
+    return Status::DataCorruption("rpc frame bad magic");
+  }
+  return dec;
+}
+
+}  // namespace
+
+Bytes RpcRequest::Encode() const {
+  Encoder enc(64 + data.size());
+  enc.PutU8(static_cast<uint8_t>(op));
+  enc.PutU32(creds.client);
+  enc.PutU32(creds.user);
+  enc.PutU64(creds.admin_key);
+  enc.PutVarint(object);
+  enc.PutVarint(offset);
+  enc.PutVarint(length);
+  enc.PutU8(at.has_value() ? 1 : 0);
+  if (at.has_value()) {
+    enc.PutI64(*at);
+  }
+  enc.PutLengthPrefixed(data);
+  enc.PutString(name);
+  enc.PutU32(acl_entry.user);
+  enc.PutU8(acl_entry.perms);
+  enc.PutU32(user);
+  enc.PutU32(index);
+  enc.PutI64(from);
+  enc.PutI64(to);
+  enc.PutI64(window);
+  return Frame(kRequestMagic, std::move(enc));
+}
+
+Result<RpcRequest> RpcRequest::Decode(ByteSpan frame) {
+  S4_ASSIGN_OR_RETURN(Decoder dec, Unframe(kRequestMagic, frame));
+  RpcRequest r;
+  S4_ASSIGN_OR_RETURN(uint8_t op_raw, dec.U8());
+  if (op_raw < 1 || op_raw > 20) {
+    return Status::InvalidArgument("unknown rpc op");
+  }
+  r.op = static_cast<RpcOp>(op_raw);
+  S4_ASSIGN_OR_RETURN(r.creds.client, dec.U32());
+  S4_ASSIGN_OR_RETURN(r.creds.user, dec.U32());
+  S4_ASSIGN_OR_RETURN(r.creds.admin_key, dec.U64());
+  S4_ASSIGN_OR_RETURN(r.object, dec.Varint());
+  S4_ASSIGN_OR_RETURN(r.offset, dec.Varint());
+  S4_ASSIGN_OR_RETURN(r.length, dec.Varint());
+  S4_ASSIGN_OR_RETURN(uint8_t has_at, dec.U8());
+  if (has_at != 0) {
+    S4_ASSIGN_OR_RETURN(SimTime at, dec.I64());
+    r.at = at;
+  }
+  S4_ASSIGN_OR_RETURN(r.data, dec.LengthPrefixed());
+  S4_ASSIGN_OR_RETURN(r.name, dec.String());
+  S4_ASSIGN_OR_RETURN(r.acl_entry.user, dec.U32());
+  S4_ASSIGN_OR_RETURN(r.acl_entry.perms, dec.U8());
+  S4_ASSIGN_OR_RETURN(r.user, dec.U32());
+  S4_ASSIGN_OR_RETURN(r.index, dec.U32());
+  S4_ASSIGN_OR_RETURN(r.from, dec.I64());
+  S4_ASSIGN_OR_RETURN(r.to, dec.I64());
+  S4_ASSIGN_OR_RETURN(r.window, dec.I64());
+  return r;
+}
+
+Bytes RpcResponse::Encode() const {
+  Encoder enc(64 + data.size());
+  enc.PutU8(static_cast<uint8_t>(code));
+  enc.PutString(message);
+  enc.PutLengthPrefixed(data);
+  enc.PutVarint(value);
+  enc.PutVarint(attrs.size);
+  enc.PutI64(attrs.create_time);
+  enc.PutI64(attrs.modify_time);
+  enc.PutLengthPrefixed(attrs.opaque);
+  enc.PutU32(acl_entry.user);
+  enc.PutU8(acl_entry.perms);
+  enc.PutVarint(partitions.size());
+  for (const auto& [name, id] : partitions) {
+    enc.PutString(name);
+    enc.PutVarint(id);
+  }
+  enc.PutVarint(versions.size());
+  for (const auto& [time, cause] : versions) {
+    enc.PutI64(time);
+    enc.PutU8(cause);
+  }
+  return Frame(kResponseMagic, std::move(enc));
+}
+
+Result<RpcResponse> RpcResponse::Decode(ByteSpan frame) {
+  S4_ASSIGN_OR_RETURN(Decoder dec, Unframe(kResponseMagic, frame));
+  RpcResponse r;
+  S4_ASSIGN_OR_RETURN(uint8_t code_raw, dec.U8());
+  if (code_raw > static_cast<uint8_t>(ErrorCode::kInternal)) {
+    return Status::DataCorruption("bad response code");
+  }
+  r.code = static_cast<ErrorCode>(code_raw);
+  S4_ASSIGN_OR_RETURN(r.message, dec.String());
+  S4_ASSIGN_OR_RETURN(r.data, dec.LengthPrefixed());
+  S4_ASSIGN_OR_RETURN(r.value, dec.Varint());
+  S4_ASSIGN_OR_RETURN(r.attrs.size, dec.Varint());
+  S4_ASSIGN_OR_RETURN(r.attrs.create_time, dec.I64());
+  S4_ASSIGN_OR_RETURN(r.attrs.modify_time, dec.I64());
+  S4_ASSIGN_OR_RETURN(r.attrs.opaque, dec.LengthPrefixed());
+  S4_ASSIGN_OR_RETURN(r.acl_entry.user, dec.U32());
+  S4_ASSIGN_OR_RETURN(r.acl_entry.perms, dec.U8());
+  S4_ASSIGN_OR_RETURN(uint64_t nparts, dec.Varint());
+  for (uint64_t i = 0; i < nparts; ++i) {
+    S4_ASSIGN_OR_RETURN(std::string name, dec.String());
+    S4_ASSIGN_OR_RETURN(uint64_t id, dec.Varint());
+    r.partitions.emplace_back(std::move(name), id);
+  }
+  S4_ASSIGN_OR_RETURN(uint64_t nversions, dec.Varint());
+  for (uint64_t i = 0; i < nversions; ++i) {
+    S4_ASSIGN_OR_RETURN(SimTime time, dec.I64());
+    S4_ASSIGN_OR_RETURN(uint8_t cause, dec.U8());
+    r.versions.emplace_back(time, cause);
+  }
+  return r;
+}
+
+}  // namespace s4

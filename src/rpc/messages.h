@@ -1,0 +1,61 @@
+// RPC wire messages for the S4 protocol (Table 1).
+//
+// A single generic request/response pair keeps the codec small; unused
+// fields stay at their defaults and encode compactly as varint zeros. Every
+// frame is CRC-protected: the drive sits behind a security perimeter and
+// must not trust the transport.
+#ifndef S4_SRC_RPC_MESSAGES_H_
+#define S4_SRC_RPC_MESSAGES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/audit/audit_log.h"
+#include "src/object/types.h"
+#include "src/util/codec.h"
+
+namespace s4 {
+
+struct RpcRequest {
+  RpcOp op = RpcOp::kRead;
+  Credentials creds;
+  ObjectId object = kInvalidObjectId;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  std::optional<SimTime> at;  // time-based access (Table 1 "yes" rows)
+  Bytes data;                 // write/append payload or attr blob
+  std::string name;           // partition name
+  AclEntry acl_entry;         // SetACL
+  UserId user = 0;            // GetACLByUser
+  uint32_t index = 0;         // GetACLByIndex
+  SimTime from = 0;           // Flush / FlushO
+  SimTime to = 0;
+  SimDuration window = 0;     // SetWindow
+
+  Bytes Encode() const;
+  static Result<RpcRequest> Decode(ByteSpan frame);
+};
+
+struct RpcResponse {
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+  Bytes data;                  // read payload / attr blob
+  uint64_t value = 0;          // object id, append size, ...
+  ObjectAttrs attrs;
+  AclEntry acl_entry;
+  std::vector<std::pair<std::string, ObjectId>> partitions;
+  std::vector<std::pair<SimTime, uint8_t>> versions;  // GetVersionList
+
+  bool ok() const { return code == ErrorCode::kOk; }
+  Status ToStatus() const {
+    return ok() ? Status::Ok() : Status(code, message);
+  }
+
+  Bytes Encode() const;
+  static Result<RpcResponse> Decode(ByteSpan frame);
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_RPC_MESSAGES_H_

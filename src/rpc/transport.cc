@@ -1,0 +1,146 @@
+#include "src/rpc/transport.h"
+
+namespace s4 {
+
+Result<Bytes> LoopbackTransport::Call(ByteSpan request) {
+  clock_->Advance(model_.TransferCost(request.size()));
+  ++stats_.messages_sent;
+  stats_.bytes_sent += request.size();
+  Bytes response = server_->Handle(request);
+  clock_->Advance(model_.TransferCost(response.size()));
+  ++stats_.messages_sent;
+  stats_.bytes_sent += response.size();
+  return response;
+}
+
+Bytes S4RpcServer::Handle(ByteSpan request_frame) {
+  auto req = RpcRequest::Decode(request_frame);
+  if (!req.ok()) {
+    RpcResponse resp;
+    resp.code = req.status().code();
+    resp.message = req.status().message();
+    return resp.Encode();
+  }
+  return Dispatch(*req).Encode();
+}
+
+RpcResponse S4RpcServer::Dispatch(const RpcRequest& req) {
+  RpcResponse resp;
+  auto set_status = [&resp](const Status& s) {
+    resp.code = s.code();
+    resp.message = s.message();
+  };
+
+  switch (req.op) {
+    case RpcOp::kCreate: {
+      auto r = drive_->Create(req.creds, req.data);
+      set_status(r.status());
+      if (r.ok()) {
+        resp.value = *r;
+      }
+      break;
+    }
+    case RpcOp::kDelete:
+      set_status(drive_->Delete(req.creds, req.object));
+      break;
+    case RpcOp::kRead: {
+      auto r = drive_->Read(req.creds, req.object, req.offset, req.length, req.at);
+      set_status(r.status());
+      if (r.ok()) {
+        resp.data = std::move(*r);
+      }
+      break;
+    }
+    case RpcOp::kWrite:
+      set_status(drive_->Write(req.creds, req.object, req.offset, req.data));
+      break;
+    case RpcOp::kAppend: {
+      auto r = drive_->Append(req.creds, req.object, req.data);
+      set_status(r.status());
+      if (r.ok()) {
+        resp.value = *r;
+      }
+      break;
+    }
+    case RpcOp::kTruncate:
+      set_status(drive_->Truncate(req.creds, req.object, req.length));
+      break;
+    case RpcOp::kGetAttr: {
+      auto r = drive_->GetAttr(req.creds, req.object, req.at);
+      set_status(r.status());
+      if (r.ok()) {
+        resp.attrs = std::move(*r);
+      }
+      break;
+    }
+    case RpcOp::kSetAttr:
+      set_status(drive_->SetAttr(req.creds, req.object, req.data));
+      break;
+    case RpcOp::kGetAclByUser: {
+      auto r = drive_->GetAclByUser(req.creds, req.object, req.user, req.at);
+      set_status(r.status());
+      if (r.ok()) {
+        resp.acl_entry = *r;
+      }
+      break;
+    }
+    case RpcOp::kGetAclByIndex: {
+      auto r = drive_->GetAclByIndex(req.creds, req.object, req.index, req.at);
+      set_status(r.status());
+      if (r.ok()) {
+        resp.acl_entry = *r;
+      }
+      break;
+    }
+    case RpcOp::kSetAcl:
+      set_status(drive_->SetAcl(req.creds, req.object, req.acl_entry));
+      break;
+    case RpcOp::kPCreate:
+      set_status(drive_->PCreate(req.creds, req.name, req.object));
+      break;
+    case RpcOp::kPDelete:
+      set_status(drive_->PDelete(req.creds, req.name));
+      break;
+    case RpcOp::kPList: {
+      auto r = drive_->PList(req.creds, req.at);
+      set_status(r.status());
+      if (r.ok()) {
+        resp.partitions = std::move(*r);
+      }
+      break;
+    }
+    case RpcOp::kPMount: {
+      auto r = drive_->PMount(req.creds, req.name, req.at);
+      set_status(r.status());
+      if (r.ok()) {
+        resp.value = *r;
+      }
+      break;
+    }
+    case RpcOp::kSync:
+      set_status(drive_->Sync(req.creds));
+      break;
+    case RpcOp::kFlush:
+      set_status(drive_->Flush(req.creds, req.from, req.to));
+      break;
+    case RpcOp::kFlushObject:
+      set_status(drive_->FlushObject(req.creds, req.object, req.from, req.to));
+      break;
+    case RpcOp::kSetWindow:
+      set_status(drive_->SetWindow(req.creds, req.window));
+      break;
+    case RpcOp::kGetVersionList: {
+      auto r = drive_->GetVersionList(req.creds, req.object);
+      set_status(r.status());
+      if (r.ok()) {
+        for (const auto& v : *r) {
+          resp.versions.emplace_back(v.time, static_cast<uint8_t>(v.cause));
+        }
+      }
+      break;
+    }
+  }
+  return resp;
+}
+
+}  // namespace s4

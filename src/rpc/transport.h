@@ -1,0 +1,56 @@
+// Transport abstraction between S4 clients and the drive.
+//
+// LoopbackTransport models the paper's testbed: client and drive on the same
+// 100Mb switched Ethernet segment. Each Call charges the network model for
+// request and response transfer on the shared simulation clock, then invokes
+// the server dispatcher synchronously (S4 RPCs are synchronous in the
+// prototype).
+#ifndef S4_SRC_RPC_TRANSPORT_H_
+#define S4_SRC_RPC_TRANSPORT_H_
+
+#include "src/drive/s4_drive.h"
+#include "src/rpc/messages.h"
+#include "src/sim/net_model.h"
+#include "src/sim/sim_clock.h"
+
+namespace s4 {
+
+class RpcTransport {
+ public:
+  virtual ~RpcTransport() = default;
+  virtual Result<Bytes> Call(ByteSpan request) = 0;
+};
+
+// Server-side dispatcher: decodes a request frame, invokes the drive, and
+// encodes the response. Malformed frames produce error responses — the drive
+// never crashes on hostile input.
+class S4RpcServer {
+ public:
+  explicit S4RpcServer(S4Drive* drive) : drive_(drive) {}
+
+  Bytes Handle(ByteSpan request_frame);
+
+ private:
+  RpcResponse Dispatch(const RpcRequest& req);
+  S4Drive* drive_;
+};
+
+class LoopbackTransport : public RpcTransport {
+ public:
+  LoopbackTransport(S4RpcServer* server, SimClock* clock, NetModel model = NetModel())
+      : server_(server), clock_(clock), model_(model) {}
+
+  Result<Bytes> Call(ByteSpan request) override;
+
+  const NetStats& stats() const { return stats_; }
+
+ private:
+  S4RpcServer* server_;
+  SimClock* clock_;
+  NetModel model_;
+  NetStats stats_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_RPC_TRANSPORT_H_

@@ -1,0 +1,40 @@
+// SimClock: the single source of time for the whole system.
+//
+// Devices advance the clock by the modelled cost of each operation; workloads
+// may also advance it to represent client think time (e.g. compilation in the
+// SSH-build benchmark). Because no component reads wall-clock time, every
+// benchmark run is deterministic.
+#ifndef S4_SRC_SIM_SIM_CLOCK_H_
+#define S4_SRC_SIM_SIM_CLOCK_H_
+
+#include "src/util/check.h"
+#include "src/util/time.h"
+
+namespace s4 {
+
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  SimTime Now() const { return now_; }
+
+  void Advance(SimDuration d) {
+    S4_CHECK(d >= 0);
+    now_ += d;
+  }
+
+  // Jump directly to a later point (used by capacity models that simulate
+  // multi-day windows).
+  void AdvanceTo(SimTime t) {
+    S4_CHECK(t >= now_);
+    now_ = t;
+  }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_SIM_SIM_CLOCK_H_

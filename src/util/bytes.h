@@ -1,0 +1,25 @@
+// Byte buffer aliases and helpers shared across the on-disk codecs.
+#ifndef S4_SRC_UTIL_BYTES_H_
+#define S4_SRC_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace s4 {
+
+using Bytes = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+
+inline Bytes BytesOf(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+inline std::string StringOf(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace s4
+
+#endif  // S4_SRC_UTIL_BYTES_H_

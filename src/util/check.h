@@ -1,0 +1,35 @@
+// S4_CHECK: fatal invariant assertions, always on (release builds included).
+//
+// Used for programmer errors only — anything a hostile client can trigger
+// must be reported through Status, never through a CHECK.
+#ifndef S4_SRC_UTIL_CHECK_H_
+#define S4_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace s4 {
+
+[[noreturn]] inline void CheckFailure(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "S4_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace s4
+
+#define S4_CHECK(expr)                                 \
+  do {                                                 \
+    if (!(expr)) {                                     \
+      ::s4::CheckFailure(__FILE__, __LINE__, #expr);   \
+    }                                                  \
+  } while (0)
+
+#define S4_CHECK_OK(expr)                                                 \
+  do {                                                                    \
+    ::s4::Status s4_chk_ = (expr);                                        \
+    if (!s4_chk_.ok()) {                                                  \
+      ::s4::CheckFailure(__FILE__, __LINE__, s4_chk_.ToString().c_str()); \
+    }                                                                     \
+  } while (0)
+
+#endif  // S4_SRC_UTIL_CHECK_H_

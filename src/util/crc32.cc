@@ -1,0 +1,44 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+namespace s4 {
+namespace {
+
+// CRC32C polynomial (reflected): 0x82F63B78.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  return kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32cInit() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32cExtend(uint32_t state, ByteSpan data) {
+  const auto& table = Table();
+  for (uint8_t b : data) {
+    state = table[(state ^ b) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32cFinish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32c(ByteSpan data) { return Crc32cFinish(Crc32cExtend(Crc32cInit(), data)); }
+
+}  // namespace s4

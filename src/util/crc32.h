@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli) — integrity checksums for sectors, segments, journal
+// sectors, and RPC frames.
+#ifndef S4_SRC_UTIL_CRC32_H_
+#define S4_SRC_UTIL_CRC32_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace s4 {
+
+// One-shot CRC32C over a buffer.
+uint32_t Crc32c(ByteSpan data);
+
+// Incremental form: crc = Crc32cExtend(crc, chunk) chained over chunks,
+// starting from Crc32cInit() and finished with Crc32cFinish().
+uint32_t Crc32cInit();
+uint32_t Crc32cExtend(uint32_t state, ByteSpan data);
+uint32_t Crc32cFinish(uint32_t state);
+
+}  // namespace s4
+
+#endif  // S4_SRC_UTIL_CRC32_H_

@@ -1,0 +1,38 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+
+namespace s4 {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (level < g_level) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line, msg.c_str());
+}
+
+}  // namespace s4

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Off by default in tests/benchmarks; the drive's
+// internal event trace uses kDebug.
+#ifndef S4_SRC_UTIL_LOGGING_H_
+#define S4_SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace s4 {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace s4
+
+#define S4_LOG(level)                                             \
+  if (::s4::LogLevel::level < ::s4::GetLogLevel()) {              \
+  } else                                                          \
+    ::s4::LogStream(::s4::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // S4_SRC_UTIL_LOGGING_H_

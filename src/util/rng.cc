@@ -1,0 +1,27 @@
+#include "src/util/rng.h"
+
+namespace s4 {
+
+Bytes Rng::RandomBytes(size_t n, double compressibility) {
+  Bytes out(n);
+  if (compressibility <= 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(Next());
+    }
+    return out;
+  }
+  // Text-like output: draw words from a small alphabet with run-lengths that
+  // grow with compressibility, giving LZ-style compressors real matches.
+  const uint64_t alphabet = compressibility >= 0.9 ? 4 : 16;
+  size_t i = 0;
+  while (i < n) {
+    uint8_t b = static_cast<uint8_t>('a' + Below(alphabet));
+    size_t run = 1 + static_cast<size_t>(compressibility * static_cast<double>(Below(24)));
+    for (size_t k = 0; k < run && i < n; ++k) {
+      out[i++] = b;
+    }
+  }
+  return out;
+}
+
+}  // namespace s4

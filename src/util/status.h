@@ -1,0 +1,134 @@
+// Status and Result<T>: error propagation without exceptions.
+//
+// Every fallible operation in the S4 code base returns either a Status (for
+// void operations) or a Result<T>. Hot paths never throw; programming errors
+// (broken invariants) use S4_CHECK from check.h instead.
+#ifndef S4_SRC_UTIL_STATUS_H_
+#define S4_SRC_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace s4 {
+
+// Error categories. Mirrors the failure classes the S4 RPC layer reports to
+// clients (Table 1 operations) plus internal conditions.
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kNotFound,          // object / partition / version does not exist
+  kAlreadyExists,     // create of an existing name
+  kPermissionDenied,  // ACL check failed (incl. Recovery-flag denials)
+  kInvalidArgument,   // malformed request parameters
+  kOutOfSpace,        // segment allocator exhausted
+  kThrottled,         // space-exhaustion defense engaged (Section 3.3)
+  kDataCorruption,    // checksum mismatch on read
+  kFailedPrecondition,// op not valid in current state (e.g. read of deleted)
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of an ErrorCode ("OK", "NOT_FOUND", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+// A cheap, value-semantic status. OK statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) { return {ErrorCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {ErrorCode::kAlreadyExists, std::move(m)}; }
+  static Status PermissionDenied(std::string m) {
+    return {ErrorCode::kPermissionDenied, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m) {
+    return {ErrorCode::kInvalidArgument, std::move(m)};
+  }
+  static Status OutOfSpace(std::string m) { return {ErrorCode::kOutOfSpace, std::move(m)}; }
+  static Status Throttled(std::string m) { return {ErrorCode::kThrottled, std::move(m)}; }
+  static Status DataCorruption(std::string m) {
+    return {ErrorCode::kDataCorruption, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {ErrorCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status Unimplemented(std::string m) { return {ErrorCode::kUnimplemented, std::move(m)}; }
+  static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such object".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : rep_(std::move(value)) {}
+  Result(Status status) : rep_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate a non-OK status to the caller.
+#define S4_RETURN_IF_ERROR(expr)          \
+  do {                                    \
+    ::s4::Status s4_status_ = (expr);     \
+    if (!s4_status_.ok()) {               \
+      return s4_status_;                  \
+    }                                     \
+  } while (0)
+
+// Assign the value of a Result expression or propagate its status.
+// Usage: S4_ASSIGN_OR_RETURN(auto blk, ReadBlock(addr));
+#define S4_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  S4_ASSIGN_OR_RETURN_IMPL_(S4_CONCAT_(s4_res_, __LINE__), lhs, rexpr)
+#define S4_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr)       \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) {                                       \
+    return tmp.status();                                 \
+  }                                                      \
+  lhs = std::move(tmp).value()
+#define S4_CONCAT_(a, b) S4_CONCAT_IMPL_(a, b)
+#define S4_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace s4
+
+#endif  // S4_SRC_UTIL_STATUS_H_

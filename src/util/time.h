@@ -1,0 +1,27 @@
+// Simulated time types. All timestamps in S4 (version times, audit records,
+// detection windows) are SimTime: microseconds on the simulation clock.
+#ifndef S4_SRC_UTIL_TIME_H_
+#define S4_SRC_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace s4 {
+
+// Microseconds since simulation start.
+using SimTime = int64_t;
+// A span of simulated microseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+
+inline double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+inline double ToMillis(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+
+}  // namespace s4
+
+#endif  // S4_SRC_UTIL_TIME_H_

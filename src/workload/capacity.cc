@@ -1,0 +1,77 @@
+#include "src/workload/capacity.h"
+
+#include <algorithm>
+
+#include "src/delta/delta.h"
+#include "src/delta/lz.h"
+
+namespace s4 {
+
+std::vector<TraceStudy> PaperTraceStudies() {
+  return {
+      // Spasojevic & Satyanarayanan, wide-area AFS: ~143MB/day per server.
+      {"AFS (Spasojevic & Satyanarayanan)", 143.0},
+      // Vogels, Windows NT file usage: up to ~1GB/day per server.
+      {"NT (Vogels)", 1000.0},
+      // Santry et al., Elephant's research-group file system: ~110MB/day.
+      {"Elephant (Santry et al.)", 110.0},
+  };
+}
+
+double DetectionWindowDays(double pool_gb, double write_mb_per_day, double efficiency) {
+  double pool_mb = pool_gb * 1024.0;
+  return pool_mb * efficiency / write_mb_per_day;
+}
+
+CompactionRatios MeasureCompactionRatios(uint32_t files, uint32_t versions,
+                                         uint32_t file_bytes, double edit_fraction,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  CompactionRatios ratios;
+
+  uint64_t raw_total = 0;
+  uint64_t diff_total = 0;
+  uint64_t diff_lz_total = 0;
+
+  for (uint32_t f = 0; f < files; ++f) {
+    // Version 0: a source-code-like file.
+    Bytes current = rng.RandomBytes(file_bytes, /*compressibility=*/0.75);
+    for (uint32_t v = 1; v < versions; ++v) {
+      // A day of edits: replace a few contiguous regions, insert a little.
+      Bytes next = current;
+      uint32_t edits = 1 + static_cast<uint32_t>(edit_fraction * 8);
+      for (uint32_t e = 0; e < edits; ++e) {
+        size_t span = std::max<size_t>(16, static_cast<size_t>(
+                                               edit_fraction * file_bytes / edits));
+        size_t at = rng.Below(std::max<size_t>(1, next.size() - span));
+        // New code is text-like (LZ-compressible) but not a copy of anything
+        // already in the tree, so differencing cannot absorb it.
+        Bytes patch = rng.RandomBytes(span, 0.3);
+        std::copy(patch.begin(), patch.end(), next.begin() + at);
+      }
+      // Occasionally grow the file a bit.
+      if (rng.Chance(1, 3)) {
+        Bytes tail = rng.RandomBytes(rng.Range(16, 256), 0.3);
+        next.insert(next.end(), tail.begin(), tail.end());
+      }
+
+      // The old version `current` moves into the history pool; it can be
+      // stored raw, as a delta against the newer version, or delta+LZ.
+      raw_total += current.size();
+      Bytes delta = ComputeDelta(next, current);
+      diff_total += delta.size();
+      Bytes packed = LzCompress(delta);
+      diff_lz_total += std::min(packed.size(), delta.size());
+      current = std::move(next);
+    }
+  }
+  if (diff_total > 0) {
+    ratios.differencing = static_cast<double>(raw_total) / diff_total;
+  }
+  if (diff_lz_total > 0) {
+    ratios.differencing_and_compression = static_cast<double>(raw_total) / diff_lz_total;
+  }
+  return ratios;
+}
+
+}  // namespace s4

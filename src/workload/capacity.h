@@ -1,0 +1,49 @@
+// Capacity / detection-window projection (Figure 7).
+//
+// The paper projects how many days of complete version history fit in a
+// 10GB history pool (20% of a 50GB disk) under the per-day write rates of
+// three published workload studies, and how much cross-version differencing
+// and compression extend that window. We reproduce the arithmetic and
+// *measure* the differencing/compression multipliers with this repository's
+// own delta/LZ implementations on a synthetic versioned source tree (the
+// paper used a week of its own CVS history with Xdelta + gzip and found
+// roughly 3x from differencing and 5x cumulative with compression).
+#ifndef S4_SRC_WORKLOAD_CAPACITY_H_
+#define S4_SRC_WORKLOAD_CAPACITY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace s4 {
+
+// Write-rate models from the three studies cited in section 5.2.
+struct TraceStudy {
+  std::string name;
+  double write_mb_per_day;
+};
+std::vector<TraceStudy> PaperTraceStudies();
+
+// Days of history a pool of `pool_gb` GB holds at `write_mb_per_day`,
+// scaled by a space-efficiency multiplier (1.0 = raw versions).
+double DetectionWindowDays(double pool_gb, double write_mb_per_day, double efficiency);
+
+// Measured compaction multipliers on a synthetic version chain.
+struct CompactionRatios {
+  double differencing = 1.0;              // raw / differenced
+  double differencing_and_compression = 1.0;
+};
+
+// Builds `versions` snapshots of a synthetic source tree (each version edits
+// a fraction of each file, like a day of development), then measures how
+// much space cross-version differencing — and differencing plus LZ
+// compression — saves relative to storing raw versions.
+CompactionRatios MeasureCompactionRatios(uint32_t files, uint32_t versions,
+                                         uint32_t file_bytes, double edit_fraction,
+                                         uint64_t seed);
+
+}  // namespace s4
+
+#endif  // S4_SRC_WORKLOAD_CAPACITY_H_

@@ -1,0 +1,49 @@
+#include "src/workload/microbench.h"
+
+namespace s4 {
+
+Result<MicrobenchReport> RunSmallFileMicrobench(FileSystemApi* fs, SimClock* clock,
+                                                const MicrobenchConfig& config) {
+  MicrobenchReport report;
+  Rng rng(config.seed);
+  S4_ASSIGN_OR_RETURN(FileHandle root, fs->Root());
+  std::vector<FileHandle> dirs;
+  for (uint32_t d = 0; d < config.directories; ++d) {
+    S4_ASSIGN_OR_RETURN(FileHandle dir, fs->Mkdir(root, "m" + std::to_string(d), 0755));
+    dirs.push_back(dir);
+  }
+
+  struct Entry {
+    FileHandle dir;
+    FileHandle file;
+    std::string name;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(config.file_count);
+
+  SimTime t0 = clock->Now();
+  for (uint32_t i = 0; i < config.file_count; ++i) {
+    FileHandle dir = dirs[i % dirs.size()];
+    std::string name = "f" + std::to_string(i);
+    S4_ASSIGN_OR_RETURN(FileHandle f, fs->CreateFile(dir, name, 0644));
+    Bytes data = rng.RandomBytes(config.file_size, 0.3);
+    S4_RETURN_IF_ERROR(fs->WriteFile(f, 0, data));
+    entries.push_back(Entry{dir, f, name});
+  }
+  report.create = clock->Now() - t0;
+
+  SimTime t1 = clock->Now();
+  for (const Entry& e : entries) {
+    S4_RETURN_IF_ERROR(fs->ReadFile(e.file, 0, config.file_size).status());
+  }
+  report.read = clock->Now() - t1;
+
+  SimTime t2 = clock->Now();
+  for (const Entry& e : entries) {
+    S4_RETURN_IF_ERROR(fs->Remove(e.dir, e.name));
+  }
+  report.remove = clock->Now() - t2;
+  return report;
+}
+
+}  // namespace s4

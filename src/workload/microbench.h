@@ -1,0 +1,34 @@
+// Small-file microbenchmark (Figure 6): 10,000 1KB files split across 10
+// directories — created, then read in creation order, then deleted in
+// creation order. Used to isolate the audit log's overhead.
+#ifndef S4_SRC_WORKLOAD_MICROBENCH_H_
+#define S4_SRC_WORKLOAD_MICROBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fs/file_system.h"
+#include "src/sim/sim_clock.h"
+#include "src/util/rng.h"
+
+namespace s4 {
+
+struct MicrobenchConfig {
+  uint32_t file_count = 10000;
+  uint32_t directories = 10;
+  uint32_t file_size = 1024;
+  uint64_t seed = 23;
+};
+
+struct MicrobenchReport {
+  SimDuration create = 0;
+  SimDuration read = 0;
+  SimDuration remove = 0;
+};
+
+Result<MicrobenchReport> RunSmallFileMicrobench(FileSystemApi* fs, SimClock* clock,
+                                                const MicrobenchConfig& config);
+
+}  // namespace s4
+
+#endif  // S4_SRC_WORKLOAD_MICROBENCH_H_

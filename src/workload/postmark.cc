@@ -1,0 +1,121 @@
+#include "src/workload/postmark.h"
+
+namespace s4 {
+
+Status PostMark::SetUpDirs() {
+  if (!dirs_.empty()) {
+    return Status::Ok();
+  }
+  S4_ASSIGN_OR_RETURN(FileHandle root, fs_->Root());
+  for (uint32_t d = 0; d < config_.subdirectories; ++d) {
+    auto dir = fs_->Mkdir(root, "s" + std::to_string(d), 0755);
+    if (dir.ok()) {
+      dirs_.push_back(*dir);
+    } else if (dir.status().code() == ErrorCode::kAlreadyExists) {
+      S4_ASSIGN_OR_RETURN(FileHandle existing, fs_->Lookup(root, "s" + std::to_string(d)));
+      dirs_.push_back(existing);
+    } else {
+      return dir.status();
+    }
+  }
+  return Status::Ok();
+}
+
+Status PostMark::CreateOne(PostMarkReport* report) {
+  FileHandle dir = dirs_[rng_.Below(dirs_.size())];
+  std::string name = "pm" + std::to_string(name_counter_++);
+  S4_ASSIGN_OR_RETURN(FileHandle f, fs_->CreateFile(dir, name, 0644));
+  uint64_t size = rng_.Range(config_.min_size, config_.max_size);
+  Bytes data = rng_.RandomBytes(size, /*compressibility=*/0.3);
+  S4_RETURN_IF_ERROR(fs_->WriteFile(f, 0, data));
+  files_.push_back(LiveFile{dir, f, name, size});
+  ++report->files_created;
+  report->bytes_written += size;
+  return Status::Ok();
+}
+
+Status PostMark::DeleteOne(size_t index, PostMarkReport* report) {
+  LiveFile victim = files_[index];
+  files_[index] = files_.back();
+  files_.pop_back();
+  S4_RETURN_IF_ERROR(fs_->Remove(victim.dir, victim.name));
+  ++report->files_deleted;
+  return Status::Ok();
+}
+
+Status PostMark::CreatePhase(PostMarkReport* report) {
+  SimTime start = clock_->Now();
+  for (uint32_t i = 0; i < config_.file_count; ++i) {
+    S4_RETURN_IF_ERROR(CreateOne(report));
+  }
+  report->create_phase = clock_->Now() - start;
+  return Status::Ok();
+}
+
+Status PostMark::TransactionPhase(PostMarkReport* report) {
+  SimTime start = clock_->Now();
+  for (uint32_t t = 0; t < config_.transactions; ++t) {
+    // Sub-transaction 1: create or delete.
+    if (rng_.Below(10) < config_.create_bias || files_.empty()) {
+      S4_RETURN_IF_ERROR(CreateOne(report));
+    } else {
+      S4_RETURN_IF_ERROR(DeleteOne(rng_.Below(files_.size()), report));
+    }
+    if (files_.empty()) {
+      continue;
+    }
+    // Sub-transaction 2: read or append.
+    LiveFile& target = files_[rng_.Below(files_.size())];
+    if (rng_.Below(10) < config_.read_bias) {
+      S4_ASSIGN_OR_RETURN(Bytes data, fs_->ReadFile(target.file, 0, target.size));
+      report->bytes_read += data.size();
+      ++report->reads;
+    } else {
+      uint64_t len = rng_.Range(1, config_.max_append);
+      Bytes data = rng_.RandomBytes(len, 0.3);
+      S4_RETURN_IF_ERROR(fs_->WriteFile(target.file, target.size, data));
+      target.size += len;
+      report->bytes_written += len;
+      ++report->appends;
+    }
+    if (config_.cleaner_hook && (t + 1) % config_.cleaner_interval == 0) {
+      config_.cleaner_hook();
+    }
+  }
+  report->transaction_phase = clock_->Now() - start;
+  return Status::Ok();
+}
+
+Status PostMark::DeletePhase(PostMarkReport* report) {
+  SimTime start = clock_->Now();
+  while (!files_.empty()) {
+    S4_RETURN_IF_ERROR(DeleteOne(files_.size() - 1, report));
+  }
+  report->delete_phase = clock_->Now() - start;
+  return Status::Ok();
+}
+
+Result<PostMarkReport> PostMark::Run() {
+  PostMarkReport report;
+  S4_RETURN_IF_ERROR(SetUpDirs());
+  S4_RETURN_IF_ERROR(CreatePhase(&report));
+  S4_RETURN_IF_ERROR(TransactionPhase(&report));
+  S4_RETURN_IF_ERROR(DeletePhase(&report));
+  return report;
+}
+
+Result<PostMarkReport> PostMark::RunCreateOnly() {
+  PostMarkReport report;
+  S4_RETURN_IF_ERROR(SetUpDirs());
+  S4_RETURN_IF_ERROR(CreatePhase(&report));
+  return report;
+}
+
+Result<PostMarkReport> PostMark::RunTransactionsOnly() {
+  PostMarkReport report;
+  S4_RETURN_IF_ERROR(SetUpDirs());
+  S4_RETURN_IF_ERROR(TransactionPhase(&report));
+  return report;
+}
+
+}  // namespace s4

@@ -1,0 +1,165 @@
+#include "src/workload/ssh_build.h"
+
+#include <algorithm>
+
+namespace s4 {
+
+Status SshBuild::Unpack(SshBuildReport* report) {
+  SimTime start = clock_->Now();
+  S4_ASSIGN_OR_RETURN(FileHandle root, fs_->Root());
+  S4_ASSIGN_OR_RETURN(FileHandle top, fs_->Mkdir(root, "ssh-1.2.27", 0755));
+  dirs_.push_back(top);
+  for (uint32_t d = 1; d < config_.source_dirs; ++d) {
+    S4_ASSIGN_OR_RETURN(FileHandle dir, fs_->Mkdir(top, "dir" + std::to_string(d), 0755));
+    dirs_.push_back(dir);
+  }
+
+  // File-size distribution of a source tree: many small headers/docs, a body
+  // of mid-sized .c files, a few large ones (gmp/zlib bundled sources).
+  uint64_t remaining = config_.tree_bytes;
+  for (uint32_t i = 0; i < config_.source_files; ++i) {
+    uint64_t size;
+    uint64_t roll = rng_.Below(100);
+    if (roll < 40) {
+      size = rng_.Range(200, 2000);         // headers, small docs
+    } else if (roll < 90) {
+      size = rng_.Range(2000, 25000);       // typical .c files
+    } else {
+      size = rng_.Range(25000, 120000);     // the big ones
+    }
+    uint32_t left = config_.source_files - i;
+    size = std::min(size, std::max<uint64_t>(remaining / left, 256));
+    remaining -= std::min(remaining, size);
+
+    FileHandle dir = dirs_[rng_.Below(dirs_.size())];
+    std::string name = "src" + std::to_string(i) + (rng_.Chance(4, 5) ? ".c" : ".h");
+    S4_ASSIGN_OR_RETURN(FileHandle f, fs_->CreateFile(dir, name, 0644));
+    // Tar extraction writes sequentially in 4KB-ish chunks.
+    Bytes data = rng_.RandomBytes(size, /*compressibility=*/0.7);
+    for (uint64_t off = 0; off < data.size(); off += 4096) {
+      uint64_t n = std::min<uint64_t>(4096, data.size() - off);
+      S4_RETURN_IF_ERROR(fs_->WriteFile(f, off, ByteSpan(data).subspan(off, n)));
+    }
+    sources_.push_back(SourceFile{dir, f, name, size});
+    ++report->files_created;
+    report->bytes_written += size;
+  }
+  report->unpack = clock_->Now() - start;
+  return Status::Ok();
+}
+
+Status SshBuild::Configure(SshBuildReport* report) {
+  SimTime start = clock_->Now();
+  FileHandle top = dirs_[0];
+  S4_ASSIGN_OR_RETURN(build_dir_, fs_->Mkdir(top, "obj", 0755));
+
+  // config.log / config.h / Makefile accrete small appends with every probe.
+  S4_ASSIGN_OR_RETURN(FileHandle config_log, fs_->CreateFile(top, "config.log", 0644));
+  S4_ASSIGN_OR_RETURN(FileHandle config_h, fs_->CreateFile(top, "config.h", 0644));
+  uint64_t log_size = 0;
+  uint64_t h_size = 0;
+
+  for (uint32_t probe = 0; probe < config_.configure_probes; ++probe) {
+    // Write a tiny test program, compile it (CPU + object write), run it,
+    // then delete both — the archetypal short-lived files.
+    std::string cname = "conftest" + std::to_string(probe) + ".c";
+    S4_ASSIGN_OR_RETURN(FileHandle test_c, fs_->CreateFile(top, cname, 0644));
+    Bytes prog = rng_.RandomBytes(rng_.Range(120, 600), 0.8);
+    S4_RETURN_IF_ERROR(fs_->WriteFile(test_c, 0, prog));
+
+    S4_ASSIGN_OR_RETURN(Bytes src, fs_->ReadFile(test_c, 0, prog.size()));
+    clock_->Advance(static_cast<SimDuration>(config_.compile_us_per_byte * src.size() * 4));
+    std::string oname = "conftest" + std::to_string(probe);
+    S4_ASSIGN_OR_RETURN(FileHandle test_bin, fs_->CreateFile(top, oname, 0755));
+    Bytes obj = rng_.RandomBytes(rng_.Range(3000, 12000), 0.5);
+    S4_RETURN_IF_ERROR(fs_->WriteFile(test_bin, 0, obj));
+    // "Run" the probe.
+    S4_RETURN_IF_ERROR(fs_->ReadFile(test_bin, 0, obj.size()).status());
+    clock_->Advance(500);
+
+    S4_RETURN_IF_ERROR(fs_->Remove(top, cname));
+    S4_RETURN_IF_ERROR(fs_->Remove(top, oname));
+
+    Bytes log_line = rng_.RandomBytes(rng_.Range(40, 160), 0.9);
+    S4_RETURN_IF_ERROR(fs_->WriteFile(config_log, log_size, log_line));
+    log_size += log_line.size();
+    Bytes h_line = rng_.RandomBytes(rng_.Range(20, 60), 0.9);
+    S4_RETURN_IF_ERROR(fs_->WriteFile(config_h, h_size, h_line));
+    h_size += h_line.size();
+    report->bytes_written += prog.size() + obj.size() + log_line.size() + h_line.size();
+  }
+  // Emit the Makefiles.
+  for (uint32_t m = 0; m < 4; ++m) {
+    S4_ASSIGN_OR_RETURN(FileHandle mk,
+                        fs_->CreateFile(top, "Makefile" + std::to_string(m), 0644));
+    Bytes mk_data = rng_.RandomBytes(rng_.Range(2000, 9000), 0.8);
+    S4_RETURN_IF_ERROR(fs_->WriteFile(mk, 0, mk_data));
+    report->bytes_written += mk_data.size();
+  }
+  report->configure = clock_->Now() - start;
+  return Status::Ok();
+}
+
+Status SshBuild::Build(SshBuildReport* report) {
+  SimTime start = clock_->Now();
+  FileHandle top = dirs_[0];
+  std::vector<std::pair<std::string, uint64_t>> objects;
+
+  for (const SourceFile& src : sources_) {
+    if (src.name.size() < 2 || src.name.substr(src.name.size() - 2) != ".c") {
+      continue;
+    }
+    // cc -c: read the source (plus a few headers), burn CPU, write the .o.
+    S4_ASSIGN_OR_RETURN(Bytes source, fs_->ReadFile(src.file, 0, src.size));
+    for (int h = 0; h < 3 && !sources_.empty(); ++h) {
+      const SourceFile& header = sources_[rng_.Below(sources_.size())];
+      S4_RETURN_IF_ERROR(fs_->ReadFile(header.file, 0, header.size).status());
+    }
+    clock_->Advance(static_cast<SimDuration>(config_.compile_us_per_byte * source.size()));
+    std::string oname = src.name.substr(0, src.name.size() - 2) + ".o";
+    S4_ASSIGN_OR_RETURN(FileHandle obj, fs_->CreateFile(build_dir_, oname, 0644));
+    uint64_t osize = std::max<uint64_t>(512, src.size * 3 / 5);
+    Bytes odata = rng_.RandomBytes(osize, 0.4);
+    S4_RETURN_IF_ERROR(fs_->WriteFile(obj, 0, odata));
+    objects.emplace_back(oname, osize);
+    report->bytes_written += osize;
+  }
+
+  // Link: read every object, write the executables (ssh, sshd, scp...).
+  const char* programs[] = {"ssh", "sshd", "scp", "ssh-keygen"};
+  for (const char* prog : programs) {
+    uint64_t total = 0;
+    for (const auto& [oname, osize] : objects) {
+      S4_ASSIGN_OR_RETURN(FileHandle oh, fs_->Lookup(build_dir_, oname));
+      S4_RETURN_IF_ERROR(fs_->ReadFile(oh, 0, osize).status());
+      total += osize;
+    }
+    clock_->Advance(static_cast<SimDuration>(total * 0.05));  // link CPU
+    S4_ASSIGN_OR_RETURN(FileHandle bin, fs_->CreateFile(top, prog, 0755));
+    uint64_t bin_size = std::max<uint64_t>(200 * 1024, total / 4);
+    Bytes bin_data = rng_.RandomBytes(bin_size, 0.4);
+    for (uint64_t off = 0; off < bin_data.size(); off += 4096) {
+      uint64_t n = std::min<uint64_t>(4096, bin_data.size() - off);
+      S4_RETURN_IF_ERROR(fs_->WriteFile(bin, off, ByteSpan(bin_data).subspan(off, n)));
+    }
+    report->bytes_written += bin_size;
+  }
+
+  // make clean-ish: the build removes its temporary files.
+  for (const auto& [oname, osize] : objects) {
+    (void)osize;
+    S4_RETURN_IF_ERROR(fs_->Remove(build_dir_, oname));
+  }
+  report->build = clock_->Now() - start;
+  return Status::Ok();
+}
+
+Result<SshBuildReport> SshBuild::Run() {
+  SshBuildReport report;
+  S4_RETURN_IF_ERROR(Unpack(&report));
+  S4_RETURN_IF_ERROR(Configure(&report));
+  S4_RETURN_IF_ERROR(Build(&report));
+  return report;
+}
+
+}  // namespace s4

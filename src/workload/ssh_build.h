@@ -1,0 +1,75 @@
+// SSH-build benchmark (paper section 5.1.1): a synthetic recreation of
+// unpacking, configuring, and building SSH 1.2.27, the paper's replacement
+// for the Andrew benchmark.
+//
+//   unpack    - extract a ~1MB compressed tarball into ~400 files of varying
+//               sizes across a directory tree: metadata-operation heavy.
+//   configure - autoconf-style feature probes: generate many tiny test
+//               programs, "compile" and run them, delete the temporaries,
+//               and accrete config.h / Makefiles: small-file churn.
+//   build     - read every source file, burn compile CPU time (the phase is
+//               CPU-intensive in the paper), write object files, link a few
+//               executables, remove temporaries.
+//
+// Compilation cost is modelled as simulated CPU think time proportional to
+// source bytes, so the build phase is CPU-dominated just as measured.
+#ifndef S4_SRC_WORKLOAD_SSH_BUILD_H_
+#define S4_SRC_WORKLOAD_SSH_BUILD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fs/file_system.h"
+#include "src/sim/sim_clock.h"
+#include "src/util/rng.h"
+
+namespace s4 {
+
+struct SshBuildConfig {
+  uint32_t source_files = 380;        // ssh-1.2.27 ships ~400 files
+  uint32_t source_dirs = 12;
+  uint64_t tree_bytes = 4500 * 1024;  // unpacked size ~4.5MB
+  uint32_t configure_probes = 60;     // feature tests in ./configure
+  double compile_us_per_byte = 1.1;   // CPU model: ~1s per MB of source
+  uint64_t seed = 17;
+};
+
+struct SshBuildReport {
+  SimDuration unpack = 0;
+  SimDuration configure = 0;
+  SimDuration build = 0;
+  uint64_t files_created = 0;
+  uint64_t bytes_written = 0;
+};
+
+class SshBuild {
+ public:
+  SshBuild(FileSystemApi* fs, SimClock* clock, SshBuildConfig config)
+      : fs_(fs), clock_(clock), config_(config), rng_(config.seed) {}
+
+  Result<SshBuildReport> Run();
+
+ private:
+  struct SourceFile {
+    FileHandle dir;
+    FileHandle file;
+    std::string name;
+    uint64_t size;
+  };
+
+  Status Unpack(SshBuildReport* report);
+  Status Configure(SshBuildReport* report);
+  Status Build(SshBuildReport* report);
+
+  FileSystemApi* fs_;
+  SimClock* clock_;
+  SshBuildConfig config_;
+  Rng rng_;
+  std::vector<FileHandle> dirs_;
+  std::vector<SourceFile> sources_;
+  FileHandle build_dir_ = 0;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_WORKLOAD_SSH_BUILD_H_

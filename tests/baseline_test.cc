@@ -1,0 +1,95 @@
+// Baseline comparators: the conventional-versioning store's metadata blowup
+// (Figure 2's premise) and the snapshot store's coverage gaps (section 6).
+#include <gtest/gtest.h>
+
+#include "src/baseline/conventional_versioning.h"
+#include "src/baseline/snapshot_store.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+TEST(ConventionalVersioningTest, ReadBackCurrentVersion) {
+  SimClock clock;
+  BlockDevice device((64ull << 20) / kSectorSize, &clock);
+  ConventionalVersioningStore store(&device, &clock);
+  ASSERT_OK_AND_ASSIGN(uint64_t id, store.CreateObject());
+  Rng rng(1);
+  Bytes data = rng.RandomBytes(100000);
+  ASSERT_OK(store.Write(id, 0, data));
+  Bytes patch = rng.RandomBytes(5000);
+  ASSERT_OK(store.Write(id, 40000, patch));
+  std::copy(patch.begin(), patch.end(), data.begin() + 40000);
+  ASSERT_OK_AND_ASSIGN(Bytes got, store.Read(id, 0, data.size()));
+  EXPECT_EQ(got, data);
+}
+
+TEST(ConventionalVersioningTest, SmallUpdateToLargeFileCostsFullMetadataChain) {
+  SimClock clock;
+  BlockDevice device((512ull << 20) / kSectorSize, &clock);
+  ConventionalVersioningStore store(&device, &clock);
+  ASSERT_OK_AND_ASSIGN(uint64_t id, store.CreateObject());
+  Rng rng(2);
+  // Build a file deep into double-indirect territory (> 12 + 512 blocks).
+  Bytes big = rng.RandomBytes(3 * 1024 * 1024);
+  ASSERT_OK(store.Write(id, 0, big));
+
+  ConventionalStats before = store.stats();
+  // One 4KB write into the doubly-indirected region...
+  Bytes block = rng.RandomBytes(4096);
+  ASSERT_OK(store.Write(id, 2500 * 1024, block));
+  ConventionalStats after = store.stats();
+
+  uint64_t data_delta = after.data_bytes - before.data_bytes;
+  uint64_t meta_delta = after.metadata_bytes - before.metadata_bytes;
+  EXPECT_EQ(data_delta, 4096u);
+  // ...forces a new leaf indirect block, a new double-indirect block, a new
+  // inode, and an inode-log entry: metadata alone exceeds 2x the data.
+  EXPECT_GE(meta_delta, 2 * 4096u);
+}
+
+TEST(SnapshotStoreTest, SnapshotsSeeOnlyWhatWasCurrentAtCapture) {
+  SimClock clock(1000);
+  SnapshotStore store(&clock);
+  uint64_t id = store.CreateObject();
+  ASSERT_OK(store.Write(id, BytesOf("v1")));
+  size_t snap1 = store.TakeSnapshot();
+  clock.Advance(kMinute);
+  ASSERT_OK(store.Write(id, BytesOf("v2")));
+  size_t snap2 = store.TakeSnapshot();
+
+  ASSERT_OK_AND_ASSIGN(Bytes at1, store.ReadAtSnapshot(snap1, id));
+  EXPECT_EQ(StringOf(at1), "v1");
+  ASSERT_OK_AND_ASSIGN(Bytes at2, store.ReadAtSnapshot(snap2, id));
+  EXPECT_EQ(StringOf(at2), "v2");
+}
+
+TEST(SnapshotStoreTest, ShortLivedFileInvisibleToSnapshots) {
+  // The section-6 failure mode: a file created and deleted between two
+  // snapshots (an exploit tool) is unrecoverable from snapshots alone.
+  SimClock clock(1000);
+  SnapshotStore store(&clock);
+  store.TakeSnapshot();
+  uint64_t tool = store.CreateObject();
+  ASSERT_OK(store.Write(tool, BytesOf("exploit")));
+  ASSERT_OK(store.Delete(tool));
+  store.TakeSnapshot();
+  EXPECT_FALSE(store.AnySnapshotHolds(tool, BytesOf("exploit")));
+  EXPECT_EQ(store.ReadAtSnapshot(0, tool).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(store.ReadAtSnapshot(1, tool).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(SnapshotStoreTest, IntermediateVersionsLostBetweenSnapshots) {
+  SimClock clock(1000);
+  SnapshotStore store(&clock);
+  uint64_t id = store.CreateObject();
+  ASSERT_OK(store.Write(id, BytesOf("evidence")));
+  // Overwritten before any snapshot fires.
+  ASSERT_OK(store.Write(id, BytesOf("scrubbed")));
+  store.TakeSnapshot();
+  EXPECT_FALSE(store.AnySnapshotHolds(id, BytesOf("evidence")));
+  EXPECT_TRUE(store.AnySnapshotHolds(id, BytesOf("scrubbed")));
+}
+
+}  // namespace
+}  // namespace s4

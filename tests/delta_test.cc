@@ -1,0 +1,192 @@
+// Differencing and compression substrate: exact round trips, effectiveness
+// on version-chain-shaped inputs, and robustness against corrupt streams.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/delta/delta.h"
+#include "src/delta/lz.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+TEST(DeltaTest, EmptyInputs) {
+  Bytes delta = ComputeDelta({}, {});
+  ASSERT_OK_AND_ASSIGN(Bytes out, ApplyDelta({}, delta));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DeltaTest, IdenticalInputsCollapse) {
+  Rng rng(1);
+  Bytes data = rng.RandomBytes(100000);
+  Bytes delta = ComputeDelta(data, data);
+  EXPECT_LT(delta.size(), 64u);  // one COPY instruction
+  ASSERT_OK_AND_ASSIGN(Bytes out, ApplyDelta(data, delta));
+  EXPECT_EQ(out, data);
+  ASSERT_OK_AND_ASSIGN(double frac, DeltaCopyFraction(delta));
+  EXPECT_DOUBLE_EQ(frac, 1.0);
+}
+
+TEST(DeltaTest, UnrelatedInputsDegradeGracefully) {
+  Rng rng(2);
+  Bytes source = rng.RandomBytes(50000);
+  Bytes target = rng.RandomBytes(50000);
+  Bytes delta = ComputeDelta(source, target);
+  EXPECT_LT(delta.size(), target.size() + 1024);
+  ASSERT_OK_AND_ASSIGN(Bytes out, ApplyDelta(source, delta));
+  EXPECT_EQ(out, target);
+}
+
+TEST(DeltaTest, SmallEditProducesSmallDelta) {
+  Rng rng(3);
+  Bytes source = rng.RandomBytes(200000, 0.5);
+  Bytes target = source;
+  // Edit 1% in the middle.
+  Bytes patch = rng.RandomBytes(2000);
+  std::copy(patch.begin(), patch.end(), target.begin() + 100000);
+  Bytes delta = ComputeDelta(source, target);
+  EXPECT_LT(delta.size(), 8000u);  // ~1% of data plus framing
+  ASSERT_OK_AND_ASSIGN(Bytes out, ApplyDelta(source, delta));
+  EXPECT_EQ(out, target);
+}
+
+TEST(DeltaTest, InsertionShiftsHandled) {
+  Rng rng(4);
+  Bytes source = rng.RandomBytes(60000, 0.4);
+  Bytes target = source;
+  Bytes inserted = rng.RandomBytes(500);
+  target.insert(target.begin() + 30000, inserted.begin(), inserted.end());
+  Bytes delta = ComputeDelta(source, target);
+  EXPECT_LT(delta.size(), 4000u);
+  ASSERT_OK_AND_ASSIGN(Bytes out, ApplyDelta(source, delta));
+  EXPECT_EQ(out, target);
+}
+
+TEST(DeltaTest, CorruptDeltaRejected) {
+  Rng rng(5);
+  Bytes source = rng.RandomBytes(1000);
+  Bytes delta = ComputeDelta(source, source);
+  delta[0] ^= 0xFF;  // break the magic
+  EXPECT_FALSE(ApplyDelta(source, delta).ok());
+}
+
+TEST(DeltaTest, TruncatedDeltaRejected) {
+  Rng rng(6);
+  Bytes source = rng.RandomBytes(10000);
+  Bytes target = rng.RandomBytes(10000);
+  Bytes delta = ComputeDelta(source, target);
+  delta.resize(delta.size() / 2);
+  EXPECT_FALSE(ApplyDelta(source, delta).ok());
+}
+
+class DeltaPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double, uint64_t>> {};
+
+TEST_P(DeltaPropertyTest, RoundTripExact) {
+  auto [size, compressibility, seed] = GetParam();
+  Rng rng(seed);
+  Bytes source = rng.RandomBytes(size, compressibility);
+  // Target = source with random edits of random sizes.
+  Bytes target = source;
+  uint64_t edits = rng.Below(8);
+  for (uint64_t e = 0; e < edits && !target.empty(); ++e) {
+    size_t at = rng.Below(target.size());
+    size_t span = std::min<size_t>(1 + rng.Below(2000), target.size() - at);
+    Bytes patch = rng.RandomBytes(span, compressibility);
+    std::copy(patch.begin(), patch.end(), target.begin() + at);
+  }
+  Bytes delta = ComputeDelta(source, target);
+  ASSERT_OK_AND_ASSIGN(Bytes out, ApplyDelta(source, delta));
+  EXPECT_EQ(out, target);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeltaPropertyTest,
+    ::testing::Combine(::testing::Values(0u, 1u, 15u, 4096u, 65537u, 300000u),
+                       ::testing::Values(0.0, 0.5, 0.9),
+                       ::testing::Values(1u, 99u)));
+
+TEST(LzTest, EmptyInput) {
+  Bytes packed = LzCompress({});
+  ASSERT_OK_AND_ASSIGN(Bytes out, LzDecompress(packed));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LzTest, RepetitiveDataCompressesWell) {
+  Rng rng(7);
+  Bytes data = rng.RandomBytes(100000, 0.95);
+  Bytes packed = LzCompress(data);
+  EXPECT_LT(packed.size(), data.size() / 3);
+  ASSERT_OK_AND_ASSIGN(Bytes out, LzDecompress(packed));
+  EXPECT_EQ(out, data);
+}
+
+TEST(LzTest, RandomDataBarelyGrows) {
+  Rng rng(8);
+  Bytes data = rng.RandomBytes(100000, 0.0);
+  Bytes packed = LzCompress(data);
+  EXPECT_LT(packed.size(), data.size() + data.size() / 64 + 64);
+  ASSERT_OK_AND_ASSIGN(Bytes out, LzDecompress(packed));
+  EXPECT_EQ(out, data);
+}
+
+TEST(LzTest, OverlappingMatchRuns) {
+  // Run-length-style input exercises the overlapping-copy decode path.
+  Bytes data(50000, 'A');
+  Bytes packed = LzCompress(data);
+  EXPECT_LT(packed.size(), 2048u);
+  ASSERT_OK_AND_ASSIGN(Bytes out, LzDecompress(packed));
+  EXPECT_EQ(out, data);
+}
+
+TEST(LzTest, CorruptStreamRejected) {
+  Rng rng(9);
+  Bytes data = rng.RandomBytes(10000, 0.8);
+  Bytes packed = LzCompress(data);
+  packed[4] ^= 0x80;  // corrupt the size varint region
+  auto result = LzDecompress(packed);
+  if (result.ok()) {
+    EXPECT_NE(*result, data);  // at minimum it must not silently "succeed"
+  }
+}
+
+class LzPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double, uint64_t>> {};
+
+TEST_P(LzPropertyTest, RoundTripExact) {
+  auto [size, compressibility, seed] = GetParam();
+  Rng rng(seed);
+  Bytes data = rng.RandomBytes(size, compressibility);
+  Bytes packed = LzCompress(data);
+  ASSERT_OK_AND_ASSIGN(Bytes out, LzDecompress(packed));
+  EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LzPropertyTest,
+    ::testing::Combine(::testing::Values(0u, 1u, 3u, 4u, 255u, 70000u, 250000u),
+                       ::testing::Values(0.0, 0.3, 0.7, 0.95),
+                       ::testing::Values(2u, 77u)));
+
+TEST(DeltaLzTest, ChainedCompactionRoundTrip) {
+  // The cleaner's intended pipeline: store an old version as
+  // LzCompress(ComputeDelta(new, old)) and get it back exactly.
+  Rng rng(10);
+  Bytes newer = rng.RandomBytes(150000, 0.7);
+  Bytes older = newer;
+  Bytes patch = rng.RandomBytes(3000, 0.7);
+  std::copy(patch.begin(), patch.end(), older.begin() + 50000);
+
+  Bytes delta = ComputeDelta(newer, older);
+  Bytes packed = LzCompress(delta);
+  EXPECT_LT(packed.size(), older.size() / 10);
+
+  ASSERT_OK_AND_ASSIGN(Bytes delta_back, LzDecompress(packed));
+  ASSERT_OK_AND_ASSIGN(Bytes older_back, ApplyDelta(newer, delta_back));
+  EXPECT_EQ(older_back, older);
+}
+
+}  // namespace
+}  // namespace s4

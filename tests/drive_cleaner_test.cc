@@ -1,0 +1,286 @@
+// Cleaner behaviour: age-based expiry, the guaranteed detection window
+// (safety invariant: nothing inside the window is ever freed), segment
+// reclamation, and compaction under space pressure.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+TEST_F(DriveTest, NothingExpiresInsideWindow) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("v1")));
+  SimTime t1 = clock_->Now();
+  clock_->Advance(kMinute);
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("v2")));
+  ASSERT_OK(drive_->Sync(alice));
+
+  // Cleaner runs well inside the 1-hour window: v1 must survive.
+  clock_->Advance(10 * kMinute);
+  ASSERT_OK_AND_ASSIGN(uint32_t freed, drive_->RunCleanerPass(4));
+  (void)freed;
+  ASSERT_OK_AND_ASSIGN(Bytes old, drive_->Read(alice, id, 0, 64, t1));
+  EXPECT_EQ(StringOf(old), "v1");
+}
+
+TEST_F(DriveTest, OldVersionsExpireAfterWindow) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("ancient")));
+  SimTime t1 = clock_->Now();
+  clock_->Advance(kSecond);
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("still current")));
+  ASSERT_OK(drive_->Sync(alice));
+
+  clock_->Advance(2 * kHour);  // window is 1 hour
+  ASSERT_OK(drive_->RunCleanerPass(4).status());
+
+  // The expired version is refused; the current version is intact.
+  EXPECT_EQ(drive_->Read(Admin(), id, 0, 64, t1).status().code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_OK_AND_ASSIGN(Bytes cur, drive_->Read(alice, id, 0, 64));
+  EXPECT_EQ(StringOf(cur), "still current");
+}
+
+TEST_F(DriveTest, DeletedObjectsFullyReclaimedAfterWindow) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("short-lived")));
+  clock_->Advance(kSecond);
+  ASSERT_OK(drive_->Delete(alice, id));
+  ASSERT_OK(drive_->Sync(alice));
+  uint64_t history_before = drive_->HistoryPoolBytes();
+  EXPECT_GT(history_before, 0u);
+
+  clock_->Advance(2 * kHour);
+  ASSERT_OK(drive_->RunCleanerPass(4).status());
+
+  // Object gone entirely: even admin time-reads fail, space reclaimed.
+  EXPECT_EQ(drive_->Read(Admin(), id, 0, 64, clock_->Now() - 2 * kHour).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_LT(drive_->HistoryPoolBytes(), history_before);
+}
+
+TEST_F(DriveTest, HistoryPoolShrinksWhenVersionsAge) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  Rng rng(1);
+  Bytes data = rng.RandomBytes(64 * 1024);
+  ASSERT_OK(drive_->Write(alice, id, 0, data));
+  for (int i = 0; i < 10; ++i) {
+    clock_->Advance(kMinute);
+    Bytes patch = rng.RandomBytes(64 * 1024);
+    ASSERT_OK(drive_->Write(alice, id, 0, patch));
+  }
+  ASSERT_OK(drive_->Sync(alice));
+  uint64_t history_full = drive_->HistoryPoolBytes();
+  EXPECT_GT(history_full, 9 * 64 * 1024u);
+
+  clock_->Advance(2 * kHour);
+  ASSERT_OK(drive_->RunCleanerPass(8).status());
+  EXPECT_EQ(drive_->HistoryPoolBytes(), 0u);
+}
+
+TEST_F(DriveTest, SegmentsBecomeFreeAgain) {
+  // Churn data far past the window; after cleaning, utilization returns to a
+  // low level instead of only ever growing.
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  Rng rng(2);
+  for (int round = 0; round < 20; ++round) {
+    Bytes data = rng.RandomBytes(128 * 1024);
+    ASSERT_OK(drive_->Write(alice, id, 0, data));
+    ASSERT_OK(drive_->Sync(alice));
+    clock_->Advance(10 * kMinute);
+  }
+  double util_before = drive_->SpaceUtilization();
+  clock_->Advance(2 * kHour);
+  ASSERT_OK(drive_->RunCleanerPass(16).status());
+  double util_after = drive_->SpaceUtilization();
+  EXPECT_LT(util_after, util_before);
+  EXPECT_GT(drive_->stats().cleaner_segments_reclaimed, 0u);
+
+  // Current data still correct after reclamation.
+  ASSERT_OK_AND_ASSIGN(ObjectAttrs attrs, drive_->GetAttr(alice, id));
+  EXPECT_EQ(attrs.size, 128 * 1024u);
+}
+
+TEST_F(DriveTest, ReclaimedSegmentsAreReusable) {
+  // Fill, expire, clean — then keep writing well past the original capacity.
+  // Only works if reclaimed segments actually return to service.
+  SetUpDrive([] {
+    S4DriveOptions o = SmallOptions();
+    o.detection_window = 10 * kMinute;
+    return o;
+  }(), 16ull << 20);
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  Rng rng(3);
+  // Total writes: ~40MB onto a 16MB disk.
+  for (int round = 0; round < 320; ++round) {
+    Bytes data = rng.RandomBytes(128 * 1024);
+    ASSERT_OK(drive_->Write(alice, id, 0, data));
+    clock_->Advance(kMinute);
+    if (drive_->CleanerNeeded()) {
+      ASSERT_OK(drive_->RunCleanerPass(8).status());
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(ObjectAttrs attrs, drive_->GetAttr(alice, id));
+  EXPECT_EQ(attrs.size, 128 * 1024u);
+}
+
+TEST_F(DriveTest, CleanerSafetyUnderMixedWorkload) {
+  // Randomized writes/deletes with periodic cleaning; every version that is
+  // still inside the window must remain exactly reconstructible (oracle).
+  SetUpDrive([] {
+    S4DriveOptions o = SmallOptions();
+    o.detection_window = 30 * kMinute;
+    return o;
+  }(), 64ull << 20);
+  Credentials alice = User(100);
+  Rng rng(4);
+  struct Snapshot {
+    SimTime time;
+    Bytes content;
+  };
+  std::map<ObjectId, std::vector<Snapshot>> oracle;
+  std::vector<ObjectId> live;
+
+  for (int step = 0; step < 200; ++step) {
+    clock_->Advance(kMinute);
+    uint64_t action = rng.Below(10);
+    if (action < 2 || live.empty()) {
+      ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+      live.push_back(id);
+      oracle[id].push_back({clock_->Now(), {}});
+    } else if (action < 8) {
+      ObjectId id = live[rng.Below(live.size())];
+      Bytes data = rng.RandomBytes(1 + rng.Below(30000));
+      ASSERT_OK(drive_->Write(alice, id, 0, data));
+      // Oracle content: overwrite prefix of previous content.
+      Bytes full = oracle[id].back().content;
+      if (full.size() < data.size()) {
+        full.resize(data.size());
+      }
+      std::copy(data.begin(), data.end(), full.begin());
+      oracle[id].push_back({clock_->Now(), full});
+    } else if (action == 8) {
+      ObjectId id = live[rng.Below(live.size())];
+      ASSERT_OK(drive_->Sync(alice));
+      (void)id;
+    } else {
+      size_t pick = rng.Below(live.size());
+      ObjectId id = live[pick];
+      ASSERT_OK(drive_->Delete(alice, id));
+      live.erase(live.begin() + pick);
+    }
+    if (step % 20 == 19) {
+      ASSERT_OK(drive_->RunCleanerPass(4).status());
+      // Verify all oracle versions still inside the window.
+      SimTime cutoff = clock_->Now() - 30 * kMinute;
+      for (const auto& [id, snaps] : oracle) {
+        for (const auto& snap : snaps) {
+          if (snap.time <= cutoff || snap.content.empty()) {
+            continue;
+          }
+          auto got = drive_->Read(Admin(), id, 0, snap.content.size(), snap.time);
+          ASSERT_TRUE(got.ok()) << "obj " << id << " at " << snap.time << ": "
+                                << got.status().ToString();
+          ASSERT_EQ(*got, snap.content) << "obj " << id << " at " << snap.time;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(DriveTest, CompactionRelocatesLiveData) {
+  // Build fragmented segments (interleave long-lived and short-lived data),
+  // expire the short-lived parts, and force compaction.
+  SetUpDrive([] {
+    S4DriveOptions o = SmallOptions();
+    o.detection_window = 5 * kMinute;
+    return o;
+  }(), 16ull << 20);
+  Credentials alice = User(100);
+  Rng rng(5);
+  std::vector<std::pair<ObjectId, Bytes>> keepers;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_OK_AND_ASSIGN(ObjectId keeper, drive_->Create(alice, {}));
+    Bytes keep_data = rng.RandomBytes(8 * 1024);
+    ASSERT_OK(drive_->Write(alice, keeper, 0, keep_data));
+    keepers.emplace_back(keeper, keep_data);
+    ASSERT_OK_AND_ASSIGN(ObjectId chaff, drive_->Create(alice, {}));
+    ASSERT_OK(drive_->Write(alice, chaff, 0, rng.RandomBytes(120 * 1024)));
+    ASSERT_OK(drive_->Delete(alice, chaff));
+    clock_->Advance(kMinute);
+  }
+  ASSERT_OK(drive_->Sync(alice));
+  clock_->Advance(10 * kMinute);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(drive_->RunCleanerPass(8, /*force_compaction=*/true).status());
+  }
+  EXPECT_GT(drive_->stats().cleaner_sectors_copied, 0u);
+  // All keepers still intact after relocation.
+  for (const auto& [id, data] : keepers) {
+    ASSERT_OK_AND_ASSIGN(Bytes got, drive_->Read(alice, id, 0, data.size()));
+    EXPECT_EQ(got, data);
+  }
+}
+
+TEST_F(DriveTest, CompactionSurvivesCrash) {
+  // Relocations bypass the journal; the re-checkpoint + deferred reuse rules
+  // must make them crash-safe.
+  SetUpDrive([] {
+    S4DriveOptions o = SmallOptions();
+    o.detection_window = 5 * kMinute;
+    return o;
+  }(), 16ull << 20);
+  Credentials alice = User(100);
+  Rng rng(6);
+  std::vector<std::pair<ObjectId, Bytes>> keepers;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK_AND_ASSIGN(ObjectId keeper, drive_->Create(alice, {}));
+    Bytes keep_data = rng.RandomBytes(8 * 1024);
+    ASSERT_OK(drive_->Write(alice, keeper, 0, keep_data));
+    keepers.emplace_back(keeper, keep_data);
+    ASSERT_OK_AND_ASSIGN(ObjectId chaff, drive_->Create(alice, {}));
+    ASSERT_OK(drive_->Write(alice, chaff, 0, rng.RandomBytes(200 * 1024)));
+    ASSERT_OK(drive_->Delete(alice, chaff));
+    clock_->Advance(kMinute);
+  }
+  ASSERT_OK(drive_->Sync(alice));
+  clock_->Advance(10 * kMinute);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(drive_->RunCleanerPass(8, /*force_compaction=*/true).status());
+  }
+  CrashAndRemount();
+  for (const auto& [id, data] : keepers) {
+    ASSERT_OK_AND_ASSIGN(Bytes got, drive_->Read(alice, id, 0, data.size()));
+    EXPECT_EQ(got, data);
+  }
+}
+
+TEST_F(DriveTest, VersioningDisabledFreesImmediately) {
+  SetUpDrive([] {
+    S4DriveOptions o = SmallOptions();
+    o.versioning_enabled = false;
+    o.audit_enabled = false;
+    return o;
+  }(), 16ull << 20);
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("v1")));
+  SimTime t1 = clock_->Now();
+  clock_->Advance(kSecond);
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("v2")));
+  // No history pool grows; time-based access is refused.
+  EXPECT_EQ(drive_->HistoryPoolBytes(), 0u);
+  EXPECT_EQ(drive_->Read(alice, id, 0, 64, t1).status().code(), ErrorCode::kUnimplemented);
+  ASSERT_OK_AND_ASSIGN(Bytes cur, drive_->Read(alice, id, 0, 64));
+  EXPECT_EQ(StringOf(cur), "v2");
+}
+
+}  // namespace
+}  // namespace s4

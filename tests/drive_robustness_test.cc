@@ -1,0 +1,183 @@
+// Hostile-environment robustness: corrupted checkpoint regions, purge/
+// cleaner interplay, recovery idempotence, and mount failure modes.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+TEST_F(DriveTest, MountFallsBackToOlderCheckpointRegion) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("first epoch")));
+  ASSERT_OK(drive_->WriteCheckpoint());
+  clock_->Advance(kSecond);
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("second epoch")));
+  ASSERT_OK(drive_->WriteCheckpoint());
+  drive_.reset();
+
+  // Corrupt the NEWER checkpoint region (generation alternates A/B; clobber
+  // both first sectors' CRC one at a time and ensure mount still works from
+  // the survivor plus roll-forward).
+  device_->SimulateCrashTornSector(1);  // region A head
+  auto remounted = S4Drive::Mount(device_.get(), clock_.get(), opts_);
+  ASSERT_TRUE(remounted.ok()) << remounted.status().ToString();
+  drive_ = std::move(*remounted);
+  ASSERT_OK_AND_ASSIGN(Bytes got, drive_->Read(alice, id, 0, 64));
+  EXPECT_EQ(StringOf(got), "second epoch");
+}
+
+TEST_F(DriveTest, MountFailsCleanlyWhenBothCheckpointsCorrupt) {
+  ASSERT_OK(drive_->Unmount());
+  drive_.reset();
+  device_->SimulateCrashTornSector(1);
+  device_->SimulateCrashTornSector(1 + 2048);  // region B head for 64MB geometry
+  auto remounted = S4Drive::Mount(device_.get(), clock_.get(), opts_);
+  ASSERT_FALSE(remounted.ok());
+  EXPECT_EQ(remounted.status().code(), ErrorCode::kDataCorruption);
+}
+
+TEST_F(DriveTest, MountOfBlankDeviceFails) {
+  auto blank_clock = std::make_unique<SimClock>();
+  BlockDevice blank((16ull << 20) / kSectorSize, blank_clock.get());
+  auto mounted = S4Drive::Mount(&blank, blank_clock.get(), opts_);
+  EXPECT_FALSE(mounted.ok());
+}
+
+TEST_F(DriveTest, RecoveryIsIdempotent) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("stable")));
+  ASSERT_OK(drive_->Sync(alice));
+  // Mount repeatedly without writing anything: recovery must not change the
+  // on-disk state it recovers from.
+  for (int i = 0; i < 3; ++i) {
+    CrashAndRemount();
+    ASSERT_OK_AND_ASSIGN(Bytes got, drive_->Read(alice, id, 0, 64));
+    ASSERT_EQ(StringOf(got), "stable");
+  }
+}
+
+TEST_F(DriveTest, PurgedRangesSurviveCrash) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("v1")));
+  SimTime t1 = clock_->Now();
+  clock_->Advance(kSecond);
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("v2")));
+  SimTime t2 = clock_->Now();
+  clock_->Advance(kSecond);
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("v3")));
+  ASSERT_OK(drive_->FlushObject(Admin(), id, t1, t2));
+  ASSERT_OK(drive_->WriteCheckpoint());
+
+  CrashAndRemount();
+  // The purge is remembered: the destroyed version still fails loudly.
+  EXPECT_EQ(drive_->Read(Admin(), id, 0, 64, t1).status().code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_OK_AND_ASSIGN(Bytes cur, drive_->Read(alice, id, 0, 64));
+  EXPECT_EQ(StringOf(cur), "v3");
+}
+
+TEST_F(DriveTest, CleanerSkipsPurgedVersionsWithoutDoubleFree) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  Rng rng(31);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_OK(drive_->Write(alice, id, 0, rng.RandomBytes(20000)));
+    times.push_back(clock_->Now());
+    clock_->Advance(kMinute);
+  }
+  // Purge the middle of the history, then age everything out and clean.
+  ASSERT_OK(drive_->FlushObject(Admin(), id, times[2], times[5]));
+  clock_->Advance(2 * kHour);
+  ASSERT_OK(drive_->RunCleanerPass(8).status());
+  // Accounting stayed consistent (no S4_CHECK underflow) and the object's
+  // current contents are intact.
+  ASSERT_OK_AND_ASSIGN(ObjectAttrs attrs, drive_->GetAttr(alice, id));
+  EXPECT_EQ(attrs.size, 20000u);
+}
+
+TEST_F(DriveTest, ShrinkWindowThenCleanReclaimsSooner) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("v1")));
+  SimTime t1 = clock_->Now();
+  clock_->Advance(kSecond);
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("v2")));
+  ASSERT_OK(drive_->Sync(alice));
+  clock_->Advance(10 * kMinute);  // inside the 1-hour window
+  // Admin shrinks the window to 1 minute; the old version is now expirable.
+  ASSERT_OK(drive_->SetWindow(Admin(), kMinute));
+  ASSERT_OK(drive_->RunCleanerPass(4).status());
+  EXPECT_EQ(drive_->Read(Admin(), id, 0, 64, t1).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(DriveTest, GrowWindowRetainsMore) {
+  ASSERT_OK(drive_->SetWindow(Admin(), 24 * kHour));
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("precious")));
+  SimTime t1 = clock_->Now();
+  clock_->Advance(kSecond);
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("newer")));
+  clock_->Advance(10 * kHour);  // would have expired under the 1h default
+  ASSERT_OK(drive_->RunCleanerPass(4).status());
+  ASSERT_OK_AND_ASSIGN(Bytes got, drive_->Read(alice, id, 0, 64, t1));
+  EXPECT_EQ(StringOf(got), "precious");
+}
+
+TEST_F(DriveTest, ZeroLengthAndBoundaryOps) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  // Zero-length write is a no-op, not an error.
+  ASSERT_OK(drive_->Write(alice, id, 0, {}));
+  ASSERT_OK_AND_ASSIGN(ObjectAttrs attrs, drive_->GetAttr(alice, id));
+  EXPECT_EQ(attrs.size, 0u);
+  // Zero-length read of empty object.
+  ASSERT_OK_AND_ASSIGN(Bytes empty, drive_->Read(alice, id, 0, 0));
+  EXPECT_TRUE(empty.empty());
+  // Exact block-boundary writes.
+  Bytes block(kBlockSize, 0x42);
+  ASSERT_OK(drive_->Write(alice, id, 0, block));
+  ASSERT_OK(drive_->Write(alice, id, kBlockSize, block));
+  ASSERT_OK_AND_ASSIGN(Bytes two, drive_->Read(alice, id, 0, 2 * kBlockSize));
+  EXPECT_EQ(two.size(), 2 * kBlockSize);
+  // Truncate to exactly a block boundary and back.
+  ASSERT_OK(drive_->Truncate(alice, id, kBlockSize));
+  ASSERT_OK_AND_ASSIGN(Bytes one, drive_->Read(alice, id, 0, 2 * kBlockSize));
+  EXPECT_EQ(one.size(), kBlockSize);
+}
+
+TEST_F(DriveTest, OpsOnNonexistentObjects) {
+  Credentials alice = User(100);
+  ObjectId ghost = 999999;
+  EXPECT_EQ(drive_->Read(alice, ghost, 0, 10).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(drive_->Write(alice, ghost, 0, BytesOf("x")).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(drive_->Delete(alice, ghost).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(drive_->GetAttr(alice, ghost).status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(drive_->GetVersionList(alice, ghost).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(DriveTest, DoubleDeleteRejected) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Delete(alice, id));
+  EXPECT_EQ(drive_->Delete(alice, id).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(drive_->Write(alice, id, 0, BytesOf("zombie")).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(DriveTest, TimeBasedReadBeforeCreationFails) {
+  Credentials alice = User(100);
+  clock_->Advance(kMinute);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  EXPECT_EQ(drive_->Read(Admin(), id, 0, 10, SimTime{0}).status().code(),
+            ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,111 @@
+// Landmark versioning (section 6): versions promoted to landmarks survive
+// past the detection window with full self-securing protection.
+#include <gtest/gtest.h>
+
+#include "src/recovery/landmark_archive.h"
+#include "src/rpc/transport.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+class LandmarkTest : public DriveTest {
+ protected:
+  void SetUp() override {
+    DriveTest::SetUp();
+    server_ = std::make_unique<S4RpcServer>(drive_.get());
+    transport_ = std::make_unique<LoopbackTransport>(server_.get(), clock_.get());
+    client_ = std::make_unique<S4Client>(transport_.get(), User(100));
+  }
+
+  std::unique_ptr<S4RpcServer> server_;
+  std::unique_ptr<LoopbackTransport> transport_;
+  std::unique_ptr<S4Client> client_;
+};
+
+TEST_F(LandmarkTest, PreserveListRetrieve) {
+  ASSERT_OK_AND_ASSIGN(ObjectId doc, client_->Create(BytesOf("doc-attrs")));
+  ASSERT_OK(client_->Write(doc, 0, BytesOf("thesis draft v1")));
+  SimTime v1 = clock_->Now();
+  clock_->Advance(kMinute);
+  ASSERT_OK(client_->Write(doc, 0, BytesOf("thesis draft v2!")));
+
+  ASSERT_OK_AND_ASSIGN(auto archive, LandmarkArchive::Create(client_.get()));
+  ASSERT_OK_AND_ASSIGN(Landmark lm, archive->Preserve(doc, v1, "submitted-version"));
+  EXPECT_EQ(lm.source, doc);
+  EXPECT_EQ(lm.size, 15u);
+
+  ASSERT_OK_AND_ASSIGN(std::vector<Landmark> all, archive->List());
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].label, "submitted-version");
+  ASSERT_OK_AND_ASSIGN(Bytes content, archive->Retrieve(0));
+  EXPECT_EQ(StringOf(content), "thesis draft v1");
+}
+
+TEST_F(LandmarkTest, LandmarkOutlivesDetectionWindow) {
+  ASSERT_OK_AND_ASSIGN(ObjectId doc, client_->Create({}));
+  ASSERT_OK(client_->Write(doc, 0, BytesOf("precious milestone")));
+  SimTime v1 = clock_->Now();
+  clock_->Advance(kSecond);
+  ASSERT_OK(client_->Write(doc, 0, BytesOf("later scribbles....")));
+
+  ASSERT_OK_AND_ASSIGN(auto archive, LandmarkArchive::Create(client_.get()));
+  ASSERT_OK(archive->Preserve(doc, v1, "milestone").status());
+
+  // Age far past the 1-hour window and clean: the raw version dies...
+  clock_->Advance(3 * kHour);
+  ASSERT_OK(drive_->RunCleanerPass(8).status());
+  EXPECT_FALSE(drive_->Read(Admin(), doc, 0, 64, v1).ok());
+  // ...but the landmark survives, and restores.
+  ASSERT_OK_AND_ASSIGN(Bytes content, archive->Retrieve(0));
+  EXPECT_EQ(StringOf(content), "precious milestone");
+  ASSERT_OK(archive->RestoreTo(0, doc));
+  ASSERT_OK_AND_ASSIGN(Bytes now, client_->Read(doc, 0, 64));
+  EXPECT_EQ(StringOf(now), "precious milestone");
+}
+
+TEST_F(LandmarkTest, MultipleLandmarksAcrossObjects) {
+  Rng rng(51);
+  std::vector<std::pair<ObjectId, Bytes>> versions;
+  ASSERT_OK_AND_ASSIGN(auto archive, LandmarkArchive::Create(client_.get()));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(ObjectId id, client_->Create({}));
+    Bytes data = rng.RandomBytes(1 + rng.Below(30000));
+    ASSERT_OK(client_->Write(id, 0, data));
+    SimTime t = clock_->Now();
+    clock_->Advance(kSecond);
+    ASSERT_OK(client_->Write(id, 0, rng.RandomBytes(100)));
+    ASSERT_OK(archive->Preserve(id, t, "v" + std::to_string(i)).status());
+    versions.emplace_back(id, std::move(data));
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<Landmark> all, archive->List());
+  ASSERT_EQ(all.size(), 5u);
+  for (size_t i = 0; i < versions.size(); ++i) {
+    EXPECT_EQ(all[i].source, versions[i].first);
+    ASSERT_OK_AND_ASSIGN(Bytes content, archive->Retrieve(i));
+    EXPECT_EQ(content, versions[i].second);
+  }
+  EXPECT_EQ(archive->Retrieve(99).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(LandmarkTest, ArchiveItselfIsSelfSecuring) {
+  // Even the archive object is versioned: an intruder truncating it cannot
+  // destroy preserved landmarks within the window.
+  ASSERT_OK_AND_ASSIGN(ObjectId doc, client_->Create({}));
+  ASSERT_OK(client_->Write(doc, 0, BytesOf("evidence")));
+  SimTime v1 = clock_->Now();
+  clock_->Advance(kSecond);
+  ASSERT_OK_AND_ASSIGN(auto archive, LandmarkArchive::Create(client_.get()));
+  ASSERT_OK(archive->Preserve(doc, v1, "evidence").status());
+  SimTime before_attack = clock_->Now();
+  clock_->Advance(kSecond);
+  // Intruder wipes the archive object.
+  ASSERT_OK(client_->Truncate(archive->archive_object(), 0));
+  // Admin reads the archive as it was and finds the landmark intact.
+  ASSERT_OK_AND_ASSIGN(ObjectAttrs attrs,
+                       drive_->GetAttr(Admin(), archive->archive_object(), before_attack));
+  EXPECT_GT(attrs.size, 0u);
+}
+
+}  // namespace
+}  // namespace s4

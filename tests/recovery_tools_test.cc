@@ -1,0 +1,172 @@
+// End-to-end intrusion diagnosis and recovery: an attacker with stolen
+// credentials scrubs logs, installs a backdoor, stages and deletes an
+// exploit tool; the administrator uses the audit log and history pool to
+// find and undo everything.
+#include <gtest/gtest.h>
+
+#include "src/fs/s4_fs.h"
+#include "src/recovery/diagnosis.h"
+#include "src/recovery/history_browser.h"
+#include "src/rpc/client.h"
+#include "src/rpc/transport.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+class RecoveryToolsTest : public DriveTest {
+ protected:
+  void SetUp() override {
+    DriveTest::SetUp();
+    server_ = std::make_unique<S4RpcServer>(drive_.get());
+    transport_ = std::make_unique<LoopbackTransport>(server_.get(), clock_.get());
+    client_ = std::make_unique<S4Client>(transport_.get(), User(100, /*client=*/1));
+    ASSERT_OK_AND_ASSIGN(fs_, S4FileSystem::Format(client_.get(), "root"));
+    admin_client_ = std::make_unique<S4Client>(transport_.get(), Admin());
+  }
+
+  std::unique_ptr<S4RpcServer> server_;
+  std::unique_ptr<LoopbackTransport> transport_;
+  std::unique_ptr<S4Client> client_;
+  std::unique_ptr<S4Client> admin_client_;
+  std::unique_ptr<S4FileSystem> fs_;
+};
+
+TEST_F(RecoveryToolsTest, TimeEnhancedLsAndCat) {
+  ASSERT_OK_AND_ASSIGN(FileHandle dir, MakeDirs(fs_.get(), "/var/log"));
+  ASSERT_OK_AND_ASSIGN(FileHandle log, fs_->CreateFile(dir, "auth.log", 0644));
+  ASSERT_OK(fs_->WriteFile(log, 0, BytesOf("line1\n")));
+  SimTime t1 = clock_->Now();
+  clock_->Advance(kMinute);
+  ASSERT_OK(fs_->WriteFile(log, 6, BytesOf("line2\n")));
+  ASSERT_OK(fs_->CreateFile(dir, "later.log", 0644).status());
+
+  HistoryBrowser browser(admin_client_.get(), "root");
+  // ls at t1: only auth.log existed.
+  ASSERT_OK_AND_ASSIGN(std::vector<HistoricalEntry> then, browser.ListAt("/var/log", t1));
+  ASSERT_EQ(then.size(), 1u);
+  EXPECT_EQ(then[0].name, "auth.log");
+  EXPECT_EQ(then[0].size, 6u);
+  // cat at t1 shows only the first line.
+  ASSERT_OK_AND_ASSIGN(Bytes content, browser.ReadAt("/var/log/auth.log", t1));
+  EXPECT_EQ(StringOf(content), "line1\n");
+}
+
+TEST_F(RecoveryToolsTest, ScrubbedLogIsRecoverable) {
+  ASSERT_OK_AND_ASSIGN(FileHandle dir, MakeDirs(fs_.get(), "/var/log"));
+  ASSERT_OK_AND_ASSIGN(FileHandle log, fs_->CreateFile(dir, "messages", 0644));
+  ASSERT_OK(fs_->WriteFile(log, 0, BytesOf("sshd: intruder login from evil.host\n")));
+  SimTime before_scrub = clock_->Now();
+  clock_->Advance(kSecond);
+  // The intruder truncates and rewrites the log.
+  ASSERT_OK(fs_->SetSize(log, 0));
+  ASSERT_OK(fs_->WriteFile(log, 0, BytesOf("nothing to see\n")));
+
+  HistoryBrowser browser(admin_client_.get(), "root");
+  ASSERT_OK_AND_ASSIGN(Bytes original, browser.ReadAt("/var/log/messages", before_scrub));
+  EXPECT_EQ(StringOf(original), "sshd: intruder login from evil.host\n");
+
+  // Restore it: the scrubbed version remains in history as evidence.
+  ASSERT_OK(browser.RestoreFile("/var/log/messages", before_scrub));
+  ASSERT_OK_AND_ASSIGN(FileHandle now, ResolvePath(fs_.get(), "/var/log/messages"));
+  ASSERT_OK_AND_ASSIGN(Bytes current, fs_->ReadFile(now, 0, 128));
+  EXPECT_EQ(StringOf(current), "sshd: intruder login from evil.host\n");
+}
+
+TEST_F(RecoveryToolsTest, DeletedExploitToolRecovered) {
+  // Intruders stage tools and delete them; S4 captures them anyway.
+  ASSERT_OK_AND_ASSIGN(FileHandle tmp, MakeDirs(fs_.get(), "/tmp"));
+  ASSERT_OK_AND_ASSIGN(FileHandle tool, fs_->CreateFile(tmp, "rootkit.sh", 0755));
+  Bytes payload = BytesOf("#!/bin/sh\n# stage-two exploit\n");
+  ASSERT_OK(fs_->WriteFile(tool, 0, payload));
+  SimTime staged = clock_->Now();
+  clock_->Advance(kSecond);
+  ASSERT_OK(fs_->Remove(tmp, "rootkit.sh"));
+
+  HistoryBrowser browser(admin_client_.get(), "root");
+  ASSERT_OK_AND_ASSIGN(Bytes recovered, browser.ReadAt("/tmp/rootkit.sh", staged));
+  EXPECT_EQ(recovered, payload);
+
+  // Resurrect it into the live tree for forensics.
+  ASSERT_OK(browser.ResurrectFile(fs_.get(), "/tmp/rootkit.sh", staged,
+                                  "/evidence/rootkit.sh"));
+  ASSERT_OK_AND_ASSIGN(FileHandle copy, ResolvePath(fs_.get(), "/evidence/rootkit.sh"));
+  ASSERT_OK_AND_ASSIGN(Bytes live, fs_->ReadFile(copy, 0, 128));
+  EXPECT_EQ(live, payload);
+}
+
+TEST_F(RecoveryToolsTest, VersionsOfListsHistory) {
+  ASSERT_OK_AND_ASSIGN(FileHandle root, fs_->Root());
+  ASSERT_OK_AND_ASSIGN(FileHandle f, fs_->CreateFile(root, "evolving", 0644));
+  for (int i = 0; i < 3; ++i) {
+    clock_->Advance(kSecond);
+    ASSERT_OK(fs_->WriteFile(f, 0, BytesOf("gen" + std::to_string(i))));
+  }
+  HistoryBrowser browser(admin_client_.get(), "root");
+  ASSERT_OK_AND_ASSIGN(auto versions, browser.VersionsOf("/evolving", clock_->Now()));
+  EXPECT_GE(versions.size(), 4u);  // create + 3 writes
+}
+
+TEST_F(RecoveryToolsTest, DiagnosisFindsIntrudersFootprint) {
+  // Legitimate user activity from client 1.
+  ASSERT_OK_AND_ASSIGN(FileHandle dir, MakeDirs(fs_.get(), "/home"));
+  ASSERT_OK_AND_ASSIGN(FileHandle doc, fs_->CreateFile(dir, "paper.tex", 0644));
+  ASSERT_OK(fs_->WriteFile(doc, 0, BytesOf("\\section{intro}")));
+
+  clock_->Advance(kMinute);
+  SimTime intrusion_start = clock_->Now();
+
+  // The intruder arrives on client 9 with stolen credentials and:
+  S4Client evil_client(transport_.get(), [this] {
+    Credentials c = User(100, /*client=*/9);
+    return c;
+  }());
+  // 1. reads a source file,
+  ASSERT_OK_AND_ASSIGN(ObjectAttrs doc_attrs, evil_client.GetAttr(doc));
+  ASSERT_OK(evil_client.Read(doc, 0, doc_attrs.size).status());
+  clock_->Advance(kSecond);
+  // 2. tampers with it (taint: read doc -> write doc is same object, then
+  //    writes a backdoor right after reading the doc),
+  ASSERT_OK_AND_ASSIGN(ObjectId backdoor, evil_client.Create({}));
+  ASSERT_OK(evil_client.Write(backdoor, 0, BytesOf("backdoor binary")));
+  clock_->Advance(kSecond);
+  // 3. overwrites the document,
+  ASSERT_OK(evil_client.Write(doc, 0, BytesOf("\\section{defaced}")));
+  // 4. and probes something it cannot touch.
+  ASSERT_OK(evil_client.SetWindow(kDay).code() == ErrorCode::kPermissionDenied
+                ? Status::Ok()
+                : Status::Internal("expected denial"));
+  SimTime intrusion_end = clock_->Now();
+
+  IntrusionDiagnosis diagnosis(drive_.get(), Admin());
+  ASSERT_OK_AND_ASSIGN(IntrusionReport report,
+                       diagnosis.Analyze(/*client=*/9, intrusion_start, intrusion_end));
+
+  // The report names both the tampered document and the new backdoor.
+  EXPECT_TRUE(report.modified.count(doc) > 0);
+  EXPECT_TRUE(report.modified.count(backdoor) > 0);
+  EXPECT_TRUE(report.read.count(doc) > 0);
+  EXPECT_FALSE(report.denied.empty());
+  // Taint: doc was read shortly before the backdoor was written.
+  bool taint_found = false;
+  for (const TaintLink& link : report.taint) {
+    taint_found |= link.source == doc && link.sink == backdoor;
+  }
+  EXPECT_TRUE(taint_found);
+
+  // Tamper detection against the pre-intrusion baseline.
+  ASSERT_OK_AND_ASSIGN(bool tampered, diagnosis.IsTampered(doc, intrusion_start));
+  EXPECT_TRUE(tampered);
+
+  // Restore everything the intruder modified.
+  ASSERT_OK_AND_ASSIGN(std::vector<ObjectId> restored,
+                       diagnosis.RestoreModified(report, intrusion_start));
+  EXPECT_FALSE(restored.empty());
+  ASSERT_OK_AND_ASSIGN(Bytes doc_now, fs_->ReadFile(doc, 0, 64));
+  EXPECT_EQ(StringOf(doc_now), "\\section{intro}");
+  ASSERT_OK_AND_ASSIGN(bool still_tampered, diagnosis.IsTampered(doc, intrusion_start));
+  EXPECT_FALSE(still_tampered);
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,221 @@
+// Foundation utilities: codec round trips (including property sweeps),
+// CRC32C vectors, deterministic RNG, and Status/Result plumbing.
+#include <gtest/gtest.h>
+
+#include "src/util/codec.h"
+#include "src/util/crc32.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: thing");
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad = Status::Internal("boom");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kInternal);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) {
+      return Status::InvalidArgument("nope");
+    }
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    S4_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*outer(false), 14);
+  EXPECT_EQ(outer(true).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.PutU8(0xAB);
+  enc.PutU16(0xBEEF);
+  enc.PutU32(0xDEADBEEF);
+  enc.PutU64(0x0123456789ABCDEFull);
+  enc.PutI64(-42);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(*dec.U8(), 0xAB);
+  EXPECT_EQ(*dec.U16(), 0xBEEF);
+  EXPECT_EQ(*dec.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(*dec.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(*dec.I64(), -42);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, (1ull << 32),
+                     ~0ull}) {
+    Encoder enc;
+    enc.PutVarint(v);
+    Decoder dec(enc.bytes());
+    ASSERT_OK_AND_ASSIGN(uint64_t got, dec.Varint());
+    EXPECT_EQ(got, v);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(CodecTest, StringsAndBytes) {
+  Encoder enc;
+  enc.PutString("hello");
+  enc.PutString("");
+  enc.PutLengthPrefixed(BytesOf("raw"));
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(*dec.String(), "hello");
+  EXPECT_EQ(*dec.String(), "");
+  EXPECT_EQ(StringOf(*dec.LengthPrefixed()), "raw");
+}
+
+TEST(CodecTest, UnderrunReportsCorruption) {
+  Bytes short_buf = {0x01, 0x02};
+  Decoder dec(short_buf);
+  EXPECT_EQ(dec.U64().status().code(), ErrorCode::kDataCorruption);
+  Decoder dec2(short_buf);
+  EXPECT_OK(dec2.U16().status());
+  EXPECT_EQ(dec2.U8().status().code(), ErrorCode::kDataCorruption);
+}
+
+TEST(CodecTest, MaliciousLengthPrefixRejected) {
+  Encoder enc;
+  enc.PutVarint(1ull << 40);  // claims a terabyte follows
+  enc.PutU8(0);
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.LengthPrefixed().status().code(), ErrorCode::kDataCorruption);
+}
+
+class CodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecPropertyTest, MixedRoundTrip) {
+  Rng rng(GetParam());
+  Encoder enc;
+  std::vector<std::pair<int, uint64_t>> script;
+  std::vector<Bytes> blobs;
+  for (int i = 0; i < 200; ++i) {
+    int kind = static_cast<int>(rng.Below(5));
+    uint64_t v = rng.Next() >> rng.Below(64);
+    script.emplace_back(kind, v);
+    switch (kind) {
+      case 0:
+        enc.PutU8(static_cast<uint8_t>(v));
+        break;
+      case 1:
+        enc.PutU32(static_cast<uint32_t>(v));
+        break;
+      case 2:
+        enc.PutU64(v);
+        break;
+      case 3:
+        enc.PutVarint(v);
+        break;
+      case 4: {
+        Bytes b = rng.RandomBytes(rng.Below(64));
+        blobs.push_back(b);
+        enc.PutLengthPrefixed(b);
+        break;
+      }
+    }
+  }
+  Decoder dec(enc.bytes());
+  size_t blob_index = 0;
+  for (const auto& [kind, v] : script) {
+    switch (kind) {
+      case 0:
+        ASSERT_EQ(*dec.U8(), static_cast<uint8_t>(v));
+        break;
+      case 1:
+        ASSERT_EQ(*dec.U32(), static_cast<uint32_t>(v));
+        break;
+      case 2:
+        ASSERT_EQ(*dec.U64(), v);
+        break;
+      case 3:
+        ASSERT_EQ(*dec.Varint(), v);
+        break;
+      case 4:
+        ASSERT_EQ(*dec.LengthPrefixed(), blobs[blob_index++]);
+        break;
+    }
+  }
+  EXPECT_TRUE(dec.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest, ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(Crc32Test, KnownVectors) {
+  // CRC32C("123456789") = 0xE3069283 (iSCSI test vector).
+  Bytes v = BytesOf("123456789");
+  EXPECT_EQ(Crc32c(v), 0xE3069283u);
+  EXPECT_EQ(Crc32c({}), 0x00000000u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  Rng rng(5);
+  Bytes data = rng.RandomBytes(10000);
+  uint32_t state = Crc32cInit();
+  for (size_t off = 0; off < data.size(); off += 777) {
+    size_t n = std::min<size_t>(777, data.size() - off);
+    state = Crc32cExtend(state, ByteSpan(data).subspan(off, n));
+  }
+  EXPECT_EQ(Crc32cFinish(state), Crc32c(data));
+}
+
+TEST(Crc32Test, DetectsBitFlips) {
+  Rng rng(6);
+  Bytes data = rng.RandomBytes(512);
+  uint32_t crc = Crc32c(data);
+  for (int i = 0; i < 20; ++i) {
+    Bytes mutated = data;
+    mutated[rng.Below(mutated.size())] ^= static_cast<uint8_t>(1 + rng.Below(255));
+    EXPECT_NE(Crc32c(mutated), crc);
+  }
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, RangeBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, CompressibilityShapesEntropy) {
+  Rng rng(8);
+  Bytes random = rng.RandomBytes(10000, 0.0);
+  Bytes texty = rng.RandomBytes(10000, 0.9);
+  // Count distinct bytes as a crude entropy proxy.
+  auto distinct = [](const Bytes& b) {
+    std::set<uint8_t> s(b.begin(), b.end());
+    return s.size();
+  };
+  EXPECT_GT(distinct(random), 200u);
+  EXPECT_LT(distinct(texty), 30u);
+}
+
+}  // namespace
+}  // namespace s4

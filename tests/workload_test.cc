@@ -1,0 +1,125 @@
+// Workload generators: sanity of PostMark / SSH-build / microbench reports
+// on the S4 stack and a baseline, plus the capacity model arithmetic.
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+#include "src/workload/capacity.h"
+#include "src/workload/microbench.h"
+#include "src/workload/postmark.h"
+#include "src/workload/ssh_build.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+TEST(WorkloadTest, PostMarkSmallRunOnS4) {
+  auto server = bench::MakeServer(bench::ServerKind::kS4Nas, [] {
+    bench::ServerOptions o;
+    o.disk_bytes = 256ull << 20;
+    return o;
+  }());
+  PostMarkConfig config;
+  config.file_count = 300;
+  config.transactions = 600;
+  PostMark pm(server->fs, server->clock.get(), config);
+  ASSERT_OK_AND_ASSIGN(PostMarkReport report, pm.Run());
+  EXPECT_GE(report.files_created, 300u);
+  EXPECT_GT(report.create_phase, 0);
+  EXPECT_GT(report.transaction_phase, 0);
+  EXPECT_GT(report.reads + report.appends, 0u);
+  EXPECT_GT(report.TransactionsPerSecond(config.transactions), 0.0);
+}
+
+TEST(WorkloadTest, PostMarkSmallRunOnFfs) {
+  auto server = bench::MakeServer(bench::ServerKind::kFfsNfs, [] {
+    bench::ServerOptions o;
+    o.disk_bytes = 256ull << 20;
+    return o;
+  }());
+  PostMarkConfig config;
+  config.file_count = 300;
+  config.transactions = 600;
+  PostMark pm(server->fs, server->clock.get(), config);
+  ASSERT_OK_AND_ASSIGN(PostMarkReport report, pm.Run());
+  EXPECT_GE(report.files_created, 300u);
+}
+
+TEST(WorkloadTest, PostMarkDeterministic) {
+  auto run = [] {
+    auto server = bench::MakeServer(bench::ServerKind::kS4Nas, [] {
+      bench::ServerOptions o;
+      o.disk_bytes = 256ull << 20;
+      return o;
+    }());
+    PostMarkConfig config;
+    config.file_count = 100;
+    config.transactions = 200;
+    PostMark pm(server->fs, server->clock.get(), config);
+    auto report = pm.Run();
+    S4_CHECK(report.ok());
+    return report->transaction_phase;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(WorkloadTest, SshBuildPhasesOnS4) {
+  auto server = bench::MakeServer(bench::ServerKind::kS4Nfs, [] {
+    bench::ServerOptions o;
+    o.disk_bytes = 512ull << 20;
+    return o;
+  }());
+  SshBuildConfig config;
+  config.source_files = 60;
+  config.configure_probes = 10;
+  config.tree_bytes = 700 * 1024;
+  SshBuild build(server->fs, server->clock.get(), config);
+  ASSERT_OK_AND_ASSIGN(SshBuildReport report, build.Run());
+  EXPECT_GT(report.unpack, 0);
+  EXPECT_GT(report.configure, 0);
+  EXPECT_GT(report.build, 0);
+  // The build phase is the long, CPU-heavy one (as in the paper).
+  EXPECT_GT(report.build, report.configure);
+}
+
+TEST(WorkloadTest, MicrobenchRuns) {
+  auto server = bench::MakeServer(bench::ServerKind::kS4Nfs, [] {
+    bench::ServerOptions o;
+    o.disk_bytes = 512ull << 20;
+    return o;
+  }());
+  MicrobenchConfig config;
+  config.file_count = 500;
+  ASSERT_OK_AND_ASSIGN(MicrobenchReport report,
+                       RunSmallFileMicrobench(server->fs, server->clock.get(), config));
+  EXPECT_GT(report.create, 0);
+  EXPECT_GT(report.read, 0);
+  EXPECT_GT(report.remove, 0);
+}
+
+TEST(CapacityTest, WindowArithmeticMatchesPaper) {
+  // 10GB pool at the AFS study's 143MB/day: "over 70 days".
+  EXPECT_GT(DetectionWindowDays(10.0, 143.0, 1.0), 70.0);
+  // 1GB/day (NT): "10 days worth".
+  EXPECT_NEAR(DetectionWindowDays(10.0, 1000.0, 1.0), 10.24, 0.5);
+  // 110MB/day (Elephant): "over 90 days".
+  EXPECT_GT(DetectionWindowDays(10.0, 110.0, 1.0), 90.0);
+}
+
+TEST(CapacityTest, MeasuredRatiosInPaperBallpark) {
+  // A day of development replaces roughly half of each touched file's
+  // content (compiled trees churn heavily; the paper's CVS+compile
+  // measurement behaved similarly).
+  CompactionRatios ratios = MeasureCompactionRatios(/*files=*/12, /*versions=*/8,
+                                                    /*file_bytes=*/40000,
+                                                    /*edit_fraction=*/0.5, /*seed=*/5);
+  // Paper: differencing ~3x ("increased space efficiency by 200%"),
+  // compression on top ~5x total. Synthetic trees land in the same regime.
+  EXPECT_GT(ratios.differencing, 2.0);
+  EXPECT_LT(ratios.differencing, 6.0);
+  EXPECT_GT(ratios.differencing_and_compression, ratios.differencing);
+  EXPECT_GT(ratios.differencing_and_compression, 3.5);
+  EXPECT_LT(ratios.differencing_and_compression, 12.0);
+}
+
+}  // namespace
+}  // namespace s4
