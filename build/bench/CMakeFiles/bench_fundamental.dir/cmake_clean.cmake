@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fundamental.dir/bench_fundamental.cc.o"
+  "CMakeFiles/bench_fundamental.dir/bench_fundamental.cc.o.d"
+  "bench_fundamental"
+  "bench_fundamental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fundamental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

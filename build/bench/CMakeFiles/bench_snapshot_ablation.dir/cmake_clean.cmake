@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snapshot_ablation.dir/bench_snapshot_ablation.cc.o"
+  "CMakeFiles/bench_snapshot_ablation.dir/bench_snapshot_ablation.cc.o.d"
+  "bench_snapshot_ablation"
+  "bench_snapshot_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snapshot_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sshbuild.dir/bench_sshbuild.cc.o"
+  "CMakeFiles/bench_sshbuild.dir/bench_sshbuild.cc.o.d"
+  "bench_sshbuild"
+  "bench_sshbuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sshbuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_audit.dir/database_audit.cpp.o"
+  "CMakeFiles/database_audit.dir/database_audit.cpp.o.d"
+  "database_audit"
+  "database_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrusion_recovery.dir/intrusion_recovery.cpp.o"
+  "CMakeFiles/intrusion_recovery.dir/intrusion_recovery.cpp.o.d"
+  "intrusion_recovery"
+  "intrusion_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrusion_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

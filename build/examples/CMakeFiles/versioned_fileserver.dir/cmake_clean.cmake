@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_fileserver.dir/versioned_fileserver.cpp.o"
+  "CMakeFiles/versioned_fileserver.dir/versioned_fileserver.cpp.o.d"
+  "versioned_fileserver"
+  "versioned_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("lfs")
+subdirs("journal")
+subdirs("object")
+subdirs("cache")
+subdirs("audit")
+subdirs("drive")
+subdirs("rpc")
+subdirs("fs")
+subdirs("delta")
+subdirs("baseline")
+subdirs("recovery")
+subdirs("cluster")
+subdirs("workload")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_audit.dir/audit_log.cc.o"
+  "CMakeFiles/s4_audit.dir/audit_log.cc.o.d"
+  "libs4_audit.a"
+  "libs4_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_baseline.dir/conventional_versioning.cc.o"
+  "CMakeFiles/s4_baseline.dir/conventional_versioning.cc.o.d"
+  "CMakeFiles/s4_baseline.dir/ffs_like.cc.o"
+  "CMakeFiles/s4_baseline.dir/ffs_like.cc.o.d"
+  "CMakeFiles/s4_baseline.dir/snapshot_store.cc.o"
+  "CMakeFiles/s4_baseline.dir/snapshot_store.cc.o.d"
+  "libs4_baseline.a"
+  "libs4_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_cluster.dir/mirrored_drive.cc.o"
+  "CMakeFiles/s4_cluster.dir/mirrored_drive.cc.o.d"
+  "CMakeFiles/s4_cluster.dir/striped_volume.cc.o"
+  "CMakeFiles/s4_cluster.dir/striped_volume.cc.o.d"
+  "libs4_cluster.a"
+  "libs4_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delta/delta.cc" "src/delta/CMakeFiles/s4_delta.dir/delta.cc.o" "gcc" "src/delta/CMakeFiles/s4_delta.dir/delta.cc.o.d"
+  "/root/repo/src/delta/lz.cc" "src/delta/CMakeFiles/s4_delta.dir/lz.cc.o" "gcc" "src/delta/CMakeFiles/s4_delta.dir/lz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/s4_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_delta.dir/delta.cc.o"
+  "CMakeFiles/s4_delta.dir/delta.cc.o.d"
+  "CMakeFiles/s4_delta.dir/lz.cc.o"
+  "CMakeFiles/s4_delta.dir/lz.cc.o.d"
+  "libs4_delta.a"
+  "libs4_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

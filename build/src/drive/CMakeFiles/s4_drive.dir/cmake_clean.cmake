@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_drive.dir/drive_cleaner.cc.o"
+  "CMakeFiles/s4_drive.dir/drive_cleaner.cc.o.d"
+  "CMakeFiles/s4_drive.dir/drive_history.cc.o"
+  "CMakeFiles/s4_drive.dir/drive_history.cc.o.d"
+  "CMakeFiles/s4_drive.dir/drive_ops.cc.o"
+  "CMakeFiles/s4_drive.dir/drive_ops.cc.o.d"
+  "CMakeFiles/s4_drive.dir/s4_drive.cc.o"
+  "CMakeFiles/s4_drive.dir/s4_drive.cc.o.d"
+  "libs4_drive.a"
+  "libs4_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

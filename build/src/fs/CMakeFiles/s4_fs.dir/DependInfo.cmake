@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/dir_format.cc" "src/fs/CMakeFiles/s4_fs.dir/dir_format.cc.o" "gcc" "src/fs/CMakeFiles/s4_fs.dir/dir_format.cc.o.d"
+  "/root/repo/src/fs/file_system.cc" "src/fs/CMakeFiles/s4_fs.dir/file_system.cc.o" "gcc" "src/fs/CMakeFiles/s4_fs.dir/file_system.cc.o.d"
+  "/root/repo/src/fs/nfs_attr.cc" "src/fs/CMakeFiles/s4_fs.dir/nfs_attr.cc.o" "gcc" "src/fs/CMakeFiles/s4_fs.dir/nfs_attr.cc.o.d"
+  "/root/repo/src/fs/s4_fs.cc" "src/fs/CMakeFiles/s4_fs.dir/s4_fs.cc.o" "gcc" "src/fs/CMakeFiles/s4_fs.dir/s4_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/s4_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/s4_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/drive/CMakeFiles/s4_drive.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/s4_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/s4_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/s4_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/s4_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/s4_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

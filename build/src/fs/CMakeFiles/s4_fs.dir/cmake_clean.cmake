@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_fs.dir/dir_format.cc.o"
+  "CMakeFiles/s4_fs.dir/dir_format.cc.o.d"
+  "CMakeFiles/s4_fs.dir/file_system.cc.o"
+  "CMakeFiles/s4_fs.dir/file_system.cc.o.d"
+  "CMakeFiles/s4_fs.dir/nfs_attr.cc.o"
+  "CMakeFiles/s4_fs.dir/nfs_attr.cc.o.d"
+  "CMakeFiles/s4_fs.dir/s4_fs.cc.o"
+  "CMakeFiles/s4_fs.dir/s4_fs.cc.o.d"
+  "libs4_fs.a"
+  "libs4_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

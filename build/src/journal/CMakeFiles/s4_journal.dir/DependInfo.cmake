@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/journal/entry.cc" "src/journal/CMakeFiles/s4_journal.dir/entry.cc.o" "gcc" "src/journal/CMakeFiles/s4_journal.dir/entry.cc.o.d"
+  "/root/repo/src/journal/sector.cc" "src/journal/CMakeFiles/s4_journal.dir/sector.cc.o" "gcc" "src/journal/CMakeFiles/s4_journal.dir/sector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/s4_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/s4_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/s4_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

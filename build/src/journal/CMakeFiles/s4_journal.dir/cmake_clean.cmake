@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_journal.dir/entry.cc.o"
+  "CMakeFiles/s4_journal.dir/entry.cc.o.d"
+  "CMakeFiles/s4_journal.dir/sector.cc.o"
+  "CMakeFiles/s4_journal.dir/sector.cc.o.d"
+  "libs4_journal.a"
+  "libs4_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfs/format.cc" "src/lfs/CMakeFiles/s4_lfs.dir/format.cc.o" "gcc" "src/lfs/CMakeFiles/s4_lfs.dir/format.cc.o.d"
+  "/root/repo/src/lfs/scan.cc" "src/lfs/CMakeFiles/s4_lfs.dir/scan.cc.o" "gcc" "src/lfs/CMakeFiles/s4_lfs.dir/scan.cc.o.d"
+  "/root/repo/src/lfs/segment_writer.cc" "src/lfs/CMakeFiles/s4_lfs.dir/segment_writer.cc.o" "gcc" "src/lfs/CMakeFiles/s4_lfs.dir/segment_writer.cc.o.d"
+  "/root/repo/src/lfs/usage_table.cc" "src/lfs/CMakeFiles/s4_lfs.dir/usage_table.cc.o" "gcc" "src/lfs/CMakeFiles/s4_lfs.dir/usage_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/s4_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/s4_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_lfs.dir/format.cc.o"
+  "CMakeFiles/s4_lfs.dir/format.cc.o.d"
+  "CMakeFiles/s4_lfs.dir/scan.cc.o"
+  "CMakeFiles/s4_lfs.dir/scan.cc.o.d"
+  "CMakeFiles/s4_lfs.dir/segment_writer.cc.o"
+  "CMakeFiles/s4_lfs.dir/segment_writer.cc.o.d"
+  "CMakeFiles/s4_lfs.dir/usage_table.cc.o"
+  "CMakeFiles/s4_lfs.dir/usage_table.cc.o.d"
+  "libs4_lfs.a"
+  "libs4_lfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_lfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

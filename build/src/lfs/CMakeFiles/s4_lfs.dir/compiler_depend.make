@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for s4_lfs.
+# This may be replaced when dependencies are built.

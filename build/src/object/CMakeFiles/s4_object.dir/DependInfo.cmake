@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/object/inode.cc" "src/object/CMakeFiles/s4_object.dir/inode.cc.o" "gcc" "src/object/CMakeFiles/s4_object.dir/inode.cc.o.d"
+  "/root/repo/src/object/object_map.cc" "src/object/CMakeFiles/s4_object.dir/object_map.cc.o" "gcc" "src/object/CMakeFiles/s4_object.dir/object_map.cc.o.d"
+  "/root/repo/src/object/types.cc" "src/object/CMakeFiles/s4_object.dir/types.cc.o" "gcc" "src/object/CMakeFiles/s4_object.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/s4_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/s4_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/s4_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_object.dir/inode.cc.o"
+  "CMakeFiles/s4_object.dir/inode.cc.o.d"
+  "CMakeFiles/s4_object.dir/object_map.cc.o"
+  "CMakeFiles/s4_object.dir/object_map.cc.o.d"
+  "CMakeFiles/s4_object.dir/types.cc.o"
+  "CMakeFiles/s4_object.dir/types.cc.o.d"
+  "libs4_object.a"
+  "libs4_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_recovery.dir/diagnosis.cc.o"
+  "CMakeFiles/s4_recovery.dir/diagnosis.cc.o.d"
+  "CMakeFiles/s4_recovery.dir/history_browser.cc.o"
+  "CMakeFiles/s4_recovery.dir/history_browser.cc.o.d"
+  "CMakeFiles/s4_recovery.dir/history_compaction.cc.o"
+  "CMakeFiles/s4_recovery.dir/history_compaction.cc.o.d"
+  "CMakeFiles/s4_recovery.dir/landmark_archive.cc.o"
+  "CMakeFiles/s4_recovery.dir/landmark_archive.cc.o.d"
+  "libs4_recovery.a"
+  "libs4_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_rpc.dir/auth.cc.o"
+  "CMakeFiles/s4_rpc.dir/auth.cc.o.d"
+  "CMakeFiles/s4_rpc.dir/client.cc.o"
+  "CMakeFiles/s4_rpc.dir/client.cc.o.d"
+  "CMakeFiles/s4_rpc.dir/messages.cc.o"
+  "CMakeFiles/s4_rpc.dir/messages.cc.o.d"
+  "CMakeFiles/s4_rpc.dir/transport.cc.o"
+  "CMakeFiles/s4_rpc.dir/transport.cc.o.d"
+  "libs4_rpc.a"
+  "libs4_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

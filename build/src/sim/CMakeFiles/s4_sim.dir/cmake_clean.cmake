@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_sim.dir/block_device.cc.o"
+  "CMakeFiles/s4_sim.dir/block_device.cc.o.d"
+  "libs4_sim.a"
+  "libs4_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

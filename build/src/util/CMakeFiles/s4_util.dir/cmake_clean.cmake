@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_util.dir/codec.cc.o"
+  "CMakeFiles/s4_util.dir/codec.cc.o.d"
+  "CMakeFiles/s4_util.dir/crc32.cc.o"
+  "CMakeFiles/s4_util.dir/crc32.cc.o.d"
+  "CMakeFiles/s4_util.dir/logging.cc.o"
+  "CMakeFiles/s4_util.dir/logging.cc.o.d"
+  "CMakeFiles/s4_util.dir/rng.cc.o"
+  "CMakeFiles/s4_util.dir/rng.cc.o.d"
+  "CMakeFiles/s4_util.dir/status.cc.o"
+  "CMakeFiles/s4_util.dir/status.cc.o.d"
+  "libs4_util.a"
+  "libs4_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

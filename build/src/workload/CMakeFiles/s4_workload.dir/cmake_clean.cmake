@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s4_workload.dir/capacity.cc.o"
+  "CMakeFiles/s4_workload.dir/capacity.cc.o.d"
+  "CMakeFiles/s4_workload.dir/microbench.cc.o"
+  "CMakeFiles/s4_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/s4_workload.dir/postmark.cc.o"
+  "CMakeFiles/s4_workload.dir/postmark.cc.o.d"
+  "CMakeFiles/s4_workload.dir/ssh_build.cc.o"
+  "CMakeFiles/s4_workload.dir/ssh_build.cc.o.d"
+  "libs4_workload.a"
+  "libs4_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s4_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

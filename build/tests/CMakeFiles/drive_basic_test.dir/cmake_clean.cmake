@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_basic_test.dir/drive_basic_test.cc.o"
+  "CMakeFiles/drive_basic_test.dir/drive_basic_test.cc.o.d"
+  "drive_basic_test"
+  "drive_basic_test.pdb"
+  "drive_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_cleaner_test.dir/drive_cleaner_test.cc.o"
+  "CMakeFiles/drive_cleaner_test.dir/drive_cleaner_test.cc.o.d"
+  "drive_cleaner_test"
+  "drive_cleaner_test.pdb"
+  "drive_cleaner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_cleaner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

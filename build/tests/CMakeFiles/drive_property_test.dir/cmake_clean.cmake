@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_property_test.dir/drive_property_test.cc.o"
+  "CMakeFiles/drive_property_test.dir/drive_property_test.cc.o.d"
+  "drive_property_test"
+  "drive_property_test.pdb"
+  "drive_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_recovery_test.dir/drive_recovery_test.cc.o"
+  "CMakeFiles/drive_recovery_test.dir/drive_recovery_test.cc.o.d"
+  "drive_recovery_test"
+  "drive_recovery_test.pdb"
+  "drive_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/drive_robustness_test.cc" "tests/CMakeFiles/drive_robustness_test.dir/drive_robustness_test.cc.o" "gcc" "tests/CMakeFiles/drive_robustness_test.dir/drive_robustness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drive/CMakeFiles/s4_drive.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/s4_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/journal/CMakeFiles/s4_journal.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/s4_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/s4_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/s4_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/s4_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/s4_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_robustness_test.dir/drive_robustness_test.cc.o"
+  "CMakeFiles/drive_robustness_test.dir/drive_robustness_test.cc.o.d"
+  "drive_robustness_test"
+  "drive_robustness_test.pdb"
+  "drive_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_security_test.dir/drive_security_test.cc.o"
+  "CMakeFiles/drive_security_test.dir/drive_security_test.cc.o.d"
+  "drive_security_test"
+  "drive_security_test.pdb"
+  "drive_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/journal_object_test.dir/journal_object_test.cc.o"
+  "CMakeFiles/journal_object_test.dir/journal_object_test.cc.o.d"
+  "journal_object_test"
+  "journal_object_test.pdb"
+  "journal_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/journal_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/drive_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/drive_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/drive_security_test[1]_include.cmake")
+include("/root/repo/build/tests/drive_cleaner_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/delta_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_tools_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_object_test[1]_include.cmake")
+include("/root/repo/build/tests/drive_property_test[1]_include.cmake")
+include("/root/repo/build/tests/history_compaction_test[1]_include.cmake")
+include("/root/repo/build/tests/drive_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/auth_test[1]_include.cmake")
+include("/root/repo/build/tests/landmark_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_coverage_test[1]_include.cmake")
