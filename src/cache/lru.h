@@ -50,9 +50,25 @@ class LruCache {
     return it == index_.end() ? nullptr : &it->second->value;
   }
 
-  // Inserts or replaces. `cost` is the entry's budget charge.
+  // Inserts or replaces. `cost` is the entry's budget charge. Replacing an
+  // existing key hands the displaced value to the eviction callback — it may
+  // be dirty state whose side effect (e.g. checkpointing) must not be lost.
   void Put(const Key& key, Value value, uint64_t cost) {
-    Remove(key);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      Entry& e = *it->second;
+      Value displaced = std::move(e.value);
+      e.value = std::move(value);
+      used_ += cost;
+      used_ -= e.cost;
+      e.cost = cost;
+      order_.splice(order_.begin(), order_, it->second);
+      if (evict_fn_) {
+        evict_fn_(key, std::move(displaced));
+      }
+      EvictToFit();
+      return;
+    }
     order_.push_front(Entry{key, std::move(value), cost});
     index_[key] = order_.begin();
     used_ += cost;

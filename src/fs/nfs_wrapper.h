@@ -88,8 +88,10 @@ class NfsServerWrapper : public FileSystemApi {
   void Charge(uint64_t request_bytes, uint64_t reply_bytes) {
     clock_->Advance(model_.TransferCost(request_bytes));
     clock_->Advance(model_.TransferCost(reply_bytes));
-    stats_.messages_sent += 2;
-    stats_.bytes_sent += request_bytes + reply_bytes;
+    ++stats_.messages_sent;
+    stats_.bytes_sent += request_bytes;
+    ++stats_.messages_received;
+    stats_.bytes_received += reply_bytes;
   }
 
   FileSystemApi* backend_;

@@ -10,6 +10,7 @@ Result<Bytes> ChunkSummary::Encode() const {
   enc.PutU32(kChunkMagic);
   enc.PutU64(seq);
   enc.PutI64(write_time);
+  enc.PutU32(payload_crc);
   enc.PutVarint(records.size());
   for (const auto& r : records) {
     enc.PutU8(static_cast<uint8_t>(r.kind));
@@ -49,6 +50,7 @@ Result<ChunkSummary> ChunkSummary::Decode(ByteSpan sector) {
   ChunkSummary s;
   S4_ASSIGN_OR_RETURN(s.seq, dec.U64());
   S4_ASSIGN_OR_RETURN(s.write_time, dec.I64());
+  S4_ASSIGN_OR_RETURN(s.payload_crc, dec.U32());
   S4_ASSIGN_OR_RETURN(uint64_t n, dec.Varint());
   s.records.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {

@@ -69,6 +69,7 @@ struct ChunkRecord {
 struct ChunkSummary {
   uint64_t seq = 0;          // global monotonically increasing chunk number
   SimTime write_time = 0;
+  uint32_t payload_crc = 0;  // CRC32C over all payload sectors of the chunk
   std::vector<ChunkRecord> records;
 
   uint32_t PayloadSectors() const {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/crc32.h"
+
 namespace s4 {
 
 Result<std::vector<ScannedChunk>> ScanSegment(BlockDevice* device, const Superblock& sb,
@@ -19,6 +21,17 @@ Result<std::vector<ScannedChunk>> ScanSegment(BlockDevice* device, const Superbl
     uint32_t payload = summary->PayloadSectors();
     if (offset + 1 + payload > sb.segment_sectors) {
       break;  // summary claims more payload than fits: treat as torn
+    }
+    // The summary CRC only proves the summary sector persisted. A power cut
+    // can land the summary and tear the payload (the chunk is one sequential
+    // write, but the platter commits sector by sector). Verify the payload
+    // CRC before trusting the chunk; a mismatch means a torn tail.
+    if (payload > 0) {
+      Bytes body;
+      S4_RETURN_IF_ERROR(device->Read(seg_start + offset + 1, payload, &body));
+      if (Crc32c(body) != summary->payload_crc) {
+        break;  // torn chunk: stop scanning this segment
+      }
     }
     ScannedChunk chunk;
     chunk.seq = summary->seq;

@@ -3,13 +3,14 @@
 #include <cstring>
 
 #include "src/util/check.h"
+#include "src/util/crc32.h"
 
 namespace s4 {
 namespace {
 
 // Encoded summary budget: sector minus CRC and fixed header fields.
 constexpr size_t kSummaryBudget = kSectorSize - 4 /*crc*/ - 4 /*magic*/ - 8 /*seq*/ -
-                                  8 /*time*/ - 5 /*count varint*/;
+                                  8 /*time*/ - 4 /*payload crc*/ - 5 /*count varint*/;
 
 // Worst-case encoded size of one ChunkRecord.
 size_t RecordEncodedSize(const ChunkRecord& r) {
@@ -123,6 +124,9 @@ Status SegmentWriter::Flush() {
   }
   pending_summary_.seq = next_seq_++;
   pending_summary_.write_time = clock_->Now();
+  // Cover the payload so recovery can tell a fully persisted chunk from one
+  // whose summary landed but whose payload was torn by a power cut.
+  pending_summary_.payload_crc = Crc32c(pending_payload_);
   S4_ASSIGN_OR_RETURN(Bytes summary, pending_summary_.Encode());
 
   Bytes chunk;

@@ -8,8 +8,8 @@ Result<Bytes> LoopbackTransport::Call(ByteSpan request) {
   stats_.bytes_sent += request.size();
   Bytes response = server_->Handle(request);
   clock_->Advance(model_.TransferCost(response.size()));
-  ++stats_.messages_sent;
-  stats_.bytes_sent += response.size();
+  ++stats_.messages_received;
+  stats_.bytes_received += response.size();
   return response;
 }
 

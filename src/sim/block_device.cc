@@ -8,6 +8,78 @@
 
 namespace s4 {
 
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+void FaultInjector::SchedulePowerCut(uint64_t nth_write, uint64_t persist_sectors,
+                                     uint64_t corrupt_sectors) {
+  S4_CHECK(nth_write > 0);
+  writes_until_cut_ = nth_write;
+  cut_persist_sectors_ = persist_sectors;
+  cut_corrupt_sectors_ = corrupt_sectors;
+}
+
+void FaultInjector::ScheduleBitRot(uint64_t lba, uint32_t byte_offset, uint8_t mask) {
+  S4_CHECK(byte_offset < kSectorSize);
+  rot_.emplace(lba, RotMark{byte_offset, mask});
+}
+
+void FaultInjector::ScheduleReadError(uint64_t lba, uint32_t count) {
+  read_errors_[lba] += count;
+}
+
+void FaultInjector::Reset() {
+  powered_off_ = false;
+  power_cut_fired_ = false;
+  writes_until_cut_ = 0;
+  cut_persist_sectors_ = 0;
+  cut_corrupt_sectors_ = 0;
+  rot_.clear();
+  read_errors_.clear();
+}
+
+FaultInjector::WriteFault FaultInjector::OnWrite() {
+  WriteFault fault;
+  if (writes_until_cut_ == 0) {
+    return fault;
+  }
+  if (--writes_until_cut_ == 0) {
+    fault.power_cut = true;
+    fault.persist_sectors = cut_persist_sectors_;
+    fault.corrupt_sectors = cut_corrupt_sectors_;
+    powered_off_ = true;
+    power_cut_fired_ = true;
+  }
+  return fault;
+}
+
+bool FaultInjector::OnRead(uint64_t lba, uint64_t count) {
+  auto it = read_errors_.lower_bound(lba);
+  if (it == read_errors_.end() || it->first >= lba + count) {
+    return false;
+  }
+  if (--it->second == 0) {
+    read_errors_.erase(it);
+  }
+  return true;
+}
+
+std::vector<std::pair<uint64_t, FaultInjector::RotMark>> FaultInjector::TakeRot(
+    uint64_t lba, uint64_t count) {
+  std::vector<std::pair<uint64_t, RotMark>> hits;
+  auto it = rot_.lower_bound(lba);
+  while (it != rot_.end() && it->first < lba + count) {
+    hits.emplace_back(it->first, it->second);
+    it = rot_.erase(it);
+  }
+  return hits;
+}
+
+// ---------------------------------------------------------------------------
+// BlockDevice
+// ---------------------------------------------------------------------------
+
 BlockDevice::BlockDevice(uint64_t sector_count, SimClock* clock, DiskModel model)
     : sector_count_(sector_count), clock_(clock), model_(model) {
   S4_CHECK(clock != nullptr);
@@ -80,6 +152,9 @@ Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out) {
   if (lba + count > sector_count_ || lba + count < lba) {
     return Status::InvalidArgument("read beyond device");
   }
+  if (injector_ != nullptr && injector_->powered_off()) {
+    return Status::Unavailable("device is powered off");
+  }
   SimDuration cost = model_.command_overhead + PositioningCost(lba) + model_.TransferCost(count);
   clock_->Advance(cost);
   stats_.busy_time += cost;
@@ -87,6 +162,16 @@ Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out) {
   stats_.sectors_read += count;
   head_lba_ = lba + count;
   last_io_end_ = clock_->Now();
+  if (injector_ != nullptr) {
+    if (injector_->OnRead(lba, count)) {
+      return Status::Unavailable("transient read error");
+    }
+    // Bit-rot is damage to the platter: apply it to the media, then read.
+    for (const auto& [rot_lba, mark] : injector_->TakeRot(lba, count)) {
+      uint8_t* chunk = ChunkFor(rot_lba * kSectorSize + mark.byte_offset, /*allocate=*/true);
+      chunk[(rot_lba * kSectorSize + mark.byte_offset) % kChunkBytes] ^= mark.mask;
+    }
+  }
   out->resize(count * kSectorSize);
   CopyOut(lba * kSectorSize, count * kSectorSize, out->data());
   return Status::Ok();
@@ -100,6 +185,34 @@ Status BlockDevice::Write(uint64_t lba, ByteSpan data) {
   if (lba + count > sector_count_ || lba + count < lba) {
     return Status::InvalidArgument("write beyond device");
   }
+  if (injector_ != nullptr && injector_->powered_off()) {
+    return Status::Unavailable("device is powered off");
+  }
+  if (injector_ != nullptr) {
+    FaultInjector::WriteFault fault = injector_->OnWrite();
+    if (fault.power_cut) {
+      // Power failed mid-command. A prefix of the sectors landed intact, a
+      // further run was in flight (torn: garbage on the media), the rest
+      // never left the buffer. Charge timing for what reached the platter.
+      uint64_t persist = std::min<uint64_t>(fault.persist_sectors, count);
+      uint64_t corrupt = std::min<uint64_t>(fault.corrupt_sectors, count - persist);
+      SimDuration cost = model_.command_overhead + PositioningCost(lba) +
+                         model_.TransferCost(persist + corrupt);
+      clock_->Advance(cost);
+      stats_.busy_time += cost;
+      ++stats_.writes;
+      stats_.sectors_written += persist;
+      head_lba_ = lba + persist + corrupt;
+      last_io_end_ = clock_->Now();
+      if (persist > 0) {
+        CopyIn(lba * kSectorSize, data.first(persist * kSectorSize));
+      }
+      if (corrupt > 0) {
+        CorruptSectors(lba + persist, corrupt);
+      }
+      return Status::Unavailable("power lost during write");
+    }
+  }
   SimDuration cost = model_.command_overhead + PositioningCost(lba) + model_.TransferCost(count);
   clock_->Advance(cost);
   stats_.busy_time += cost;
@@ -111,11 +224,11 @@ Status BlockDevice::Write(uint64_t lba, ByteSpan data) {
   return Status::Ok();
 }
 
-void BlockDevice::SimulateCrashTornSector(uint64_t torn_lba) {
-  if (torn_lba < sector_count_) {
+void BlockDevice::CorruptSectors(uint64_t lba, uint64_t count) {
+  for (uint64_t i = 0; i < count && lba + i < sector_count_; ++i) {
     // Fill with a recognisable garbage pattern; checksums must catch this.
     Bytes garbage(kSectorSize, 0xDE);
-    CopyIn(torn_lba * kSectorSize, garbage);
+    CopyIn((lba + i) * kSectorSize, garbage);
   }
 }
 

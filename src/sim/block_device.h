@@ -9,6 +9,7 @@
 #define S4_SRC_SIM_BLOCK_DEVICE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -20,6 +21,77 @@
 namespace s4 {
 
 constexpr uint32_t kSectorSize = 512;
+
+// Programmable media-fault schedule, attachable to a BlockDevice. Models the
+// adversarial failure modes crash recovery must survive:
+//
+//   * power cut during the Nth write command (with an optional torn tail:
+//     a prefix of the write's sectors persists, a further run is corrupted,
+//     the remainder never reaches the platter),
+//   * silent bit-rot on chosen LBAs (flips persist on the media and are only
+//     observable through checksums),
+//   * transient read errors (the command fails, a retry succeeds).
+//
+// The injector is passive state; the owning BlockDevice consults it on every
+// command. One injector drives at most one device.
+class FaultInjector {
+ public:
+  // Cuts power during the `nth` write command issued from now (1-based;
+  // nth=1 is the very next write). Of that write, the first `persist_sectors`
+  // land intact, the next `corrupt_sectors` are torn (filled with garbage),
+  // and the rest never reaches the media. The cutting write and every
+  // command after it fail with kUnavailable until PowerOn().
+  void SchedulePowerCut(uint64_t nth_write, uint64_t persist_sectors = 0,
+                        uint64_t corrupt_sectors = 0);
+
+  // Silent bit-rot: XORs `mask` into byte `byte_offset` of sector `lba` the
+  // next time that sector passes under the head. The damage is applied to
+  // the media, so it persists across reads and power cycles.
+  void ScheduleBitRot(uint64_t lba, uint32_t byte_offset = 0, uint8_t mask = 0x01);
+
+  // The next `count` read commands touching `lba` fail with kUnavailable;
+  // after that, reads succeed again (a transient/recovered medium error).
+  void ScheduleReadError(uint64_t lba, uint32_t count = 1);
+
+  // Restores power after a cut. Platter contents (including any torn write
+  // damage) are untouched; only the ability to issue commands returns.
+  void PowerOn() { powered_off_ = false; }
+  bool powered_off() const { return powered_off_; }
+  // True once a scheduled power cut has fired.
+  bool power_cut_fired() const { return power_cut_fired_; }
+  // Write commands remaining before a scheduled cut fires (0 = none armed).
+  uint64_t writes_until_cut() const { return writes_until_cut_; }
+
+  // Clears all scheduled faults and restores power.
+  void Reset();
+
+ private:
+  friend class BlockDevice;
+
+  struct WriteFault {
+    bool power_cut = false;
+    uint64_t persist_sectors = 0;
+    uint64_t corrupt_sectors = 0;
+  };
+  struct RotMark {
+    uint32_t byte_offset;
+    uint8_t mask;
+  };
+
+  // Device-side hooks: called once per command, in command order.
+  WriteFault OnWrite();
+  bool OnRead(uint64_t lba, uint64_t count);  // true = fail this read
+  // Takes the pending rot marks overlapping [lba, lba+count).
+  std::vector<std::pair<uint64_t, RotMark>> TakeRot(uint64_t lba, uint64_t count);
+
+  bool powered_off_ = false;
+  bool power_cut_fired_ = false;
+  uint64_t writes_until_cut_ = 0;  // 0 = no cut armed
+  uint64_t cut_persist_sectors_ = 0;
+  uint64_t cut_corrupt_sectors_ = 0;
+  std::multimap<uint64_t, RotMark> rot_;          // lba -> pending rot
+  std::map<uint64_t, uint32_t> read_errors_;      // lba -> remaining failures
+};
 
 // Timing parameters, defaulted to the Seagate Cheetah 10K (ST39102) class
 // drive used in the paper's testbed.
@@ -78,10 +150,22 @@ class BlockDevice {
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats(); }
 
+  // Attaches a fault schedule (nullptr detaches). The injector must outlive
+  // the device or be detached first.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  // Directly overwrites `count` sectors starting at `lba` with a
+  // recognisable garbage pattern — media damage with no timing cost, for
+  // tests that corrupt state out-of-band.
+  void CorruptSectors(uint64_t lba, uint64_t count = 1);
+
   // Simulates power loss: in-memory sector contents persist (they model the
   // platters), but the caller's caches are gone. Provided for crash tests.
   // Optionally corrupts the `torn_lba` sector to model a torn write.
-  void SimulateCrashTornSector(uint64_t torn_lba);
+  // Thin wrapper kept for older tests; new code should use a FaultInjector
+  // or CorruptSectors directly.
+  void SimulateCrashTornSector(uint64_t torn_lba) { CorruptSectors(torn_lba, 1); }
 
  private:
   // Backing store is allocated lazily in 1MB chunks so multi-GB simulated
@@ -96,6 +180,7 @@ class BlockDevice {
   uint64_t sector_count_;
   SimClock* clock_;
   DiskModel model_;
+  FaultInjector* injector_ = nullptr;
   std::vector<std::unique_ptr<uint8_t[]>> chunks_;
   uint64_t head_lba_ = 0;   // LBA following the last transfer
   SimTime last_io_end_ = 0; // when the previous command completed

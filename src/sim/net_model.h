@@ -25,9 +25,13 @@ struct NetModel {
   }
 };
 
+// Traffic counters from the client's point of view: requests are sent,
+// responses are received.
 struct NetStats {
   uint64_t messages_sent = 0;
   uint64_t bytes_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t bytes_received = 0;
 };
 
 }  // namespace s4

@@ -26,6 +26,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "UNIMPLEMENTED";
     case ErrorCode::kInternal:
       return "INTERNAL";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

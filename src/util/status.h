@@ -28,6 +28,7 @@ enum class ErrorCode : uint8_t {
   kFailedPrecondition,// op not valid in current state (e.g. read of deleted)
   kUnimplemented,
   kInternal,
+  kUnavailable,       // device unreachable (powered off, transient I/O error)
 };
 
 // Human-readable name of an ErrorCode ("OK", "NOT_FOUND", ...).
@@ -59,6 +60,7 @@ class Status {
   }
   static Status Unimplemented(std::string m) { return {ErrorCode::kUnimplemented, std::move(m)}; }
   static Status Internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }

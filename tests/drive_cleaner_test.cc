@@ -282,5 +282,97 @@ TEST_F(DriveTest, VersioningDisabledFreesImmediately) {
   EXPECT_EQ(StringOf(cur), "v2");
 }
 
+// ---------------------------------------------------------------------------
+// Space-exhaustion throttle (section 3.3): decay, fair share, reject
+// ---------------------------------------------------------------------------
+
+// Lowered thresholds make the throttle observable without actually filling
+// the disk: threshold 0 engages the rate check on every write, and a tiny
+// fair share makes any burst "over-share".
+class ThrottleTest : public DriveTest {
+ protected:
+  void SetUp() override {}  // each test picks its own options
+
+  void SetUpThrottle(double throttle_threshold, double reject_threshold,
+                     double fair_share) {
+    S4DriveOptions o = SmallOptions();
+    o.throttle_threshold = throttle_threshold;
+    o.reject_threshold = reject_threshold;
+    o.fair_share_bytes_per_sec = fair_share;
+    SetUpDrive(o, 64ull << 20);
+  }
+};
+
+TEST_F(ThrottleTest, OverShareClientIsDelayedAndDecayRestoresService) {
+  SetUpThrottle(/*throttle=*/0.0, /*reject=*/2.0, /*fair_share=*/1000.0);
+  Credentials alice = User(100, /*client=*/7);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+
+  // First write: no load history yet, full service.
+  ASSERT_OK(drive_->Write(alice, id, 0, Bytes(1 << 20, 0xAA)));
+  EXPECT_EQ(drive_->stats().throttle_delays, 0u);
+
+  // The burst pushed the client's decayed rate (~1MB/5s) far over the 1KB/s
+  // fair share: the next write is progressively delayed, not refused.
+  SimTime before = clock_->Now();
+  ASSERT_OK(drive_->Write(alice, id, 0, Bytes(kBlockSize, 0xBB)));
+  EXPECT_EQ(drive_->stats().throttle_delays, 1u);
+  EXPECT_EQ(drive_->stats().throttle_rejects, 0u);
+  EXPECT_GT(clock_->Now() - before, 0);
+
+  // Idle far longer than the 5s decay constant. The stale rate is only
+  // refreshed by the next accepted write; after it, the exponential decay
+  // has pulled the client back under fair share and service is full again.
+  clock_->Advance(kMinute);
+  ASSERT_OK(drive_->Write(alice, id, 0, Bytes(kBlockSize, 0xCC)));
+  uint64_t delays_after_decay_write = drive_->stats().throttle_delays;
+  ASSERT_OK(drive_->Write(alice, id, 0, Bytes(kBlockSize, 0xDD)));
+  EXPECT_EQ(drive_->stats().throttle_delays, delays_after_decay_write)
+      << "decayed client should not be delayed";
+}
+
+TEST_F(ThrottleTest, FairShareClientKeepsFullService) {
+  SetUpThrottle(/*throttle=*/0.0, /*reject=*/2.0, /*fair_share=*/2.0 * (1 << 20));
+  Credentials alice = User(100, /*client=*/7);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+
+  // Writing one 4KB block per second is well under the 2MB/s fair share:
+  // even with the utilisation gate forced open, nothing is delayed.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(drive_->Write(alice, id, 0, Bytes(kBlockSize, 0xEE)));
+    clock_->Advance(kSecond);
+  }
+  EXPECT_EQ(drive_->stats().throttle_delays, 0u);
+  EXPECT_EQ(drive_->stats().throttle_rejects, 0u);
+}
+
+TEST_F(ThrottleTest, NearExhaustionOverShareWritesAreRefused) {
+  SetUpThrottle(/*throttle=*/0.0, /*reject=*/0.0, /*fair_share=*/1000.0);
+  Credentials alice = User(100, /*client=*/7);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+
+  // Build up an over-share rate, then hit the reject wall.
+  ASSERT_OK(drive_->Write(alice, id, 0, Bytes(1 << 20, 0xAA)));
+  Status s = drive_->Write(alice, id, 0, Bytes(kBlockSize, 0xBB));
+  EXPECT_EQ(s.code(), ErrorCode::kThrottled);
+  EXPECT_GE(drive_->stats().throttle_rejects, 1u);
+
+  // A different, well-behaved client still gets service.
+  Credentials bob = User(101, /*client=*/8);
+  ASSERT_OK_AND_ASSIGN(ObjectId id2, drive_->Create(bob, {}));
+  EXPECT_OK(drive_->Write(bob, id2, 0, Bytes(kBlockSize, 0xCC)));
+}
+
+TEST_F(ThrottleTest, AdminIsExemptFromThrottle) {
+  SetUpThrottle(/*throttle=*/0.0, /*reject=*/0.0, /*fair_share=*/10.0);
+  Credentials admin = Admin();
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(admin, {}));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(drive_->Write(admin, id, 0, Bytes(1 << 20, 0xAD)));
+  }
+  EXPECT_EQ(drive_->stats().throttle_delays, 0u);
+  EXPECT_EQ(drive_->stats().throttle_rejects, 0u);
+}
+
 }  // namespace
 }  // namespace s4

@@ -26,7 +26,7 @@ namespace s4 {
 // tests: 64MB disk, 256KB segments, tiny caches so eviction paths are
 // exercised, 1-hour detection window.
 class DriveTest : public ::testing::Test {
- protected:
+ public:
   static S4DriveOptions SmallOptions() {
     S4DriveOptions opts;
     opts.segment_sectors = 512;  // 256KB
@@ -37,6 +37,7 @@ class DriveTest : public ::testing::Test {
     return opts;
   }
 
+ protected:
   void SetUp() override { SetUpDrive(SmallOptions(), 64ull << 20); }
 
   void SetUpDrive(const S4DriveOptions& opts, uint64_t disk_bytes) {

@@ -2,6 +2,7 @@
 // CRC32C vectors, deterministic RNG, and Status/Result plumbing.
 #include <gtest/gtest.h>
 
+#include "src/cache/lru.h"
 #include "src/util/codec.h"
 #include "src/util/crc32.h"
 #include "src/util/rng.h"
@@ -215,6 +216,86 @@ TEST(RngTest, CompressibilityShapesEntropy) {
   };
   EXPECT_GT(distinct(random), 200u);
   EXPECT_LT(distinct(texty), 30u);
+}
+
+TEST(LruCacheTest, BasicPutGetEvict) {
+  LruCache<int, std::string> cache(100);
+  cache.Put(1, "a", 40);
+  cache.Put(2, "b", 40);
+  ASSERT_NE(cache.Get(1), nullptr);  // 1 is now MRU
+  cache.Put(3, "c", 40);             // evicts 2 (LRU)
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_NE(cache.Get(1), nullptr);
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_EQ(cache.used(), 80u);
+}
+
+TEST(LruCacheTest, ReplaceFiresEvictionCallbackWithDisplacedValue) {
+  // An entry can carry dirty state whose eviction side effect (e.g.
+  // checkpointing an inode) must run even when the entry is *replaced*
+  // rather than evicted for space.
+  LruCache<int, std::string> cache(1000);
+  std::vector<std::pair<int, std::string>> evicted;
+  cache.set_evict_fn([&](const int& k, std::string&& v) { evicted.emplace_back(k, v); });
+
+  cache.Put(7, "dirty-v1", 100);
+  EXPECT_TRUE(evicted.empty());
+  cache.Put(7, "v2", 60);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, 7);
+  EXPECT_EQ(evicted[0].second, "dirty-v1");  // the displaced value, not the new one
+  EXPECT_EQ(*cache.Peek(7), "v2");
+  EXPECT_EQ(cache.used(), 60u);  // cost re-charged, not accumulated
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(LruCacheTest, ReplaceMarksEntryMostRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10, 1);
+  cache.Put(2, 20, 1);
+  cache.Put(3, 30, 1);
+  cache.Put(1, 11, 1);  // replace: 1 becomes MRU, 2 is now LRU
+  cache.Put(4, 40, 1);  // evicts 2
+  EXPECT_EQ(cache.Get(2), nullptr);
+  ASSERT_NE(cache.Get(1), nullptr);
+  EXPECT_EQ(*cache.Get(1), 11);
+}
+
+TEST(LruCacheTest, ReplaceGrowthCanTriggerEviction) {
+  LruCache<int, std::string> cache(100);
+  std::vector<int> evicted;
+  cache.set_evict_fn([&](const int& k, std::string&&) { evicted.push_back(k); });
+  cache.Put(1, "a", 40);
+  cache.Put(2, "b", 40);
+  // Replacing 2 with a bigger entry exceeds the budget: 2's old value is
+  // displaced (callback) and 1 must be evicted for space (callback).
+  cache.Put(2, "big", 90);
+  EXPECT_EQ(evicted, (std::vector<int>{2, 1}));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(cache.used(), 90u);
+}
+
+TEST(LruCacheTest, RemoveSkipsEvictionCallback) {
+  LruCache<int, std::string> cache(100);
+  int evictions = 0;
+  cache.set_evict_fn([&](const int&, std::string&&) { ++evictions; });
+  cache.Put(1, "a", 10);
+  EXPECT_TRUE(cache.Remove(1));
+  EXPECT_FALSE(cache.Remove(1));
+  EXPECT_EQ(evictions, 0);
+  EXPECT_EQ(cache.used(), 0u);
+}
+
+TEST(LruCacheTest, ClearEvictsEverythingThroughCallback) {
+  LruCache<int, std::string> cache(100);
+  int evictions = 0;
+  cache.set_evict_fn([&](const int&, std::string&&) { ++evictions; });
+  cache.Put(1, "a", 10);
+  cache.Put(2, "b", 10);
+  cache.Clear();
+  EXPECT_EQ(evictions, 2);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.used(), 0u);
 }
 
 }  // namespace
