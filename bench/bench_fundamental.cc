@@ -39,6 +39,8 @@ void RunPostMarkCfg(::benchmark::State& state, bool protection) {
     SimDuration total = report->create_phase + report->transaction_phase;
     g_postmark[protection] = total;
     state.SetIterationTime(ToSeconds(total));
+    WriteBenchJson(*server, std::string("fundamental_postmark_") +
+                                (protection ? "protected" : "unprotected"));
   }
 }
 
@@ -52,6 +54,8 @@ void RunMicroCfg(::benchmark::State& state, bool protection) {
     SimDuration total = report->create + report->read + report->remove;
     g_micro[protection] = total;
     state.SetIterationTime(ToSeconds(total));
+    WriteBenchJson(*server, std::string("fundamental_micro_") +
+                                (protection ? "protected" : "unprotected"));
   }
 }
 

@@ -110,6 +110,7 @@ void MeasureAll(::benchmark::State& state) {
     timed("SetWindow", [&](int) { S4_CHECK(admin_client.SetWindow(7 * kDay).ok()); });
 
     state.SetIterationTime(ToSeconds(clock->Now()));
+    WriteBenchJson(*server, "rpc_table1");
   }
 }
 

@@ -171,6 +171,66 @@ inline std::string Secs(SimDuration d) {
   return buf;
 }
 
+// Machine-readable results: writes BENCH_<name>.json in the working
+// directory with the op mix and latency percentiles (from the drive's per-op
+// histograms), bytes moved on disk and network, and the full metric dump.
+// Baseline servers without an S4 drive get the disk section only. CI uploads
+// these files as artifacts so runs can be compared across commits.
+inline bool WriteBenchJson(const Server& server, const std::string& name) {
+  std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteBenchJson: cannot open %s\n", path.c_str());
+    return false;
+  }
+  auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"server\": \"%s\",\n  \"sim_seconds\": %.6f,\n",
+               name.c_str(), ServerName(server.kind), server.SimSeconds());
+  const DiskStats& disk = server.device->stats();
+  std::fprintf(f,
+               "  \"disk\": {\"reads\": %llu, \"writes\": %llu, \"bytes_read\": %llu, "
+               "\"bytes_written\": %llu, \"seeks\": %llu, \"busy_seconds\": %.6f}",
+               u(disk.reads), u(disk.writes), u(disk.sectors_read * kSectorSize),
+               u(disk.sectors_written * kSectorSize), u(disk.seeks),
+               ToSeconds(disk.busy_time));
+  if (server.transport != nullptr) {
+    const NetStats& net = server.transport->stats();
+    std::fprintf(f,
+                 ",\n  \"net\": {\"messages_sent\": %llu, \"bytes_sent\": %llu, "
+                 "\"messages_received\": %llu, \"bytes_received\": %llu}",
+                 u(net.messages_sent), u(net.bytes_sent), u(net.messages_received),
+                 u(net.bytes_received));
+  }
+  if (server.drive != nullptr) {
+    const MetricRegistry& reg = server.drive->metrics();
+    std::fprintf(f, ",\n  \"ops\": {");
+    bool first = true;
+    for (int op = 1; op <= 20; ++op) {
+      const char* op_name = RpcOpName(static_cast<RpcOp>(op));
+      const Histogram* h =
+          reg.FindHistogram(std::string("drive.op.") + op_name + ".latency");
+      if (h == nullptr || h->count() == 0) {
+        continue;
+      }
+      std::fprintf(f,
+                   "%s\n    \"%s\": {\"count\": %llu, \"mean_us\": %.1f, \"p50_us\": %lld, "
+                   "\"p90_us\": %lld, \"p99_us\": %lld, \"max_us\": %lld}",
+                   first ? "" : ",", op_name, u(h->count()), h->Mean(),
+                   static_cast<long long>(h->Percentile(0.50)),
+                   static_cast<long long>(h->Percentile(0.90)),
+                   static_cast<long long>(h->Percentile(0.99)),
+                   static_cast<long long>(h->max()));
+      first = false;
+    }
+    std::fprintf(f, "%s},\n  \"metrics\": %s", first ? "" : "\n  ", reg.ToJson().c_str());
+  } else {
+    std::fprintf(f, "\n");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace bench
 }  // namespace s4
 

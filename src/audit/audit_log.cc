@@ -4,6 +4,8 @@ namespace s4 {
 
 const char* RpcOpName(RpcOp op) {
   switch (op) {
+    case RpcOp::kInvalid:
+      return "Invalid";
     case RpcOp::kCreate:
       return "Create";
     case RpcOp::kDelete:
@@ -66,7 +68,8 @@ Result<AuditRecord> AuditRecord::DecodeFrom(Decoder* dec) {
   S4_ASSIGN_OR_RETURN(r.client, dec->U32());
   S4_ASSIGN_OR_RETURN(r.user, dec->U32());
   S4_ASSIGN_OR_RETURN(uint8_t op, dec->U8());
-  if (op < 1 || op > 20) {
+  // 0 (kInvalid) is legal here: it marks a request rejected before decode.
+  if (op > 20) {
     return Status::DataCorruption("bad audit op");
   }
   r.op = static_cast<RpcOp>(op);

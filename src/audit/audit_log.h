@@ -25,6 +25,9 @@ namespace s4 {
 // RPC operation codes, used both by the RPC layer and the audit log.
 // This is Table 1 of the paper.
 enum class RpcOp : uint8_t {
+  // Not a real op: audit marker for requests rejected before decode (bad
+  // frame, bad CRC, unknown op code, oversized payload).
+  kInvalid = 0,
   kCreate = 1,
   kDelete = 2,
   kRead = 3,

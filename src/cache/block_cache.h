@@ -9,22 +9,36 @@
 
 #include "src/cache/lru.h"
 #include "src/lfs/format.h"
+#include "src/obs/metrics.h"
+#include "src/obs/op_context.h"
 #include "src/sim/block_device.h"
 
 namespace s4 {
 
 class BlockCache {
  public:
-  BlockCache(BlockDevice* device, uint64_t capacity_bytes)
-      : device_(device), cache_(capacity_bytes) {}
+  // When `registry` is non-null, the cache publishes cache.block.hits,
+  // cache.block.misses and cache.sectors_read counters into it.
+  BlockCache(BlockDevice* device, uint64_t capacity_bytes, MetricRegistry* registry = nullptr)
+      : device_(device), cache_(capacity_bytes) {
+    if (registry != nullptr) {
+      hits_counter_ = registry->GetCounter("cache.block.hits");
+      misses_counter_ = registry->GetCounter("cache.block.misses");
+      sectors_read_counter_ = registry->GetCounter("cache.sectors_read");
+    }
+  }
 
-  // Reads `sectors` sectors at `addr`, from cache if possible.
-  Status Read(DiskAddr addr, uint64_t sectors, Bytes* out) {
+  // Reads `sectors` sectors at `addr`, from cache if possible. Disk time on a
+  // miss is attributed to `ctx` when non-null.
+  Status Read(DiskAddr addr, uint64_t sectors, Bytes* out, OpContext* ctx = nullptr) {
     if (Bytes* hit = cache_.Get(addr); hit != nullptr && hit->size() == sectors * kSectorSize) {
       *out = *hit;
+      if (hits_counter_ != nullptr) hits_counter_->Inc();
       return Status::Ok();
     }
-    S4_RETURN_IF_ERROR(device_->Read(addr, sectors, out));
+    if (misses_counter_ != nullptr) misses_counter_->Inc();
+    S4_RETURN_IF_ERROR(device_->Read(addr, sectors, out, ctx));
+    if (sectors_read_counter_ != nullptr) sectors_read_counter_->Add(sectors);
     cache_.Put(addr, *out, out->size());
     return Status::Ok();
   }
@@ -35,14 +49,17 @@ class BlockCache {
   // disk command and cached sector-by-sector. This is what keeps object-
   // driven cleaning from paying one full positioning delay per chain link
   // (a real cleaner streams whole segments for the same reason).
-  Status ReadSectorClustered(DiskAddr addr, Bytes* out) {
+  Status ReadSectorClustered(DiskAddr addr, Bytes* out, OpContext* ctx = nullptr) {
     if (Bytes* hit = cache_.Get(addr); hit != nullptr && hit->size() == kSectorSize) {
       *out = *hit;
+      if (hits_counter_ != nullptr) hits_counter_->Inc();
       return Status::Ok();
     }
+    if (misses_counter_ != nullptr) misses_counter_->Inc();
     DiskAddr start = addr >= 7 ? addr - 7 : 0;
     Bytes run;
-    S4_RETURN_IF_ERROR(device_->Read(start, addr - start + 1, &run));
+    S4_RETURN_IF_ERROR(device_->Read(start, addr - start + 1, &run, ctx));
+    if (sectors_read_counter_ != nullptr) sectors_read_counter_->Add(addr - start + 1);
     for (DiskAddr s = start; s <= addr; ++s) {
       Bytes slice(run.begin() + (s - start) * kSectorSize,
                   run.begin() + (s - start + 1) * kSectorSize);
@@ -72,6 +89,9 @@ class BlockCache {
  private:
   BlockDevice* device_;
   LruCache<DiskAddr, Bytes> cache_;
+  Counter* hits_counter_ = nullptr;
+  Counter* misses_counter_ = nullptr;
+  Counter* sectors_read_counter_ = nullptr;
 };
 
 }  // namespace s4

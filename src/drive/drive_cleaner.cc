@@ -132,12 +132,12 @@ Result<uint64_t> S4Drive::ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry
       S4_RETURN_IF_ERROR(CheckpointObject(id, obj.get()));
       entry = object_map_.Find(id);
       S4_CHECK(entry != nullptr);
-      stats_.cleaner_sectors_expired += freed_sectors;
+      m_.cleaner_sectors_expired->Add(freed_sectors);
       S4_ASSIGN_OR_RETURN(uint64_t more, ExpireObjectHistory(id, entry, cutoff));
       return freed_sectors + more;
     }
   }
-  stats_.cleaner_sectors_expired += freed_sectors;
+  m_.cleaner_sectors_expired->Add(freed_sectors);
   return freed_sectors;
 }
 
@@ -156,7 +156,12 @@ bool S4Drive::CleanerNeeded() const {
 }
 
 Result<uint32_t> S4Drive::RunCleanerPass(uint32_t max_compactions, bool force_compaction) {
-  ++stats_.cleaner_passes;
+  // The cleaner is an internal actor: it gets its own context so its disk
+  // traffic shows up in the trace under a request id, distinct from any op.
+  OpContext cleaner_ctx = MakeContext(Credentials{}, RpcOp::kInvalid);
+  ScopedSpan span(&cleaner_ctx, "cleaner.pass");
+  ScopedActiveContext active(this, &cleaner_ctx);
+  m_.cleaner_passes->Inc();
   SimTime t0 = clock_->Now();
   SimTime cutoff =
       options_.versioning_enabled ? clock_->Now() - detection_window_ : clock_->Now();
@@ -212,7 +217,7 @@ Result<uint32_t> S4Drive::RunCleanerPass(uint32_t max_compactions, bool force_co
     }
     S4_ASSIGN_OR_RETURN(bool moved, CompactSegment(*victim));
     ++compacted;
-    ++stats_.cleaner_segments_compacted;
+    m_.cleaner_segments_compacted->Inc();
     if (!moved) {
       break;
     }
@@ -230,11 +235,14 @@ Result<uint32_t> S4Drive::RunCleanerPass(uint32_t max_compactions, bool force_co
   if (reclaimable > 0) {
     S4_RETURN_IF_ERROR(WriteCheckpoint());
   }
-  stats_.cleaner_time += clock_->Now() - t0;
+  m_.cleaner_time_us->Add(clock_->Now() - t0);
   return reclaimable;
 }
 
 Result<bool> S4Drive::CleanForegroundSlice() {
+  OpContext cleaner_ctx = MakeContext(Credentials{}, RpcOp::kInvalid);
+  ScopedSpan span(&cleaner_ctx, "cleaner.slice");
+  ScopedActiveContext active(this, &cleaner_ctx);
   uint32_t total = sut_->segment_count();
   for (uint32_t probe = 0; probe < total; ++probe) {
     SegmentId seg = (foreground_clean_cursor_ + probe) % total;
@@ -248,7 +256,7 @@ Result<bool> S4Drive::CleanForegroundSlice() {
     // top, in the per-record relocation work of CompactSegment.
     Bytes segment_bytes;
     S4_RETURN_IF_ERROR(
-        device_->Read(sb_.SegmentStart(seg), sb_.segment_sectors, &segment_bytes));
+        device_->Read(sb_.SegmentStart(seg), sb_.segment_sectors, &segment_bytes, actx_));
     // Relocation only pays when it can actually free the segment; history
     // still inside the detection window pins it, so copying live data out
     // would consume fresh log space for no gain.
@@ -258,8 +266,8 @@ Result<bool> S4Drive::CleanForegroundSlice() {
         S4_RETURN_IF_ERROR(WriteCheckpoint());
       }
     }
-    ++stats_.cleaner_segments_compacted;
-    stats_.cleaner_time += clock_->Now() - t0;
+    m_.cleaner_segments_compacted->Inc();
+    m_.cleaner_time_us->Add(clock_->Now() - t0);
     return true;
   }
   return false;
@@ -290,7 +298,7 @@ Result<bool> S4Drive::CompactSegment(SegmentId seg) {
         S4_ASSIGN_OR_RETURN(Bytes content, ReadRecord(rec.addr, rec.sectors));
         S4_ASSIGN_OR_RETURN(
             DiskAddr new_addr,
-            writer_->Append(RecordKind::kData, rec.object_id, rec.block_index, content));
+            writer_->Append(RecordKind::kData, rec.object_id, rec.block_index, content, actx_));
         block_cache_->Insert(new_addr, content);
         block_cache_->Invalidate(rec.addr);
         obj->inode.blocks[rec.block_index] = new_addr;
@@ -298,7 +306,7 @@ Result<bool> S4Drive::CompactSegment(SegmentId seg) {
         // A physical move, not a new version: the old copy's live count moves
         // with it rather than becoming history.
         sut_->ReleaseLive(seg, rec.sectors);
-        stats_.cleaner_sectors_copied += rec.sectors;
+        m_.cleaner_sectors_copied->Add(rec.sectors);
         moved_any = true;
         if (std::find(touched.begin(), touched.end(), rec.object_id) == touched.end()) {
           touched.push_back(rec.object_id);
@@ -315,7 +323,7 @@ Result<bool> S4Drive::CompactSegment(SegmentId seg) {
         // Re-checkpointing writes a fresh copy at the log head and releases
         // this one.
         S4_RETURN_IF_ERROR(CheckpointObject(rec.object_id, loaded->get()));
-        stats_.cleaner_sectors_copied += rec.sectors;
+        m_.cleaner_sectors_copied->Add(rec.sectors);
         moved_any = true;
       }
     }
@@ -360,7 +368,7 @@ Status S4Drive::ThrottleCheck(const Credentials& creds, uint64_t bytes) {
     return Status::Ok();  // well-behaved clients keep full service
   }
   if (util >= options_.reject_threshold) {
-    ++stats_.throttle_rejects;
+    m_.throttle_rejects->Inc();
     return Status::Throttled("history pool near exhaustion; writes from this client refused");
   }
   // Progressive penalty: scale the delay with how far past the threshold the
@@ -372,7 +380,7 @@ Status S4Drive::ThrottleCheck(const Credentials& creds, uint64_t bytes) {
       pressure * std::min(overuse, 16.0) *
       (static_cast<double>(bytes) / options_.fair_share_bytes_per_sec);
   clock_->Advance(static_cast<SimDuration>(delay_seconds * kSecond));
-  ++stats_.throttle_delays;
+  m_.throttle_delays->Inc();
   return Status::Ok();
 }
 

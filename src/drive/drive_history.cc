@@ -90,6 +90,8 @@ Result<S4Drive::VersionView> S4Drive::ReconstructVersion(ObjectId id, SimTime at
   if (at < entry->history_barrier) {
     return Status::FailedPrecondition("version aged out of the history pool");
   }
+  m_.history_walks->Inc();
+  ScopedSpan span(actx_, "history.reconstruct");
   S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
 
   VersionView view;
@@ -182,38 +184,34 @@ Status S4Drive::CheckHistoryAccess(const Acl& version_acl, const Credentials& cr
   return Status::PermissionDenied("history pool access requires the Recovery flag or admin");
 }
 
-Result<std::vector<VersionInfo>> S4Drive::GetVersionList(const Credentials& creds, ObjectId id) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    Audit(creds, RpcOp::kGetVersionList, id, 0, 0, s, false);
-    return s;
-  };
-  const ObjectMapEntry* entry = object_map_.Find(id);
-  if (entry == nullptr) {
-    return fail(Status::NotFound("no such object"));
-  }
-  auto loaded = LoadObject(id);
-  if (!loaded.ok()) {
-    return fail(loaded.status());
-  }
-  ObjectHandle obj = *loaded;
-  if (Status s = CheckHistoryAccess(obj->inode.acl, creds); !s.ok()) {
-    return fail(s);
-  }
-  std::vector<VersionInfo> versions;
-  Status walk = WalkJournal(id, obj.get(), [&](const JournalEntry& e) -> Result<bool> {
-    if (e.type != JournalEntryType::kCheckpoint) {
-      versions.push_back(VersionInfo{e.time, e.type});
+Result<std::vector<VersionInfo>> S4Drive::GetVersionList(OpContext& ctx, ObjectId id) {
+  OpArgs a{RpcOp::kGetVersionList};
+  a.object = id;
+  return Execute(ctx, a, [&](OpArgs& args) -> Result<std::vector<VersionInfo>> {
+    const ObjectMapEntry* entry = object_map_.Find(id);
+    if (entry == nullptr) {
+      return Status::NotFound("no such object");
     }
-    return true;
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
+    S4_RETURN_IF_ERROR(CheckHistoryAccess(obj->inode.acl, ctx.creds));
+    m_.history_walks->Inc();
+    std::vector<VersionInfo> versions;
+    Status walk = WalkJournal(id, obj.get(), [&](const JournalEntry& e) -> Result<bool> {
+      if (e.type != JournalEntryType::kCheckpoint) {
+        versions.push_back(VersionInfo{e.time, e.type});
+      }
+      return true;
+    });
+    S4_RETURN_IF_ERROR(walk);
+    std::reverse(versions.begin(), versions.end());
+    args.length = versions.size();
+    return versions;
   });
-  if (!walk.ok()) {
-    return fail(walk);
-  }
-  std::reverse(versions.begin(), versions.end());
-  Audit(creds, RpcOp::kGetVersionList, id, 0, versions.size(), Status::Ok(), false);
-  return versions;
+}
+
+Result<std::vector<VersionInfo>> S4Drive::GetVersionList(const Credentials& creds, ObjectId id) {
+  OpContext ctx = MakeContext(creds, RpcOp::kGetVersionList);
+  return GetVersionList(ctx, id);
 }
 
 Status S4Drive::PurgeObjectVersions(ObjectId id, SimTime from, SimTime to) {
@@ -248,51 +246,53 @@ Status S4Drive::PurgeObjectVersions(ObjectId id, SimTime from, SimTime to) {
   if (purged_count > 0) {
     auto& ranges = purged_[id];
     ranges.push_back(PurgedRange{from, to});
-    stats_.versions_purged += purged_count;
+    m_.versions_purged->Add(purged_count);
   }
   return Status::Ok();
+}
+
+Status S4Drive::FlushObject(OpContext& ctx, ObjectId id, SimTime from, SimTime to) {
+  OpArgs a{RpcOp::kFlushObject};
+  a.object = id;
+  a.admin_only = true;
+  return Execute(ctx, a, [&](OpArgs& args) -> Status {
+    args.offset = static_cast<uint64_t>(from);
+    args.length = static_cast<uint64_t>(to);
+    return PurgeObjectVersions(id, from, to);
+  });
 }
 
 Status S4Drive::FlushObject(const Credentials& creds, ObjectId id, SimTime from, SimTime to) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  if (!IsAdmin(creds)) {
-    ++stats_.ops_denied;
-    Status s = Status::PermissionDenied("FlushO requires administrative access");
-    Audit(creds, RpcOp::kFlushObject, id, 0, 0, s, false);
-    return s;
-  }
-  Status s = PurgeObjectVersions(id, from, to);
-  Audit(creds, RpcOp::kFlushObject, id, static_cast<uint64_t>(from),
-        static_cast<uint64_t>(to), s, false);
-  return s;
+  OpContext ctx = MakeContext(creds, RpcOp::kFlushObject);
+  return FlushObject(ctx, id, from, to);
+}
+
+Status S4Drive::Flush(OpContext& ctx, SimTime from, SimTime to) {
+  OpArgs a{RpcOp::kFlush};
+  a.admin_only = true;
+  return Execute(ctx, a, [&](OpArgs& args) -> Status {
+    args.offset = static_cast<uint64_t>(from);
+    args.length = static_cast<uint64_t>(to);
+    std::vector<ObjectId> ids;
+    for (const auto& [id, entry] : object_map_.entries()) {
+      (void)entry;
+      if (id != kAuditLogObjectId) {
+        ids.push_back(id);
+      }
+    }
+    for (ObjectId id : ids) {
+      Status s = PurgeObjectVersions(id, from, to);
+      if (!s.ok() && s.code() != ErrorCode::kNotFound) {
+        return s;
+      }
+    }
+    return Status::Ok();
+  });
 }
 
 Status S4Drive::Flush(const Credentials& creds, SimTime from, SimTime to) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  if (!IsAdmin(creds)) {
-    ++stats_.ops_denied;
-    Status s = Status::PermissionDenied("Flush requires administrative access");
-    Audit(creds, RpcOp::kFlush, kInvalidObjectId, 0, 0, s, false);
-    return s;
-  }
-  std::vector<ObjectId> ids;
-  for (const auto& [id, entry] : object_map_.entries()) {
-    (void)entry;
-    if (id != kAuditLogObjectId) {
-      ids.push_back(id);
-    }
-  }
-  for (ObjectId id : ids) {
-    Status s = PurgeObjectVersions(id, from, to);
-    if (!s.ok() && s.code() != ErrorCode::kNotFound) {
-      return s;
-    }
-  }
-  Audit(creds, RpcOp::kFlush, kInvalidObjectId, static_cast<uint64_t>(from),
-        static_cast<uint64_t>(to), Status::Ok(), false);
-  return Status::Ok();
+  OpContext ctx = MakeContext(creds, RpcOp::kFlush);
+  return Flush(ctx, from, to);
 }
 
 }  // namespace s4

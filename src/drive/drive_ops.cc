@@ -1,4 +1,10 @@
 // S4Drive data path: the Table 1 object, partition, and device operations.
+//
+// Every op here is a thin Execute() body: the shared prologue (op count, CPU
+// charge, admin gate, throttle) and epilogue (denial count, audit record,
+// latency histogram) live in BeginOp/EndOp in s4_drive.cc. Bodies mutate the
+// OpArgs audit fields as the op learns them (e.g. the resolved append
+// offset), so the audit record describes what actually happened.
 #include <algorithm>
 #include <cstring>
 
@@ -20,43 +26,49 @@ constexpr size_t kMaxPartitionName = 255;
 // Object operations
 // ---------------------------------------------------------------------------
 
+Result<ObjectId> S4Drive::Create(OpContext& ctx, Bytes opaque_attrs) {
+  OpArgs a{RpcOp::kCreate};
+  a.length = opaque_attrs.size();
+  return Execute(ctx, a, [&](OpArgs& args) -> Result<ObjectId> {
+    if (opaque_attrs.size() > kMaxOpaqueAttrBytes) {
+      return Status::InvalidArgument("opaque attrs too large");
+    }
+    SimTime now = clock_->Now();
+    ObjectId id = object_map_.AllocateId();
+    ObjectMapEntry entry;
+    entry.create_time = now;
+    entry.oldest_time = now;
+    object_map_.Put(id, entry);
+
+    auto obj = std::make_shared<CachedObject>();
+    obj->inode.id = id;
+    obj->inode.attrs.create_time = now;
+    obj->inode.attrs.modify_time = now;
+    obj->inode.attrs.opaque = opaque_attrs;
+    obj->inode.acl.push_back(AclEntry{ctx.creds.user, kPermAll});
+    obj->dirty = true;
+
+    JournalEntry e;
+    e.type = JournalEntryType::kCreate;
+    e.time = now;
+    Encoder acl_enc;
+    EncodeAcl(obj->inode.acl, &acl_enc);
+    e.old_blob = acl_enc.Take();
+    e.new_blob = std::move(opaque_attrs);
+    obj->pending.push_back(std::move(e));
+    m_.journal_entries->Inc();
+    pending_dirty_.insert(id);
+
+    object_cache_->Put(id, obj, 256);
+    args.object = id;
+    args.length = 0;
+    return id;
+  });
+}
+
 Result<ObjectId> S4Drive::Create(const Credentials& creds, Bytes opaque_attrs) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  if (opaque_attrs.size() > kMaxOpaqueAttrBytes) {
-    Status s = Status::InvalidArgument("opaque attrs too large");
-    Audit(creds, RpcOp::kCreate, kInvalidObjectId, 0, opaque_attrs.size(), s, false);
-    return s;
-  }
-  SimTime now = clock_->Now();
-  ObjectId id = object_map_.AllocateId();
-  ObjectMapEntry entry;
-  entry.create_time = now;
-  entry.oldest_time = now;
-  object_map_.Put(id, entry);
-
-  auto obj = std::make_shared<CachedObject>();
-  obj->inode.id = id;
-  obj->inode.attrs.create_time = now;
-  obj->inode.attrs.modify_time = now;
-  obj->inode.attrs.opaque = opaque_attrs;
-  obj->inode.acl.push_back(AclEntry{creds.user, kPermAll});
-  obj->dirty = true;
-
-  JournalEntry e;
-  e.type = JournalEntryType::kCreate;
-  e.time = now;
-  Encoder acl_enc;
-  EncodeAcl(obj->inode.acl, &acl_enc);
-  e.old_blob = acl_enc.Take();
-  e.new_blob = std::move(opaque_attrs);
-  obj->pending.push_back(std::move(e));
-  ++stats_.journal_entries;
-  pending_dirty_.insert(id);
-
-  object_cache_->Put(id, obj, 256);
-  Audit(creds, RpcOp::kCreate, id, 0, 0, Status::Ok(), false);
-  return id;
+  OpContext ctx = MakeContext(creds, RpcOp::kCreate);
+  return Create(ctx, std::move(opaque_attrs));
 }
 
 Result<S4Drive::ObjectHandle> S4Drive::ResolveForWrite(const Credentials& creds, ObjectId id,
@@ -128,7 +140,7 @@ Status S4Drive::ApplyBlockWrite(ObjectId id, CachedObject* obj, SimTime now, uin
     e.blocks.assign(deltas.begin() + i, deltas.begin() + i + n);
     i += n;
     obj->pending.push_back(std::move(e));
-    ++stats_.journal_entries;
+    m_.journal_entries->Inc();
   } while (i < deltas.size());
   pending_dirty_.insert(id);
 
@@ -142,31 +154,16 @@ Status S4Drive::ApplyBlockWrite(ObjectId id, CachedObject* obj, SimTime now, uin
   return Status::Ok();
 }
 
-Status S4Drive::WriteInternal(const Credentials& creds, ObjectId id, uint64_t offset,
-                              ByteSpan data, bool is_append, RpcOp op) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    if (s.code() == ErrorCode::kPermissionDenied) {
-      ++stats_.ops_denied;
-    }
-    Audit(creds, op, id, offset, data.size(), s, false);
-    return s;
-  };
-  auto resolved = ResolveForWrite(creds, id, kPermWrite);
-  if (!resolved.ok()) {
-    return fail(resolved.status());
-  }
-  ObjectHandle obj = *resolved;
-  if (Status s = ThrottleCheck(creds, data.size()); !s.ok()) {
-    return fail(s);
-  }
+Status S4Drive::WriteBody(OpContext& ctx, OpArgs& args, ObjectId id, uint64_t offset,
+                          ByteSpan data, bool is_append) {
+  S4_ASSIGN_OR_RETURN(ObjectHandle obj, ResolveForWrite(ctx.creds, id, kPermWrite));
 
   SimTime now = clock_->Now();
   uint64_t old_size = obj->inode.attrs.size;
   uint64_t start = is_append ? old_size : offset;
+  args.offset = start;
   if (data.empty()) {
-    Audit(creds, op, id, start, 0, Status::Ok(), false);
+    args.length = 0;
     return Status::Ok();
   }
   uint64_t new_size = std::max(old_size, start + data.size());
@@ -177,30 +174,52 @@ Status S4Drive::WriteInternal(const Credentials& creds, ObjectId id, uint64_t of
   deltas.reserve(last - first + 1);
   for (uint64_t b = first; b <= last; ++b) {
     S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, start, data));
-    S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, id, b, content));
+    S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, id, b, content, actx_));
     block_cache_->Insert(addr, content);
     DiskAddr old_addr = obj->inode.BlockAddr(b);
     deltas.push_back(BlockDelta{b, old_addr, addr});
     obj->inode.blocks[b] = addr;
     SupersedeBlock(id, old_addr);
-    ++stats_.data_blocks_written;
+    m_.data_blocks_written->Inc();
   }
   S4_RETURN_IF_ERROR(ApplyBlockWrite(id, obj.get(), now, old_size, new_size, std::move(deltas)));
 
   bytes_since_checkpoint_ += data.size();
-  NoteClientWrite(creds.client, data.size());
-  Audit(creds, op, id, start, data.size(), Status::Ok(), false);
+  NoteClientWrite(ctx.creds.client, data.size());
   return MaybeAutoCheckpoint();
 }
 
+Status S4Drive::Write(OpContext& ctx, ObjectId id, uint64_t offset, ByteSpan data) {
+  OpArgs a{RpcOp::kWrite};
+  a.object = id;
+  a.offset = offset;
+  a.length = data.size();
+  a.admission_bytes = data.size();
+  return Execute(ctx, a, [&](OpArgs& args) -> Status {
+    return WriteBody(ctx, args, id, offset, data, /*is_append=*/false);
+  });
+}
+
 Status S4Drive::Write(const Credentials& creds, ObjectId id, uint64_t offset, ByteSpan data) {
-  return WriteInternal(creds, id, offset, data, /*is_append=*/false, RpcOp::kWrite);
+  OpContext ctx = MakeContext(creds, RpcOp::kWrite);
+  return Write(ctx, id, offset, data);
+}
+
+Result<uint64_t> S4Drive::Append(OpContext& ctx, ObjectId id, ByteSpan data) {
+  OpArgs a{RpcOp::kAppend};
+  a.object = id;
+  a.length = data.size();
+  a.admission_bytes = data.size();
+  return Execute(ctx, a, [&](OpArgs& args) -> Result<uint64_t> {
+    S4_RETURN_IF_ERROR(WriteBody(ctx, args, id, 0, data, /*is_append=*/true));
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
+    return obj->inode.attrs.size;
+  });
 }
 
 Result<uint64_t> S4Drive::Append(const Credentials& creds, ObjectId id, ByteSpan data) {
-  S4_RETURN_IF_ERROR(WriteInternal(creds, id, 0, data, /*is_append=*/true, RpcOp::kAppend));
-  S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
-  return obj->inode.attrs.size;
+  OpContext ctx = MakeContext(creds, RpcOp::kAppend);
+  return Append(ctx, id, data);
 }
 
 Result<Bytes> S4Drive::ReadCurrent(const CachedObject& obj, uint64_t offset, uint64_t length) {
@@ -226,389 +245,333 @@ Result<Bytes> S4Drive::ReadCurrent(const CachedObject& obj, uint64_t offset, uin
   return out;
 }
 
+Result<Bytes> S4Drive::Read(OpContext& ctx, ObjectId id, uint64_t offset, uint64_t length,
+                            std::optional<SimTime> at) {
+  OpArgs a{RpcOp::kRead};
+  a.object = id;
+  a.offset = offset;
+  a.length = length;
+  a.time_based = at.has_value();
+  return Execute(ctx, a, [&](OpArgs&) -> Result<Bytes> {
+    if (at.has_value()) {
+      if (!options_.versioning_enabled) {
+        return Status::Unimplemented("versioning disabled");
+      }
+      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructVersion(id, *at));
+      S4_RETURN_IF_ERROR(CheckHistoryAccess(view.acl, ctx.creds));
+      return ReadVersionBytes(view, offset, length);
+    }
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
+    if (!obj->exists) {
+      return Status::FailedPrecondition("object is deleted");
+    }
+    // The audit log is admin-readable only; everything else goes by ACL.
+    if (id == kAuditLogObjectId && !IsAdmin(ctx.creds)) {
+      return Status::PermissionDenied("audit log is admin-only");
+    }
+    if (id != kAuditLogObjectId) {
+      S4_RETURN_IF_ERROR(CheckAccess(*obj, ctx.creds, kPermRead));
+    }
+    return ReadCurrent(*obj, offset, length);
+  });
+}
+
 Result<Bytes> S4Drive::Read(const Credentials& creds, ObjectId id, uint64_t offset,
                             uint64_t length, std::optional<SimTime> at) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    if (s.code() == ErrorCode::kPermissionDenied) {
-      ++stats_.ops_denied;
+  OpContext ctx = MakeContext(creds, RpcOp::kRead);
+  return Read(ctx, id, offset, length, at);
+}
+
+Status S4Drive::Truncate(OpContext& ctx, ObjectId id, uint64_t new_size) {
+  OpArgs a{RpcOp::kTruncate};
+  a.object = id;
+  a.offset = new_size;
+  return Execute(ctx, a, [&](OpArgs&) -> Status {
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, ResolveForWrite(ctx.creds, id, kPermWrite));
+    SimTime now = clock_->Now();
+    uint64_t old_size = obj->inode.attrs.size;
+    if (new_size == old_size) {
+      return Status::Ok();
     }
-    Audit(creds, RpcOp::kRead, id, offset, length, s, at.has_value());
-    return s;
-  };
-  if (at.has_value()) {
-    ++stats_.time_based_reads;
-    if (!options_.versioning_enabled) {
-      return fail(Status::Unimplemented("versioning disabled"));
+
+    std::vector<BlockDelta> deltas;
+    if (new_size < old_size) {
+      // Drop whole blocks past the new end.
+      uint64_t keep_blocks = (new_size + kBlockSize - 1) / kBlockSize;
+      auto it = obj->inode.blocks.lower_bound(keep_blocks);
+      while (it != obj->inode.blocks.end()) {
+        deltas.push_back(BlockDelta{it->first, it->second, kNullAddr});
+        SupersedeBlock(id, it->second);
+        it = obj->inode.blocks.erase(it);
+      }
+      // Rewrite the boundary block with a zeroed tail to preserve the
+      // "bytes beyond size are zero" invariant.
+      if (new_size % kBlockSize != 0) {
+        uint64_t b = new_size / kBlockSize;
+        DiskAddr old_addr = obj->inode.BlockAddr(b);
+        if (old_addr != kNullAddr) {
+          S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, new_size, 0, ByteSpan{}));
+          S4_ASSIGN_OR_RETURN(DiskAddr addr,
+                              writer_->Append(RecordKind::kData, id, b, content, actx_));
+          block_cache_->Insert(addr, content);
+          deltas.push_back(BlockDelta{b, old_addr, addr});
+          obj->inode.blocks[b] = addr;
+          SupersedeBlock(id, old_addr);
+          m_.data_blocks_written->Inc();
+        }
+      }
     }
-    auto view = ReconstructVersion(id, *at);
-    if (!view.ok()) {
-      return fail(view.status());
+
+    JournalEntry e;
+    e.type = JournalEntryType::kTruncate;
+    e.time = now;
+    e.old_size = old_size;
+    e.new_size = new_size;
+    // Split oversized delta lists across multiple entries.
+    if (deltas.size() <= options_.max_deltas_per_entry) {
+      e.blocks = std::move(deltas);
+      obj->pending.push_back(std::move(e));
+      m_.journal_entries->Inc();
+    } else {
+      for (size_t i = 0; i < deltas.size(); i += options_.max_deltas_per_entry) {
+        JournalEntry part = e;
+        size_t n = std::min<size_t>(options_.max_deltas_per_entry, deltas.size() - i);
+        part.blocks.assign(deltas.begin() + i, deltas.begin() + i + n);
+        obj->pending.push_back(std::move(part));
+        m_.journal_entries->Inc();
+      }
     }
-    if (Status s = CheckHistoryAccess(view->acl, creds); !s.ok()) {
-      return fail(s);
+    pending_dirty_.insert(id);
+    obj->inode.attrs.size = new_size;
+    obj->inode.attrs.modify_time = now;
+    obj->dirty = true;
+    if (obj->pending.size() >= options_.journal_flush_entries) {
+      S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj.get()));
     }
-    auto bytes = ReadVersionBytes(*view, offset, length);
-    if (!bytes.ok()) {
-      return fail(bytes.status());
-    }
-    Audit(creds, RpcOp::kRead, id, offset, length, Status::Ok(), true);
-    return bytes;
-  }
-  auto loaded = LoadObject(id);
-  if (!loaded.ok()) {
-    return fail(loaded.status());
-  }
-  ObjectHandle obj = *loaded;
-  if (!obj->exists) {
-    return fail(Status::FailedPrecondition("object is deleted"));
-  }
-  // The audit log is admin-readable only; everything else goes by ACL.
-  if (id == kAuditLogObjectId && !IsAdmin(creds)) {
-    return fail(Status::PermissionDenied("audit log is admin-only"));
-  }
-  if (id != kAuditLogObjectId) {
-    if (Status s = CheckAccess(*obj, creds, kPermRead); !s.ok()) {
-      return fail(s);
-    }
-  }
-  auto bytes = ReadCurrent(*obj, offset, length);
-  if (!bytes.ok()) {
-    return fail(bytes.status());
-  }
-  Audit(creds, RpcOp::kRead, id, offset, length, Status::Ok(), false);
-  return bytes;
+    return Status::Ok();
+  });
 }
 
 Status S4Drive::Truncate(const Credentials& creds, ObjectId id, uint64_t new_size) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    if (s.code() == ErrorCode::kPermissionDenied) {
-      ++stats_.ops_denied;
-    }
-    Audit(creds, RpcOp::kTruncate, id, new_size, 0, s, false);
-    return s;
-  };
-  auto resolved = ResolveForWrite(creds, id, kPermWrite);
-  if (!resolved.ok()) {
-    return fail(resolved.status());
-  }
-  ObjectHandle obj = *resolved;
-  SimTime now = clock_->Now();
-  uint64_t old_size = obj->inode.attrs.size;
-  if (new_size == old_size) {
-    Audit(creds, RpcOp::kTruncate, id, new_size, 0, Status::Ok(), false);
-    return Status::Ok();
-  }
+  OpContext ctx = MakeContext(creds, RpcOp::kTruncate);
+  return Truncate(ctx, id, new_size);
+}
 
-  std::vector<BlockDelta> deltas;
-  if (new_size < old_size) {
-    // Drop whole blocks past the new end.
-    uint64_t keep_blocks = (new_size + kBlockSize - 1) / kBlockSize;
-    auto it = obj->inode.blocks.lower_bound(keep_blocks);
-    while (it != obj->inode.blocks.end()) {
-      deltas.push_back(BlockDelta{it->first, it->second, kNullAddr});
-      SupersedeBlock(id, it->second);
-      it = obj->inode.blocks.erase(it);
-    }
-    // Rewrite the boundary block with a zeroed tail to preserve the
-    // "bytes beyond size are zero" invariant.
-    if (new_size % kBlockSize != 0) {
-      uint64_t b = new_size / kBlockSize;
-      DiskAddr old_addr = obj->inode.BlockAddr(b);
-      if (old_addr != kNullAddr) {
-        S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, new_size, 0, ByteSpan{}));
-        S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, id, b, content));
-        block_cache_->Insert(addr, content);
-        deltas.push_back(BlockDelta{b, old_addr, addr});
-        obj->inode.blocks[b] = addr;
-        SupersedeBlock(id, old_addr);
-        ++stats_.data_blocks_written;
-      }
-    }
-  }
+Status S4Drive::Delete(OpContext& ctx, ObjectId id) {
+  OpArgs a{RpcOp::kDelete};
+  a.object = id;
+  return Execute(ctx, a, [&](OpArgs&) -> Status {
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, ResolveForWrite(ctx.creds, id, kPermDelete));
+    ObjectMapEntry* entry = object_map_.Find(id);
+    S4_CHECK(entry != nullptr);
 
-  JournalEntry e;
-  e.type = JournalEntryType::kTruncate;
-  e.time = now;
-  e.old_size = old_size;
-  e.new_size = new_size;
-  // Split oversized delta lists across multiple entries.
-  if (deltas.size() <= options_.max_deltas_per_entry) {
-    e.blocks = std::move(deltas);
+    // Checkpoint the final state: the anchor from which pre-deletion versions
+    // are reconstructed.
+    S4_RETURN_IF_ERROR(CheckpointObject(id, obj.get()));
+    SimTime now = clock_->Now();
+    JournalEntry e;
+    e.type = JournalEntryType::kDelete;
+    e.time = now;
+    e.checkpoint_addr = entry->checkpoint_addr;
+    e.checkpoint_sectors = entry->checkpoint_sectors;
     obj->pending.push_back(std::move(e));
-    ++stats_.journal_entries;
-  } else {
-    for (size_t i = 0; i < deltas.size(); i += options_.max_deltas_per_entry) {
-      JournalEntry part = e;
-      size_t n = std::min<size_t>(options_.max_deltas_per_entry, deltas.size() - i);
-      part.blocks.assign(deltas.begin() + i, deltas.begin() + i + n);
-      obj->pending.push_back(std::move(part));
-      ++stats_.journal_entries;
-    }
-  }
-  pending_dirty_.insert(id);
-  obj->inode.attrs.size = new_size;
-  obj->inode.attrs.modify_time = now;
-  obj->dirty = true;
-  if (obj->pending.size() >= options_.journal_flush_entries) {
+    m_.journal_entries->Inc();
+    pending_dirty_.insert(id);
     S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj.get()));
-  }
-  Audit(creds, RpcOp::kTruncate, id, new_size, 0, Status::Ok(), false);
-  return Status::Ok();
+
+    // All current data becomes history (or is freed when unversioned).
+    for (const auto& [index, addr] : obj->inode.blocks) {
+      (void)index;
+      SupersedeBlock(id, addr);
+    }
+    entry->delete_time = now;
+    obj->exists = false;
+    obj->dirty = false;
+    return Status::Ok();
+  });
 }
 
 Status S4Drive::Delete(const Credentials& creds, ObjectId id) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    if (s.code() == ErrorCode::kPermissionDenied) {
-      ++stats_.ops_denied;
+  OpContext ctx = MakeContext(creds, RpcOp::kDelete);
+  return Delete(ctx, id);
+}
+
+Result<ObjectAttrs> S4Drive::GetAttr(OpContext& ctx, ObjectId id, std::optional<SimTime> at) {
+  OpArgs a{RpcOp::kGetAttr};
+  a.object = id;
+  a.time_based = at.has_value();
+  return Execute(ctx, a, [&](OpArgs&) -> Result<ObjectAttrs> {
+    if (at.has_value()) {
+      if (!options_.versioning_enabled) {
+        return Status::Unimplemented("versioning disabled");
+      }
+      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructVersion(id, *at));
+      S4_RETURN_IF_ERROR(CheckHistoryAccess(view.acl, ctx.creds));
+      ObjectAttrs attrs;
+      attrs.size = view.size;
+      attrs.create_time = view.create_time;
+      attrs.modify_time = view.modify_time;
+      attrs.opaque = view.opaque;
+      return attrs;
     }
-    Audit(creds, RpcOp::kDelete, id, 0, 0, s, false);
-    return s;
-  };
-  auto resolved = ResolveForWrite(creds, id, kPermDelete);
-  if (!resolved.ok()) {
-    return fail(resolved.status());
-  }
-  ObjectHandle obj = *resolved;
-  ObjectMapEntry* entry = object_map_.Find(id);
-  S4_CHECK(entry != nullptr);
-
-  // Checkpoint the final state: the anchor from which pre-deletion versions
-  // are reconstructed.
-  if (Status s = CheckpointObject(id, obj.get()); !s.ok()) {
-    return fail(s);
-  }
-  SimTime now = clock_->Now();
-  JournalEntry e;
-  e.type = JournalEntryType::kDelete;
-  e.time = now;
-  e.checkpoint_addr = entry->checkpoint_addr;
-  e.checkpoint_sectors = entry->checkpoint_sectors;
-  obj->pending.push_back(std::move(e));
-  ++stats_.journal_entries;
-  pending_dirty_.insert(id);
-  if (Status s = FlushObjectJournal(id, obj.get()); !s.ok()) {
-    return fail(s);
-  }
-
-  // All current data becomes history (or is freed when unversioned).
-  for (const auto& [index, addr] : obj->inode.blocks) {
-    (void)index;
-    SupersedeBlock(id, addr);
-  }
-  entry->delete_time = now;
-  obj->exists = false;
-  obj->dirty = false;
-  Audit(creds, RpcOp::kDelete, id, 0, 0, Status::Ok(), false);
-  return Status::Ok();
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
+    if (!obj->exists) {
+      return Status::FailedPrecondition("object is deleted");
+    }
+    S4_RETURN_IF_ERROR(CheckAccess(*obj, ctx.creds, kPermRead));
+    return obj->inode.attrs;
+  });
 }
 
 Result<ObjectAttrs> S4Drive::GetAttr(const Credentials& creds, ObjectId id,
                                      std::optional<SimTime> at) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    Audit(creds, RpcOp::kGetAttr, id, 0, 0, s, at.has_value());
-    return s;
-  };
-  if (at.has_value()) {
-    if (!options_.versioning_enabled) {
-      return fail(Status::Unimplemented("versioning disabled"));
+  OpContext ctx = MakeContext(creds, RpcOp::kGetAttr);
+  return GetAttr(ctx, id, at);
+}
+
+Status S4Drive::SetAttr(OpContext& ctx, ObjectId id, Bytes opaque_attrs) {
+  OpArgs a{RpcOp::kSetAttr};
+  a.object = id;
+  a.length = opaque_attrs.size();
+  return Execute(ctx, a, [&](OpArgs& args) -> Status {
+    if (opaque_attrs.size() > kMaxOpaqueAttrBytes) {
+      return Status::InvalidArgument("opaque attrs too large");
     }
-    auto view = ReconstructVersion(id, *at);
-    if (!view.ok()) {
-      return fail(view.status());
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, ResolveForWrite(ctx.creds, id, kPermSetAttr));
+    SimTime now = clock_->Now();
+    JournalEntry e;
+    e.type = JournalEntryType::kSetAttr;
+    e.time = now;
+    e.old_blob = obj->inode.attrs.opaque;
+    e.new_blob = opaque_attrs;
+    obj->pending.push_back(std::move(e));
+    m_.journal_entries->Inc();
+    pending_dirty_.insert(id);
+    obj->inode.attrs.opaque = std::move(opaque_attrs);
+    obj->inode.attrs.modify_time = now;
+    obj->dirty = true;
+    if (obj->pending.size() >= options_.journal_flush_entries) {
+      S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj.get()));
     }
-    if (Status s = CheckHistoryAccess(view->acl, creds); !s.ok()) {
-      return fail(s);
-    }
-    ObjectAttrs attrs;
-    attrs.size = view->size;
-    attrs.create_time = view->create_time;
-    attrs.modify_time = view->modify_time;
-    attrs.opaque = view->opaque;
-    Audit(creds, RpcOp::kGetAttr, id, 0, 0, Status::Ok(), true);
-    return attrs;
-  }
-  auto loaded = LoadObject(id);
-  if (!loaded.ok()) {
-    return fail(loaded.status());
-  }
-  ObjectHandle obj = *loaded;
-  if (!obj->exists) {
-    return fail(Status::FailedPrecondition("object is deleted"));
-  }
-  if (Status s = CheckAccess(*obj, creds, kPermRead); !s.ok()) {
-    return fail(s);
-  }
-  Audit(creds, RpcOp::kGetAttr, id, 0, 0, Status::Ok(), false);
-  return obj->inode.attrs;
+    args.length = 0;
+    return Status::Ok();
+  });
 }
 
 Status S4Drive::SetAttr(const Credentials& creds, ObjectId id, Bytes opaque_attrs) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    Audit(creds, RpcOp::kSetAttr, id, 0, opaque_attrs.size(), s, false);
-    return s;
-  };
-  if (opaque_attrs.size() > kMaxOpaqueAttrBytes) {
-    return fail(Status::InvalidArgument("opaque attrs too large"));
-  }
-  auto resolved = ResolveForWrite(creds, id, kPermSetAttr);
-  if (!resolved.ok()) {
-    return fail(resolved.status());
-  }
-  ObjectHandle obj = *resolved;
-  SimTime now = clock_->Now();
-  JournalEntry e;
-  e.type = JournalEntryType::kSetAttr;
-  e.time = now;
-  e.old_blob = obj->inode.attrs.opaque;
-  e.new_blob = opaque_attrs;
-  obj->pending.push_back(std::move(e));
-  ++stats_.journal_entries;
-  pending_dirty_.insert(id);
-  obj->inode.attrs.opaque = std::move(opaque_attrs);
-  obj->inode.attrs.modify_time = now;
-  obj->dirty = true;
-  if (obj->pending.size() >= options_.journal_flush_entries) {
-    S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj.get()));
-  }
-  Audit(creds, RpcOp::kSetAttr, id, 0, 0, Status::Ok(), false);
-  return Status::Ok();
+  OpContext ctx = MakeContext(creds, RpcOp::kSetAttr);
+  return SetAttr(ctx, id, std::move(opaque_attrs));
+}
+
+Result<AclEntry> S4Drive::GetAclByUser(OpContext& ctx, ObjectId id, UserId user,
+                                       std::optional<SimTime> at) {
+  OpArgs a{RpcOp::kGetAclByUser};
+  a.object = id;
+  a.offset = user;
+  a.time_based = at.has_value();
+  return Execute(ctx, a, [&](OpArgs&) -> Result<AclEntry> {
+    auto find = [&](const Acl& acl) -> Result<AclEntry> {
+      for (const auto& e : acl) {
+        if (e.user == user) {
+          return e;
+        }
+      }
+      return Status::NotFound("no acl entry for user");
+    };
+    if (at.has_value()) {
+      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructVersion(id, *at));
+      S4_RETURN_IF_ERROR(CheckHistoryAccess(view.acl, ctx.creds));
+      return find(view.acl);
+    }
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
+    S4_RETURN_IF_ERROR(CheckAccess(*obj, ctx.creds, kPermRead));
+    return find(obj->inode.acl);
+  });
 }
 
 Result<AclEntry> S4Drive::GetAclByUser(const Credentials& creds, ObjectId id, UserId user,
                                        std::optional<SimTime> at) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto find = [&](const Acl& acl) -> Result<AclEntry> {
-    for (const auto& e : acl) {
-      if (e.user == user) {
-        return e;
+  OpContext ctx = MakeContext(creds, RpcOp::kGetAclByUser);
+  return GetAclByUser(ctx, id, user, at);
+}
+
+Result<AclEntry> S4Drive::GetAclByIndex(OpContext& ctx, ObjectId id, uint32_t index,
+                                        std::optional<SimTime> at) {
+  OpArgs a{RpcOp::kGetAclByIndex};
+  a.object = id;
+  a.offset = index;
+  a.time_based = at.has_value();
+  return Execute(ctx, a, [&](OpArgs&) -> Result<AclEntry> {
+    auto pick = [&](const Acl& acl) -> Result<AclEntry> {
+      if (index >= acl.size()) {
+        return Status::NotFound("acl index out of range");
       }
+      return acl[index];
+    };
+    if (at.has_value()) {
+      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructVersion(id, *at));
+      S4_RETURN_IF_ERROR(CheckHistoryAccess(view.acl, ctx.creds));
+      return pick(view.acl);
     }
-    return Status::NotFound("no acl entry for user");
-  };
-  auto fail = [&](Status s) {
-    Audit(creds, RpcOp::kGetAclByUser, id, user, 0, s, at.has_value());
-    return s;
-  };
-  if (at.has_value()) {
-    auto view = ReconstructVersion(id, *at);
-    if (!view.ok()) {
-      return fail(view.status());
-    }
-    if (Status s = CheckHistoryAccess(view->acl, creds); !s.ok()) {
-      return fail(s);
-    }
-    Audit(creds, RpcOp::kGetAclByUser, id, user, 0, Status::Ok(), true);
-    return find(view->acl);
-  }
-  auto loaded = LoadObject(id);
-  if (!loaded.ok()) {
-    return fail(loaded.status());
-  }
-  if (Status s = CheckAccess(**loaded, creds, kPermRead); !s.ok()) {
-    return fail(s);
-  }
-  Audit(creds, RpcOp::kGetAclByUser, id, user, 0, Status::Ok(), false);
-  return find((*loaded)->inode.acl);
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
+    S4_RETURN_IF_ERROR(CheckAccess(*obj, ctx.creds, kPermRead));
+    return pick(obj->inode.acl);
+  });
 }
 
 Result<AclEntry> S4Drive::GetAclByIndex(const Credentials& creds, ObjectId id, uint32_t index,
                                         std::optional<SimTime> at) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto pick = [&](const Acl& acl) -> Result<AclEntry> {
-    if (index >= acl.size()) {
-      return Status::NotFound("acl index out of range");
-    }
-    return acl[index];
-  };
-  auto fail = [&](Status s) {
-    Audit(creds, RpcOp::kGetAclByIndex, id, index, 0, s, at.has_value());
-    return s;
-  };
-  if (at.has_value()) {
-    auto view = ReconstructVersion(id, *at);
-    if (!view.ok()) {
-      return fail(view.status());
-    }
-    if (Status s = CheckHistoryAccess(view->acl, creds); !s.ok()) {
-      return fail(s);
-    }
-    Audit(creds, RpcOp::kGetAclByIndex, id, index, 0, Status::Ok(), true);
-    return pick(view->acl);
-  }
-  auto loaded = LoadObject(id);
-  if (!loaded.ok()) {
-    return fail(loaded.status());
-  }
-  if (Status s = CheckAccess(**loaded, creds, kPermRead); !s.ok()) {
-    return fail(s);
-  }
-  Audit(creds, RpcOp::kGetAclByIndex, id, index, 0, Status::Ok(), false);
-  return pick((*loaded)->inode.acl);
+  OpContext ctx = MakeContext(creds, RpcOp::kGetAclByIndex);
+  return GetAclByIndex(ctx, id, index, at);
 }
 
-Status S4Drive::SetAcl(const Credentials& creds, ObjectId id, AclEntry new_entry) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    if (s.code() == ErrorCode::kPermissionDenied) {
-      ++stats_.ops_denied;
+Status S4Drive::SetAcl(OpContext& ctx, ObjectId id, AclEntry new_entry) {
+  OpArgs a{RpcOp::kSetAcl};
+  a.object = id;
+  a.offset = new_entry.user;
+  return Execute(ctx, a, [&](OpArgs&) -> Status {
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, ResolveForWrite(ctx.creds, id, kPermSetAcl));
+    Acl new_acl = obj->inode.acl;
+    bool replaced = false;
+    for (auto& e : new_acl) {
+      if (e.user == new_entry.user) {
+        e = new_entry;
+        replaced = true;
+        break;
+      }
     }
-    Audit(creds, RpcOp::kSetAcl, id, new_entry.user, 0, s, false);
-    return s;
-  };
-  auto resolved = ResolveForWrite(creds, id, kPermSetAcl);
-  if (!resolved.ok()) {
-    return fail(resolved.status());
-  }
-  ObjectHandle obj = *resolved;
-  Acl new_acl = obj->inode.acl;
-  bool replaced = false;
-  for (auto& e : new_acl) {
-    if (e.user == new_entry.user) {
-      e = new_entry;
-      replaced = true;
-      break;
+    if (!replaced) {
+      if (new_acl.size() >= kMaxAclEntries) {
+        return Status::InvalidArgument("acl full");
+      }
+      new_acl.push_back(new_entry);
     }
-  }
-  if (!replaced) {
-    if (new_acl.size() >= kMaxAclEntries) {
-      return fail(Status::InvalidArgument("acl full"));
-    }
-    new_acl.push_back(new_entry);
-  }
 
-  SimTime now = clock_->Now();
-  JournalEntry e;
-  e.type = JournalEntryType::kSetAcl;
-  e.time = now;
-  Encoder old_enc;
-  EncodeAcl(obj->inode.acl, &old_enc);
-  e.old_blob = old_enc.Take();
-  Encoder new_enc;
-  EncodeAcl(new_acl, &new_enc);
-  e.new_blob = new_enc.Take();
-  obj->pending.push_back(std::move(e));
-  ++stats_.journal_entries;
-  pending_dirty_.insert(id);
-  obj->inode.acl = std::move(new_acl);
-  obj->dirty = true;
-  if (obj->pending.size() >= options_.journal_flush_entries) {
-    S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj.get()));
-  }
-  Audit(creds, RpcOp::kSetAcl, id, new_entry.user, 0, Status::Ok(), false);
-  return Status::Ok();
+    SimTime now = clock_->Now();
+    JournalEntry e;
+    e.type = JournalEntryType::kSetAcl;
+    e.time = now;
+    Encoder old_enc;
+    EncodeAcl(obj->inode.acl, &old_enc);
+    e.old_blob = old_enc.Take();
+    Encoder new_enc;
+    EncodeAcl(new_acl, &new_enc);
+    e.new_blob = new_enc.Take();
+    obj->pending.push_back(std::move(e));
+    m_.journal_entries->Inc();
+    pending_dirty_.insert(id);
+    obj->inode.acl = std::move(new_acl);
+    obj->dirty = true;
+    if (obj->pending.size() >= options_.journal_flush_entries) {
+      S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj.get()));
+    }
+    return Status::Ok();
+  });
+}
+
+Status S4Drive::SetAcl(const Credentials& creds, ObjectId id, AclEntry entry) {
+  OpContext ctx = MakeContext(creds, RpcOp::kSetAcl);
+  return SetAcl(ctx, id, entry);
 }
 
 // ---------------------------------------------------------------------------
@@ -656,14 +619,14 @@ Status S4Drive::WritePartitionTable(
   std::vector<BlockDelta> deltas;
   for (uint64_t b = 0; b <= last && !data.empty(); ++b) {
     S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, 0, data));
-    S4_ASSIGN_OR_RETURN(DiskAddr addr,
-                        writer_->Append(RecordKind::kData, kPartitionTableObjectId, b, content));
+    S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, kPartitionTableObjectId,
+                                                       b, content, actx_));
     block_cache_->Insert(addr, content);
     DiskAddr old_addr = obj->inode.BlockAddr(b);
     deltas.push_back(BlockDelta{b, old_addr, addr});
     obj->inode.blocks[b] = addr;
     SupersedeBlock(kPartitionTableObjectId, old_addr);
-    ++stats_.data_blocks_written;
+    m_.data_blocks_written->Inc();
   }
   // Drop blocks past the new end (table shrank).
   uint64_t keep_blocks = (data.size() + kBlockSize - 1) / kBlockSize;
@@ -677,120 +640,133 @@ Status S4Drive::WritePartitionTable(
                          std::move(deltas));
 }
 
-Status S4Drive::PCreate(const Credentials& creds, const std::string& name, ObjectId id) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    Audit(creds, RpcOp::kPCreate, id, 0, 0, s, false);
-    return s;
-  };
-  if (name.empty() || name.size() > kMaxPartitionName) {
-    return fail(Status::InvalidArgument("bad partition name"));
-  }
-  if (object_map_.Find(id) == nullptr) {
-    return fail(Status::NotFound("no such object"));
-  }
-  auto table = ReadPartitionTable(std::nullopt);
-  if (!table.ok()) {
-    return fail(table.status());
-  }
-  for (const auto& [existing, eid] : *table) {
-    (void)eid;
-    if (existing == name) {
-      return fail(Status::AlreadyExists("partition name in use"));
+Status S4Drive::PCreate(OpContext& ctx, const std::string& name, ObjectId id) {
+  OpArgs a{RpcOp::kPCreate};
+  a.object = id;
+  return Execute(ctx, a, [&](OpArgs&) -> Status {
+    if (name.empty() || name.size() > kMaxPartitionName) {
+      return Status::InvalidArgument("bad partition name");
     }
-  }
-  table->emplace_back(name, id);
-  if (Status s = WritePartitionTable(*table); !s.ok()) {
-    return fail(s);
-  }
-  Audit(creds, RpcOp::kPCreate, id, 0, 0, Status::Ok(), false);
-  return Status::Ok();
+    if (object_map_.Find(id) == nullptr) {
+      return Status::NotFound("no such object");
+    }
+    S4_ASSIGN_OR_RETURN(auto table, ReadPartitionTable(std::nullopt));
+    for (const auto& [existing, eid] : table) {
+      (void)eid;
+      if (existing == name) {
+        return Status::AlreadyExists("partition name in use");
+      }
+    }
+    table.emplace_back(name, id);
+    return WritePartitionTable(table);
+  });
+}
+
+Status S4Drive::PCreate(const Credentials& creds, const std::string& name, ObjectId id) {
+  OpContext ctx = MakeContext(creds, RpcOp::kPCreate);
+  return PCreate(ctx, name, id);
+}
+
+Status S4Drive::PDelete(OpContext& ctx, const std::string& name) {
+  OpArgs a{RpcOp::kPDelete};
+  return Execute(ctx, a, [&](OpArgs&) -> Status {
+    S4_ASSIGN_OR_RETURN(auto table, ReadPartitionTable(std::nullopt));
+    auto it = std::find_if(table.begin(), table.end(),
+                           [&](const auto& p) { return p.first == name; });
+    if (it == table.end()) {
+      return Status::NotFound("no such partition");
+    }
+    table.erase(it);
+    return WritePartitionTable(table);
+  });
 }
 
 Status S4Drive::PDelete(const Credentials& creds, const std::string& name) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    Audit(creds, RpcOp::kPDelete, kInvalidObjectId, 0, 0, s, false);
-    return s;
-  };
-  auto table = ReadPartitionTable(std::nullopt);
-  if (!table.ok()) {
-    return fail(table.status());
-  }
-  auto it = std::find_if(table->begin(), table->end(),
-                         [&](const auto& p) { return p.first == name; });
-  if (it == table->end()) {
-    return fail(Status::NotFound("no such partition"));
-  }
-  table->erase(it);
-  if (Status s = WritePartitionTable(*table); !s.ok()) {
-    return fail(s);
-  }
-  Audit(creds, RpcOp::kPDelete, kInvalidObjectId, 0, 0, Status::Ok(), false);
-  return Status::Ok();
+  OpContext ctx = MakeContext(creds, RpcOp::kPDelete);
+  return PDelete(ctx, name);
 }
 
-Result<std::vector<std::pair<std::string, ObjectId>>> S4Drive::PList(
-    const Credentials& creds, std::optional<SimTime> at) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto table = ReadPartitionTable(at);
-  Audit(creds, RpcOp::kPList, kPartitionTableObjectId, 0, 0, table.status(), at.has_value());
-  return table;
+Result<std::vector<std::pair<std::string, ObjectId>>> S4Drive::PList(OpContext& ctx,
+                                                                     std::optional<SimTime> at) {
+  OpArgs a{RpcOp::kPList};
+  a.object = kPartitionTableObjectId;
+  a.time_based = at.has_value();
+  return Execute(ctx, a,
+                 [&](OpArgs&) -> Result<std::vector<std::pair<std::string, ObjectId>>> {
+                   return ReadPartitionTable(at);
+                 });
+}
+
+Result<std::vector<std::pair<std::string, ObjectId>>> S4Drive::PList(const Credentials& creds,
+                                                                     std::optional<SimTime> at) {
+  OpContext ctx = MakeContext(creds, RpcOp::kPList);
+  return PList(ctx, at);
+}
+
+Result<ObjectId> S4Drive::PMount(OpContext& ctx, const std::string& name,
+                                 std::optional<SimTime> at) {
+  OpArgs a{RpcOp::kPMount};
+  a.time_based = at.has_value();
+  return Execute(ctx, a, [&](OpArgs& args) -> Result<ObjectId> {
+    S4_ASSIGN_OR_RETURN(auto table, ReadPartitionTable(at));
+    for (const auto& [existing, id] : table) {
+      if (existing == name) {
+        args.object = id;
+        return id;
+      }
+    }
+    return Status::NotFound("no such partition");
+  });
 }
 
 Result<ObjectId> S4Drive::PMount(const Credentials& creds, const std::string& name,
                                  std::optional<SimTime> at) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  auto fail = [&](Status s) {
-    Audit(creds, RpcOp::kPMount, kInvalidObjectId, 0, 0, s, at.has_value());
-    return s;
-  };
-  auto table = ReadPartitionTable(at);
-  if (!table.ok()) {
-    return fail(table.status());
-  }
-  for (const auto& [existing, id] : *table) {
-    if (existing == name) {
-      Audit(creds, RpcOp::kPMount, id, 0, 0, Status::Ok(), at.has_value());
-      return id;
-    }
-  }
-  return fail(Status::NotFound("no such partition"));
+  OpContext ctx = MakeContext(creds, RpcOp::kPMount);
+  return PMount(ctx, name, at);
 }
 
 // ---------------------------------------------------------------------------
 // Device operations
 // ---------------------------------------------------------------------------
 
+Status S4Drive::Sync(OpContext& ctx) {
+  OpArgs a{RpcOp::kSync};
+  return Execute(ctx, a, [&](OpArgs&) -> Status {
+    S4_RETURN_IF_ERROR(FlushAllPending());
+    S4_RETURN_IF_ERROR(writer_->Flush(actx_));
+    // A dirty object whose cache eviction failed to write back has lost the
+    // durability this Sync is promising: surface the stored failure to this
+    // client instead of swallowing it.
+    if (!eviction_error_.ok()) {
+      Status err = eviction_error_;
+      eviction_error_ = Status::Ok();
+      return err;
+    }
+    return MaybeAutoCheckpoint();
+  });
+}
+
 Status S4Drive::Sync(const Credentials& creds) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  S4_RETURN_IF_ERROR(FlushAllPending());
-  S4_RETURN_IF_ERROR(writer_->Flush());
-  Audit(creds, RpcOp::kSync, kInvalidObjectId, 0, 0, Status::Ok(), false);
-  return MaybeAutoCheckpoint();
+  OpContext ctx = MakeContext(creds, RpcOp::kSync);
+  return Sync(ctx);
+}
+
+Status S4Drive::SetWindow(OpContext& ctx, SimDuration window) {
+  OpArgs a{RpcOp::kSetWindow};
+  a.admin_only = true;
+  return Execute(ctx, a, [&](OpArgs& args) -> Status {
+    if (window < 0) {
+      return Status::InvalidArgument("negative window");
+    }
+    detection_window_ = window;
+    args.length = static_cast<uint64_t>(window);
+    return Status::Ok();
+  });
 }
 
 Status S4Drive::SetWindow(const Credentials& creds, SimDuration window) {
-  ++stats_.ops_total;
-  ChargeCpu();
-  if (!IsAdmin(creds)) {
-    ++stats_.ops_denied;
-    Status s = Status::PermissionDenied("SetWindow requires administrative access");
-    Audit(creds, RpcOp::kSetWindow, kInvalidObjectId, 0, 0, s, false);
-    return s;
-  }
-  if (window < 0) {
-    return Status::InvalidArgument("negative window");
-  }
-  detection_window_ = window;
-  Audit(creds, RpcOp::kSetWindow, kInvalidObjectId, 0, static_cast<uint64_t>(window),
-        Status::Ok(), false);
-  return Status::Ok();
+  OpContext ctx = MakeContext(creds, RpcOp::kSetWindow);
+  return SetWindow(ctx, window);
 }
 
 Status S4Drive::AppendAuditBuffered(bool force) {
@@ -810,14 +786,14 @@ Status S4Drive::AppendAuditBuffered(bool force) {
   std::vector<BlockDelta> deltas;
   for (uint64_t b = first; b <= last; ++b) {
     S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, start, data));
-    S4_ASSIGN_OR_RETURN(DiskAddr addr,
-                        writer_->Append(RecordKind::kData, kAuditLogObjectId, b, content));
+    S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, kAuditLogObjectId, b,
+                                                       content, actx_));
     block_cache_->Insert(addr, content);
     DiskAddr old_addr = obj->inode.BlockAddr(b);
     deltas.push_back(BlockDelta{b, old_addr, addr});
     obj->inode.blocks[b] = addr;
     SupersedeBlock(kAuditLogObjectId, old_addr);
-    ++stats_.audit_blocks_written;
+    m_.audit_blocks_written->Inc();
   }
   return ApplyBlockWrite(kAuditLogObjectId, obj.get(), now, old_size, start + data.size(),
                          std::move(deltas));

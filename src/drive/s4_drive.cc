@@ -25,11 +25,156 @@ uint64_t CachedObjectCostImpl(uint64_t blocks, uint64_t pending, uint64_t opaque
 
 }  // namespace
 
+const char* DriveOpSpanName(RpcOp op) {
+  switch (op) {
+    case RpcOp::kInvalid:
+      return "drive.Invalid";
+    case RpcOp::kCreate:
+      return "drive.Create";
+    case RpcOp::kDelete:
+      return "drive.Delete";
+    case RpcOp::kRead:
+      return "drive.Read";
+    case RpcOp::kWrite:
+      return "drive.Write";
+    case RpcOp::kAppend:
+      return "drive.Append";
+    case RpcOp::kTruncate:
+      return "drive.Truncate";
+    case RpcOp::kGetAttr:
+      return "drive.GetAttr";
+    case RpcOp::kSetAttr:
+      return "drive.SetAttr";
+    case RpcOp::kGetAclByUser:
+      return "drive.GetACLByUser";
+    case RpcOp::kGetAclByIndex:
+      return "drive.GetACLByIndex";
+    case RpcOp::kSetAcl:
+      return "drive.SetACL";
+    case RpcOp::kPCreate:
+      return "drive.PCreate";
+    case RpcOp::kPDelete:
+      return "drive.PDelete";
+    case RpcOp::kPList:
+      return "drive.PList";
+    case RpcOp::kPMount:
+      return "drive.PMount";
+    case RpcOp::kSync:
+      return "drive.Sync";
+    case RpcOp::kFlush:
+      return "drive.Flush";
+    case RpcOp::kFlushObject:
+      return "drive.FlushO";
+    case RpcOp::kSetWindow:
+      return "drive.SetWindow";
+    case RpcOp::kGetVersionList:
+      return "drive.GetVersionList";
+  }
+  return "drive.Unknown";
+}
+
 S4Drive::S4Drive(BlockDevice* device, SimClock* clock, S4DriveOptions options)
     : device_(device), clock_(clock), options_(options),
-      detection_window_(options.detection_window) {}
+      detection_window_(options.detection_window) {
+  InitMetrics();
+}
 
 S4Drive::~S4Drive() = default;
+
+void S4Drive::InitMetrics() {
+  m_.ops_total = metrics_.GetCounter("drive.ops_total");
+  m_.ops_denied = metrics_.GetCounter("drive.ops_denied");
+  m_.time_based_reads = metrics_.GetCounter("drive.time_based_reads");
+  m_.journal_entries = metrics_.GetCounter("drive.journal_entries");
+  m_.journal_sectors_written = metrics_.GetCounter("drive.journal_sectors_written");
+  m_.inode_checkpoints = metrics_.GetCounter("drive.inode_checkpoints");
+  m_.data_blocks_written = metrics_.GetCounter("drive.data_blocks_written");
+  m_.device_checkpoints = metrics_.GetCounter("drive.device_checkpoints");
+  m_.audit_records = metrics_.GetCounter("audit.records");
+  m_.audit_blocks_written = metrics_.GetCounter("audit.blocks_written");
+  m_.cleaner_passes = metrics_.GetCounter("cleaner.passes");
+  m_.cleaner_segments_reclaimed = metrics_.GetCounter("cleaner.segments_reclaimed");
+  m_.cleaner_segments_compacted = metrics_.GetCounter("cleaner.segments_compacted");
+  m_.cleaner_sectors_expired = metrics_.GetCounter("cleaner.sectors_expired");
+  m_.cleaner_sectors_copied = metrics_.GetCounter("cleaner.sectors_copied");
+  m_.cleaner_time_us = metrics_.GetCounter("cleaner.time_us");
+  m_.throttle_delays = metrics_.GetCounter("throttle.delays");
+  m_.throttle_rejects = metrics_.GetCounter("throttle.rejects");
+  m_.versions_purged = metrics_.GetCounter("history.versions_purged");
+  m_.history_walks = metrics_.GetCounter("history.reconstruction_walks");
+  for (int op = 0; op <= 20; ++op) {
+    m_.op_latency[op] = metrics_.GetHistogram(
+        std::string("drive.op.") + RpcOpName(static_cast<RpcOp>(op)) + ".latency");
+  }
+}
+
+DriveStats S4Drive::stats() const {
+  DriveStats s;
+  s.ops_total = metrics_.CounterValue("drive.ops_total");
+  s.ops_denied = metrics_.CounterValue("drive.ops_denied");
+  s.time_based_reads = metrics_.CounterValue("drive.time_based_reads");
+  s.journal_entries = metrics_.CounterValue("drive.journal_entries");
+  s.journal_sectors_written = metrics_.CounterValue("drive.journal_sectors_written");
+  s.inode_checkpoints = metrics_.CounterValue("drive.inode_checkpoints");
+  s.data_blocks_written = metrics_.CounterValue("drive.data_blocks_written");
+  s.device_checkpoints = metrics_.CounterValue("drive.device_checkpoints");
+  s.audit_records = metrics_.CounterValue("audit.records");
+  s.audit_blocks_written = metrics_.CounterValue("audit.blocks_written");
+  s.cleaner_passes = metrics_.CounterValue("cleaner.passes");
+  s.cleaner_segments_reclaimed = metrics_.CounterValue("cleaner.segments_reclaimed");
+  s.cleaner_segments_compacted = metrics_.CounterValue("cleaner.segments_compacted");
+  s.cleaner_sectors_expired = metrics_.CounterValue("cleaner.sectors_expired");
+  s.cleaner_sectors_copied = metrics_.CounterValue("cleaner.sectors_copied");
+  s.cleaner_time = static_cast<SimDuration>(metrics_.CounterValue("cleaner.time_us"));
+  s.throttle_delays = metrics_.CounterValue("throttle.delays");
+  s.throttle_rejects = metrics_.CounterValue("throttle.rejects");
+  s.versions_purged = metrics_.CounterValue("history.versions_purged");
+  return s;
+}
+
+OpContext S4Drive::MakeContext(const Credentials& creds, RpcOp op) {
+  OpContext ctx;
+  ctx.request_id = tracer_.NextRequestId();
+  ctx.creds = creds;
+  ctx.op = op;
+  ctx.start_time = clock_->Now();
+  ctx.clock = clock_;
+  ctx.tracer = &tracer_;
+  return ctx;
+}
+
+Status S4Drive::BeginOp(OpContext& ctx, const OpArgs& args) {
+  m_.ops_total->Inc();
+  ChargeCpu(&ctx);
+  if (args.time_based && args.op == RpcOp::kRead) {
+    m_.time_based_reads->Inc();
+  }
+  if (args.admin_only && !IsAdmin(ctx.creds)) {
+    return Status::PermissionDenied(std::string(RpcOpName(args.op)) +
+                                    " requires administrative access");
+  }
+  if (args.admission_bytes > 0) {
+    S4_RETURN_IF_ERROR(ThrottleCheck(ctx.creds, args.admission_bytes));
+  }
+  return Status::Ok();
+}
+
+void S4Drive::EndOp(OpContext& ctx, const OpArgs& args, const Status& result,
+                    SimTime op_start) {
+  if (result.code() == ErrorCode::kPermissionDenied) {
+    m_.ops_denied->Inc();
+  }
+  Audit(ctx.creds, args.op, args.object, args.offset, args.length, result, args.time_based);
+  m_.op_latency[static_cast<uint8_t>(args.op)]->Record(clock_->Now() - op_start);
+}
+
+void S4Drive::AuditRejectedFrame(OpContext& ctx, const Status& reason) {
+  m_.ops_total->Inc();
+  metrics_.GetCounter("rpc.rejected_frames")->Inc();
+  ChargeCpu(&ctx);
+  Audit(ctx.creds, RpcOp::kInvalid, kInvalidObjectId, 0, 0, reason, false);
+  m_.op_latency[0]->Record(clock_->Now() - ctx.start_time);
+}
 
 Result<std::unique_ptr<S4Drive>> S4Drive::Format(BlockDevice* device, SimClock* clock,
                                                  S4DriveOptions options) {
@@ -66,7 +211,7 @@ Status S4Drive::DoFormat() {
 
   sut_ = std::make_unique<SegmentUsageTable>(sb_.segment_count, sb_.segment_sectors);
   writer_ = std::make_unique<SegmentWriter>(device_, &sb_, sut_.get(), clock_, /*next_seq=*/1);
-  block_cache_ = std::make_unique<BlockCache>(device_, options_.block_cache_bytes);
+  block_cache_ = std::make_unique<BlockCache>(device_, options_.block_cache_bytes, &metrics_);
   object_cache_ =
       std::make_unique<LruCache<ObjectId, ObjectHandle>>(options_.object_cache_bytes);
   object_cache_->set_evict_fn([this](const ObjectId& id, ObjectHandle&& obj) {
@@ -154,15 +299,15 @@ Result<Bytes> S4Drive::EncodeDeviceCheckpoint() const {
 
 Status S4Drive::WriteCheckpoint() {
   S4_RETURN_IF_ERROR(FlushAllPending(/*force_audit=*/true));
-  S4_RETURN_IF_ERROR(writer_->Flush());
+  S4_RETURN_IF_ERROR(writer_->Flush(actx_));
 
   ++checkpoint_generation_;
   S4_ASSIGN_OR_RETURN(Bytes blob, EncodeDeviceCheckpoint());
   DiskAddr region = (checkpoint_generation_ % 2 == 0) ? sb_.checkpoint_a : sb_.checkpoint_b;
-  S4_RETURN_IF_ERROR(device_->Write(region, blob));
+  S4_RETURN_IF_ERROR(device_->Write(region, blob, actx_));
   checkpoint_seq_ = writer_->next_seq();
   bytes_since_checkpoint_ = 0;
-  ++stats_.device_checkpoints;
+  m_.device_checkpoints->Inc();
 
   // Segments fully expired by the cleaner become allocatable only now: any
   // recovery from this point on starts from a checkpoint that already knows
@@ -170,7 +315,7 @@ Status S4Drive::WriteCheckpoint() {
   for (SegmentId seg = 0; seg < sut_->segment_count(); ++seg) {
     if (sut_->Reclaimable(seg)) {
       sut_->Reclaim(seg);
-      ++stats_.cleaner_segments_reclaimed;
+      m_.cleaner_segments_reclaimed->Inc();
     }
   }
   return Status::Ok();
@@ -256,7 +401,7 @@ Status S4Drive::DoMount() {
 
   S4_RETURN_IF_ERROR(LoadDeviceCheckpoint());
 
-  block_cache_ = std::make_unique<BlockCache>(device_, options_.block_cache_bytes);
+  block_cache_ = std::make_unique<BlockCache>(device_, options_.block_cache_bytes, &metrics_);
   object_cache_ =
       std::make_unique<LruCache<ObjectId, ObjectHandle>>(options_.object_cache_bytes);
   object_cache_->set_evict_fn([this](const ObjectId& id, ObjectHandle&& obj) {
@@ -552,7 +697,12 @@ void ApplyEntryForward(Inode* inode, bool* exists, const JournalEntry& e) {
 // Object cache and journal/checkpoint plumbing
 // ---------------------------------------------------------------------------
 
-void S4Drive::ChargeCpu() { clock_->Advance(options_.cpu_per_op); }
+void S4Drive::ChargeCpu(OpContext* ctx) {
+  clock_->Advance(options_.cpu_per_op);
+  if (ctx != nullptr) {
+    ctx->cpu_time += options_.cpu_per_op;
+  }
+}
 
 bool S4Drive::ObjectIsVersioned(ObjectId id) const {
   if (id == kAuditLogObjectId) {
@@ -568,10 +718,10 @@ Result<Bytes> S4Drive::ReadRecord(DiskAddr addr, uint32_t sectors) {
   }
   if (sectors == 1) {
     // Journal sectors: cluster the read backward along the chain direction.
-    S4_RETURN_IF_ERROR(block_cache_->ReadSectorClustered(addr, &out));
+    S4_RETURN_IF_ERROR(block_cache_->ReadSectorClustered(addr, &out, actx_));
     return out;
   }
-  S4_RETURN_IF_ERROR(block_cache_->Read(addr, sectors, &out));
+  S4_RETURN_IF_ERROR(block_cache_->Read(addr, sectors, &out, actx_));
   return out;
 }
 
@@ -655,10 +805,10 @@ Status S4Drive::FlushObjectJournal(ObjectId id, CachedObject* obj) {
     sector.prev = head;
     S4_ASSIGN_OR_RETURN(Bytes encoded, sector.Encode());
     S4_ASSIGN_OR_RETURN(DiskAddr addr,
-                        writer_->Append(RecordKind::kJournal, id, 0, encoded));
+                        writer_->Append(RecordKind::kJournal, id, 0, encoded, actx_));
     block_cache_->Insert(addr, encoded);
     head = addr;
-    ++stats_.journal_sectors_written;
+    m_.journal_sectors_written->Inc();
   }
   entry->journal_head = head;
   obj->pending.clear();
@@ -674,7 +824,7 @@ Status S4Drive::CheckpointObject(ObjectId id, CachedObject* obj) {
   Bytes record = obj->inode.EncodeCheckpoint();
   uint32_t sectors = static_cast<uint32_t>(record.size() / kSectorSize);
   S4_ASSIGN_OR_RETURN(DiskAddr addr,
-                      writer_->Append(RecordKind::kInodeCheckpoint, id, 0, record));
+                      writer_->Append(RecordKind::kInodeCheckpoint, id, 0, record, actx_));
   block_cache_->Insert(addr, record);
 
   // Journal the checkpoint location so chain replay knows where to restart.
@@ -684,7 +834,7 @@ Status S4Drive::CheckpointObject(ObjectId id, CachedObject* obj) {
   cp.checkpoint_addr = addr;
   cp.checkpoint_sectors = sectors;
   obj->pending.push_back(cp);
-  ++stats_.journal_entries;
+  m_.journal_entries->Inc();
   pending_dirty_.insert(id);
   S4_RETURN_IF_ERROR(FlushObjectJournal(id, obj));
 
@@ -699,7 +849,7 @@ Status S4Drive::CheckpointObject(ObjectId id, CachedObject* obj) {
   entry->checkpoint_sectors = sectors;
   entry->checkpoint_time = cp.time;
   obj->dirty = false;
-  ++stats_.inode_checkpoints;
+  m_.inode_checkpoints->Inc();
   return Status::Ok();
 }
 
@@ -719,11 +869,9 @@ Status S4Drive::FlushAllPending(bool force_audit) {
       pending_dirty_.erase(id);
     }
   }
-  if (!eviction_error_.ok()) {
-    Status err = eviction_error_;
-    eviction_error_ = Status::Ok();
-    return err;
-  }
+  // A sticky eviction failure is NOT consumed here: internal callers (device
+  // checkpoint, cleaner) would silently swallow it. It stays set until the
+  // next client Sync surfaces it.
   return Status::Ok();
 }
 
@@ -754,7 +902,7 @@ void S4Drive::Audit(const Credentials& creds, RpcOp op, ObjectId id, uint64_t of
   rec.result = static_cast<uint8_t>(result.code());
   rec.time_based = time_based;
   audit_codec_.Buffer(rec);
-  ++stats_.audit_records;
+  m_.audit_records->Inc();
   // Whole blocks of audit data ride along with normal segment writes.
   if (audit_codec_.buffered_bytes() >= kBlockSize) {
     Status s = AppendAuditBuffered(/*force=*/false);
@@ -799,7 +947,13 @@ uint64_t S4Drive::LiveBytes() const { return sut_->LiveSectorsTotal() * kSectorS
 
 Status S4Drive::Unmount() {
   object_cache_->Clear();
-  return WriteCheckpoint();
+  S4_RETURN_IF_ERROR(WriteCheckpoint());
+  if (!eviction_error_.ok()) {
+    Status err = eviction_error_;
+    eviction_error_ = Status::Ok();
+    return err;
+  }
+  return Status::Ok();
 }
 
 }  // namespace s4

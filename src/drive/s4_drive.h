@@ -6,6 +6,11 @@
 // including a compromised host OS presenting valid user credentials —
 // destroy history before it ages out.
 //
+// Every Table-1 op runs through one Execute() pipeline: open a span, charge
+// front-end CPU, run admission (admin gate, space-exhaustion throttle), run
+// the op body, then account denials, append the audit record, and record the
+// op's sim-time latency. The per-op boilerplate lives nowhere else.
+//
 // Internals: log-structured layout (src/lfs), journal-based metadata
 // (src/journal), object map + inode checkpoints (src/object), buffer/object
 // caches (src/cache), audit log (src/audit), plus the age-driven cleaner and
@@ -20,6 +25,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/audit/audit_log.h"
@@ -33,6 +39,8 @@
 #include "src/lfs/usage_table.h"
 #include "src/object/inode.h"
 #include "src/object/object_map.h"
+#include "src/obs/metrics.h"
+#include "src/obs/op_context.h"
 #include "src/sim/block_device.h"
 #include "src/sim/sim_clock.h"
 
@@ -43,6 +51,9 @@ struct VersionInfo {
   SimTime time = 0;
   JournalEntryType cause = JournalEntryType::kWrite;
 };
+
+// Static span name for a drive op ("drive.Write", ...).
+const char* DriveOpSpanName(RpcOp op);
 
 class S4Drive {
  public:
@@ -58,53 +69,92 @@ class S4Drive {
   S4Drive(const S4Drive&) = delete;
   S4Drive& operator=(const S4Drive&) = delete;
 
+  // Mints the context for a request entering the drive: fresh request id,
+  // claimed credentials, sim-clock start time, and this drive's tracer.
+  OpContext MakeContext(const Credentials& creds, RpcOp op);
+
   // ---- Table 1: object operations ----
+  // Each op takes an OpContext created at the request boundary (the RPC
+  // server, or MakeContext for in-process callers). The Credentials
+  // convenience overloads mint a context and forward.
+  //
   // Creates an object owned by creds.user (full perms incl. Recovery) with
   // the given opaque attribute blob.
+  Result<ObjectId> Create(OpContext& ctx, Bytes opaque_attrs);
   Result<ObjectId> Create(const Credentials& creds, Bytes opaque_attrs);
+  Status Delete(OpContext& ctx, ObjectId id);
   Status Delete(const Credentials& creds, ObjectId id);
   // Read with optional time-based access: `at` selects the version that was
   // most current at that time (requires Recovery flag or admin when the
   // version is in the history pool).
+  Result<Bytes> Read(OpContext& ctx, ObjectId id, uint64_t offset, uint64_t length,
+                     std::optional<SimTime> at = std::nullopt);
   Result<Bytes> Read(const Credentials& creds, ObjectId id, uint64_t offset, uint64_t length,
                      std::optional<SimTime> at = std::nullopt);
+  Status Write(OpContext& ctx, ObjectId id, uint64_t offset, ByteSpan data);
   Status Write(const Credentials& creds, ObjectId id, uint64_t offset, ByteSpan data);
   // Appends at end-of-object; returns the new size.
+  Result<uint64_t> Append(OpContext& ctx, ObjectId id, ByteSpan data);
   Result<uint64_t> Append(const Credentials& creds, ObjectId id, ByteSpan data);
+  Status Truncate(OpContext& ctx, ObjectId id, uint64_t new_size);
   Status Truncate(const Credentials& creds, ObjectId id, uint64_t new_size);
+  Result<ObjectAttrs> GetAttr(OpContext& ctx, ObjectId id,
+                              std::optional<SimTime> at = std::nullopt);
   Result<ObjectAttrs> GetAttr(const Credentials& creds, ObjectId id,
                               std::optional<SimTime> at = std::nullopt);
+  Status SetAttr(OpContext& ctx, ObjectId id, Bytes opaque_attrs);
   Status SetAttr(const Credentials& creds, ObjectId id, Bytes opaque_attrs);
+  Result<AclEntry> GetAclByUser(OpContext& ctx, ObjectId id, UserId user,
+                                std::optional<SimTime> at = std::nullopt);
   Result<AclEntry> GetAclByUser(const Credentials& creds, ObjectId id, UserId user,
                                 std::optional<SimTime> at = std::nullopt);
+  Result<AclEntry> GetAclByIndex(OpContext& ctx, ObjectId id, uint32_t index,
+                                 std::optional<SimTime> at = std::nullopt);
   Result<AclEntry> GetAclByIndex(const Credentials& creds, ObjectId id, uint32_t index,
                                  std::optional<SimTime> at = std::nullopt);
+  Status SetAcl(OpContext& ctx, ObjectId id, AclEntry entry);
   Status SetAcl(const Credentials& creds, ObjectId id, AclEntry entry);
 
   // ---- Table 1: partition (named object) operations ----
+  Status PCreate(OpContext& ctx, const std::string& name, ObjectId id);
   Status PCreate(const Credentials& creds, const std::string& name, ObjectId id);
+  Status PDelete(OpContext& ctx, const std::string& name);
   Status PDelete(const Credentials& creds, const std::string& name);
   Result<std::vector<std::pair<std::string, ObjectId>>> PList(
+      OpContext& ctx, std::optional<SimTime> at = std::nullopt);
+  Result<std::vector<std::pair<std::string, ObjectId>>> PList(
       const Credentials& creds, std::optional<SimTime> at = std::nullopt);
+  Result<ObjectId> PMount(OpContext& ctx, const std::string& name,
+                          std::optional<SimTime> at = std::nullopt);
   Result<ObjectId> PMount(const Credentials& creds, const std::string& name,
                           std::optional<SimTime> at = std::nullopt);
 
   // ---- Table 1: device operations ----
   // Commits all buffered state (journal entries, data, audit records) to the
-  // log. NFSv2 semantics are built from this.
+  // log. NFSv2 semantics are built from this. Also the point where a sticky
+  // eviction failure (a dirty object whose write-back failed) is surfaced.
+  Status Sync(OpContext& ctx);
   Status Sync(const Credentials& creds);
   // Admin: permanently removes versions in (from, to] — all objects.
+  Status Flush(OpContext& ctx, SimTime from, SimTime to);
   Status Flush(const Credentials& creds, SimTime from, SimTime to);
   // Admin: same for one object.
+  Status FlushObject(OpContext& ctx, ObjectId id, SimTime from, SimTime to);
   Status FlushObject(const Credentials& creds, ObjectId id, SimTime from, SimTime to);
   // Admin: adjusts the guaranteed detection window.
+  Status SetWindow(OpContext& ctx, SimDuration window);
   Status SetWindow(const Credentials& creds, SimDuration window);
 
   // ---- Diagnosis extensions (section 3.6 tooling) ----
   // Enumerates the reconstructible versions of an object, oldest first.
+  Result<std::vector<VersionInfo>> GetVersionList(OpContext& ctx, ObjectId id);
   Result<std::vector<VersionInfo>> GetVersionList(const Credentials& creds, ObjectId id);
   // Reads back audit records matching `query` (admin only).
   Result<std::vector<AuditRecord>> QueryAudit(const Credentials& creds, const AuditQuery& query);
+
+  // Audits a request the RPC layer rejected before it could be decoded
+  // (bad frame / CRC / op code / size). Recorded with op kInvalid.
+  void AuditRejectedFrame(OpContext& ctx, const Status& reason);
 
   // ---- Cleaner (section 4.2.1) ----
   // One cleaning pass: expires versions older than the detection window,
@@ -131,7 +181,13 @@ class S4Drive {
   Status Unmount();
 
   // ---- Introspection ----
-  const DriveStats& stats() const { return stats_; }
+  // Legacy counter view, built from the metric registry (cheap; by value).
+  DriveStats stats() const;
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  SimClock* sim_clock() const { return clock_; }
   const SegmentUsageTable& usage_table() const { return *sut_; }
   SimDuration detection_window() const { return detection_window_; }
   // Fraction of segments not free (0..1).
@@ -181,6 +237,92 @@ class S4Drive {
 
   S4Drive(BlockDevice* device, SimClock* clock, S4DriveOptions options);
 
+  // --- request pipeline (s4_drive.cc) ---
+  // Audit/admission parameters of one op. Bodies mutate the audit fields
+  // (object/offset/length) as the op learns them, so the final audit record
+  // matches what the op actually did.
+  struct OpArgs {
+    RpcOp op;
+    ObjectId object = kInvalidObjectId;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    bool time_based = false;
+    uint64_t admission_bytes = 0;  // >0: run the space-exhaustion throttle
+    bool admin_only = false;       // reject non-admin credentials up front
+  };
+
+  // Sets actx_ (the context deep layers charge) for a scope.
+  class ScopedActiveContext {
+   public:
+    ScopedActiveContext(S4Drive* drive, OpContext* ctx)
+        : drive_(drive), prev_(drive->actx_) {
+      drive_->actx_ = ctx;
+    }
+    ~ScopedActiveContext() { drive_->actx_ = prev_; }
+    ScopedActiveContext(const ScopedActiveContext&) = delete;
+    ScopedActiveContext& operator=(const ScopedActiveContext&) = delete;
+
+   private:
+    S4Drive* drive_;
+    OpContext* prev_;
+  };
+
+  // Uniform prologue: op count, CPU charge, time-based-read count, admin
+  // gate, throttle admission.
+  Status BeginOp(OpContext& ctx, const OpArgs& args);
+  // Uniform epilogue: denial count, the audit record, per-op latency.
+  void EndOp(OpContext& ctx, const OpArgs& args, const Status& result, SimTime op_start);
+
+  static const Status& ResultStatus(const Status& s) { return s; }
+  template <typename T>
+  static const Status& ResultStatus(const Result<T>& r) {
+    return r.status();
+  }
+
+  // The single pipeline every Table-1 op goes through.
+  template <typename Fn>
+  auto Execute(OpContext& ctx, OpArgs args, Fn&& body) -> decltype(body(args)) {
+    using R = decltype(body(args));
+    ScopedSpan span(&ctx, DriveOpSpanName(args.op));
+    ScopedActiveContext active(this, &ctx);
+    SimTime op_start = clock_->Now();
+    R result = [&]() -> R {
+      if (Status s = BeginOp(ctx, args); !s.ok()) {
+        return R(std::move(s));
+      }
+      return body(args);
+    }();
+    EndOp(ctx, args, ResultStatus(result), op_start);
+    return result;
+  }
+
+  // Cached registry instruments (resolved once at construction).
+  struct DriveCounters {
+    Counter* ops_total = nullptr;
+    Counter* ops_denied = nullptr;
+    Counter* time_based_reads = nullptr;
+    Counter* journal_entries = nullptr;
+    Counter* journal_sectors_written = nullptr;
+    Counter* inode_checkpoints = nullptr;
+    Counter* data_blocks_written = nullptr;
+    Counter* device_checkpoints = nullptr;
+    Counter* audit_records = nullptr;
+    Counter* audit_blocks_written = nullptr;
+    Counter* cleaner_passes = nullptr;
+    Counter* cleaner_segments_reclaimed = nullptr;
+    Counter* cleaner_segments_compacted = nullptr;
+    Counter* cleaner_sectors_expired = nullptr;
+    Counter* cleaner_sectors_copied = nullptr;
+    Counter* cleaner_time_us = nullptr;
+    Counter* throttle_delays = nullptr;
+    Counter* throttle_rejects = nullptr;
+    Counter* versions_purged = nullptr;
+    Counter* history_walks = nullptr;
+    // Per-op sim-time latency, indexed by RpcOp value (0 = kInvalid unused).
+    Histogram* op_latency[21] = {};
+  };
+  void InitMetrics();
+
   // --- setup / recovery (s4_drive.cc) ---
   Status DoFormat();
   Status DoMount();
@@ -190,7 +332,7 @@ class S4Drive {
   Status LoadDeviceCheckpoint();
 
   // --- generic internals (s4_drive.cc) ---
-  void ChargeCpu();
+  void ChargeCpu(OpContext* ctx);
   Result<Bytes> ReadRecord(DiskAddr addr, uint32_t sectors);
   Result<ObjectHandle> LoadObject(ObjectId id);
   Status EvictObject(ObjectId id, ObjectHandle obj);
@@ -206,8 +348,8 @@ class S4Drive {
   Status CheckAccess(const CachedObject& obj, const Credentials& creds, uint8_t needed) const;
 
   // --- data path (drive_ops.cc) ---
-  Status WriteInternal(const Credentials& creds, ObjectId id, uint64_t offset, ByteSpan data,
-                       bool is_append, RpcOp op);
+  Status WriteBody(OpContext& ctx, OpArgs& args, ObjectId id, uint64_t offset, ByteSpan data,
+                   bool is_append);
   Result<Bytes> BuildBlockContent(const CachedObject& obj, uint64_t block_index,
                                   uint64_t valid_bytes, uint64_t write_off, ByteSpan data);
   Status ApplyBlockWrite(ObjectId id, CachedObject* obj, SimTime now, uint64_t old_size,
@@ -241,6 +383,16 @@ class S4Drive {
   SimClock* clock_;
   S4DriveOptions options_;
 
+  // Observability plane: registry + tracer are owned here; every layer below
+  // (cache, lfs, sim) publishes into them. Declared before the components
+  // that capture pointers into them.
+  MetricRegistry metrics_;
+  Tracer tracer_;
+  DriveCounters m_;
+  // Context of the op currently inside Execute() (null outside any op);
+  // internals that sit below the op bodies charge I/O to it.
+  OpContext* actx_ = nullptr;
+
   Superblock sb_;
   std::unique_ptr<SegmentUsageTable> sut_;
   std::unique_ptr<SegmentWriter> writer_;
@@ -270,8 +422,7 @@ class S4Drive {
   };
   std::unordered_map<ClientId, ClientLoad> client_load_;
 
-  DriveStats stats_;
-  Status eviction_error_ = Status::Ok();  // sticky error from cache eviction
+  Status eviction_error_ = Status::Ok();  // sticky; surfaced by the next Sync
 };
 
 }  // namespace s4

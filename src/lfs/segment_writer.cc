@@ -58,8 +58,8 @@ Status SegmentWriter::OpenSegmentIfNeeded() {
   return Status::Ok();
 }
 
-Status SegmentWriter::RolloverSegment() {
-  S4_RETURN_IF_ERROR(Flush());
+Status SegmentWriter::RolloverSegment(OpContext* ctx) {
+  S4_RETURN_IF_ERROR(Flush(ctx));
   if (active_segment_ != kNullSegment) {
     sut_->Seal(active_segment_);
     ++stats_.segments_sealed;
@@ -69,7 +69,8 @@ Status SegmentWriter::RolloverSegment() {
 }
 
 Result<DiskAddr> SegmentWriter::Append(RecordKind kind, uint64_t object_id, uint64_t block_index,
-                                       ByteSpan payload) {
+                                       ByteSpan payload, OpContext* ctx) {
+  ScopedSpan span(ctx, "lfs.append");
   S4_CHECK(payload.size() % kSectorSize == 0 && !payload.empty());
   uint32_t payload_sectors = static_cast<uint32_t>(payload.size() / kSectorSize);
   S4_CHECK(payload_sectors + 1 <= sb_->segment_sectors);
@@ -81,12 +82,12 @@ Result<DiskAddr> SegmentWriter::Append(RecordKind kind, uint64_t object_id, uint
 
   // Start a fresh chunk if the summary sector is full.
   if (pending_summary_bytes_ + rec_bytes > kSummaryBudget) {
-    S4_RETURN_IF_ERROR(Flush());
+    S4_RETURN_IF_ERROR(Flush(ctx));
   }
   // Roll to a new segment if this record does not fit in the current one.
   uint32_t needed = payload_sectors + (pending_summary_.records.empty() ? 1 : 0);
   if (fill_sectors_ + PendingSectors() + needed > sb_->segment_sectors) {
-    S4_RETURN_IF_ERROR(RolloverSegment());
+    S4_RETURN_IF_ERROR(RolloverSegment(ctx));
   }
 
   // Address: summary sector sits at the chunk start, payloads follow in order.
@@ -118,10 +119,11 @@ void SegmentWriter::Resume(SegmentId segment, uint32_t fill_sectors) {
   fill_sectors_ = fill_sectors;
 }
 
-Status SegmentWriter::Flush() {
+Status SegmentWriter::Flush(OpContext* ctx) {
   if (pending_summary_.records.empty()) {
     return Status::Ok();
   }
+  ScopedSpan span(ctx, "lfs.flush");
   pending_summary_.seq = next_seq_++;
   pending_summary_.write_time = clock_->Now();
   // Cover the payload so recovery can tell a fully persisted chunk from one
@@ -135,7 +137,7 @@ Status SegmentWriter::Flush() {
   chunk.insert(chunk.end(), pending_payload_.begin(), pending_payload_.end());
 
   DiskAddr chunk_start = sb_->SegmentStart(active_segment_) + fill_sectors_;
-  S4_RETURN_IF_ERROR(device_->Write(chunk_start, chunk));
+  S4_RETURN_IF_ERROR(device_->Write(chunk_start, chunk, ctx));
 
   uint32_t chunk_sectors = static_cast<uint32_t>(chunk.size() / kSectorSize);
   fill_sectors_ += chunk_sectors;

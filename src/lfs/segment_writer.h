@@ -33,12 +33,13 @@ class SegmentWriter {
 
   // Appends a record; returns its assigned disk address. `payload` must be a
   // whole number of sectors. Fails with kOutOfSpace when no free segment is
-  // available for a needed rollover.
+  // available for a needed rollover. A non-null `ctx` attributes any disk
+  // writes this append triggers (chunk/segment overflow) to that request.
   Result<DiskAddr> Append(RecordKind kind, uint64_t object_id, uint64_t block_index,
-                          ByteSpan payload);
+                          ByteSpan payload, OpContext* ctx = nullptr);
 
   // Writes any buffered chunk to disk. Idempotent when empty.
-  Status Flush();
+  Status Flush(OpContext* ctx = nullptr);
 
   // Serves reads of records that are still only in the chunk buffer.
   // Returns true and fills `out` if `addr` is buffered.
@@ -62,7 +63,7 @@ class SegmentWriter {
   // its summary sector.
   uint32_t PendingSectors() const;
   Status OpenSegmentIfNeeded();
-  Status RolloverSegment();
+  Status RolloverSegment(OpContext* ctx);
 
   BlockDevice* device_;
   const Superblock* sb_;

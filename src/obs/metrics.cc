@@ -1,0 +1,114 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace s4 {
+namespace {
+
+// Buckets are indexed by bit width, so bucket 0 is exactly {0} and bucket b
+// covers [2^(b-1), 2^b).
+int BucketIndex(int64_t sample) {
+  if (sample <= 0) return 0;
+  return std::bit_width(static_cast<uint64_t>(sample));
+}
+
+int64_t BucketUpperBound(int index) {
+  if (index <= 0) return 0;
+  if (index >= 63) return INT64_MAX;
+  return (int64_t{1} << index) - 1;
+}
+
+}  // namespace
+
+void Histogram::Record(int64_t sample) {
+  if (sample < 0) sample = 0;
+  ++buckets_[BucketIndex(sample)];
+  if (count_ == 0 || sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+  ++count_;
+  sum_ += sample;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the sample we want, 1-based; ceil so p=1.0 hits the last sample.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count_));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return std::min(BucketUpperBound(b), max_);
+  }
+  return max_;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+const Counter* MetricRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+uint64_t MetricRegistry::CounterValue(const std::string& name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": " << h->count()
+        << ", \"sum\": " << h->sum() << ", \"min\": " << h->min()
+        << ", \"max\": " << h->max() << ", \"mean\": " << h->Mean()
+        << ", \"p50\": " << h->Percentile(0.50) << ", \"p90\": " << h->Percentile(0.90)
+        << ", \"p99\": " << h->Percentile(0.99) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace s4

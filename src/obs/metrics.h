@@ -1,0 +1,101 @@
+// MetricRegistry: the drive's unified observability plane.
+//
+// Every layer (rpc, drive, lfs, cache, sim) publishes counters, gauges, and
+// sim-time latency histograms into one registry owned by the drive, instead
+// of keeping disconnected ad-hoc stat structs. The legacy accessors
+// (S4Drive::stats(), LoopbackTransport::stats()) remain as thin views built
+// from these instruments, so existing callers keep working.
+//
+// Instruments are created on first use via GetCounter/GetGauge/GetHistogram
+// and live as long as the registry; returned pointers are stable, so hot
+// paths resolve a name once and increment through the pointer.
+#ifndef S4_SRC_OBS_METRICS_H_
+#define S4_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace s4 {
+
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  void Add(uint64_t n) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Log2-bucketed histogram of non-negative samples (simulated microseconds).
+// Bucket b holds samples whose bit width is b, i.e. [2^(b-1), 2^b). Exact
+// count/sum/min/max ride along, so means are exact and only percentiles are
+// quantised to a power-of-two bound.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(int64_t sample);
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+  // Upper bound of the bucket containing the p-th percentile (p in [0,1]).
+  int64_t Percentile(double p) const;
+  const uint64_t* buckets() const { return buckets_; }
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+class MetricRegistry {
+ public:
+  // Creation is idempotent; returned pointers are stable for the registry's
+  // lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Lookup without creating; nullptr when the instrument does not exist.
+  const Counter* FindCounter(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+  // Value of a counter, 0 when it does not exist.
+  uint64_t CounterValue(const std::string& name) const;
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const { return gauges_; }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+  // Full dump: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_OBS_METRICS_H_

@@ -1,0 +1,22 @@
+#include "src/obs/trace.h"
+
+#include <sstream>
+
+namespace s4 {
+
+std::string Tracer::ToChromeJson() const {
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    out << (first ? "" : ",") << "\n  {\"name\": \"" << e.name
+        << "\", \"ph\": \"X\", \"ts\": " << e.start << ", \"dur\": " << e.duration
+        << ", \"pid\": 1, \"tid\": " << e.request_id << ", \"args\": {\"depth\": "
+        << static_cast<int>(e.depth) << "}}";
+    first = false;
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace s4

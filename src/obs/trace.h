@@ -1,0 +1,68 @@
+// Tracer: records spans on the sim clock and dumps them as
+// chrome://tracing-compatible JSON ("traceEvents" with "ph":"X" complete
+// events, one tid per request id), so a single request can be followed
+// rpc -> drive -> segment writer -> block device.
+//
+// The tracer is deliberately dumb: spans are closed TraceEvents appended to a
+// flat ring-bounded vector. Nesting is reconstructed by the viewer from
+// timestamps; `depth` is kept for cheap programmatic assertions in tests.
+#ifndef S4_SRC_OBS_TRACE_H_
+#define S4_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace s4 {
+
+struct TraceEvent {
+  const char* name = "";       // static string; spans never own their names
+  uint64_t request_id = 0;     // groups all spans of one request (tid in JSON)
+  SimTime start = 0;
+  SimDuration duration = 0;
+  uint8_t depth = 0;           // nesting level within the request, 0 = root
+};
+
+class Tracer {
+ public:
+  // Bounds memory for long bench runs; overflow increments dropped() instead
+  // of growing without limit.
+  static constexpr size_t kMaxEvents = 1 << 16;
+
+  uint64_t NextRequestId() { return ++last_request_id_; }
+
+  void Record(const char* name, uint64_t request_id, SimTime start,
+              SimDuration duration, uint8_t depth) {
+    if (!enabled_) return;
+    if (events_.size() >= kMaxEvents) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back({name, request_id, start, duration, depth});
+  }
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  uint64_t dropped() const { return dropped_; }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  // {"traceEvents": [{"name":..., "ph":"X", "ts":..., "dur":..., "pid":1,
+  //  "tid":<request id>}, ...]} — loadable in chrome://tracing or Perfetto.
+  std::string ToChromeJson() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  uint64_t last_request_id_ = 0;
+  uint64_t dropped_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_OBS_TRACE_H_

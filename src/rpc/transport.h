@@ -5,6 +5,10 @@
 // request and response transfer on the shared simulation clock, then invokes
 // the server dispatcher synchronously (S4 RPCs are synchronous in the
 // prototype).
+//
+// The server is the request boundary of the observability plane: every frame
+// — valid or hostile — gets an OpContext with a fresh request id, so the
+// drive's spans, metrics and audit records all hang off one id per RPC.
 #ifndef S4_SRC_RPC_TRANSPORT_H_
 #define S4_SRC_RPC_TRANSPORT_H_
 
@@ -22,26 +26,44 @@ class RpcTransport {
 };
 
 // Server-side dispatcher: decodes a request frame, invokes the drive, and
-// encodes the response. Malformed frames produce error responses — the drive
-// never crashes on hostile input.
+// encodes the response. Malformed frames produce error responses and an
+// audit record (op kInvalid) — the drive never crashes on hostile input.
 class S4RpcServer {
  public:
+  // Upper bound on an accepted request frame. Anything larger is rejected
+  // before decode: a hostile client must not be able to make the server
+  // buffer unbounded payloads.
+  static constexpr size_t kMaxFrameBytes = 16u << 20;
+
   explicit S4RpcServer(S4Drive* drive) : drive_(drive) {}
 
-  Bytes Handle(ByteSpan request_frame);
+  Bytes Handle(ByteSpan request_frame) { return Handle(request_frame, 0); }
+  // `request_id` ties the server's spans to a transport-allocated id;
+  // 0 means mint a fresh one.
+  Bytes Handle(ByteSpan request_frame, uint64_t request_id);
+
+  S4Drive* drive() const { return drive_; }
 
  private:
-  RpcResponse Dispatch(const RpcRequest& req);
+  RpcResponse Dispatch(OpContext& ctx, const RpcRequest& req);
   S4Drive* drive_;
 };
 
 class LoopbackTransport : public RpcTransport {
  public:
   LoopbackTransport(S4RpcServer* server, SimClock* clock, NetModel model = NetModel())
-      : server_(server), clock_(clock), model_(model) {}
+      : server_(server), clock_(clock), model_(model) {
+    MetricRegistry& reg = server_->drive()->metrics();
+    messages_sent_ = reg.GetCounter("net.messages_sent");
+    bytes_sent_ = reg.GetCounter("net.bytes_sent");
+    messages_received_ = reg.GetCounter("net.messages_received");
+    bytes_received_ = reg.GetCounter("net.bytes_received");
+  }
 
   Result<Bytes> Call(ByteSpan request) override;
 
+  // Per-transport counts (source of truth for this link); the drive's metric
+  // registry aggregates the same quantities across all transports.
   const NetStats& stats() const { return stats_; }
 
  private:
@@ -49,6 +71,10 @@ class LoopbackTransport : public RpcTransport {
   SimClock* clock_;
   NetModel model_;
   NetStats stats_;
+  Counter* messages_sent_;
+  Counter* bytes_sent_;
+  Counter* messages_received_;
+  Counter* bytes_received_;
 };
 
 }  // namespace s4

@@ -148,7 +148,8 @@ SimDuration BlockDevice::PositioningCost(uint64_t lba) {
   return static_cast<SimDuration>(seek) + model_.average_rotation;
 }
 
-Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out) {
+Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out, OpContext* ctx) {
+  ScopedSpan span(ctx, "disk.read");
   if (lba + count > sector_count_ || lba + count < lba) {
     return Status::InvalidArgument("read beyond device");
   }
@@ -160,6 +161,10 @@ Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out) {
   stats_.busy_time += cost;
   ++stats_.reads;
   stats_.sectors_read += count;
+  if (ctx != nullptr) {
+    ctx->disk_time += cost;
+    ctx->disk_reads += count;
+  }
   head_lba_ = lba + count;
   last_io_end_ = clock_->Now();
   if (injector_ != nullptr) {
@@ -177,7 +182,8 @@ Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out) {
   return Status::Ok();
 }
 
-Status BlockDevice::Write(uint64_t lba, ByteSpan data) {
+Status BlockDevice::Write(uint64_t lba, ByteSpan data, OpContext* ctx) {
+  ScopedSpan span(ctx, "disk.write");
   if (data.size() % kSectorSize != 0) {
     return Status::InvalidArgument("write not sector aligned");
   }
@@ -202,6 +208,10 @@ Status BlockDevice::Write(uint64_t lba, ByteSpan data) {
       stats_.busy_time += cost;
       ++stats_.writes;
       stats_.sectors_written += persist;
+      if (ctx != nullptr) {
+        ctx->disk_time += cost;
+        ctx->disk_writes += persist;
+      }
       head_lba_ = lba + persist + corrupt;
       last_io_end_ = clock_->Now();
       if (persist > 0) {
@@ -218,6 +228,10 @@ Status BlockDevice::Write(uint64_t lba, ByteSpan data) {
   stats_.busy_time += cost;
   ++stats_.writes;
   stats_.sectors_written += count;
+  if (ctx != nullptr) {
+    ctx->disk_time += cost;
+    ctx->disk_writes += count;
+  }
   head_lba_ = lba + count;
   last_io_end_ = clock_->Now();
   CopyIn(lba * kSectorSize, data);

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/op_context.h"
 #include "src/sim/sim_clock.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
@@ -143,9 +144,11 @@ class BlockDevice {
   uint64_t capacity_bytes() const { return sector_count_ * kSectorSize; }
 
   // Reads `count` sectors starting at `lba` into out (resized to fit).
-  Status Read(uint64_t lba, uint64_t count, Bytes* out);
+  // When `ctx` is non-null, the command's modelled time and sector counts are
+  // attributed to that request and a "disk.read"/"disk.write" span recorded.
+  Status Read(uint64_t lba, uint64_t count, Bytes* out, OpContext* ctx = nullptr);
   // Writes data (must be a whole number of sectors) starting at `lba`.
-  Status Write(uint64_t lba, ByteSpan data);
+  Status Write(uint64_t lba, ByteSpan data, OpContext* ctx = nullptr);
 
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats(); }

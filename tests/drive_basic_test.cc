@@ -180,6 +180,37 @@ TEST_F(DriveTest, VersionListEnumeratesMutations) {
   }
 }
 
+TEST_F(DriveTest, ReadPathCountersTrackCacheAndHistory) {
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  Bytes data(8 * kBlockSize, 0x5A);
+  ASSERT_OK(drive_->Write(alice, id, 0, data));
+  SimTime t1 = clock_->Now();
+  clock_->Advance(kSecond);
+  ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("generation two")));
+  ASSERT_OK(drive_->Sync(alice));
+
+  const MetricRegistry& reg = drive_->metrics();
+  // Warm reads are served from the block cache.
+  ASSERT_OK(drive_->Read(alice, id, 0, 64).status());
+  ASSERT_OK(drive_->Read(alice, id, 0, 64).status());
+  EXPECT_GT(reg.CounterValue("cache.block.hits"), 0u);
+
+  // A time-based read walks the history pool to reconstruct the old version.
+  uint64_t walks_before = reg.CounterValue("history.reconstruction_walks");
+  ASSERT_OK_AND_ASSIGN(Bytes old, drive_->Read(alice, id, 0, data.size(), t1));
+  EXPECT_EQ(old, data);
+  EXPECT_GT(reg.CounterValue("history.reconstruction_walks"), walks_before);
+  EXPECT_GT(drive_->stats().time_based_reads, 0u);
+
+  // A cold remount empties the cache: the next read misses and pulls sectors
+  // off the platters. (The remounted drive has a fresh registry.)
+  CrashAndRemount();
+  ASSERT_OK(drive_->Read(alice, id, 0, 64).status());
+  EXPECT_GT(drive_->metrics().CounterValue("cache.block.misses"), 0u);
+  EXPECT_GT(drive_->metrics().CounterValue("cache.sectors_read"), 0u);
+}
+
 TEST_F(DriveTest, ManyObjectsSurviveCacheEviction) {
   // Object cache is tiny (64KB); creating many objects forces eviction and
   // checkpointing, and everything must still read back.

@@ -171,6 +171,41 @@ TEST_F(DriveTest, DoubleDeleteRejected) {
             ErrorCode::kFailedPrecondition);
 }
 
+TEST_F(DriveTest, EvictionWriteBackFailureSurfacesOnNextSync) {
+  FaultInjector fi;
+  device_->set_fault_injector(&fi);
+  Credentials alice = User(100);
+
+  // Fill the tiny object cache with dirty objects: each carries pending
+  // journal entries that a future eviction must write back.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+    ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("dirty " + std::to_string(i))));
+  }
+
+  // The next device write loses power. Creates write nothing themselves, but
+  // each insert evicts a dirty LRU object whose write-back eventually flushes
+  // a chunk — and that flush dies on the powered-off device. The client that
+  // issued the Create sees success; durability was lost behind its back.
+  fi.SchedulePowerCut(1);
+  for (int i = 0; i < 400; ++i) {
+    auto r = drive_->Create(alice, {});
+    (void)r;
+    if (fi.power_cut_fired() && i % 8 == 7) {
+      break;  // a few extra creates after the cut force failed evictions
+    }
+  }
+  ASSERT_TRUE(fi.power_cut_fired()) << "workload never reached a device write";
+  fi.PowerOn();
+
+  // Regression: the stored eviction failure must surface on the next Sync
+  // instead of being consumed silently by internal checkpoint housekeeping.
+  Status sync = drive_->Sync(alice);
+  ASSERT_FALSE(sync.ok()) << "eviction write-back failure was swallowed";
+  // Reporting consumes the sticky error; the drive then syncs cleanly.
+  EXPECT_OK(drive_->Sync(alice));
+}
+
 TEST_F(DriveTest, TimeBasedReadBeforeCreationFails) {
   Credentials alice = User(100);
   clock_->Advance(kMinute);

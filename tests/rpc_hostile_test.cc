@@ -1,0 +1,200 @@
+// Hostile clients at the RPC boundary: truncated frames, corrupted CRCs,
+// out-of-range opcodes, oversized payloads, and random garbage. The server
+// must answer every frame with a well-formed error response, leave an audit
+// record (op kInvalid) for the intrusion-diagnosis trail, and keep serving
+// legitimate clients — never crash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/rpc/client.h"
+#include "src/rpc/transport.h"
+#include "src/util/crc32.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+class RpcHostileTest : public DriveTest {
+ protected:
+  void SetUp() override {
+    DriveTest::SetUp();
+    server_ = std::make_unique<S4RpcServer>(drive_.get());
+    transport_ = std::make_unique<LoopbackTransport>(server_.get(), clock_.get());
+    client_ = std::make_unique<S4Client>(transport_.get(), User(100));
+  }
+
+  // A well-formed Create frame to mutate.
+  Bytes ValidFrame() const {
+    RpcRequest req;
+    req.op = RpcOp::kCreate;
+    req.creds.user = 100;
+    req.creds.client = 1;
+    return req.Encode();
+  }
+
+  // Re-seals a mutated frame so only the intended field is wrong.
+  static Bytes Reseal(Bytes frame) {
+    uint32_t crc = Crc32c(ByteSpan(frame.data(), frame.size() - 4));
+    Encoder tail(4);
+    tail.PutU32(crc);
+    Bytes t = tail.Take();
+    std::copy(t.begin(), t.end(), frame.end() - 4);
+    return frame;
+  }
+
+  // Feeds a frame to the server and requires a decodable error response.
+  ErrorCode ExpectRejected(ByteSpan frame) {
+    Bytes response = server_->Handle(frame);
+    auto resp = RpcResponse::Decode(response);
+    EXPECT_TRUE(resp.ok()) << "rejection response must itself be well-formed: "
+                           << resp.status().ToString();
+    if (!resp.ok()) {
+      return ErrorCode::kOk;
+    }
+    EXPECT_FALSE(resp->ok());
+    return resp->code;
+  }
+
+  uint64_t RejectedAuditRecords() {
+    AuditQuery query;
+    query.op = RpcOp::kInvalid;
+    auto records = drive_->QueryAudit(Admin(), query);
+    EXPECT_TRUE(records.ok()) << records.status().ToString();
+    return records.ok() ? records->size() : 0;
+  }
+
+  // The drive still serves a legitimate client after the abuse.
+  void ExpectDriveHealthy() {
+    auto id = client_->Create(BytesOf("post-abuse"));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ASSERT_OK(client_->Write(*id, 0, BytesOf("still alive")));
+    auto got = client_->Read(*id, 0, 64);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(StringOf(*got), "still alive");
+  }
+
+  std::unique_ptr<S4RpcServer> server_;
+  std::unique_ptr<LoopbackTransport> transport_;
+  std::unique_ptr<S4Client> client_;
+};
+
+TEST_F(RpcHostileTest, TruncatedFramesAreRejectedAndAudited) {
+  Bytes frame = ValidFrame();
+  uint64_t audited = RejectedAuditRecords();
+  uint64_t rejects = 0;
+
+  // Every prefix shorter than the minimum frame, plus mid-body truncations
+  // (which also break the CRC).
+  std::vector<size_t> cuts = {0, 1, 4, 7};
+  for (size_t len = 8; len < frame.size(); len += 7) {
+    cuts.push_back(len);
+  }
+  for (size_t len : cuts) {
+    EXPECT_EQ(ExpectRejected(ByteSpan(frame.data(), len)), ErrorCode::kDataCorruption)
+        << "prefix of " << len << " bytes";
+    ++rejects;
+  }
+  // A CRC-valid frame whose body ends mid-field must also fail cleanly.
+  Bytes sliced(frame.begin(), frame.begin() + 16);
+  sliced.resize(20);
+  EXPECT_EQ(ExpectRejected(Reseal(sliced)), ErrorCode::kDataCorruption);
+  ++rejects;
+
+  EXPECT_EQ(RejectedAuditRecords(), audited + rejects);
+  ExpectDriveHealthy();
+}
+
+TEST_F(RpcHostileTest, CorruptedCrcIsRejectedAndAudited) {
+  uint64_t audited = RejectedAuditRecords();
+  // Flip one byte anywhere: body corruption and direct CRC-field corruption
+  // are both caught by the frame checksum.
+  for (size_t pos : {size_t{5}, size_t{10}}) {
+    Bytes frame = ValidFrame();
+    ASSERT_GT(frame.size(), pos + 4);
+    frame[pos] ^= 0xFF;
+    EXPECT_EQ(ExpectRejected(frame), ErrorCode::kDataCorruption);
+  }
+  Bytes frame = ValidFrame();
+  frame[frame.size() - 1] ^= 0x01;  // the CRC itself
+  EXPECT_EQ(ExpectRejected(frame), ErrorCode::kDataCorruption);
+
+  EXPECT_EQ(RejectedAuditRecords(), audited + 3);
+  ExpectDriveHealthy();
+}
+
+TEST_F(RpcHostileTest, OutOfRangeOpcodesAreRejectedAndAudited) {
+  uint64_t audited = RejectedAuditRecords();
+  // Byte 4 is the op code (after the 4-byte magic). 0 and 21..255 are not
+  // Table-1 ops; resealing keeps the CRC valid so the op check itself fires.
+  for (uint8_t op : {uint8_t{0}, uint8_t{21}, uint8_t{0x7F}, uint8_t{0xFF}}) {
+    Bytes frame = ValidFrame();
+    frame[4] = op;
+    EXPECT_EQ(ExpectRejected(Reseal(std::move(frame))), ErrorCode::kInvalidArgument)
+        << "op byte " << static_cast<int>(op);
+  }
+  EXPECT_EQ(RejectedAuditRecords(), audited + 4);
+
+  // The audit trail records the rejection under the kInvalid marker with the
+  // error that was returned to the wire.
+  AuditQuery query;
+  query.op = RpcOp::kInvalid;
+  ASSERT_OK_AND_ASSIGN(std::vector<AuditRecord> records, drive_->QueryAudit(Admin(), query));
+  ASSERT_FALSE(records.empty());
+  EXPECT_NE(records.back().result, static_cast<uint8_t>(ErrorCode::kOk));
+  ExpectDriveHealthy();
+}
+
+TEST_F(RpcHostileTest, OversizedFrameIsRejectedBeforeDecode) {
+  uint64_t audited = RejectedAuditRecords();
+  Bytes huge(S4RpcServer::kMaxFrameBytes + 1, 0xAB);
+  EXPECT_EQ(ExpectRejected(huge), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(RejectedAuditRecords(), audited + 1);
+
+  // At the cap the size gate passes and the CRC check takes over.
+  Bytes at_cap(S4RpcServer::kMaxFrameBytes, 0xAB);
+  EXPECT_EQ(ExpectRejected(at_cap), ErrorCode::kDataCorruption);
+  ExpectDriveHealthy();
+}
+
+TEST_F(RpcHostileTest, RandomGarbageNeverCrashesTheServer) {
+  Rng rng(1337);
+  uint64_t audited = RejectedAuditRecords();
+  int frames = 0;
+  for (size_t size : {size_t{1}, size_t{8}, size_t{64}, size_t{512}, size_t{4096}}) {
+    for (int i = 0; i < 8; ++i) {
+      Bytes garbage = rng.RandomBytes(size);
+      Bytes response = server_->Handle(garbage);
+      ASSERT_OK_AND_ASSIGN(RpcResponse resp, RpcResponse::Decode(response));
+      EXPECT_FALSE(resp.ok()) << "random garbage must never be accepted";
+      ++frames;
+    }
+  }
+  EXPECT_EQ(RejectedAuditRecords(), audited + frames);
+  EXPECT_EQ(drive_->metrics().CounterValue("rpc.rejected_frames"), audited + frames);
+  ExpectDriveHealthy();
+}
+
+TEST_F(RpcHostileTest, ValidFrameWithHostileFieldValuesFailsInTheDrive) {
+  // Well-formed frames carrying absurd arguments exercise the drive's own
+  // validation, not the frame codec: these are NOT audit-kInvalid rejects.
+  uint64_t audited = RejectedAuditRecords();
+
+  RpcRequest req;
+  req.creds.user = 100;
+  req.creds.client = 1;
+  req.op = RpcOp::kRead;
+  req.object = ~0ull;  // nonexistent object id
+  req.offset = ~0ull;
+  req.length = ~0ull;
+  Bytes response = server_->Handle(req.Encode());
+  ASSERT_OK_AND_ASSIGN(RpcResponse resp, RpcResponse::Decode(response));
+  EXPECT_EQ(resp.code, ErrorCode::kNotFound);
+
+  EXPECT_EQ(RejectedAuditRecords(), audited);  // audited as kRead, not kInvalid
+  ExpectDriveHealthy();
+}
+
+}  // namespace
+}  // namespace s4
