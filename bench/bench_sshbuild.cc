@@ -6,7 +6,9 @@
 // nearly identical everywhere.
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <map>
+#include <string>
 
 #include "bench/harness.h"
 #include "src/workload/ssh_build.h"
@@ -17,17 +19,27 @@ namespace {
 
 std::map<ServerKind, SshBuildReport> g_rows;
 
+std::string Slug(ServerKind kind) {
+  std::string s = ServerName(kind);
+  for (char& c : s) {
+    c = c == '-' ? '_' : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
 void RunSshBuild(::benchmark::State& state, ServerKind kind) {
   for (auto _ : state) {
     auto server = MakeServer(kind);
     SshBuild build(server->fs, server->clock.get(), SshBuildConfig{});
     auto report = build.Run();
     S4_CHECK(report.ok());
+    server->Drain();
     state.SetIterationTime(ToSeconds(report->unpack + report->configure + report->build));
     state.counters["unpack_s"] = ToSeconds(report->unpack);
     state.counters["configure_s"] = ToSeconds(report->configure);
     state.counters["build_s"] = ToSeconds(report->build);
     g_rows[kind] = *report;
+    WriteBenchJson(*server, "sshbuild_" + Slug(kind));
   }
 }
 
@@ -35,8 +47,8 @@ void PrintFigure4() {
   std::printf("\n=== Figure 4: SSH-build benchmark (simulated seconds) ===\n");
   std::printf("%-18s %10s %13s %10s %10s\n", "server", "unpack", "configure", "build",
               "total");
-  for (auto kind : {ServerKind::kS4Nas, ServerKind::kS4Nfs, ServerKind::kFfsNfs,
-                    ServerKind::kExt2Nfs}) {
+  for (auto kind : {ServerKind::kS4Nas, ServerKind::kS4NasBatched, ServerKind::kS4Nfs,
+                    ServerKind::kFfsNfs, ServerKind::kExt2Nfs}) {
     auto it = g_rows.find(kind);
     if (it == g_rows.end()) {
       continue;
@@ -57,8 +69,8 @@ void PrintFigure4() {
 
 int main(int argc, char** argv) {
   using s4::bench::ServerKind;
-  for (auto kind : {ServerKind::kS4Nas, ServerKind::kS4Nfs, ServerKind::kFfsNfs,
-                    ServerKind::kExt2Nfs}) {
+  for (auto kind : {ServerKind::kS4Nas, ServerKind::kS4NasBatched, ServerKind::kS4Nfs,
+                    ServerKind::kFfsNfs, ServerKind::kExt2Nfs}) {
     std::string name = std::string("SshBuild/") + s4::bench::ServerName(kind);
     ::benchmark::RegisterBenchmark(
         name.c_str(),

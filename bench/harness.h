@@ -32,12 +32,14 @@
 namespace s4 {
 namespace bench {
 
-enum class ServerKind { kS4Nas, kS4Nfs, kFfsNfs, kExt2Nfs };
+enum class ServerKind { kS4Nas, kS4NasBatched, kS4Nfs, kFfsNfs, kExt2Nfs };
 
 inline const char* ServerName(ServerKind kind) {
   switch (kind) {
     case ServerKind::kS4Nas:
       return "S4-NAS";
+    case ServerKind::kS4NasBatched:
+      return "S4-NAS-batched";
     case ServerKind::kS4Nfs:
       return "S4-NFS";
     case ServerKind::kFfsNfs:
@@ -62,6 +64,11 @@ struct ServerOptions {
   bool cleaner_enabled = true;
   // ext2 personality: background metadata write-back cadence.
   uint32_t ext2_flush_every_ops = 512;
+  // Batched S4 mode (kS4NasBatched): how many mutating NFS ops share one
+  // Sync RPC, and whether the final mutating RPC rides the same kBatch frame
+  // as the Sync. Ignored by the other kinds.
+  uint32_t fs_group_commit_ops = 32;
+  bool fs_batch_rpcs = true;
 };
 
 // One fully wired server + client stack. All members are owned; `fs` is the
@@ -96,6 +103,14 @@ struct Server {
   }
 
   double SimSeconds() const { return ToSeconds(clock->Now()); }
+
+  // Drains any deferred group-commit sync (batched S4 mode) so results are
+  // durable before stats are read or the workload ends.
+  void Drain() {
+    if (s4_fs != nullptr) {
+      S4_CHECK(s4_fs->Commit().ok());
+    }
+  }
 };
 
 inline std::unique_ptr<Server> MakeServer(ServerKind kind, ServerOptions options = {}) {
@@ -111,6 +126,7 @@ inline std::unique_ptr<Server> MakeServer(ServerKind kind, ServerOptions options
 
   switch (kind) {
     case ServerKind::kS4Nas:
+    case ServerKind::kS4NasBatched:
     case ServerKind::kS4Nfs: {
       S4DriveOptions drive_opts;
       drive_opts.block_cache_bytes = options.s4_block_cache;
@@ -132,7 +148,12 @@ inline std::unique_ptr<Server> MakeServer(ServerKind kind, ServerOptions options
       server->transport = std::make_unique<LoopbackTransport>(server->rpc_server.get(),
                                                               server->clock.get(), net);
       server->client = std::make_unique<S4Client>(server->transport.get(), user);
-      auto fs = S4FileSystem::Format(server->client.get(), "root");
+      S4FileSystemOptions fs_opts;
+      if (kind == ServerKind::kS4NasBatched) {
+        fs_opts.group_commit_ops = options.fs_group_commit_ops;
+        fs_opts.batch_rpcs = options.fs_batch_rpcs;
+      }
+      auto fs = S4FileSystem::Format(server->client.get(), "root", fs_opts);
       S4_CHECK(fs.ok());
       server->s4_fs = std::move(*fs);
       if (kind == ServerKind::kS4Nfs) {
@@ -201,11 +222,25 @@ inline bool WriteBenchJson(const Server& server, const std::string& name) {
                  u(net.messages_sent), u(net.bytes_sent), u(net.messages_received),
                  u(net.bytes_received));
   }
+  if (server.s4_fs != nullptr) {
+    const S4FileSystemStats& fss = server.s4_fs->stats();
+    std::fprintf(f,
+                 ",\n  \"fs\": {\"rpc_syncs\": %llu, \"deferred_syncs\": %llu, "
+                 "\"rpc_batches\": %llu}",
+                 u(fss.rpc_syncs), u(fss.deferred_syncs), u(fss.rpc_batches));
+  }
   if (server.drive != nullptr) {
+    const SegmentWriterStats& sw = server.drive->writer_stats();
+    std::fprintf(f,
+                 ",\n  \"lfs\": {\"records_appended\": %llu, \"chunks_flushed\": %llu, "
+                 "\"sectors_flushed\": %llu, \"bytes_coalesced\": %llu, "
+                 "\"bytes_flushed\": %llu}",
+                 u(sw.records_appended), u(sw.chunks_flushed), u(sw.sectors_flushed),
+                 u(sw.bytes_coalesced), u(sw.bytes_flushed));
     const MetricRegistry& reg = server.drive->metrics();
     std::fprintf(f, ",\n  \"ops\": {");
     bool first = true;
-    for (int op = 1; op <= 20; ++op) {
+    for (int op = 1; op <= kMaxRpcOp; ++op) {
       const char* op_name = RpcOpName(static_cast<RpcOp>(op));
       const Histogram* h =
           reg.FindHistogram(std::string("drive.op.") + op_name + ".latency");

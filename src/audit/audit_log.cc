@@ -46,6 +46,8 @@ const char* RpcOpName(RpcOp op) {
       return "SetWindow";
     case RpcOp::kGetVersionList:
       return "GetVersionList";
+    case RpcOp::kBatch:
+      return "Batch";
   }
   return "Unknown";
 }
@@ -69,7 +71,7 @@ Result<AuditRecord> AuditRecord::DecodeFrom(Decoder* dec) {
   S4_ASSIGN_OR_RETURN(r.user, dec->U32());
   S4_ASSIGN_OR_RETURN(uint8_t op, dec->U8());
   // 0 (kInvalid) is legal here: it marks a request rejected before decode.
-  if (op > 20) {
+  if (op > kMaxRpcOp) {
     return Status::DataCorruption("bad audit op");
   }
   r.op = static_cast<RpcOp>(op);

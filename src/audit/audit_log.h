@@ -49,7 +49,14 @@ enum class RpcOp : uint8_t {
   kSetWindow = 19,
   // Diagnosis extension (not in Table 1): enumerate an object's versions.
   kGetVersionList = 20,
+  // Batch extension (not in Table 1): a vectored frame carrying N Table-1
+  // sub-requests under one transport round-trip. Each sub-op is audited
+  // individually; a kBatch record marks the envelope itself.
+  kBatch = 21,
 };
+
+// Highest RpcOp value (codec bound checks).
+inline constexpr uint8_t kMaxRpcOp = 21;
 
 const char* RpcOpName(RpcOp op);
 

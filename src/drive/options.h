@@ -15,6 +15,10 @@ struct S4DriveOptions {
   // --- Caches (paper: 128MB buffer cache, 32MB object cache) ---
   uint64_t block_cache_bytes = 32ull << 20;
   uint64_t object_cache_bytes = 8ull << 20;
+  // Sequential read-ahead window of the buffer cache (sectors). When a miss
+  // continues a sequential run inside a sealed segment, up to this many
+  // sectors are streamed with one disk command. 0 disables read-ahead.
+  uint64_t readahead_sectors = 128;
 
   // --- Self-securing behaviour ---
   // Guaranteed detection window (adjustable at runtime via SetWindow).

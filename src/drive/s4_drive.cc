@@ -69,6 +69,8 @@ const char* DriveOpSpanName(RpcOp op) {
       return "drive.SetWindow";
     case RpcOp::kGetVersionList:
       return "drive.GetVersionList";
+    case RpcOp::kBatch:
+      return "drive.Batch";
   }
   return "drive.Unknown";
 }
@@ -102,7 +104,7 @@ void S4Drive::InitMetrics() {
   m_.throttle_rejects = metrics_.GetCounter("throttle.rejects");
   m_.versions_purged = metrics_.GetCounter("history.versions_purged");
   m_.history_walks = metrics_.GetCounter("history.reconstruction_walks");
-  for (int op = 0; op <= 20; ++op) {
+  for (int op = 0; op <= kMaxRpcOp; ++op) {
     m_.op_latency[op] = metrics_.GetHistogram(
         std::string("drive.op.") + RpcOpName(static_cast<RpcOp>(op)) + ".latency");
   }
@@ -176,6 +178,13 @@ void S4Drive::AuditRejectedFrame(OpContext& ctx, const Status& reason) {
   m_.op_latency[0]->Record(clock_->Now() - ctx.start_time);
 }
 
+void S4Drive::AuditBatchFrame(OpContext& ctx, uint64_t sub_ops, SimTime batch_start) {
+  metrics_.GetCounter("rpc.batches")->Inc();
+  metrics_.GetCounter("rpc.batched_sub_ops")->Add(sub_ops);
+  Audit(ctx.creds, RpcOp::kBatch, kInvalidObjectId, 0, sub_ops, Status::Ok(), false);
+  m_.op_latency[static_cast<uint8_t>(RpcOp::kBatch)]->Record(clock_->Now() - batch_start);
+}
+
 Result<std::unique_ptr<S4Drive>> S4Drive::Format(BlockDevice* device, SimClock* clock,
                                                  S4DriveOptions options) {
   std::unique_ptr<S4Drive> drive(new S4Drive(device, clock, options));
@@ -212,6 +221,7 @@ Status S4Drive::DoFormat() {
   sut_ = std::make_unique<SegmentUsageTable>(sb_.segment_count, sb_.segment_sectors);
   writer_ = std::make_unique<SegmentWriter>(device_, &sb_, sut_.get(), clock_, /*next_seq=*/1);
   block_cache_ = std::make_unique<BlockCache>(device_, options_.block_cache_bytes, &metrics_);
+  ConfigureReadahead();
   object_cache_ =
       std::make_unique<LruCache<ObjectId, ObjectHandle>>(options_.object_cache_bytes);
   object_cache_->set_evict_fn([this](const ObjectId& id, ObjectHandle&& obj) {
@@ -390,6 +400,24 @@ Status S4Drive::LoadDeviceCheckpoint() {
   return Status::Ok();
 }
 
+void S4Drive::ConfigureReadahead() {
+  if (options_.readahead_sectors == 0) {
+    return;
+  }
+  block_cache_->SetPrefetchPolicy(
+      options_.readahead_sectors, [this](DiskAddr addr) -> DiskAddr {
+        if (sut_ == nullptr || addr < sb_.first_segment) {
+          return addr;  // superblock / checkpoint regions: no prefetch
+        }
+        SegmentId seg = sb_.SegmentOf(addr);
+        if (seg >= sut_->segment_count() ||
+            sut_->Info(seg).state != SegmentState::kFull) {
+          return addr;  // active or free segment: platter may be stale
+        }
+        return sb_.SegmentStart(seg) + sb_.segment_sectors;
+      });
+}
+
 // ---------------------------------------------------------------------------
 // Mount & crash recovery
 // ---------------------------------------------------------------------------
@@ -402,6 +430,7 @@ Status S4Drive::DoMount() {
   S4_RETURN_IF_ERROR(LoadDeviceCheckpoint());
 
   block_cache_ = std::make_unique<BlockCache>(device_, options_.block_cache_bytes, &metrics_);
+  ConfigureReadahead();
   object_cache_ =
       std::make_unique<LruCache<ObjectId, ObjectHandle>>(options_.object_cache_bytes);
   object_cache_->set_evict_fn([this](const ObjectId& id, ObjectHandle&& obj) {

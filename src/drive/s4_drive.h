@@ -156,6 +156,11 @@ class S4Drive {
   // (bad frame / CRC / op code / size). Recorded with op kInvalid.
   void AuditRejectedFrame(OpContext& ctx, const Status& reason);
 
+  // Audits a batch envelope after its sub-ops ran (each sub-op already has
+  // its own audit record from the Execute pipeline). `length` in the record
+  // carries the sub-op count; latency is recorded for the whole envelope.
+  void AuditBatchFrame(OpContext& ctx, uint64_t sub_ops, SimTime batch_start);
+
   // ---- Cleaner (section 4.2.1) ----
   // One cleaning pass: expires versions older than the detection window,
   // reclaims empty segments, and compacts up to `max_compactions` fragmented
@@ -189,6 +194,7 @@ class S4Drive {
   const Tracer& tracer() const { return tracer_; }
   SimClock* sim_clock() const { return clock_; }
   const SegmentUsageTable& usage_table() const { return *sut_; }
+  const SegmentWriterStats& writer_stats() const { return writer_->stats(); }
   SimDuration detection_window() const { return detection_window_; }
   // Fraction of segments not free (0..1).
   double SpaceUtilization() const;
@@ -319,7 +325,7 @@ class S4Drive {
     Counter* versions_purged = nullptr;
     Counter* history_walks = nullptr;
     // Per-op sim-time latency, indexed by RpcOp value (0 = kInvalid unused).
-    Histogram* op_latency[21] = {};
+    Histogram* op_latency[kMaxRpcOp + 1] = {};
   };
   void InitMetrics();
 
@@ -332,6 +338,10 @@ class S4Drive {
   Status LoadDeviceCheckpoint();
 
   // --- generic internals (s4_drive.cc) ---
+  // Arms the buffer cache's sequential read-ahead, confined to sealed
+  // segments (never the active segment: its tail can still receive appends,
+  // and caching its stale platter image would shadow later flushes).
+  void ConfigureReadahead();
   void ChargeCpu(OpContext* ctx);
   Result<Bytes> ReadRecord(DiskAddr addr, uint32_t sectors);
   Result<ObjectHandle> LoadObject(ObjectId id);

@@ -21,11 +21,22 @@ FileAttr MakeAttr(const NfsAttrBlob& blob, uint64_t size, SimTime mtime, SimTime
 
 }  // namespace
 
-S4FileSystem::S4FileSystem(S4Client* client)
-    : client_(client), dir_cache_(kDirCacheBytes), attr_cache_(kAttrCacheBytes) {}
+S4FileSystem::S4FileSystem(S4Client* client, S4FileSystemOptions options)
+    : client_(client), options_(options), dir_cache_(kDirCacheBytes),
+      attr_cache_(kAttrCacheBytes) {
+  if (options_.group_commit_ops == 0) {
+    options_.group_commit_ops = 1;
+  }
+}
+
+S4FileSystem::~S4FileSystem() {
+  // Best effort: leave no deferred sync behind on teardown.
+  (void)Commit();
+}
 
 Result<std::unique_ptr<S4FileSystem>> S4FileSystem::Format(S4Client* client,
-                                                           const std::string& partition) {
+                                                           const std::string& partition,
+                                                           S4FileSystemOptions options) {
   NfsAttrBlob root_attr;
   root_attr.type = FileType::kDirectory;
   root_attr.mode = 0755;
@@ -33,22 +44,66 @@ Result<std::unique_ptr<S4FileSystem>> S4FileSystem::Format(S4Client* client,
   S4_ASSIGN_OR_RETURN(ObjectId root, client->Create(root_attr.Encode()));
   S4_RETURN_IF_ERROR(client->PCreate(partition, root));
   S4_RETURN_IF_ERROR(client->Sync());
-  auto fs = std::unique_ptr<S4FileSystem>(new S4FileSystem(client));
+  auto fs = std::unique_ptr<S4FileSystem>(new S4FileSystem(client, options));
   fs->root_ = root;
   return fs;
 }
 
 Result<std::unique_ptr<S4FileSystem>> S4FileSystem::Mount(S4Client* client,
-                                                          const std::string& partition) {
+                                                          const std::string& partition,
+                                                          S4FileSystemOptions options) {
   S4_ASSIGN_OR_RETURN(ObjectId root, client->PMount(partition));
-  auto fs = std::unique_ptr<S4FileSystem>(new S4FileSystem(client));
+  auto fs = std::unique_ptr<S4FileSystem>(new S4FileSystem(client, options));
   fs->root_ = root;
   return fs;
 }
 
 Status S4FileSystem::SyncOp() {
+  ++unsynced_ops_;
+  if (unsynced_ops_ < options_.group_commit_ops) {
+    ++stats_.deferred_syncs;
+    return Status::Ok();
+  }
+  return Commit();
+}
+
+Status S4FileSystem::Commit() {
+  if (unsynced_ops_ == 0) {
+    return Status::Ok();
+  }
+  unsynced_ops_ = 0;
   ++stats_.rpc_syncs;
   return client_->Sync();
+}
+
+Status S4FileSystem::MutateThenSyncOp(RpcRequest req) {
+  bool sync_due = unsynced_ops_ + 1 >= options_.group_commit_ops;
+  if (options_.batch_rpcs) {
+    std::vector<RpcRequest> subs;
+    subs.reserve(2);
+    subs.push_back(std::move(req));
+    if (sync_due) {
+      RpcRequest sync;
+      sync.op = RpcOp::kSync;
+      subs.push_back(std::move(sync));
+    }
+    S4_ASSIGN_OR_RETURN(std::vector<RpcResponse> resps, client_->CallBatch(std::move(subs)));
+    ++stats_.rpc_batches;
+    if (sync_due) {
+      unsynced_ops_ = 0;
+      ++stats_.rpc_syncs;
+    } else {
+      ++unsynced_ops_;
+      ++stats_.deferred_syncs;
+    }
+    for (const RpcResponse& resp : resps) {
+      S4_RETURN_IF_ERROR(resp.ToStatus());
+    }
+    return Status::Ok();
+  }
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, client_->Call(std::move(req)));
+  S4_RETURN_IF_ERROR(resp.ToStatus());
+  return SyncOp();
 }
 
 Result<ParsedDir*> S4FileSystem::LoadDir(FileHandle dir) {
@@ -72,9 +127,19 @@ Result<ParsedDir*> S4FileSystem::LoadDir(FileHandle dir) {
   return dir_cache_.Peek(dir);
 }
 
-Status S4FileSystem::AppendDirRecord(FileHandle dir, const DirRecord& record) {
+Status S4FileSystem::AppendDirRecord(FileHandle dir, const DirRecord& record, bool then_sync) {
   Bytes encoded = EncodeDirRecord(record);
-  S4_RETURN_IF_ERROR(client_->Append(dir, encoded).status());
+  if (then_sync) {
+    // The op's final mutating RPC: run it through the sync discipline so it
+    // can share a kBatch frame with the due Sync.
+    RpcRequest req;
+    req.op = RpcOp::kAppend;
+    req.object = dir;
+    req.data = std::move(encoded);
+    S4_RETURN_IF_ERROR(MutateThenSyncOp(std::move(req)));
+  } else {
+    S4_RETURN_IF_ERROR(client_->Append(dir, encoded).status());
+  }
   // Keep the cached parse coherent instead of invalidating (single-client
   // loopback mount, as in the prototype).
   if (ParsedDir* cached = dir_cache_.Peek(dir); cached != nullptr) {
@@ -135,8 +200,7 @@ Result<FileHandle> S4FileSystem::CreateNode(FileHandle dir, const std::string& n
   rec.type = type;
   rec.handle = id;
   rec.name = name;
-  S4_RETURN_IF_ERROR(AppendDirRecord(dir, rec));
-  S4_RETURN_IF_ERROR(SyncOp());
+  S4_RETURN_IF_ERROR(AppendDirRecord(dir, rec, /*then_sync=*/true));
   return id;
 }
 
@@ -232,8 +296,7 @@ Status S4FileSystem::Rename(FileHandle from_dir, const std::string& from_name,
   add.type = moving.type;
   add.handle = moving.handle;
   add.name = to_name;
-  S4_RETURN_IF_ERROR(AppendDirRecord(to_dir, add));
-  return SyncOp();
+  return AppendDirRecord(to_dir, add, /*then_sync=*/true);
 }
 
 Result<Bytes> S4FileSystem::ReadFile(FileHandle file, uint64_t offset, uint64_t length) {
@@ -241,9 +304,13 @@ Result<Bytes> S4FileSystem::ReadFile(FileHandle file, uint64_t offset, uint64_t 
 }
 
 Status S4FileSystem::WriteFile(FileHandle file, uint64_t offset, ByteSpan data) {
-  S4_RETURN_IF_ERROR(client_->Write(file, offset, data));
+  RpcRequest req;
+  req.op = RpcOp::kWrite;
+  req.object = file;
+  req.offset = offset;
+  req.data.assign(data.begin(), data.end());
   attr_cache_.Remove(file);
-  return SyncOp();
+  return MutateThenSyncOp(std::move(req));
 }
 
 Result<NfsAttrBlob> S4FileSystem::LoadAttrBlob(FileHandle file, uint64_t* size_out,
@@ -274,9 +341,12 @@ Result<FileAttr> S4FileSystem::GetAttr(FileHandle file) {
 }
 
 Status S4FileSystem::SetSize(FileHandle file, uint64_t size) {
-  S4_RETURN_IF_ERROR(client_->Truncate(file, size));
+  RpcRequest req;
+  req.op = RpcOp::kTruncate;
+  req.object = file;
+  req.length = size;
   attr_cache_.Remove(file);
-  return SyncOp();
+  return MutateThenSyncOp(std::move(req));
 }
 
 Result<std::vector<DirEntry>> S4FileSystem::ReadDir(FileHandle dir) {

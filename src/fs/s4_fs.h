@@ -25,10 +25,25 @@ namespace s4 {
 
 struct S4FileSystemStats {
   uint64_t rpc_syncs = 0;
+  uint64_t deferred_syncs = 0;  // mutating ops whose sync was coalesced
+  uint64_t rpc_batches = 0;     // kBatch frames sent
   uint64_t attr_cache_hits = 0;
   uint64_t attr_cache_misses = 0;
   uint64_t dir_cache_hits = 0;
   uint64_t dir_cache_misses = 0;
+};
+
+// Tuning of the translator's RPC traffic. Defaults reproduce the paper's
+// prototype exactly: one sync RPC after every mutating NFS op (the NFSv2
+// stable-storage discipline section 5.2 blames for most of S4's latency).
+struct S4FileSystemOptions {
+  // Mutating ops coalesced under one Sync RPC. 1 = sync after every op
+  // (strict NFSv2 stable storage); N defers the sync until N ops ran, which
+  // lets the drive group-commit their journal entries into one chunk write.
+  uint32_t group_commit_ops = 1;
+  // Fuse each op's final mutating RPC with its due Sync into one kBatch
+  // frame (one network round-trip instead of two).
+  bool batch_rpcs = false;
 };
 
 class S4FileSystem : public FileSystemApi {
@@ -36,10 +51,14 @@ class S4FileSystem : public FileSystemApi {
   // Creates a fresh file system: makes the root directory object and binds
   // it to the partition name.
   static Result<std::unique_ptr<S4FileSystem>> Format(S4Client* client,
-                                                      const std::string& partition);
+                                                      const std::string& partition,
+                                                      S4FileSystemOptions options = {});
   // Attaches to an existing file system (PMount).
   static Result<std::unique_ptr<S4FileSystem>> Mount(S4Client* client,
-                                                     const std::string& partition);
+                                                     const std::string& partition,
+                                                     S4FileSystemOptions options = {});
+
+  ~S4FileSystem() override;
 
   Result<FileHandle> Root() override { return root_; }
   Result<FileHandle> Lookup(FileHandle dir, const std::string& name) override;
@@ -61,22 +80,37 @@ class S4FileSystem : public FileSystemApi {
 
   const S4FileSystemStats& stats() const { return stats_; }
   S4Client* client() { return client_; }
+  const S4FileSystemOptions& options() const { return options_; }
+
+  // Forces any deferred sync to the drive now (a group-commit boundary).
+  // No-op when nothing is pending. Callers that need a durability point
+  // under group_commit_ops > 1 (unmount, crash-consistency checks,
+  // benchmark epochs) must call this.
+  Status Commit();
 
  private:
-  explicit S4FileSystem(S4Client* client);
+  S4FileSystem(S4Client* client, S4FileSystemOptions options);
 
   Result<ParsedDir*> LoadDir(FileHandle dir);
-  Status AppendDirRecord(FileHandle dir, const DirRecord& record);
+  Status AppendDirRecord(FileHandle dir, const DirRecord& record, bool then_sync = false);
   Status MaybeCompactDir(FileHandle dir);
   Result<FileHandle> CreateNode(FileHandle dir, const std::string& name, FileType type,
                                 uint32_t mode, const std::string& symlink_target);
   Result<NfsAttrBlob> LoadAttrBlob(FileHandle file, uint64_t* size_out, SimTime* mtime_out,
                                    SimTime* ctime_out);
-  // NFSv2: commit after every mutating op.
+  // NFSv2 commit discipline after a mutating op. With group_commit_ops == 1
+  // this issues the Sync RPC immediately; otherwise the sync is deferred
+  // until the watermark and the drive group-commits the batch.
   Status SyncOp();
+  // Runs a status-only mutating RPC followed by the op's sync discipline.
+  // When batch_rpcs is on and the sync is due, both travel in one kBatch
+  // frame (one round-trip).
+  Status MutateThenSyncOp(RpcRequest req);
 
   S4Client* client_;
+  S4FileSystemOptions options_;
   FileHandle root_ = 0;
+  uint32_t unsynced_ops_ = 0;  // mutating ops since the last Sync RPC
   LruCache<FileHandle, ParsedDir> dir_cache_;
   LruCache<FileHandle, FileAttr> attr_cache_;
   S4FileSystemStats stats_;

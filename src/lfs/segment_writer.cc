@@ -94,10 +94,18 @@ Result<DiskAddr> SegmentWriter::Append(RecordKind kind, uint64_t object_id, uint
   DiskAddr chunk_start = sb_->SegmentStart(active_segment_) + fill_sectors_;
   DiskAddr addr = chunk_start + 1 + pending_summary_.PayloadSectors();
 
+  // Buffered path without an intermediate copy: the payload goes straight to
+  // its final position in the chunk buffer, behind the reserved summary
+  // sector. Flush only fills in the summary — it never re-copies payloads.
+  if (chunk_.empty()) {
+    chunk_.resize(kSectorSize);  // summary placeholder
+  } else {
+    stats_.bytes_coalesced += payload.size();
+  }
   pending_summary_.records.push_back(rec);
   pending_summary_bytes_ += rec_bytes;
-  size_t off = pending_payload_.size();
-  pending_payload_.insert(pending_payload_.end(), payload.begin(), payload.end());
+  size_t off = chunk_.size() - kSectorSize;
+  chunk_.insert(chunk_.end(), payload.begin(), payload.end());
   pending_index_[addr] = {off, payload.size()};
 
   sut_->AddLive(active_segment_, payload_sectors, clock_->Now());
@@ -128,25 +136,24 @@ Status SegmentWriter::Flush(OpContext* ctx) {
   pending_summary_.write_time = clock_->Now();
   // Cover the payload so recovery can tell a fully persisted chunk from one
   // whose summary landed but whose payload was torn by a power cut.
-  pending_summary_.payload_crc = Crc32c(pending_payload_);
+  pending_summary_.payload_crc =
+      Crc32c(ByteSpan(chunk_.data() + kSectorSize, chunk_.size() - kSectorSize));
   S4_ASSIGN_OR_RETURN(Bytes summary, pending_summary_.Encode());
-
-  Bytes chunk;
-  chunk.reserve(summary.size() + pending_payload_.size());
-  chunk.insert(chunk.end(), summary.begin(), summary.end());
-  chunk.insert(chunk.end(), pending_payload_.begin(), pending_payload_.end());
+  S4_CHECK(summary.size() == kSectorSize);
+  std::memcpy(chunk_.data(), summary.data(), kSectorSize);
 
   DiskAddr chunk_start = sb_->SegmentStart(active_segment_) + fill_sectors_;
-  S4_RETURN_IF_ERROR(device_->Write(chunk_start, chunk, ctx));
+  S4_RETURN_IF_ERROR(device_->Write(chunk_start, chunk_, ctx));
 
-  uint32_t chunk_sectors = static_cast<uint32_t>(chunk.size() / kSectorSize);
+  uint32_t chunk_sectors = static_cast<uint32_t>(chunk_.size() / kSectorSize);
   fill_sectors_ += chunk_sectors;
   sut_->AddWritten(active_segment_, 1);  // the summary sector
   ++stats_.chunks_flushed;
   stats_.sectors_flushed += chunk_sectors;
+  stats_.bytes_flushed += chunk_.size();
 
   pending_summary_ = ChunkSummary();
-  pending_payload_.clear();
+  chunk_.clear();
   pending_summary_bytes_ = 0;
   pending_index_.clear();
   return Status::Ok();
@@ -161,7 +168,8 @@ bool SegmentWriter::ReadPending(DiskAddr addr, uint64_t sectors, Bytes* out) con
   if (len != sectors * kSectorSize) {
     return false;
   }
-  out->assign(pending_payload_.begin() + off, pending_payload_.begin() + off + len);
+  auto payload_begin = chunk_.begin() + kSectorSize;
+  out->assign(payload_begin + off, payload_begin + off + len);
   return true;
 }
 

@@ -23,6 +23,12 @@ struct SegmentWriterStats {
   uint64_t chunks_flushed = 0;
   uint64_t segments_sealed = 0;
   uint64_t sectors_flushed = 0;
+  // Payload bytes that joined an already-open chunk (group commit riding an
+  // existing pending disk write) vs total bytes laid down by Flush. The
+  // ratio is the group-commit win: high coalesced/flushed means many logical
+  // appends per physical write.
+  uint64_t bytes_coalesced = 0;
+  uint64_t bytes_flushed = 0;
 };
 
 class SegmentWriter {
@@ -74,11 +80,15 @@ class SegmentWriter {
   uint32_t fill_sectors_ = 0;  // sectors of the active segment already on disk
   uint64_t next_seq_;
 
-  // Buffered chunk.
+  // Buffered chunk, laid out exactly as it will hit the disk: the first
+  // sector is reserved for the summary (encoded in place at Flush) and
+  // payloads land at their final offsets as they are appended, so Flush
+  // never rebuilds the buffer. Empty when no records are pending.
   ChunkSummary pending_summary_;
-  Bytes pending_payload_;
+  Bytes chunk_;
   size_t pending_summary_bytes_ = 0;  // encoded size estimate of records
-  std::unordered_map<DiskAddr, std::pair<size_t, size_t>> pending_index_;  // addr -> off,len
+  // addr -> payload-relative {off,len} (off excludes the summary sector).
+  std::unordered_map<DiskAddr, std::pair<size_t, size_t>> pending_index_;
 
   SegmentWriterStats stats_;
 };

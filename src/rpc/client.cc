@@ -9,6 +9,35 @@ Result<RpcResponse> S4Client::Call(RpcRequest req) {
   return resp;
 }
 
+Result<std::vector<RpcResponse>> S4Client::CallBatch(std::vector<RpcRequest> reqs) {
+  if (reqs.empty()) {
+    return std::vector<RpcResponse>{};
+  }
+  if (reqs.size() > RpcBatchRequest::kMaxSubRequests) {
+    return Status::InvalidArgument("batch exceeds sub-request cap");
+  }
+  RpcBatchRequest batch;
+  batch.subs = std::move(reqs);
+  for (RpcRequest& sub : batch.subs) {
+    sub.creds = creds_;
+  }
+  S4_ASSIGN_OR_RETURN(Bytes frame, transport_->Call(batch.Encode()));
+  auto decoded = RpcBatchResponse::Decode(frame);
+  if (!decoded.ok()) {
+    // A rejected batch comes back as a single error response frame.
+    auto single = RpcResponse::Decode(frame);
+    if (single.ok() && !single->ok()) {
+      return single->ToStatus();
+    }
+    return decoded.status();
+  }
+  RpcBatchResponse resp = std::move(*decoded);
+  if (resp.subs.size() != batch.subs.size()) {
+    return Status::DataCorruption("batch response count mismatch");
+  }
+  return std::move(resp.subs);
+}
+
 Result<ObjectId> S4Client::Create(Bytes opaque_attrs) {
   RpcRequest req;
   req.op = RpcOp::kCreate;

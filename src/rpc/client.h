@@ -44,9 +44,14 @@ class S4Client {
   Status SetWindow(SimDuration window);
   Result<std::vector<std::pair<SimTime, uint8_t>>> GetVersionList(ObjectId id);
 
- private:
+  // Sends a raw single-op request (creds stamped from this client).
   Result<RpcResponse> Call(RpcRequest req);
+  // Sends N requests under one kBatch envelope and one network round-trip.
+  // Returns one response per sub-request, in order. Sub-op failures are
+  // reported in the per-sub response codes, not as a transport error.
+  Result<std::vector<RpcResponse>> CallBatch(std::vector<RpcRequest> reqs);
 
+ private:
   RpcTransport* transport_;
   Credentials creds_;
 };

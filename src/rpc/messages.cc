@@ -5,8 +5,10 @@
 namespace s4 {
 namespace {
 
-constexpr uint32_t kRequestMagic = 0x53345251;   // "S4RQ"
-constexpr uint32_t kResponseMagic = 0x53345250;  // "S4RP"
+constexpr uint32_t kRequestMagic = 0x53345251;        // "S4RQ"
+constexpr uint32_t kResponseMagic = 0x53345250;       // "S4RP"
+constexpr uint32_t kBatchRequestMagic = 0x53344251;   // "S4BQ"
+constexpr uint32_t kBatchResponseMagic = 0x53344250;  // "S4BP"
 
 Bytes Frame(uint32_t magic, Encoder body) {
   Encoder out(body.size() + 12);
@@ -150,6 +152,71 @@ Result<RpcResponse> RpcResponse::Decode(ByteSpan frame) {
     r.versions.emplace_back(time, cause);
   }
   return r;
+}
+
+Bytes RpcBatchRequest::Encode() const {
+  Encoder enc(64);
+  enc.PutVarint(subs.size());
+  for (const RpcRequest& sub : subs) {
+    enc.PutLengthPrefixed(sub.Encode());
+  }
+  return Frame(kBatchRequestMagic, std::move(enc));
+}
+
+Result<RpcBatchRequest> RpcBatchRequest::Decode(ByteSpan frame) {
+  S4_ASSIGN_OR_RETURN(Decoder dec, Unframe(kBatchRequestMagic, frame));
+  S4_ASSIGN_OR_RETURN(uint64_t count, dec.Varint());
+  if (count == 0) {
+    return Status::InvalidArgument("empty rpc batch");
+  }
+  if (count > kMaxSubRequests) {
+    return Status::InvalidArgument("rpc batch sub-request count exceeds cap");
+  }
+  RpcBatchRequest r;
+  r.subs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    S4_ASSIGN_OR_RETURN(Bytes sub_frame, dec.LengthPrefixed());
+    S4_ASSIGN_OR_RETURN(RpcRequest sub, RpcRequest::Decode(sub_frame));
+    r.subs.push_back(std::move(sub));
+  }
+  if (!dec.done()) {
+    return Status::DataCorruption("trailing bytes after rpc batch");
+  }
+  return r;
+}
+
+Bytes RpcBatchResponse::Encode() const {
+  Encoder enc(64);
+  enc.PutVarint(subs.size());
+  for (const RpcResponse& sub : subs) {
+    enc.PutLengthPrefixed(sub.Encode());
+  }
+  return Frame(kBatchResponseMagic, std::move(enc));
+}
+
+Result<RpcBatchResponse> RpcBatchResponse::Decode(ByteSpan frame) {
+  S4_ASSIGN_OR_RETURN(Decoder dec, Unframe(kBatchResponseMagic, frame));
+  S4_ASSIGN_OR_RETURN(uint64_t count, dec.Varint());
+  if (count > RpcBatchRequest::kMaxSubRequests) {
+    return Status::DataCorruption("rpc batch response count exceeds cap");
+  }
+  RpcBatchResponse r;
+  r.subs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    S4_ASSIGN_OR_RETURN(Bytes sub_frame, dec.LengthPrefixed());
+    S4_ASSIGN_OR_RETURN(RpcResponse sub, RpcResponse::Decode(sub_frame));
+    r.subs.push_back(std::move(sub));
+  }
+  return r;
+}
+
+bool IsBatchRequestFrame(ByteSpan frame) {
+  if (frame.size() < 4) {
+    return false;
+  }
+  Decoder dec(frame);
+  auto magic = dec.U32();
+  return magic.ok() && *magic == kBatchRequestMagic;
 }
 
 }  // namespace s4

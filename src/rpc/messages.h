@@ -56,6 +56,34 @@ struct RpcResponse {
   static Result<RpcResponse> Decode(ByteSpan frame);
 };
 
+// Vectored batch frame: N complete RpcRequest frames under one envelope and
+// one transport round-trip (RpcOp::kBatch). Sub-requests reuse the single-op
+// codec verbatim, so every hardening rule of RpcRequest::Decode (CRC, op
+// range, field bounds) applies to each sub-request too. The whole batch is
+// validated before any sub-op is dispatched: a hostile batch is rejected as
+// a unit, never partially applied.
+struct RpcBatchRequest {
+  // Caps a batch at a size a drive can buffer without letting one client
+  // monopolise the front end.
+  static constexpr uint64_t kMaxSubRequests = 256;
+
+  std::vector<RpcRequest> subs;
+
+  Bytes Encode() const;
+  static Result<RpcBatchRequest> Decode(ByteSpan frame);
+};
+
+struct RpcBatchResponse {
+  std::vector<RpcResponse> subs;
+
+  Bytes Encode() const;
+  static Result<RpcBatchResponse> Decode(ByteSpan frame);
+};
+
+// Cheap peek at the frame magic: true if this looks like a batch envelope
+// (full validation still happens in RpcBatchRequest::Decode).
+bool IsBatchRequestFrame(ByteSpan frame);
+
 }  // namespace s4
 
 #endif  // S4_SRC_RPC_MESSAGES_H_

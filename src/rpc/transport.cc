@@ -50,6 +50,36 @@ Bytes S4RpcServer::Handle(ByteSpan request_frame, uint64_t request_id) {
   if (request_frame.size() > kMaxFrameBytes) {
     return reject(Status::InvalidArgument("rpc frame exceeds size cap"));
   }
+  if (IsBatchRequestFrame(request_frame)) {
+    auto batch = RpcBatchRequest::Decode(request_frame);
+    if (!batch.ok()) {
+      // Rejected as a unit: no sub-op has been dispatched yet, so a hostile
+      // batch is never partially applied. The reject path audits kInvalid.
+      return reject(batch.status());
+    }
+    // One OpContext for the whole round-trip; sub-ops update creds/op as
+    // they run so their spans, metrics and audit records stay per-op while
+    // sharing the envelope's request id.
+    OpContext ctx = drive_->MakeContext(batch->subs.front().creds, RpcOp::kBatch);
+    if (request_id != 0) {
+      ctx.request_id = request_id;
+    }
+    SimTime batch_start = ctx.start_time;
+    RpcBatchResponse resp;
+    resp.subs.reserve(batch->subs.size());
+    {
+      ScopedSpan span(&ctx, "rpc.batch");
+      for (const RpcRequest& sub : batch->subs) {
+        ctx.creds = sub.creds;
+        ctx.op = sub.op;
+        resp.subs.push_back(Dispatch(ctx, sub));
+      }
+    }
+    ctx.creds = batch->subs.front().creds;
+    ctx.op = RpcOp::kBatch;
+    drive_->AuditBatchFrame(ctx, batch->subs.size(), batch_start);
+    return resp.Encode();
+  }
   auto req = RpcRequest::Decode(request_frame);
   if (!req.ok()) {
     return reject(req.status());

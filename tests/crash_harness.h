@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -46,10 +47,18 @@ struct ScriptOp {
 
 class CrashHarness {
  public:
+  // With `batched`, mutating ops between Syncs are buffered client-side and
+  // sent as one kBatch frame whose last sub-op is the Sync (the group-commit
+  // write path). Snapshots are taken only when the Sync sub-op is
+  // acknowledged, so the invariant checked is: a sync point is durable as a
+  // whole, or the journal ends at the previous intact chunk.
   explicit CrashHarness(std::vector<ScriptOp> script,
                         S4DriveOptions options = DriveTest::SmallOptions(),
-                        uint64_t disk_bytes = 64ull << 20)
-      : script_(std::move(script)), options_(options), disk_bytes_(disk_bytes) {}
+                        uint64_t disk_bytes = 64ull << 20, bool batched = false)
+      : script_(std::move(script)),
+        options_(options),
+        disk_bytes_(disk_bytes),
+        batched_(batched) {}
 
   // Runs the script fault-free and returns the number of disk write commands
   // issued after format — the space of crash points to sweep.
@@ -117,6 +126,15 @@ class CrashHarness {
     std::vector<ModelObject> objects;
   };
 
+  struct Run;
+
+  // A buffered sub-op awaiting its group-commit batch (batched mode).
+  struct PendingSub {
+    RpcRequest req;
+    size_t script_index = 0;
+    std::function<void(Run*)> apply;  // model mutation, run when acked
+  };
+
   struct Run {
     std::unique_ptr<SimClock> clock;
     std::unique_ptr<BlockDevice> device;
@@ -127,6 +145,7 @@ class CrashHarness {
     std::unique_ptr<S4Client> client;
     std::vector<ModelObject> model;
     std::vector<Snapshot> snapshots;
+    std::vector<PendingSub> pending;  // batched mode: unsent sub-ops
     size_t failed_at = kNoFailure;  // first script op that did not return OK
   };
 
@@ -169,6 +188,12 @@ class CrashHarness {
       const ScriptOp& op = script_[i];
       // Space ops out so distinct versions get distinct timestamps.
       run->clock->Advance(10 * kMillisecond);
+      if (batched_) {
+        if (!BatchedStep(run, i)) {
+          return;
+        }
+        continue;
+      }
       ModelObject& m = run->model[op.slot];
       bool ok = false;
       switch (op.kind) {
@@ -239,6 +264,149 @@ class CrashHarness {
     }
   }
 
+  // Batched mode: one script op. Mutations are buffered as kBatch sub-ops;
+  // the batch is sent when the script reaches a Sync (which rides as the
+  // batch's final sub-op) or when an op needs a fresh ObjectId.
+  bool BatchedStep(Run* run, size_t i) {
+    const ScriptOp& op = script_[i];
+    const size_t slot = op.slot;
+    switch (op.kind) {
+      case ScriptOp::kCreate: {
+        // Later buffered sub-ops would need the new id before it exists:
+        // drain the open batch (no sync — no snapshot), then create now.
+        if (!FlushBatch(run)) {
+          return false;
+        }
+        auto r = run->client->Create({});
+        if (!r.ok()) {
+          run->failed_at = i;
+          return false;
+        }
+        ModelObject& m = run->model[slot];
+        m.created = true;
+        m.deleted = false;
+        m.id = *r;
+        m.content.clear();
+        return true;
+      }
+      case ScriptOp::kWrite: {
+        PendingSub sub;
+        sub.req.op = RpcOp::kWrite;
+        sub.req.object = run->model[slot].id;
+        sub.req.offset = op.offset;
+        sub.req.data = Bytes(op.length, op.fill);
+        sub.script_index = i;
+        sub.apply = [slot, op](Run* r) {
+          ModelObject& m = r->model[slot];
+          Bytes data(op.length, op.fill);
+          if (m.content.size() < op.offset + op.length) {
+            m.content.resize(op.offset + op.length, 0);
+          }
+          std::copy(data.begin(), data.end(), m.content.begin() + op.offset);
+        };
+        run->pending.push_back(std::move(sub));
+        return true;
+      }
+      case ScriptOp::kAppend: {
+        PendingSub sub;
+        sub.req.op = RpcOp::kAppend;
+        sub.req.object = run->model[slot].id;
+        sub.req.data = Bytes(op.length, op.fill);
+        sub.script_index = i;
+        sub.apply = [slot, op](Run* r) {
+          Bytes data(op.length, op.fill);
+          Bytes& c = r->model[slot].content;
+          c.insert(c.end(), data.begin(), data.end());
+        };
+        run->pending.push_back(std::move(sub));
+        return true;
+      }
+      case ScriptOp::kTruncate: {
+        PendingSub sub;
+        sub.req.op = RpcOp::kTruncate;
+        sub.req.object = run->model[slot].id;
+        sub.req.length = op.length;
+        sub.script_index = i;
+        sub.apply = [slot, op](Run* r) { r->model[slot].content.resize(op.length, 0); };
+        run->pending.push_back(std::move(sub));
+        return true;
+      }
+      case ScriptOp::kSetAcl: {
+        PendingSub sub;
+        sub.req.op = RpcOp::kSetAcl;
+        sub.req.object = run->model[slot].id;
+        sub.req.acl_entry = op.acl;
+        sub.script_index = i;
+        run->pending.push_back(std::move(sub));
+        return true;
+      }
+      case ScriptOp::kDelete: {
+        PendingSub sub;
+        sub.req.op = RpcOp::kDelete;
+        sub.req.object = run->model[slot].id;
+        sub.script_index = i;
+        sub.apply = [slot](Run* r) {
+          r->model[slot].deleted = true;
+          r->model[slot].content.clear();
+        };
+        run->pending.push_back(std::move(sub));
+        return true;
+      }
+      case ScriptOp::kSync: {
+        PendingSub sub;
+        sub.req.op = RpcOp::kSync;
+        sub.script_index = i;
+        run->pending.push_back(std::move(sub));
+        return FlushBatch(run);
+      }
+    }
+    return false;
+  }
+
+  // Sends the open batch as one kBatch frame and applies model mutations for
+  // acknowledged sub-ops. If the batch ended in an acknowledged Sync, the
+  // modelled state becomes a snapshot (the group-commit durability point).
+  bool FlushBatch(Run* run) {
+    if (run->pending.empty()) {
+      return true;
+    }
+    std::vector<RpcRequest> subs;
+    subs.reserve(run->pending.size());
+    for (const PendingSub& p : run->pending) {
+      subs.push_back(p.req);
+    }
+    auto resps = run->client->CallBatch(std::move(subs));
+    if (!resps.ok()) {
+      run->failed_at = run->pending.front().script_index;
+      run->pending.clear();
+      return false;
+    }
+    bool synced = false;
+    for (size_t j = 0; j < run->pending.size(); ++j) {
+      PendingSub& p = run->pending[j];
+      if (!(*resps)[j].ok()) {
+        run->failed_at = p.script_index;
+        run->pending.clear();
+        return false;
+      }
+      if (p.apply) {
+        p.apply(run);
+      }
+      synced = synced || p.req.op == RpcOp::kSync;
+    }
+    run->pending.clear();
+    if (synced) {
+      // Nudge past the batch's execution instant so time-based reads at the
+      // snapshot time see every sub-op, deletions included.
+      run->clock->Advance(kMillisecond);
+      Snapshot snap;
+      snap.time = run->clock->Now();
+      snap.objects = run->model;
+      run->snapshots.push_back(std::move(snap));
+    }
+    return true;
+  }
+
   Credentials Admin() const {
     Credentials c;
     c.user = 0;
@@ -304,6 +472,7 @@ class CrashHarness {
   std::vector<ScriptOp> script_;
   S4DriveOptions options_;
   uint64_t disk_bytes_;
+  bool batched_;
 };
 
 }  // namespace s4

@@ -296,5 +296,46 @@ TEST(CrashSweepTest, TornTailPowerCutAtEveryWriteBoundary) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched (group-commit) variant: same script, mutations ride kBatch frames
+// whose final sub-op is the Sync. Every write boundary is swept; snapshots
+// exist only for acknowledged Syncs, so the check is the group-commit
+// invariant — a sync point is durable as a whole, or the journal ends at the
+// previous intact chunk.
+// ---------------------------------------------------------------------------
+
+TEST(CrashSweepTest, BatchedGroupCommitCleanCutAtEveryWriteBoundary) {
+  CrashHarness harness(StandardScript(), SweepOptions(), 64ull << 20, /*batched=*/true);
+  uint64_t n = harness.CountWritePoints();
+  ASSERT_GE(n, 4u) << "batched workload produced too few write boundaries";
+  std::cerr << "[ sweep    ] " << n << " write boundaries (batched)\n";
+
+  // The script has the same sync points either way, so the batched replay
+  // must not ADD disk-write boundaries: all sub-ops of a batch group-commit
+  // into the chunks one synced replay would produce. (The disk-write
+  // reduction comes from issuing fewer syncs, which bench_batch measures.)
+  CrashHarness unbatched(StandardScript(), SweepOptions());
+  EXPECT_LE(n, unbatched.CountWritePoints());
+
+  for (uint64_t k = 1; k <= n; ++k) {
+    harness.RunCrashPoint(k, /*torn_tail=*/false);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(CrashSweepTest, BatchedGroupCommitTornTailAtEveryWriteBoundary) {
+  CrashHarness harness(StandardScript(), SweepOptions(), 64ull << 20, /*batched=*/true);
+  uint64_t n = harness.CountWritePoints();
+  ASSERT_GE(n, 4u) << "batched workload produced too few write boundaries";
+  for (uint64_t k = 1; k <= n; ++k) {
+    harness.RunCrashPoint(k, /*torn_tail=*/true);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace s4

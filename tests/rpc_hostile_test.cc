@@ -57,12 +57,32 @@ class RpcHostileTest : public DriveTest {
     return resp->code;
   }
 
-  uint64_t RejectedAuditRecords() {
+  uint64_t RejectedAuditRecords() { return AuditRecordsFor(RpcOp::kInvalid); }
+
+  uint64_t AuditRecordsFor(RpcOp op) {
     AuditQuery query;
-    query.op = RpcOp::kInvalid;
+    query.op = op;
     auto records = drive_->QueryAudit(Admin(), query);
     EXPECT_TRUE(records.ok()) << records.status().ToString();
     return records.ok() ? records->size() : 0;
+  }
+
+  // Hand-rolled kBatch frame whose declared count may lie about the payload.
+  // Mirrors RpcBatchRequest::Encode's framing (magic + body + CRC trailer).
+  static Bytes RawBatchFrame(uint64_t declared_count,
+                             const std::vector<Bytes>& sub_frames,
+                             ByteSpan trailing = {}) {
+    Encoder body(64);
+    body.PutVarint(declared_count);
+    for (const Bytes& sub : sub_frames) {
+      body.PutLengthPrefixed(sub);
+    }
+    body.PutBytes(trailing);
+    Encoder out(body.size() + 12);
+    out.PutU32(0x53344251);  // "S4BQ"
+    out.PutBytes(body.bytes());
+    out.PutU32(Crc32c(out.bytes()));
+    return out.Take();
   }
 
   // The drive still serves a legitimate client after the abuse.
@@ -173,6 +193,89 @@ TEST_F(RpcHostileTest, RandomGarbageNeverCrashesTheServer) {
   }
   EXPECT_EQ(RejectedAuditRecords(), audited + frames);
   EXPECT_EQ(drive_->metrics().CounterValue("rpc.rejected_frames"), audited + frames);
+  ExpectDriveHealthy();
+}
+
+TEST_F(RpcHostileTest, BatchWithTruncatedSubRequestIsRejectedAtomically) {
+  uint64_t audited = RejectedAuditRecords();
+  uint64_t creates = AuditRecordsFor(RpcOp::kCreate);
+
+  // First sub-request is a perfectly valid Create; the second is cut short.
+  // The whole envelope must be rejected before ANY sub-op dispatches: the
+  // valid Create must leave no trace.
+  Bytes good = ValidFrame();
+  for (size_t cut : {size_t{0}, size_t{4}, good.size() / 2, good.size() - 1}) {
+    Bytes truncated(good.begin(), good.begin() + cut);
+    EXPECT_EQ(ExpectRejected(RawBatchFrame(2, {good, truncated})),
+              ErrorCode::kDataCorruption)
+        << "sub-request cut to " << cut << " bytes";
+  }
+  EXPECT_EQ(RejectedAuditRecords(), audited + 4);
+  EXPECT_EQ(AuditRecordsFor(RpcOp::kCreate), creates) << "batch partially applied";
+  EXPECT_EQ(AuditRecordsFor(RpcOp::kBatch), 0u);
+  ExpectDriveHealthy();
+}
+
+TEST_F(RpcHostileTest, BatchCountFieldLiesAreRejected) {
+  uint64_t audited = RejectedAuditRecords();
+  Bytes good = ValidFrame();
+
+  // Empty batch: nothing to apply, nothing to audit per-op.
+  EXPECT_EQ(ExpectRejected(RawBatchFrame(0, {})), ErrorCode::kInvalidArgument);
+  // Count beyond the hard cap, regardless of actual payload.
+  EXPECT_EQ(ExpectRejected(RawBatchFrame(100000, {good})), ErrorCode::kInvalidArgument);
+  // Count says 3 sub-requests, body carries 1: decode runs off the end.
+  EXPECT_EQ(ExpectRejected(RawBatchFrame(3, {good})), ErrorCode::kDataCorruption);
+  // Count says 1 but two follow: the second is trailing garbage.
+  EXPECT_EQ(ExpectRejected(RawBatchFrame(1, {good, good})), ErrorCode::kDataCorruption);
+
+  EXPECT_EQ(RejectedAuditRecords(), audited + 4);
+  ExpectDriveHealthy();
+}
+
+TEST_F(RpcHostileTest, OversizedBatchIsRejected) {
+  uint64_t audited = RejectedAuditRecords();
+  uint64_t creates = AuditRecordsFor(RpcOp::kCreate);
+
+  // One past the sub-request cap, every sub individually valid.
+  Bytes good = ValidFrame();
+  std::vector<Bytes> subs(RpcBatchRequest::kMaxSubRequests + 1, good);
+  EXPECT_EQ(ExpectRejected(RawBatchFrame(subs.size(), subs)),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(RejectedAuditRecords(), audited + 1);
+  EXPECT_EQ(AuditRecordsFor(RpcOp::kCreate), creates) << "capped batch partially applied";
+
+  // At the cap the batch goes through whole.
+  subs.resize(RpcBatchRequest::kMaxSubRequests);
+  RpcBatchRequest batch;
+  for (size_t i = 0; i < RpcBatchRequest::kMaxSubRequests; ++i) {
+    RpcRequest req;
+    req.op = RpcOp::kCreate;
+    req.creds.user = 100;
+    req.creds.client = 1;
+    batch.subs.push_back(std::move(req));
+  }
+  Bytes response = server_->Handle(batch.Encode());
+  ASSERT_OK_AND_ASSIGN(RpcBatchResponse resp, RpcBatchResponse::Decode(response));
+  EXPECT_EQ(resp.subs.size(), RpcBatchRequest::kMaxSubRequests);
+  ExpectDriveHealthy();
+}
+
+TEST_F(RpcHostileTest, NestedBatchFramesAreRejected) {
+  uint64_t audited = RejectedAuditRecords();
+  Bytes good = ValidFrame();
+
+  // A batch frame as a sub-request: sub-requests must be single-op frames.
+  Bytes inner = RawBatchFrame(1, {good});
+  EXPECT_EQ(ExpectRejected(RawBatchFrame(1, {inner})), ErrorCode::kDataCorruption);
+
+  // A single-op frame whose op byte is kBatch (21): still out of range for
+  // the single-frame decoder, so batches cannot smuggle themselves inline.
+  Bytes op21 = ValidFrame();
+  op21[4] = 21;
+  EXPECT_EQ(ExpectRejected(Reseal(std::move(op21))), ErrorCode::kInvalidArgument);
+
+  EXPECT_EQ(RejectedAuditRecords(), audited + 2);
   ExpectDriveHealthy();
 }
 

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json files from two runs (e.g. a committed baseline vs a
+fresh CI run) and print a per-benchmark report.
+
+Usage:
+    tools/bench_compare.py <baseline_dir> <current_dir> [--threshold PCT]
+
+For every BENCH_<name>.json present in both directories, reports the delta in
+simulated wall time, disk writes, network messages, and per-op p50/p99
+latency. Regressions beyond --threshold (default 10%) are flagged with '!!'.
+
+The script is a report, not a gate: it always exits 0 so a noisy benchmark
+cannot block CI. Flags are for humans reading the job log.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benches(directory):
+    benches = {}
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError as e:
+        print(f"bench_compare: cannot list {directory}: {e}")
+        return benches
+    for fname in names:
+        if not (fname.startswith("BENCH_") and fname.endswith(".json")):
+            continue
+        path = os.path.join(directory, fname)
+        try:
+            with open(path) as f:
+                benches[fname] = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"bench_compare: skipping unreadable {path}: {e}")
+    return benches
+
+
+def fmt_delta(base, cur, invert=False):
+    """Return (formatted string, regressed?). Lower is better unless invert."""
+    if base is None or cur is None:
+        return "n/a", False
+    if base == 0:
+        return f"{base} -> {cur}", cur > base
+    pct = 100.0 * (cur - base) / base
+    regressed = pct < 0 if invert else pct > 0
+    return f"{base:g} -> {cur:g} ({pct:+.1f}%)", regressed
+
+
+def get(d, *keys):
+    for k in keys:
+        if not isinstance(d, dict) or k not in d:
+            return None
+        d = d[k]
+    return d
+
+
+def compare_one(name, base, cur, threshold):
+    rows = []  # (label, text, flagged)
+
+    def row(label, bval, cval, invert=False):
+        text, regressed = fmt_delta(bval, cval, invert)
+        # Only flag when the delta is a number and beyond threshold.
+        flagged = False
+        if regressed and bval not in (None, 0) and cval is not None:
+            pct = abs(100.0 * (cval - bval) / bval)
+            flagged = pct > threshold
+        rows.append((label, text, flagged))
+
+    row("sim_seconds", get(base, "sim_seconds"), get(cur, "sim_seconds"))
+    row("disk.writes", get(base, "disk", "writes"), get(cur, "disk", "writes"))
+    row("disk.reads", get(base, "disk", "reads"), get(cur, "disk", "reads"))
+    row("net.messages", get(base, "net", "messages_sent"),
+        get(cur, "net", "messages_sent"))
+
+    base_ops = get(base, "ops") or {}
+    cur_ops = get(cur, "ops") or {}
+    for op in sorted(set(base_ops) | set(cur_ops)):
+        for pct_key in ("p50_us", "p99_us"):
+            row(f"op.{op}.{pct_key}", get(base_ops, op, pct_key),
+                get(cur_ops, op, pct_key))
+
+    print(f"\n== {name} ==")
+    any_flag = False
+    for label, text, flagged in rows:
+        mark = " !!" if flagged else ""
+        print(f"  {label:<24} {text}{mark}")
+        any_flag = any_flag or flagged
+    return any_flag
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline_dir")
+    ap.add_argument("current_dir")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="flag regressions beyond this percent (default 10)")
+    args = ap.parse_args()
+
+    base = load_benches(args.baseline_dir)
+    cur = load_benches(args.current_dir)
+    common = sorted(set(base) & set(cur))
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+
+    if not common:
+        print("bench_compare: no benchmark files in common; nothing to compare")
+        if only_base:
+            print(f"  baseline only: {', '.join(only_base)}")
+        if only_cur:
+            print(f"  current only: {', '.join(only_cur)}")
+        return 0
+
+    flagged = [name for name in common
+               if compare_one(name, base[name], cur[name], args.threshold)]
+
+    print()
+    if only_base:
+        print(f"baseline only (not re-run): {', '.join(only_base)}")
+    if only_cur:
+        print(f"current only (no baseline): {', '.join(only_cur)}")
+    if flagged:
+        print(f"possible regressions (> {args.threshold:g}%) in: "
+              f"{', '.join(flagged)}")
+    else:
+        print(f"no regressions beyond {args.threshold:g}% threshold")
+    # Always succeed: this is a report for humans, not a CI gate.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
