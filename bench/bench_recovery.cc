@@ -121,6 +121,28 @@ void PrintSummary() {
               "checkpoint_interval_bytes option caps this cost in deployment.\n");
 }
 
+// This bench has no long-lived Server stack (each point formats and crashes
+// its own drive), so the machine-readable dump is a bare point list rather
+// than the harness's per-server schema. Host wall_ms is deliberately left
+// out: it varies with CI hardware, while disk_ms and reads are simulated and
+// comparable across runs.
+void WriteJson() {
+  std::FILE* f = std::fopen("BENCH_recovery.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_recovery: cannot open BENCH_recovery.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"recovery\",\n  \"recovery\": {\"points\": [");
+  for (size_t i = 0; i < g_points.size(); ++i) {
+    const Point& p = g_points[i];
+    std::fprintf(f, "%s{\"journal_mb\": %llu, \"disk_ms\": %.2f, \"reads\": %llu}",
+                 i == 0 ? "" : ", ", static_cast<unsigned long long>(p.journal_mb),
+                 p.disk_ms, static_cast<unsigned long long>(p.reads));
+  }
+  std::fprintf(f, "]}\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace s4
@@ -149,5 +171,6 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   s4::bench::PrintSummary();
+  s4::bench::WriteJson();
   return 0;
 }

@@ -69,6 +69,10 @@ struct ServerOptions {
   // as the Sync. Ignored by the other kinds.
   uint32_t fs_group_commit_ops = 32;
   bool fs_batch_rpcs = true;
+  // Last-word hook over the drive options (S4 kinds only): runs after the
+  // fields above are applied, so ablation benches can flip knobs the
+  // ServerOptions surface does not expose (waypoint cadence, cleaner pacing).
+  std::function<void(S4DriveOptions&)> tweak_drive_options;
 };
 
 // One fully wired server + client stack. All members are owned; `fs` is the
@@ -135,6 +139,9 @@ inline std::unique_ptr<Server> MakeServer(ServerKind kind, ServerOptions options
       drive_opts.audit_enabled = options.audit_enabled;
       drive_opts.versioning_enabled = options.versioning_enabled;
       drive_opts.cleaner_enabled = options.cleaner_enabled;
+      if (options.tweak_drive_options) {
+        options.tweak_drive_options(drive_opts);
+      }
       auto drive = S4Drive::Format(server->device.get(), server->clock.get(), drive_opts);
       S4_CHECK(drive.ok());
       server->drive = std::move(*drive);
@@ -197,7 +204,12 @@ inline std::string Secs(SimDuration d) {
 // histograms), bytes moved on disk and network, and the full metric dump.
 // Baseline servers without an S4 drive get the disk section only. CI uploads
 // these files as artifacts so runs can be compared across commits.
-inline bool WriteBenchJson(const Server& server, const std::string& name) {
+//
+// `extra_sections`, when non-empty, is raw JSON spliced in as additional
+// top-level members (e.g. "\"history\": {...}") — benches use it for sweep
+// tables that do not fit the per-server schema.
+inline bool WriteBenchJson(const Server& server, const std::string& name,
+                           const std::string& extra_sections = "") {
   std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -260,6 +272,9 @@ inline bool WriteBenchJson(const Server& server, const std::string& name) {
     std::fprintf(f, "%s},\n  \"metrics\": %s", first ? "" : "\n  ", reg.ToJson().c_str());
   } else {
     std::fprintf(f, "\n");
+  }
+  if (!extra_sections.empty()) {
+    std::fprintf(f, ",\n  %s\n", extra_sections.c_str());
   }
   std::fprintf(f, "}\n");
   std::fclose(f);

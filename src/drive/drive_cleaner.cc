@@ -19,7 +19,7 @@
 namespace s4 {
 
 Result<uint64_t> S4Drive::ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry,
-                                              SimTime cutoff) {
+                                              SimTime cutoff, uint64_t* sectors_read) {
   bool versioned = ObjectIsVersioned(id);
   bool full_expiry = !entry->live() && entry->delete_time <= cutoff;
   uint64_t freed_sectors = 0;
@@ -33,13 +33,27 @@ Result<uint64_t> S4Drive::ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry
   bool need_checkpoint = false;
 
   // Walk the chain from the head, sector by sector, so expired journal
-  // sectors themselves can be freed.
+  // sectors themselves can be freed. When the chain survives in part, the
+  // waypoint index lets the walk skip straight past the unexpirable prefix:
+  // every sector newer than the oldest waypoint above the cutoff holds only
+  // in-window entries. Those skipped sectors all survive, and the seek-start
+  // sector contributes a surviving entry no newer than any skipped entry, so
+  // `oldest_surviving` (hence the barrier) stays globally correct. A full
+  // expiry must free the whole chain, so it never seeks.
+  m_.cleaner_objects_visited->Inc();
   DiskAddr addr = entry->journal_head;
   bool chain_fully_freed = true;
+  if (options_.cleaner_incremental && !full_expiry) {
+    if (const JournalWaypoint* w = entry->SeekWaypointAbove(cutoff);
+        w != nullptr && w->addr != addr) {
+      addr = w->addr;
+      chain_fully_freed = false;  // the skipped newer sectors remain
+    }
+  }
   while (addr != kNullAddr) {
-    S4_ASSIGN_OR_RETURN(Bytes raw, ReadRecord(addr, 1));
-    auto sector = JournalSector::Decode(raw);
-    if (!sector.ok() || sector->object_id != id) {
+    S4_ASSIGN_OR_RETURN(std::shared_ptr<const JournalSector> sector,
+                        ReadJournalSector(addr, sectors_read));
+    if (sector == nullptr || sector->object_id != id) {
       break;  // already reclaimed territory
     }
     if (!sector->entries.empty() && sector->entries.back().time <= barrier) {
@@ -79,6 +93,9 @@ Result<uint64_t> S4Drive::ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry
       sut_->ReleaseLive(sb_.SegmentOf(addr), 1);
       ++freed_sectors;
       block_cache_->Invalidate(addr);
+      if (jsector_cache_ != nullptr) {
+        jsector_cache_->Remove(addr);
+      }
     } else {
       chain_fully_freed = false;
     }
@@ -113,6 +130,7 @@ Result<uint64_t> S4Drive::ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry
     object_cache_->Remove(id);
     purged_.erase(id);
     object_map_.Erase(id);
+    UpdateExpiryIndex(id, nullptr);
   } else {
     // The barrier never passes an entry whose reclamation was deferred.
     entry->history_barrier =
@@ -125,6 +143,10 @@ Result<uint64_t> S4Drive::ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry
       // replay-needed entry is ever freed.)
       entry->journal_head = kNullAddr;
     }
+    // Waypoints at or below the barrier point into freed territory (a freed
+    // sector's newest entry never outlives the post-visit barrier); drop
+    // them so no later seek can land on a reclaimed sector.
+    entry->PruneWaypoints(entry->history_barrier);
     if (need_checkpoint) {
       // Checkpoint, then re-walk once: with checkpoint_time now ahead of the
       // cutoff nothing is gated, so the deferred sectors free immediately.
@@ -133,9 +155,10 @@ Result<uint64_t> S4Drive::ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry
       entry = object_map_.Find(id);
       S4_CHECK(entry != nullptr);
       m_.cleaner_sectors_expired->Add(freed_sectors);
-      S4_ASSIGN_OR_RETURN(uint64_t more, ExpireObjectHistory(id, entry, cutoff));
+      S4_ASSIGN_OR_RETURN(uint64_t more, ExpireObjectHistory(id, entry, cutoff, sectors_read));
       return freed_sectors + more;
     }
+    UpdateExpiryIndex(id, entry);
   }
   m_.cleaner_sectors_expired->Add(freed_sectors);
   return freed_sectors;
@@ -166,39 +189,97 @@ Result<uint32_t> S4Drive::RunCleanerPass(uint32_t max_compactions, bool force_co
   SimTime cutoff =
       options_.versioning_enabled ? clock_->Now() - detection_window_ : clock_->Now();
 
-  // Phase 1: age-based expiry via the object map's oldest-time hints.
-  // Expiry is batched when space is plentiful: an object is visited only
-  // once a quarter-window of entries has expired, so frequently cleaned long
-  // chains (directories) are walked O(1) times per window instead of on
-  // every pass. Under space pressure the batching is dropped so every
-  // expirable byte is reclaimed. Reclamation is only ever lazier than the
-  // guarantee, never earlier.
+  // Phase 1: age-based expiry. Expiry is batched when space is plentiful: an
+  // object is visited only once a quarter-window of entries has expired, so
+  // frequently cleaned long chains (directories) are walked O(1) times per
+  // window instead of on every pass. Under space pressure the batching is
+  // dropped so every expirable byte is reclaimed. Reclamation is only ever
+  // lazier than the guarantee, never earlier.
   SimDuration slack =
       options_.versioning_enabled && !CleanerNeeded() ? detection_window_ / 4 : 0;
-  std::vector<ObjectId> candidates;
-  for (const auto& [id, entry] : object_map_.entries()) {
-    bool expirable = entry.oldest_time + slack <= cutoff ||
-                     (!entry.live() && entry.delete_time <= cutoff);
-    if (expirable && entry.journal_head != kNullAddr) {
-      candidates.push_back(id);
-    }
-  }
-  // Visit candidates in log order: objects written together have adjacent
-  // journal sectors, so the clustered reads of one walk feed the next.
-  std::sort(candidates.begin(), candidates.end(), [this](ObjectId a, ObjectId b) {
-    const ObjectMapEntry* ea = object_map_.Find(a);
-    const ObjectMapEntry* eb = object_map_.Find(b);
-    return ea->journal_head < eb->journal_head;
-  });
-  for (ObjectId id : candidates) {
-    ObjectMapEntry* entry = object_map_.Find(id);
-    if (entry != nullptr) {
-      auto freed = ExpireObjectHistory(id, entry, cutoff);
+  auto ripe = [&](const ObjectMapEntry& entry) {
+    return entry.oldest_time + slack <= cutoff ||
+           (!entry.live() && entry.delete_time <= cutoff);
+  };
+  uint64_t walk_sectors = 0;
+  if (options_.cleaner_incremental) {
+    // Incremental: pop candidates off the expiry index in oldest-first order
+    // instead of scanning the whole object map. The pop bound is the bare
+    // cutoff (not cutoff - slack) so dead objects whose delete aged out still
+    // surface; objects that are indexed-expirable but batched away by the
+    // slack go back in unchanged. A per-pass sector budget caps the walk
+    // cost; whatever is left stays queued for the next pass.
+    uint64_t budget = options_.cleaner_pass_sector_budget;
+    std::vector<std::pair<SimTime, ObjectId>> unripe;
+    while (!expiry_index_.empty() && expiry_index_.begin()->first <= cutoff) {
+      if (budget != 0 && walk_sectors >= budget) {
+        break;
+      }
+      auto [key, id] = *expiry_index_.begin();
+      expiry_index_.erase(expiry_index_.begin());
+      expiry_pos_.erase(id);
+      ObjectMapEntry* entry = object_map_.Find(id);
+      if (entry == nullptr || entry->journal_head == kNullAddr) {
+        continue;  // stale index residue; stays dropped
+      }
+      if (!ripe(*entry)) {
+        // Batched away (or the key aged ahead of the entry). Reinsert after
+        // the loop — putting it straight back would pop it again forever.
+        m_.cleaner_objects_skipped_unripe->Inc();
+        unripe.emplace_back(key, id);
+        continue;
+      }
+      auto freed = ExpireObjectHistory(id, entry, cutoff, &walk_sectors);
       if (!freed.ok()) {
+        for (const auto& [k, uid] : unripe) {
+          if (expiry_pos_.find(uid) == expiry_pos_.end()) {
+            expiry_pos_.emplace(uid, expiry_index_.emplace(k, uid));
+          }
+        }
         return freed.status();
       }
     }
+    for (const auto& [k, uid] : unripe) {
+      if (expiry_pos_.find(uid) == expiry_pos_.end()) {
+        expiry_pos_.emplace(uid, expiry_index_.emplace(k, uid));
+      }
+    }
+    // Candidates deferred by the budget (still indexed at or below the
+    // cutoff, beyond the unripe ones just reinserted).
+    uint64_t ready = 0;
+    for (auto it = expiry_index_.begin();
+         it != expiry_index_.end() && it->first <= cutoff; ++it) {
+      ++ready;
+    }
+    if (ready > static_cast<uint64_t>(unripe.size())) {
+      m_.cleaner_objects_skipped_budget->Add(ready - unripe.size());
+    }
+  } else {
+    // Full scan (the pre-index behaviour; kept as the bench baseline).
+    std::vector<ObjectId> candidates;
+    for (const auto& [id, entry] : object_map_.entries()) {
+      if (ripe(entry) && entry.journal_head != kNullAddr) {
+        candidates.push_back(id);
+      }
+    }
+    // Visit candidates in log order: objects written together have adjacent
+    // journal sectors, so the clustered reads of one walk feed the next.
+    std::sort(candidates.begin(), candidates.end(), [this](ObjectId a, ObjectId b) {
+      const ObjectMapEntry* ea = object_map_.Find(a);
+      const ObjectMapEntry* eb = object_map_.Find(b);
+      return ea->journal_head < eb->journal_head;
+    });
+    for (ObjectId id : candidates) {
+      ObjectMapEntry* entry = object_map_.Find(id);
+      if (entry != nullptr) {
+        auto freed = ExpireObjectHistory(id, entry, cutoff, &walk_sectors);
+        if (!freed.ok()) {
+          return freed.status();
+        }
+      }
+    }
   }
+  m_.cleaner_walk_sectors->Add(walk_sectors);
 
   // Phase 2: compaction of fragmented segments when space is low.
   uint32_t compacted = 0;

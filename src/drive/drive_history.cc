@@ -8,6 +8,9 @@
 
 namespace s4 {
 
+// Defined in s4_drive.cc; the forward-replay reconstruction path reuses it.
+void ApplyEntryForward(Inode* inode, bool* exists, const JournalEntry& e);
+
 DiskAddr S4Drive::VersionView::BlockAt(uint64_t index) const {
   auto it = overlay.find(index);
   if (it != overlay.end()) {
@@ -16,51 +19,69 @@ DiskAddr S4Drive::VersionView::BlockAt(uint64_t index) const {
   return base->inode.BlockAddr(index);
 }
 
-Status S4Drive::WalkJournal(ObjectId id, const CachedObject* obj,
+Status S4Drive::WalkJournal(ObjectId id, const CachedObject* obj, std::optional<SimTime> start_at,
                             const std::function<Result<bool>(const JournalEntry&)>& fn) {
   const ObjectMapEntry* entry = object_map_.Find(id);
   if (entry == nullptr) {
     return Status::NotFound("no such object");
   }
   SimTime barrier = entry->history_barrier;
+  uint64_t visited = 0;
 
-  // Newest first: in-memory pending entries...
-  if (obj != nullptr) {
-    for (auto it = obj->pending.rbegin(); it != obj->pending.rend(); ++it) {
-      if (it->time <= barrier) {
-        return Status::Ok();
-      }
-      S4_ASSIGN_OR_RETURN(bool keep_going, fn(*it));
-      if (!keep_going) {
-        return Status::Ok();
-      }
-    }
-  }
-  // ...then the on-disk backward chain.
-  DiskAddr addr = entry->journal_head;
-  while (addr != kNullAddr) {
-    S4_ASSIGN_OR_RETURN(Bytes raw, ReadRecord(addr, 1));
-    auto sector = JournalSector::Decode(raw);
-    if (!sector.ok() || sector->object_id != id) {
-      // The chain crossed into reclaimed space; everything older is gone.
-      return Status::Ok();
-    }
-    for (auto it = sector->entries.rbegin(); it != sector->entries.rend(); ++it) {
-      if (it->time <= barrier) {
-        return Status::Ok();
-      }
-      S4_ASSIGN_OR_RETURN(bool keep_going, fn(*it));
-      if (!keep_going) {
-        return Status::Ok();
+  auto walk = [&]() -> Status {
+    // Newest first: in-memory pending entries...
+    if (obj != nullptr) {
+      for (auto it = obj->pending.rbegin(); it != obj->pending.rend(); ++it) {
+        if (it->time <= barrier) {
+          return Status::Ok();
+        }
+        S4_ASSIGN_OR_RETURN(bool keep_going, fn(*it));
+        if (!keep_going) {
+          return Status::Ok();
+        }
       }
     }
-    // Never follow the chain past fully expired territory.
-    if (!sector->entries.empty() && sector->entries.front().time <= barrier) {
-      return Status::Ok();
+    // ...then the on-disk backward chain. A time bound lets the walk seek:
+    // the oldest waypoint *above* `start_at` marks the newest sector that can
+    // matter — every sector newer than it holds only entries newer than the
+    // bound (the chain is strictly time-ordered), so they are skipped
+    // wholesale. Callers passing `start_at` must not need entries above it.
+    DiskAddr addr = entry->journal_head;
+    if (start_at.has_value() && addr != kNullAddr) {
+      if (const JournalWaypoint* w = entry->SeekWaypointAbove(*start_at);
+          w != nullptr && w->addr != addr) {
+        addr = w->addr;
+        m_.history_waypoint_seeks->Inc();
+      }
     }
-    addr = sector->prev;
-  }
-  return Status::Ok();
+    while (addr != kNullAddr) {
+      S4_ASSIGN_OR_RETURN(std::shared_ptr<const JournalSector> sector,
+                          ReadJournalSector(addr, &visited));
+      if (sector == nullptr || sector->object_id != id) {
+        // The chain crossed into reclaimed space; everything older is gone.
+        return Status::Ok();
+      }
+      for (auto it = sector->entries.rbegin(); it != sector->entries.rend(); ++it) {
+        if (it->time <= barrier) {
+          return Status::Ok();
+        }
+        S4_ASSIGN_OR_RETURN(bool keep_going, fn(*it));
+        if (!keep_going) {
+          return Status::Ok();
+        }
+      }
+      // Never follow the chain past fully expired territory.
+      if (!sector->entries.empty() && sector->entries.front().time <= barrier) {
+        return Status::Ok();
+      }
+      addr = sector->prev;
+    }
+    return Status::Ok();
+  };
+  Status result = walk();
+  m_.history_walk_sectors->Add(visited);
+  m_.walk_sectors->Record(static_cast<int64_t>(visited));
+  return result;
 }
 
 bool S4Drive::IsPurged(ObjectId id, SimTime t) const {
@@ -74,6 +95,46 @@ bool S4Drive::IsPurged(ObjectId id, SimTime t) const {
     }
   }
   return false;
+}
+
+// One step of backward reconstruction: undoes `e` (a mutation newer than
+// `at`) on the view, or — once the walk reaches the first entry at or before
+// `at` — stamps the version's modify time and stops. Entries inside an
+// administratively purged range have had their old data destroyed; affected
+// blocks get the sentinel so reads fail loudly instead of returning reused
+// disk contents.
+Result<bool> S4Drive::ApplyEntryUndo(ObjectId id, const JournalEntry& e, SimTime at,
+                                     VersionView* view) {
+  if (e.time <= at) {
+    view->modify_time = e.time;
+    return false;
+  }
+  bool purged = IsPurged(id, e.time);
+  switch (e.type) {
+    case JournalEntryType::kWrite:
+    case JournalEntryType::kTruncate:
+      view->size = e.old_size;
+      for (const auto& d : e.blocks) {
+        view->overlay[d.block_index] =
+            purged && d.old_addr != kNullAddr ? kPurgedAddr : d.old_addr;
+      }
+      break;
+    case JournalEntryType::kSetAttr:
+      view->opaque = e.old_blob;
+      break;
+    case JournalEntryType::kSetAcl: {
+      Decoder dec(e.old_blob);
+      S4_ASSIGN_OR_RETURN(view->acl, DecodeAcl(&dec));
+      break;
+    }
+    case JournalEntryType::kCreate:
+      view->existed = false;
+      return false;
+    case JournalEntryType::kDelete:
+    case JournalEntryType::kCheckpoint:
+      break;
+  }
+  return true;
 }
 
 Result<S4Drive::VersionView> S4Drive::ReconstructVersion(ObjectId id, SimTime at) {
@@ -97,52 +158,81 @@ Result<S4Drive::VersionView> S4Drive::ReconstructVersion(ObjectId id, SimTime at
   VersionView view;
   view.existed = true;
   view.base = obj;
-  view.size = obj->inode.attrs.size;
-  view.opaque = obj->inode.attrs.opaque;
-  view.acl = obj->inode.acl;
   view.create_time = entry->create_time;
   view.modify_time = entry->create_time;
 
-  // Undo every mutation newer than `at`, newest first. Entries inside an
-  // administratively purged range have had their old data destroyed; mark
-  // affected blocks with the sentinel so reads fail loudly instead of
-  // returning reused disk contents.
-  Status walk = WalkJournal(id, obj.get(), [&](const JournalEntry& e) -> Result<bool> {
-    if (e.time <= at) {
-      view.modify_time = e.time;
-      return false;
-    }
-    bool purged = IsPurged(id, e.time);
-    switch (e.type) {
-      case JournalEntryType::kWrite:
-      case JournalEntryType::kTruncate:
-        view.size = e.old_size;
-        for (const auto& d : e.blocks) {
-          view.overlay[d.block_index] =
-              purged && d.old_addr != kNullAddr ? kPurgedAddr : d.old_addr;
-        }
-        break;
-      case JournalEntryType::kSetAttr:
-        view.opaque = e.old_blob;
-        break;
-      case JournalEntryType::kSetAcl: {
-        Decoder dec(e.old_blob);
-        S4_ASSIGN_OR_RETURN(view.acl, DecodeAcl(&dec));
-        break;
+  // Two ways to build the version, costed by the waypoint index. Backward
+  // undo starts from the current state and must visit every entry *newer*
+  // than `at` — O(distance from the present). Forward replay starts from the
+  // create entry and visits every entry *at or below* `at` — O(distance from
+  // creation) thanks to the waypoint seek — but is only sound when the whole
+  // chain back to the create entry is intact (nothing expired) and no
+  // administrative purge has destroyed data the replayed addresses reference
+  // (purge knowledge hangs off the *superseding* entries, which forward
+  // replay never visits).
+  size_t below = entry->WaypointsAtOrBelow(at);
+  size_t above = entry->waypoints.size() - below;
+  bool forward_ok = options_.waypoint_interval_sectors > 0 && below < above &&
+                    entry->history_barrier < entry->create_time &&
+                    purged_.find(id) == purged_.end();
+  if (forward_ok) {
+    m_.history_forward_walks->Inc();
+    std::vector<JournalEntry> replay;
+    Status walk = WalkJournal(id, obj.get(), at, [&](const JournalEntry& e) -> Result<bool> {
+      if (e.time <= at) {
+        replay.push_back(e);
       }
-      case JournalEntryType::kCreate:
-        view.existed = false;
-        return false;
-      case JournalEntryType::kDelete:
-      case JournalEntryType::kCheckpoint:
-        break;
+      return true;
+    });
+    S4_RETURN_IF_ERROR(walk);
+    std::reverse(replay.begin(), replay.end());  // walk order is newest-first
+    Inode past;
+    past.id = id;
+    bool existed = false;
+    SimTime modify = entry->create_time;
+    for (const JournalEntry& e : replay) {
+      ApplyEntryForward(&past, &existed, e);
+      modify = e.time;
     }
-    return true;
-  });
+    if (!existed) {
+      return Status::NotFound("object did not exist at that time");
+    }
+    view.size = past.attrs.size;
+    view.opaque = past.attrs.opaque;
+    view.acl = past.acl;
+    view.modify_time = modify;
+    // The overlay must fully shadow the current state: any current block the
+    // replayed inode does not have was a hole (or not yet written) at `at`.
+    for (const auto& [index, addr] : obj->inode.blocks) {
+      (void)addr;
+      view.overlay[index] = kNullAddr;
+    }
+    for (const auto& [index, addr] : past.blocks) {
+      view.overlay[index] = addr;
+    }
+    return view;
+  }
+
+  view.size = obj->inode.attrs.size;
+  view.opaque = obj->inode.attrs.opaque;
+  view.acl = obj->inode.acl;
+  // Undo every mutation newer than `at`, newest first. No `start_at` bound:
+  // the undo direction needs exactly the entries a bound would skip.
+  Status walk = WalkJournal(id, obj.get(), std::nullopt,
+                            [&](const JournalEntry& e) -> Result<bool> {
+                              return ApplyEntryUndo(id, e, at, &view);
+                            });
   S4_RETURN_IF_ERROR(walk);
   if (!view.existed) {
     return Status::NotFound("object did not exist at that time");
   }
+  return view;
+}
+
+Result<S4Drive::VersionView> S4Drive::ReconstructForAccess(OpContext& ctx, ObjectId id,
+                                                           SimTime at) {
+  S4_ASSIGN_OR_RETURN(VersionView view, ReconstructVersion(id, at));
+  S4_RETURN_IF_ERROR(CheckHistoryAccess(view.acl, ctx.creds));
   return view;
 }
 
@@ -196,12 +286,14 @@ Result<std::vector<VersionInfo>> S4Drive::GetVersionList(OpContext& ctx, ObjectI
     S4_RETURN_IF_ERROR(CheckHistoryAccess(obj->inode.acl, ctx.creds));
     m_.history_walks->Inc();
     std::vector<VersionInfo> versions;
-    Status walk = WalkJournal(id, obj.get(), [&](const JournalEntry& e) -> Result<bool> {
-      if (e.type != JournalEntryType::kCheckpoint) {
-        versions.push_back(VersionInfo{e.time, e.type});
-      }
-      return true;
-    });
+    // No time bound: the list spans the whole reconstructible history.
+    Status walk = WalkJournal(id, obj.get(), std::nullopt,
+                              [&](const JournalEntry& e) -> Result<bool> {
+                                if (e.type != JournalEntryType::kCheckpoint) {
+                                  versions.push_back(VersionInfo{e.time, e.type});
+                                }
+                                return true;
+                              });
     S4_RETURN_IF_ERROR(walk);
     std::reverse(versions.begin(), versions.end());
     args.length = versions.size();
@@ -225,7 +317,9 @@ Status S4Drive::PurgeObjectVersions(ObjectId id, SimTime from, SimTime to) {
   }
   bool versioned = ObjectIsVersioned(id);
   uint64_t purged_count = 0;
-  Status walk = WalkJournal(id, obj.get(), [&](const JournalEntry& e) -> Result<bool> {
+  // Bound the walk at `to`: entries newer than the purged range are skipped
+  // by the waypoint seek instead of being read and ignored.
+  Status walk = WalkJournal(id, obj.get(), to, [&](const JournalEntry& e) -> Result<bool> {
     if (e.time <= from) {
       return false;
     }

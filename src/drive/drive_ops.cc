@@ -38,7 +38,7 @@ Result<ObjectId> S4Drive::Create(OpContext& ctx, Bytes opaque_attrs) {
     ObjectMapEntry entry;
     entry.create_time = now;
     entry.oldest_time = now;
-    object_map_.Put(id, entry);
+    UpdateExpiryIndex(id, &object_map_.Put(id, entry));
 
     auto obj = std::make_shared<CachedObject>();
     obj->inode.id = id;
@@ -257,8 +257,7 @@ Result<Bytes> S4Drive::Read(OpContext& ctx, ObjectId id, uint64_t offset, uint64
       if (!options_.versioning_enabled) {
         return Status::Unimplemented("versioning disabled");
       }
-      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructVersion(id, *at));
-      S4_RETURN_IF_ERROR(CheckHistoryAccess(view.acl, ctx.creds));
+      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructForAccess(ctx, id, *at));
       return ReadVersionBytes(view, offset, length);
     }
     S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
@@ -385,6 +384,7 @@ Status S4Drive::Delete(OpContext& ctx, ObjectId id) {
       SupersedeBlock(id, addr);
     }
     entry->delete_time = now;
+    UpdateExpiryIndex(id, entry);
     obj->exists = false;
     obj->dirty = false;
     return Status::Ok();
@@ -405,8 +405,7 @@ Result<ObjectAttrs> S4Drive::GetAttr(OpContext& ctx, ObjectId id, std::optional<
       if (!options_.versioning_enabled) {
         return Status::Unimplemented("versioning disabled");
       }
-      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructVersion(id, *at));
-      S4_RETURN_IF_ERROR(CheckHistoryAccess(view.acl, ctx.creds));
+      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructForAccess(ctx, id, *at));
       ObjectAttrs attrs;
       attrs.size = view.size;
       attrs.create_time = view.create_time;
@@ -479,8 +478,7 @@ Result<AclEntry> S4Drive::GetAclByUser(OpContext& ctx, ObjectId id, UserId user,
       return Status::NotFound("no acl entry for user");
     };
     if (at.has_value()) {
-      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructVersion(id, *at));
-      S4_RETURN_IF_ERROR(CheckHistoryAccess(view.acl, ctx.creds));
+      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructForAccess(ctx, id, *at));
       return find(view.acl);
     }
     S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
@@ -509,8 +507,7 @@ Result<AclEntry> S4Drive::GetAclByIndex(OpContext& ctx, ObjectId id, uint32_t in
       return acl[index];
     };
     if (at.has_value()) {
-      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructVersion(id, *at));
-      S4_RETURN_IF_ERROR(CheckHistoryAccess(view.acl, ctx.creds));
+      S4_ASSIGN_OR_RETURN(VersionView view, ReconstructForAccess(ctx, id, *at));
       return pick(view.acl);
     }
     S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));

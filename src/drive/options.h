@@ -46,6 +46,27 @@ struct S4DriveOptions {
   // --- Administrative access (section 3.5) ---
   uint64_t admin_key = 0xA11ACCE55ull;
 
+  // --- History access (version waypoints + journal-sector cache) ---
+  // A (time -> sector) waypoint is recorded every this many journal sectors
+  // of an object's chain, giving time-bounded walks and deep back-in-time
+  // reads a seek target instead of an O(chain) scan from the head. 0 disables
+  // waypoints (the pre-indexed behaviour; used as the bench baseline).
+  uint32_t waypoint_interval_sectors = 8;
+  // Dedicated LRU of *decoded* journal sectors, so repeated chain walks
+  // (cleaner, version lists, reconstruction) skip the re-read + re-decode.
+  // 0 disables the cache.
+  uint64_t jsector_cache_bytes = 2ull << 20;
+
+  // --- Cleaner pacing ---
+  // Incremental cleaning: candidate objects come from an expiry index ordered
+  // by oldest retained entry instead of a full object-map scan, and chain
+  // walks seek past unexpirable territory via waypoints. Disabling restores
+  // the full-scan, full-walk behaviour (the bench baseline).
+  bool cleaner_incremental = true;
+  // Journal sectors one cleaner pass may read while expiring history; objects
+  // left unvisited stay queued for the next pass. 0 = unlimited.
+  uint64_t cleaner_pass_sector_budget = 4096;
+
   // --- Costs / internals ---
   SimDuration cpu_per_op = 20;            // per-RPC firmware overhead (us)
   uint64_t journal_flush_entries = 64;    // pack pending entries at this count

@@ -104,6 +104,16 @@ void S4Drive::InitMetrics() {
   m_.throttle_rejects = metrics_.GetCounter("throttle.rejects");
   m_.versions_purged = metrics_.GetCounter("history.versions_purged");
   m_.history_walks = metrics_.GetCounter("history.reconstruction_walks");
+  m_.history_walk_sectors = metrics_.GetCounter("history.walk_sectors_read");
+  m_.history_waypoint_seeks = metrics_.GetCounter("history.waypoint_seeks");
+  m_.history_forward_walks = metrics_.GetCounter("history.forward_reconstructions");
+  m_.jsector_cache_hits = metrics_.GetCounter("cache.jsector.hits");
+  m_.jsector_cache_misses = metrics_.GetCounter("cache.jsector.misses");
+  m_.cleaner_walk_sectors = metrics_.GetCounter("cleaner.walk_sectors_read");
+  m_.cleaner_objects_visited = metrics_.GetCounter("cleaner.objects_visited");
+  m_.cleaner_objects_skipped_unripe = metrics_.GetCounter("cleaner.objects_skipped_unripe");
+  m_.cleaner_objects_skipped_budget = metrics_.GetCounter("cleaner.objects_skipped_budget");
+  m_.walk_sectors = metrics_.GetHistogram("history.walk_sectors");
   for (int op = 0; op <= kMaxRpcOp; ++op) {
     m_.op_latency[op] = metrics_.GetHistogram(
         std::string("drive.op.") + RpcOpName(static_cast<RpcOp>(op)) + ".latency");
@@ -230,8 +240,13 @@ Status S4Drive::DoFormat() {
       eviction_error_ = s;
     }
   });
+  if (options_.jsector_cache_bytes > 0) {
+    jsector_cache_ = std::make_unique<LruCache<DiskAddr, std::shared_ptr<const JournalSector>>>(
+        options_.jsector_cache_bytes);
+  }
 
   S4_RETURN_IF_ERROR(InitReservedObjects());
+  RebuildExpiryIndex();
   return WriteCheckpoint();
 }
 
@@ -439,9 +454,15 @@ Status S4Drive::DoMount() {
       eviction_error_ = s;
     }
   });
+  if (options_.jsector_cache_bytes > 0) {
+    jsector_cache_ = std::make_unique<LruCache<DiskAddr, std::shared_ptr<const JournalSector>>>(
+        options_.jsector_cache_bytes);
+  }
   writer_ = std::make_unique<SegmentWriter>(device_, &sb_, sut_.get(), clock_, checkpoint_seq_);
 
-  return RollForward(checkpoint_seq_);
+  S4_RETURN_IF_ERROR(RollForward(checkpoint_seq_));
+  RebuildExpiryIndex();
+  return Status::Ok();
 }
 
 Status S4Drive::RollForward(uint64_t checkpoint_seq) {
@@ -643,6 +664,14 @@ Status S4Drive::RollForward(uint64_t checkpoint_seq) {
         ApplyEntryForward(&obj->inode, &obj->exists, e);
       }
       entry->journal_head = rec.addr;
+      // Rebuild the waypoint cadence exactly as FlushObjectJournal laid it
+      // down: sectors_since_waypoint was checkpointed, and post-checkpoint
+      // sectors are re-noted here in append order, so recovery converges on
+      // the same waypoints the crashed drive had (modulo never-flushed ones).
+      if (!sector.entries.empty()) {
+        entry->NoteJournalSector(sector.entries.back().time, rec.addr,
+                                 options_.waypoint_interval_sectors);
+      }
     }
   }
 
@@ -754,6 +783,32 @@ Result<Bytes> S4Drive::ReadRecord(DiskAddr addr, uint32_t sectors) {
   return out;
 }
 
+Result<std::shared_ptr<const JournalSector>> S4Drive::ReadJournalSector(
+    DiskAddr addr, uint64_t* sectors_visited) {
+  if (sectors_visited != nullptr) {
+    ++*sectors_visited;
+  }
+  if (jsector_cache_ != nullptr) {
+    if (auto* cached = jsector_cache_->Get(addr); cached != nullptr) {
+      m_.jsector_cache_hits->Inc();
+      return *cached;
+    }
+    m_.jsector_cache_misses->Inc();
+  }
+  S4_ASSIGN_OR_RETURN(Bytes raw, ReadRecord(addr, 1));
+  auto decoded = JournalSector::Decode(raw);
+  if (!decoded.ok()) {
+    // Not an error to the walker: the chain crossed into reclaimed (possibly
+    // reused) territory. Device read failures above DID propagate.
+    return std::shared_ptr<const JournalSector>();
+  }
+  auto sector = std::make_shared<const JournalSector>(*std::move(decoded));
+  if (jsector_cache_ != nullptr) {
+    jsector_cache_->Put(addr, sector, kSectorSize);
+  }
+  return sector;
+}
+
 Result<S4Drive::ObjectHandle> S4Drive::LoadObject(ObjectId id) {
   if (ObjectHandle* cached = object_cache_->Get(id); cached != nullptr) {
     return *cached;
@@ -836,10 +891,21 @@ Status S4Drive::FlushObjectJournal(ObjectId id, CachedObject* obj) {
     S4_ASSIGN_OR_RETURN(DiskAddr addr,
                         writer_->Append(RecordKind::kJournal, id, 0, encoded, actx_));
     block_cache_->Insert(addr, encoded);
+    if (!sector.entries.empty()) {
+      entry->NoteJournalSector(sector.entries.back().time, addr,
+                               options_.waypoint_interval_sectors);
+    }
+    if (jsector_cache_ != nullptr) {
+      // Warm-insert the decoded form: history walks over recent sectors (the
+      // common diagnosis case) then skip both the read and the decode.
+      jsector_cache_->Put(addr, std::make_shared<const JournalSector>(sector), kSectorSize);
+    }
     head = addr;
     m_.journal_sectors_written->Inc();
   }
   entry->journal_head = head;
+  // The object now has an on-disk chain, which makes it an expiry candidate.
+  UpdateExpiryIndex(id, entry);
   obj->pending.clear();
   pending_dirty_.erase(id);
   return Status::Ok();
@@ -973,6 +1039,110 @@ uint64_t S4Drive::HistoryPoolBytes() const {
 }
 
 uint64_t S4Drive::LiveBytes() const { return sut_->LiveSectorsTotal() * kSectorSize; }
+
+// ---------------------------------------------------------------------------
+// Cleaner expiry index and waypoint introspection
+// ---------------------------------------------------------------------------
+
+void S4Drive::UpdateExpiryIndex(ObjectId id, const ObjectMapEntry* entry) {
+  auto pos = expiry_pos_.find(id);
+  // Only objects with an on-disk chain (or a pending full expiry after
+  // delete) can yield reclaimable history. Everything else stays out of the
+  // index. The key errs small, never large: a stale-small key costs one
+  // wasted pop, while an object missing from the index would never be
+  // cleaned.
+  bool wanted = entry != nullptr && (entry->journal_head != kNullAddr || !entry->live());
+  if (!wanted) {
+    if (pos != expiry_pos_.end()) {
+      expiry_index_.erase(pos->second);
+      expiry_pos_.erase(pos);
+    }
+    return;
+  }
+  SimTime key = entry->oldest_time;
+  if (pos != expiry_pos_.end()) {
+    if (pos->second->first == key) {
+      return;
+    }
+    expiry_index_.erase(pos->second);
+    expiry_pos_.erase(pos);
+  }
+  expiry_pos_.emplace(id, expiry_index_.emplace(key, id));
+}
+
+void S4Drive::RebuildExpiryIndex() {
+  expiry_index_.clear();
+  expiry_pos_.clear();
+  for (const auto& [id, entry] : object_map_.entries()) {
+    UpdateExpiryIndex(id, &entry);
+  }
+}
+
+std::optional<ObjectMapEntry> S4Drive::DebugObjectEntry(ObjectId id) const {
+  const ObjectMapEntry* e = object_map_.Find(id);
+  if (e == nullptr) {
+    return std::nullopt;
+  }
+  return *e;
+}
+
+Status S4Drive::VerifyObjectWaypoints(ObjectId id) {
+  const ObjectMapEntry* entry = object_map_.Find(id);
+  if (entry == nullptr) {
+    return Status::NotFound("no such object");
+  }
+  SimTime prev_time = entry->history_barrier;
+  for (const JournalWaypoint& w : entry->waypoints) {
+    if (w.time <= prev_time) {
+      return Status::DataCorruption("waypoint times must ascend strictly above the barrier");
+    }
+    prev_time = w.time;
+  }
+  if (entry->waypoints.empty()) {
+    return Status::Ok();
+  }
+  if (entry->journal_head == kNullAddr) {
+    return Status::DataCorruption("waypoints without a journal chain");
+  }
+  // Walk the on-disk chain newest-to-oldest; waypoints (kept oldest-first)
+  // must appear in back-to-front order, each at its recorded address with its
+  // recorded newest-entry time.
+  size_t next = entry->waypoints.size();
+  DiskAddr addr = entry->journal_head;
+  while (addr != kNullAddr && next > 0) {
+    S4_ASSIGN_OR_RETURN(std::shared_ptr<const JournalSector> sector,
+                        ReadJournalSector(addr, nullptr));
+    if (sector == nullptr || sector->object_id != id) {
+      break;
+    }
+    if (!sector->entries.empty() && sector->entries.back().time <= entry->history_barrier) {
+      break;
+    }
+    const JournalWaypoint& w = entry->waypoints[next - 1];
+    if (addr == w.addr) {
+      if (sector->entries.empty() || sector->entries.back().time != w.time) {
+        return Status::DataCorruption("waypoint time does not match its sector");
+      }
+      --next;
+    }
+    if (!sector->entries.empty() && sector->entries.front().time <= entry->history_barrier) {
+      break;
+    }
+    addr = sector->prev;
+  }
+  if (next > 0) {
+    return Status::DataCorruption("waypoint sector not reachable from journal_head");
+  }
+  return Status::Ok();
+}
+
+Status S4Drive::VerifyAllWaypoints() {
+  for (const auto& [id, entry] : object_map_.entries()) {
+    (void)entry;
+    S4_RETURN_IF_ERROR(VerifyObjectWaypoints(id));
+  }
+  return Status::Ok();
+}
 
 Status S4Drive::Unmount() {
   object_cache_->Clear();

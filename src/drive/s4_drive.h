@@ -204,6 +204,14 @@ class S4Drive {
   const S4DriveOptions& options() const { return options_; }
   // The next ObjectId this drive would assign (mirror-rebuild coordination).
   ObjectId PeekNextObjectId() const { return object_map_.PeekNextId(); }
+  // Copy of the object-map entry for `id` (test/diagnosis introspection).
+  std::optional<ObjectMapEntry> DebugObjectEntry(ObjectId id) const;
+  // Verifies the waypoint invariants of one object / of every object: times
+  // strictly ascending and above the history barrier, and every waypoint
+  // address reachable by walking the on-disk chain from journal_head. Used by
+  // tests and the crash harness after recovery.
+  Status VerifyObjectWaypoints(ObjectId id);
+  Status VerifyAllWaypoints();
 
  private:
   // Time ranges whose versions were purged by Flush/FlushO.
@@ -324,6 +332,18 @@ class S4Drive {
     Counter* throttle_rejects = nullptr;
     Counter* versions_purged = nullptr;
     Counter* history_walks = nullptr;
+    // History-access fast path (version waypoints + journal-sector cache).
+    Counter* history_walk_sectors = nullptr;      // journal sectors decoded by walks
+    Counter* history_waypoint_seeks = nullptr;    // walks that skipped via a waypoint
+    Counter* history_forward_walks = nullptr;     // reconstructions replayed forward
+    Counter* jsector_cache_hits = nullptr;
+    Counter* jsector_cache_misses = nullptr;
+    // Incremental cleaner accounting.
+    Counter* cleaner_walk_sectors = nullptr;      // journal sectors read while expiring
+    Counter* cleaner_objects_visited = nullptr;
+    Counter* cleaner_objects_skipped_unripe = nullptr;  // popped but still in-window
+    Counter* cleaner_objects_skipped_budget = nullptr;  // deferred by sector budget
+    Histogram* walk_sectors = nullptr;  // per-walk journal sectors read
     // Per-op sim-time latency, indexed by RpcOp value (0 = kInvalid unused).
     Histogram* op_latency[kMaxRpcOp + 1] = {};
   };
@@ -375,19 +395,41 @@ class S4Drive {
   // --- history (drive_history.cc) ---
   // Reconstructs the object as it was at time `at`.
   Result<VersionView> ReconstructVersion(ObjectId id, SimTime at);
+  // ReconstructVersion + per-version ACL check: the shared shape of every
+  // time-based accessor (Read/GetAttr/GetAclByUser/GetAclByIndex).
+  Result<VersionView> ReconstructForAccess(OpContext& ctx, ObjectId id, SimTime at);
   // Walks the journal chain newest-to-oldest invoking fn(entry) until fn
-  // returns false or the history barrier is passed.
-  Status WalkJournal(ObjectId id, const CachedObject* obj,
+  // returns false or the history barrier is passed. When `start_at` is set
+  // the walk may skip (via waypoints) any sector whose entries are all newer
+  // than `start_at` — callers using it must not need entries above the bound.
+  Status WalkJournal(ObjectId id, const CachedObject* obj, std::optional<SimTime> start_at,
                      const std::function<Result<bool>(const JournalEntry&)>& fn);
+  // Reads + decodes one journal sector, through the decoded-sector cache when
+  // enabled. `sectors_visited` (if non-null) counts every fetch, cached or
+  // not — it measures walk length, not disk traffic. Returns null (ok) when
+  // the sector no longer decodes as a journal sector of any object: the chain
+  // crossed into reclaimed territory and the walker should stop. Device read
+  // errors still propagate as errors.
+  Result<std::shared_ptr<const JournalSector>> ReadJournalSector(DiskAddr addr,
+                                                                 uint64_t* sectors_visited);
+  // Applies one journal entry in *undo* direction onto `view` (walking newest
+  // to oldest). Returns false once entries at or before `at` are reached.
+  Result<bool> ApplyEntryUndo(ObjectId id, const JournalEntry& e, SimTime at, VersionView* view);
   Result<Bytes> ReadVersionBytes(const VersionView& view, uint64_t offset, uint64_t length);
   Status CheckHistoryAccess(const Acl& version_acl, const Credentials& creds) const;
   bool IsPurged(ObjectId id, SimTime t) const;
   Status PurgeObjectVersions(ObjectId id, SimTime from, SimTime to);
 
   // --- cleaner / throttle (drive_cleaner.cc) ---
-  Result<uint64_t> ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry, SimTime cutoff);
+  Result<uint64_t> ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry, SimTime cutoff,
+                                       uint64_t* sectors_read);
   Result<bool> CompactSegment(SegmentId seg);
   void NoteClientWrite(ClientId client, uint64_t bytes);
+  // Expiry index maintenance: (re)positions `id` in expiry_index_ keyed by its
+  // oldest retained entry time; `entry` may be null for an erased object.
+  void UpdateExpiryIndex(ObjectId id, const ObjectMapEntry* entry);
+  // Rebuilds the whole index from the object map (format/mount/roll-forward).
+  void RebuildExpiryIndex();
 
   BlockDevice* device_;
   SimClock* clock_;
@@ -409,6 +451,18 @@ class S4Drive {
   std::unique_ptr<BlockCache> block_cache_;
   std::unique_ptr<LruCache<ObjectId, ObjectHandle>> object_cache_;
   ObjectMap object_map_;
+  // Decoded-journal-sector cache: chain walks (history reads, version lists,
+  // cleaner) hit this before the buffer cache, skipping re-read + re-decode.
+  // Null when options_.jsector_cache_bytes == 0. Entries are invalidated when
+  // the cleaner frees the underlying sector.
+  std::unique_ptr<LruCache<DiskAddr, std::shared_ptr<const JournalSector>>> jsector_cache_;
+  // Incremental-cleaner expiry index: oldest retained entry time -> object.
+  // An object with reclaimable history always appears here with a key no
+  // larger than its true oldest time (too-small keys cost one wasted pop;
+  // a missing object would never be cleaned, so updates err small).
+  std::multimap<SimTime, ObjectId> expiry_index_;
+  // Reverse position map so UpdateExpiryIndex is O(log n), not a scan.
+  std::unordered_map<ObjectId, std::multimap<SimTime, ObjectId>::iterator> expiry_pos_;
   // Objects with unflushed pending journal entries (so Sync never scans the
   // whole object cache).
   std::unordered_set<ObjectId> pending_dirty_;

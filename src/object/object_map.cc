@@ -39,6 +39,12 @@ void ObjectMap::EncodeTo(Encoder* enc) const {
     enc->PutVarint(e.journal_head);
     enc->PutI64(e.history_barrier);
     enc->PutI64(e.oldest_time);
+    enc->PutVarint(e.waypoints.size());
+    for (const JournalWaypoint& w : e.waypoints) {
+      enc->PutI64(w.time);
+      enc->PutVarint(w.addr);
+    }
+    enc->PutVarint(e.sectors_since_waypoint);
   }
 }
 
@@ -58,6 +64,16 @@ Result<ObjectMap> ObjectMap::DecodeFrom(Decoder* dec) {
     S4_ASSIGN_OR_RETURN(e.journal_head, dec->Varint());
     S4_ASSIGN_OR_RETURN(e.history_barrier, dec->I64());
     S4_ASSIGN_OR_RETURN(e.oldest_time, dec->I64());
+    S4_ASSIGN_OR_RETURN(uint64_t nwp, dec->Varint());
+    e.waypoints.reserve(nwp);
+    for (uint64_t w = 0; w < nwp; ++w) {
+      JournalWaypoint wp;
+      S4_ASSIGN_OR_RETURN(wp.time, dec->I64());
+      S4_ASSIGN_OR_RETURN(wp.addr, dec->Varint());
+      e.waypoints.push_back(wp);
+    }
+    S4_ASSIGN_OR_RETURN(uint64_t ssw, dec->Varint());
+    e.sectors_since_waypoint = static_cast<uint32_t>(ssw);
     map.entries_[id] = e;
   }
   return map;

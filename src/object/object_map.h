@@ -16,6 +16,17 @@
 
 namespace s4 {
 
+// One point of the sparse back-in-time index kept per object: `addr` is a
+// journal sector of the object's backward chain and `time` is the newest
+// entry time inside that sector. A waypoint is appended every
+// `waypoint_interval_sectors` journal sectors at write time (and rebuilt the
+// same way by recovery roll-forward), so a time-bounded walk can seek close
+// to its target instead of wading through the whole chain from the head.
+struct JournalWaypoint {
+  SimTime time = 0;
+  DiskAddr addr = kNullAddr;
+};
+
 struct ObjectMapEntry {
   // Lifetime.
   SimTime create_time = 0;
@@ -41,7 +52,62 @@ struct ObjectMapEntry {
   // entry is inside the window.
   SimTime oldest_time = 0;
 
+  // Sparse (time -> journal sector) index, oldest first, times strictly
+  // ascending. Every waypoint satisfies time > history_barrier (entries at or
+  // below the barrier are reclaimed, so their waypoints are pruned with them)
+  // and points at a sector reachable from journal_head.
+  std::vector<JournalWaypoint> waypoints;
+  // Journal sectors appended since the last waypoint (persists across
+  // checkpoints so the cadence survives recovery).
+  uint32_t sectors_since_waypoint = 0;
+
   bool live() const { return delete_time == 0; }
+
+  // Waypoint cadence bookkeeping for one appended journal sector whose newest
+  // entry time is `newest_time`. `interval` == 0 disables waypoints.
+  void NoteJournalSector(SimTime newest_time, DiskAddr addr, uint32_t interval) {
+    if (interval == 0) {
+      return;
+    }
+    if (++sectors_since_waypoint >= interval) {
+      waypoints.push_back(JournalWaypoint{newest_time, addr});
+      sectors_since_waypoint = 0;
+    }
+  }
+
+  // Oldest waypoint whose time is strictly above `t`, or nullptr. Sectors
+  // newer than the returned waypoint's sector hold only entries newer than
+  // `t`, so a walk that needs nothing newer than `t` may start there.
+  const JournalWaypoint* SeekWaypointAbove(SimTime t) const {
+    for (const JournalWaypoint& w : waypoints) {
+      if (w.time > t) {
+        return &w;
+      }
+    }
+    return nullptr;
+  }
+
+  // Number of waypoints at or below `t` (cost estimator for choosing between
+  // forward and backward reconstruction).
+  size_t WaypointsAtOrBelow(SimTime t) const {
+    size_t n = 0;
+    while (n < waypoints.size() && waypoints[n].time <= t) {
+      ++n;
+    }
+    return n;
+  }
+
+  // Drops waypoints whose sectors the cleaner has reclaimed (every sector
+  // whose newest entry is at or below the barrier is freed territory).
+  void PruneWaypoints(SimTime barrier) {
+    size_t keep = 0;
+    while (keep < waypoints.size() && waypoints[keep].time <= barrier) {
+      ++keep;
+    }
+    if (keep > 0) {
+      waypoints.erase(waypoints.begin(), waypoints.begin() + keep);
+    }
+  }
 };
 
 class ObjectMap {

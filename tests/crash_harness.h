@@ -108,6 +108,12 @@ class CrashHarness {
     VerifySnapshots(run);
     VerifyVersionMonotonicity(run);
     VerifyAuditLog(run);
+
+    // Invariant 4: every version waypoint rebuilt by recovery points at a
+    // reachable, intact journal sector whose newest entry matches the
+    // waypoint time. A power cut mid-checkpoint or mid-chunk must never
+    // leave a waypoint referencing torn or unreachable territory.
+    EXPECT_OK(run.drive->VerifyAllWaypoints());
   }
 
  private:

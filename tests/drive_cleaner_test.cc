@@ -262,6 +262,151 @@ TEST_F(DriveTest, CompactionSurvivesCrash) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental cleaner: expiry index, pass budget, idempotence
+// ---------------------------------------------------------------------------
+
+TEST_F(DriveTest, CleanerPassOverCleanDriveReadsNothing) {
+  // After one pass has expired everything expirable, a second pass must be
+  // (near-)free: the expiry index holds no key at or below the cutoff, so no
+  // object is visited and no journal sector is read.
+  Credentials alice = User(100);
+  Rng rng(21);
+  for (int obj = 0; obj < 8; ++obj) {
+    ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+    for (int v = 0; v < 6; ++v) {
+      ASSERT_OK(drive_->Write(alice, id, 0, rng.RandomBytes(4 * 1024)));
+      clock_->Advance(kMinute);
+    }
+  }
+  ASSERT_OK(drive_->Sync(alice));
+  clock_->Advance(2 * kHour);
+  ASSERT_OK(drive_->RunCleanerPass(8).status());
+  EXPECT_EQ(drive_->HistoryPoolBytes(), 0u);
+
+  uint64_t read_before = drive_->metrics().CounterValue("cleaner.walk_sectors_read");
+  uint64_t visited_before = drive_->metrics().CounterValue("cleaner.objects_visited");
+  ASSERT_OK(drive_->RunCleanerPass(8).status());
+  EXPECT_EQ(drive_->metrics().CounterValue("cleaner.walk_sectors_read"), read_before);
+  EXPECT_EQ(drive_->metrics().CounterValue("cleaner.objects_visited"), visited_before);
+}
+
+TEST_F(DriveTest, CleanerIsIdempotentAfterDeferredCheckpointFrees) {
+  // Entries newer than the object's inode checkpoint gate their sectors; the
+  // end-of-visit checkpoint + re-walk must free them within the pass, leaving
+  // nothing for a second pass to redo on an unchanged drive.
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  Rng rng(22);
+  for (int v = 0; v < 10; ++v) {
+    ASSERT_OK(drive_->Write(alice, id, 0, rng.RandomBytes(8 * 1024)));
+    ASSERT_OK(drive_->Sync(alice));
+    clock_->Advance(kMinute);
+  }
+  clock_->Advance(2 * kHour);
+  ASSERT_OK_AND_ASSIGN(uint32_t first, drive_->RunCleanerPass(8));
+  (void)first;
+  EXPECT_EQ(drive_->HistoryPoolBytes(), 0u);
+  // The object is live and its chain fully reclaimed: it must have left the
+  // expiry index, so the second pass does not even visit it.
+  uint64_t visited_before = drive_->metrics().CounterValue("cleaner.objects_visited");
+  uint64_t expired_before = drive_->metrics().CounterValue("cleaner.sectors_expired");
+  ASSERT_OK(drive_->RunCleanerPass(8).status());
+  EXPECT_EQ(drive_->metrics().CounterValue("cleaner.objects_visited"), visited_before);
+  EXPECT_EQ(drive_->metrics().CounterValue("cleaner.sectors_expired"), expired_before);
+  // Current state intact throughout.
+  ASSERT_OK_AND_ASSIGN(ObjectAttrs attrs, drive_->GetAttr(alice, id));
+  EXPECT_EQ(attrs.size, 8 * 1024u);
+}
+
+TEST_F(DriveTest, SectorBudgetPacesThePassAndCarriesWorkOver) {
+  // A tiny per-pass budget must (a) stop the pass early, reporting the
+  // deferred candidates, and (b) still reclaim everything across repeated
+  // passes — pacing trades latency, never correctness.
+  SetUpDrive([] {
+    S4DriveOptions o = SmallOptions();
+    o.cleaner_pass_sector_budget = 4;
+    return o;
+  }(), 64ull << 20);
+  Credentials alice = User(100);
+  Rng rng(23);
+  for (int obj = 0; obj < 12; ++obj) {
+    ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+    for (int v = 0; v < 4; ++v) {
+      ASSERT_OK(drive_->Write(alice, id, 0, rng.RandomBytes(4 * 1024)));
+      ASSERT_OK(drive_->Sync(alice));
+      clock_->Advance(kMinute);
+    }
+  }
+  clock_->Advance(2 * kHour);
+  ASSERT_OK(drive_->RunCleanerPass(2).status());
+  EXPECT_GT(drive_->metrics().CounterValue("cleaner.objects_skipped_budget"), 0u);
+  EXPECT_GT(drive_->HistoryPoolBytes(), 0u) << "budget should have deferred some chains";
+  for (int pass = 0; pass < 64 && drive_->HistoryPoolBytes() > 0; ++pass) {
+    ASSERT_OK(drive_->RunCleanerPass(2).status());
+  }
+  EXPECT_EQ(drive_->HistoryPoolBytes(), 0u);
+}
+
+TEST_F(DriveTest, IncrementalAndFullScanCleanersAgree) {
+  // The expiry-index path and the full-scan path must reach the same end
+  // state on the same workload: same reclaimed pool, same surviving data.
+  auto run = [&](bool incremental) -> uint64_t {
+    SetUpDrive([&] {
+      S4DriveOptions o = SmallOptions();
+      o.cleaner_incremental = incremental;
+      return o;
+    }(), 64ull << 20);
+    Credentials alice = User(100);
+    Rng rng(24);  // same seed: identical workload
+    std::vector<ObjectId> ids;
+    for (int obj = 0; obj < 6; ++obj) {
+      auto created = drive_->Create(alice, {});
+      EXPECT_TRUE(created.ok());
+      ids.push_back(*created);
+      for (int v = 0; v < 5; ++v) {
+        EXPECT_OK(drive_->Write(alice, ids.back(), 0, rng.RandomBytes(6 * 1024)));
+        EXPECT_OK(drive_->Sync(alice));
+        clock_->Advance(kMinute);
+      }
+    }
+    EXPECT_OK(drive_->Delete(alice, ids[0]));
+    EXPECT_OK(drive_->Sync(alice));
+    clock_->Advance(2 * kHour);
+    EXPECT_OK(drive_->RunCleanerPass(8).status());
+    // Survivors readable, deleted object fully gone.
+    for (size_t i = 1; i < ids.size(); ++i) {
+      EXPECT_OK(drive_->GetAttr(alice, ids[i]).status());
+    }
+    EXPECT_EQ(drive_->GetAttr(alice, ids[0]).status().code(), ErrorCode::kNotFound);
+    return drive_->HistoryPoolBytes();
+  };
+  uint64_t incremental_pool = run(true);
+  uint64_t full_scan_pool = run(false);
+  EXPECT_EQ(incremental_pool, full_scan_pool);
+  EXPECT_EQ(incremental_pool, 0u);
+}
+
+TEST_F(DriveTest, ExpiryIndexSurvivesRemount) {
+  // The index is rebuilt from the object map on mount; history that aged out
+  // while the drive was down is still found and reclaimed.
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  Rng rng(25);
+  for (int v = 0; v < 8; ++v) {
+    ASSERT_OK(drive_->Write(alice, id, 0, rng.RandomBytes(8 * 1024)));
+    ASSERT_OK(drive_->Sync(alice));
+    clock_->Advance(kMinute);
+  }
+  EXPECT_GT(drive_->HistoryPoolBytes(), 0u);
+  CrashAndRemount();
+  clock_->Advance(2 * kHour);
+  ASSERT_OK(drive_->RunCleanerPass(8).status());
+  EXPECT_EQ(drive_->HistoryPoolBytes(), 0u);
+  ASSERT_OK_AND_ASSIGN(ObjectAttrs attrs, drive_->GetAttr(alice, id));
+  EXPECT_EQ(attrs.size, 8 * 1024u);
+}
+
 TEST_F(DriveTest, VersioningDisabledFreesImmediately) {
   SetUpDrive([] {
     S4DriveOptions o = SmallOptions();

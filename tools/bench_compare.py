@@ -82,6 +82,41 @@ def compare_one(name, base, cur, threshold):
             row(f"op.{op}.{pct_key}", get(base_ops, op, pct_key),
                 get(cur_ops, op, pct_key))
 
+    # Optional sections from the history/cleaner/recovery benches. Fail-soft:
+    # older baselines predate these sections, in which case the rows are
+    # simply omitted rather than reported as regressions.
+    def points_by(section, key, d):
+        pts = get(d, section, "points") or []
+        return {p.get(key): p for p in pts if isinstance(p, dict)}
+
+    if get(base, "history") or get(cur, "history"):
+        bpts = points_by("history", "depth", base)
+        cpts = points_by("history", "depth", cur)
+        for depth in sorted(set(bpts) | set(cpts)):
+            row(f"history.depth{depth}.walk_sectors",
+                get(bpts.get(depth, {}), "walk_sectors_waypoints"),
+                get(cpts.get(depth, {}), "walk_sectors_waypoints"))
+            row(f"history.depth{depth}.ratio",
+                get(bpts.get(depth, {}), "ratio"),
+                get(cpts.get(depth, {}), "ratio"), invert=True)
+
+    if get(base, "cleaner", "steady_state") or get(cur, "cleaner", "steady_state"):
+        row("cleaner.steady.walk_sectors",
+            get(base, "cleaner", "steady_state", "walk_sectors_incremental"),
+            get(cur, "cleaner", "steady_state", "walk_sectors_incremental"))
+        row("cleaner.steady.ratio",
+            get(base, "cleaner", "steady_state", "ratio"),
+            get(cur, "cleaner", "steady_state", "ratio"), invert=True)
+
+    if get(base, "recovery") or get(cur, "recovery"):
+        bpts = points_by("recovery", "journal_mb", base)
+        cpts = points_by("recovery", "journal_mb", cur)
+        for mb in sorted(set(bpts) | set(cpts)):
+            row(f"recovery.{mb}mb.disk_ms", get(bpts.get(mb, {}), "disk_ms"),
+                get(cpts.get(mb, {}), "disk_ms"))
+            row(f"recovery.{mb}mb.reads", get(bpts.get(mb, {}), "reads"),
+                get(cpts.get(mb, {}), "reads"))
+
     print(f"\n== {name} ==")
     any_flag = False
     for label, text, flagged in rows:
