@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "src/fs/s4_fs.h"
+#include "src/util/check.h"
 #include "src/recovery/diagnosis.h"
 #include "src/recovery/history_browser.h"
 #include "src/rpc/client.h"
@@ -35,10 +36,10 @@ int main() {
   // --- Normal operation -----------------------------------------------
   FileHandle logdir = MakeDirs(fs.get(), "/var/log").value();
   FileHandle authlog = fs->CreateFile(logdir, "auth.log", 0644).value();
-  fs->WriteFile(authlog, 0, BytesOf("09:00 sshd: session opened for alice\n"));
+  S4_CHECK_OK(fs->WriteFile(authlog, 0, BytesOf("09:00 sshd: session opened for alice\n")));
   FileHandle bindir = MakeDirs(fs.get(), "/usr/bin").value();
   FileHandle sshd = fs->CreateFile(bindir, "sshd", 0755).value();
-  fs->WriteFile(sshd, 0, BytesOf("ELF..genuine sshd binary.."));
+  S4_CHECK_OK(fs->WriteFile(sshd, 0, BytesOf("ELF..genuine sshd binary..")));
   clock.Advance(kHour);
   SimTime pre_intrusion = clock.Now();
   std::printf("[t=%6llds] system healthy; baseline recorded\n",
@@ -53,25 +54,25 @@ int main() {
 
   // 1. Append incriminating activity, then scrub the log.
   FileHandle e_log = ResolvePath(evil_fs.get(), "/var/log/auth.log").value();
-  evil_fs->WriteFile(e_log, 37, BytesOf("10:01 sshd: ROOT LOGIN from evil.example\n"));
+  S4_CHECK_OK(evil_fs->WriteFile(e_log, 37, BytesOf("10:01 sshd: ROOT LOGIN from evil.example\n")));
   SimTime incriminating = clock.Now();
   clock.Advance(30 * kSecond);
-  evil_fs->SetSize(e_log, 0);
-  evil_fs->WriteFile(e_log, 0, BytesOf("09:00 sshd: session opened for alice\n"));
+  S4_CHECK_OK(evil_fs->SetSize(e_log, 0));
+  S4_CHECK_OK(evil_fs->WriteFile(e_log, 0, BytesOf("09:00 sshd: session opened for alice\n")));
   std::printf("[t=%6llds] intruder scrubbed /var/log/auth.log\n",
               static_cast<long long>(clock.Now() / kSecond));
 
   // 2. Replace a system binary with a trojaned copy.
   FileHandle e_sshd = ResolvePath(evil_fs.get(), "/usr/bin/sshd").value();
-  evil_fs->WriteFile(e_sshd, 0, BytesOf("ELF..sshd WITH BACKDOOR.."));
+  S4_CHECK_OK(evil_fs->WriteFile(e_sshd, 0, BytesOf("ELF..sshd WITH BACKDOOR..")));
 
   // 3. Stage an exploit tool, use it, delete it.
   FileHandle tmp = MakeDirs(evil_fs.get(), "/tmp").value();
   FileHandle tool = evil_fs->CreateFile(tmp, ".x", 0755).value();
-  evil_fs->WriteFile(tool, 0, BytesOf("#!/bin/sh\n# privilege escalation exploit\n"));
+  S4_CHECK_OK(evil_fs->WriteFile(tool, 0, BytesOf("#!/bin/sh\n# privilege escalation exploit\n")));
   SimTime tool_staged = clock.Now();
   clock.Advance(2 * kMinute);
-  evil_fs->Remove(tmp, ".x");
+  S4_CHECK_OK(evil_fs->Remove(tmp, ".x"));
   SimTime intrusion_end = clock.Now();
   std::printf("[t=%6llds] intruder cleaned up and left\n",
               static_cast<long long>(intrusion_end / kSecond));
@@ -108,8 +109,10 @@ int main() {
   std::printf("\n--- recovery ---\n");
   auto restored = diagnosis.RestoreModified(report, pre_intrusion).value();
   std::printf("restored %zu objects to their pre-intrusion state\n", restored.size());
-  browser.ResurrectFile(fs.get(), "/tmp/.x", tool_staged, "/evidence/exploit.sh")
-      .ToString();
+  Status resurrect =
+      browser.ResurrectFile(fs.get(), "/tmp/.x", tool_staged, "/evidence/exploit.sh");
+  std::printf("exploit tool preserved as /evidence/exploit.sh: %s\n",
+              resurrect.ToString().c_str());
 
   bool still_tampered = diagnosis.IsTampered(cur_sshd, pre_intrusion).value();
   std::printf("/usr/bin/sshd tampered after restore: %s\n",

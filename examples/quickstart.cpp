@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "src/drive/s4_drive.h"
+#include "src/util/check.h"
 #include "src/sim/block_device.h"
 #include "src/sim/sim_clock.h"
 
@@ -32,18 +33,18 @@ int main() {
 
   // Store a document.
   ObjectId doc = (*drive)->Create(alice, BytesOf("type=text")).value();
-  (*drive)->Write(alice, doc, 0, BytesOf("draft 1: the original text"));
+  S4_CHECK_OK((*drive)->Write(alice, doc, 0, BytesOf("draft 1: the original text")));
   SimTime t_draft1 = clock.Now();
   std::printf("wrote draft 1 at t=%lld\n", static_cast<long long>(t_draft1));
 
   // Time passes; the document is overwritten...
   clock.Advance(kHour);
-  (*drive)->Write(alice, doc, 0, BytesOf("draft 2: heavily rewritten"));
+  S4_CHECK_OK((*drive)->Write(alice, doc, 0, BytesOf("draft 2: heavily rewritten")));
   SimTime t_draft2 = clock.Now();
 
   // ...and later deleted entirely.
   clock.Advance(kHour);
-  (*drive)->Delete(alice, doc);
+  S4_CHECK_OK((*drive)->Delete(alice, doc));
   std::printf("object deleted at t=%lld\n", static_cast<long long>(clock.Now()));
 
   // A normal read now fails:

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "src/fs/s4_fs.h"
+#include "src/util/check.h"
 #include "src/recovery/history_browser.h"
 #include "src/rpc/client.h"
 #include "src/rpc/transport.h"
@@ -50,25 +51,25 @@ int main() {
   // Monday: the project starts.
   FileHandle src = MakeDirs(fs.get(), "/project/src").value();
   FileHandle main_c = fs->CreateFile(src, "main.c", 0644).value();
-  fs->WriteFile(main_c, 0, BytesOf("int main() { return 0; }\n"));
+  S4_CHECK_OK(fs->WriteFile(main_c, 0, BytesOf("int main() { return 0; }\n")));
   FileHandle readme = fs->CreateFile(
       ResolvePath(fs.get(), "/project").value(), "README", 0644).value();
-  fs->WriteFile(readme, 0, BytesOf("project v0.1\n"));
+  S4_CHECK_OK(fs->WriteFile(readme, 0, BytesOf("project v0.1\n")));
   SimTime monday = clock.Now();
 
   // Tuesday: a feature lands, a scratch file comes and goes.
   clock.Advance(kDay);
-  fs->WriteFile(main_c, 0, BytesOf("int main() { do_feature(); return 0; }\n"));
+  S4_CHECK_OK(fs->WriteFile(main_c, 0, BytesOf("int main() { do_feature(); return 0; }\n")));
   FileHandle scratch = fs->CreateFile(src, "notes.tmp", 0644).value();
-  fs->WriteFile(scratch, 0, BytesOf("ideas: refactor parser\n"));
+  S4_CHECK_OK(fs->WriteFile(scratch, 0, BytesOf("ideas: refactor parser\n")));
   SimTime tuesday = clock.Now();
   clock.Advance(kHour);
-  fs->Remove(src, "notes.tmp");
+  S4_CHECK_OK(fs->Remove(src, "notes.tmp"));
 
   // Wednesday: disaster — main.c is clobbered by a bad script.
   clock.Advance(kDay);
-  fs->WriteFile(main_c, 0, BytesOf("#OVERWRITTEN BY BROKEN DEPLOY SCRIPT#\n"));
-  fs->SetSize(main_c, 38);
+  S4_CHECK_OK(fs->WriteFile(main_c, 0, BytesOf("#OVERWRITTEN BY BROKEN DEPLOY SCRIPT#\n")));
+  S4_CHECK_OK(fs->SetSize(main_c, 38));
   SimTime wednesday = clock.Now();
 
   // Browse history. The developer created these files, so the Recovery flag
@@ -88,7 +89,7 @@ int main() {
               StringOf(browser.ReadAt("/project/src/notes.tmp", tuesday).value()).c_str());
 
   // One-call restore of the clobbered file.
-  browser.RestoreFile("/project/src/main.c", tuesday).ToString();
+  S4_CHECK_OK(browser.RestoreFile("/project/src/main.c", tuesday));
   std::printf("\n$ s4-restore --time=tuesday /project/src/main.c\n");
   std::printf("$ cat /project/src/main.c   # restored\n%s",
               StringOf(fs->ReadFile(main_c, 0, 256).value()).c_str());

@@ -15,6 +15,7 @@
 
 #include "src/drive/s4_drive.h"
 #include "src/util/check.h"
+#include "src/util/logging.h"
 
 namespace s4 {
 
@@ -109,11 +110,10 @@ Result<uint64_t> S4Drive::ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry
     // Release the final state itself: current blocks (history since the
     // delete) and the delete-time checkpoint.
     if (entry->checkpoint_addr != kNullAddr) {
-      Bytes record;
       auto raw = ReadRecord(entry->checkpoint_addr, entry->checkpoint_sectors);
-      if (raw.ok()) {
-        auto inode = Inode::DecodeCheckpoint(*raw);
-        if (inode.ok() && versioned) {
+      Result<Inode> inode = raw.ok() ? Inode::DecodeCheckpoint(*raw) : Result<Inode>(raw.status());
+      if (inode.ok()) {
+        if (versioned) {
           for (const auto& [index, baddr] : inode->blocks) {
             (void)index;
             if (baddr != kNullAddr) {
@@ -122,6 +122,17 @@ Result<uint64_t> S4Drive::ExpireObjectHistory(ObjectId id, ObjectMapEntry* entry
             }
           }
         }
+      } else {
+        // The checkpoint sectors themselves are still reclaimed below, but
+        // the history blocks the unreadable checkpoint references cannot be
+        // released — a permanent space leak if it keeps happening. Expiry
+        // must not fail over one bad object, so surface the swallowed error
+        // through the obs plane instead of propagating it.
+        m_.cleaner_checkpoint_decode_errors->Inc();
+        S4_LOG(kWarning) << "cleaner: checkpoint of object " << id << " at addr "
+                         << entry->checkpoint_addr
+                         << " unreadable during full expiry: "
+                         << inode.status().ToString();
       }
       sut_->ReleaseLive(sb_.SegmentOf(entry->checkpoint_addr), entry->checkpoint_sectors);
       freed_sectors += entry->checkpoint_sectors;
@@ -370,7 +381,7 @@ Result<bool> S4Drive::CompactSegment(SegmentId seg) {
         }
         auto loaded = LoadObject(rec.object_id);
         if (!loaded.ok()) {
-          continue;
+          continue;  // skip is safe: the record stays where it is, unfreed
         }
         ObjectHandle obj = *loaded;
         if (obj->inode.BlockAddr(rec.block_index) != rec.addr) {
@@ -399,7 +410,7 @@ Result<bool> S4Drive::CompactSegment(SegmentId seg) {
         }
         auto loaded = LoadObject(rec.object_id);
         if (!loaded.ok()) {
-          continue;
+          continue;  // skip is safe: the old checkpoint stays valid in place
         }
         // Re-checkpointing writes a fresh copy at the log head and releases
         // this one.

@@ -113,6 +113,8 @@ void S4Drive::InitMetrics() {
   m_.cleaner_objects_visited = metrics_.GetCounter("cleaner.objects_visited");
   m_.cleaner_objects_skipped_unripe = metrics_.GetCounter("cleaner.objects_skipped_unripe");
   m_.cleaner_objects_skipped_budget = metrics_.GetCounter("cleaner.objects_skipped_budget");
+  m_.cleaner_checkpoint_decode_errors =
+      metrics_.GetCounter("cleaner.checkpoint_decode_errors");
   m_.walk_sectors = metrics_.GetHistogram("history.walk_sectors");
   for (int op = 0; op <= kMaxRpcOp; ++op) {
     m_.op_latency[op] = metrics_.GetHistogram(

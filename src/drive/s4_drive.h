@@ -343,6 +343,10 @@ class S4Drive {
     Counter* cleaner_objects_visited = nullptr;
     Counter* cleaner_objects_skipped_unripe = nullptr;  // popped but still in-window
     Counter* cleaner_objects_skipped_budget = nullptr;  // deferred by sector budget
+    // Full-expiry checkpoints that could not be read or decoded: the history
+    // blocks they reference cannot be released (a silent space leak without
+    // this counter).
+    Counter* cleaner_checkpoint_decode_errors = nullptr;
     Histogram* walk_sectors = nullptr;  // per-walk journal sectors read
     // Per-op sim-time latency, indexed by RpcOp value (0 = kInvalid unused).
     Histogram* op_latency[kMaxRpcOp + 1] = {};

@@ -70,7 +70,10 @@ Result<RpcRequest> RpcRequest::Decode(ByteSpan frame) {
   S4_ASSIGN_OR_RETURN(Decoder dec, Unframe(kRequestMagic, frame));
   RpcRequest r;
   S4_ASSIGN_OR_RETURN(uint8_t op_raw, dec.U8());
-  if (op_raw < 1 || op_raw > 20) {
+  // kBatch is deliberately excluded: a batch travels under its own frame
+  // magic, and rejecting the op byte here keeps batches from nesting.
+  if (op_raw < static_cast<uint8_t>(RpcOp::kCreate) ||
+      op_raw > static_cast<uint8_t>(RpcOp::kGetVersionList)) {
     return Status::InvalidArgument("unknown rpc op");
   }
   r.op = static_cast<RpcOp>(op_raw);
@@ -126,7 +129,7 @@ Result<RpcResponse> RpcResponse::Decode(ByteSpan frame) {
   S4_ASSIGN_OR_RETURN(Decoder dec, Unframe(kResponseMagic, frame));
   RpcResponse r;
   S4_ASSIGN_OR_RETURN(uint8_t code_raw, dec.U8());
-  if (code_raw > static_cast<uint8_t>(ErrorCode::kInternal)) {
+  if (code_raw >= kNumErrorCodes) {
     return Status::DataCorruption("bad response code");
   }
   r.code = static_cast<ErrorCode>(code_raw);

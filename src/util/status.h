@@ -31,11 +31,26 @@ enum class ErrorCode : uint8_t {
   kUnavailable,       // device unreachable (powered off, transient I/O error)
 };
 
-// Human-readable name of an ErrorCode ("OK", "NOT_FOUND", ...).
+// Number of defined ErrorCode values. Used for codec bound checks (a wire
+// byte >= kNumErrorCodes is hostile or corrupt) and by the exhaustiveness
+// test that keeps ErrorCodeName in sync with the enum.
+inline constexpr uint8_t kNumErrorCodes =
+    static_cast<uint8_t>(ErrorCode::kUnavailable) + 1;
+
+// Human-readable name of an ErrorCode ("OK", "NOT_FOUND", ...). Returns
+// "UNKNOWN" only for out-of-range values (hostile wire bytes); every defined
+// enumerator has a distinct name, enforced by a switch without default (so a
+// new ErrorCode fails -Wswitch under S4_WERROR) plus a runtime test.
 const char* ErrorCodeName(ErrorCode code);
 
 // A cheap, value-semantic status. OK statuses carry no allocation.
-class Status {
+//
+// The class is [[nodiscard]]: any call that returns a Status and ignores it
+// is a compile-time diagnostic (an error under S4_WERROR=ON). Call sites that
+// genuinely cannot act on a failure must write `(void)expr;` with a comment
+// explaining why the error is unactionable — see tools/s4_lint.py, which
+// flags bare (void) casts without a rationale.
+class [[nodiscard]] Status {
  public:
   Status() : code_(ErrorCode::kOk) {}
   Status(ErrorCode code, std::string message)
@@ -69,7 +84,13 @@ class Status {
   // "OK" or "NOT_FOUND: no such object".
   std::string ToString() const;
 
+  // Equality compares the error *code* only; the message is deliberately
+  // ignored. Messages are free-form human-readable detail (they embed object
+  // ids, offsets, sector numbers, ...) and callers must never branch on
+  // them. This keeps `st == Status::NotFound("...")` usable in tests while
+  // preserving the freedom to improve diagnostics without breaking callers.
   friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
 
  private:
   ErrorCode code_;
@@ -78,9 +99,11 @@ class Status {
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
 
-// Result<T>: either a value or a non-OK Status.
+// Result<T>: either a value or a non-OK Status. [[nodiscard]] for the same
+// reason as Status: silently dropping a Result discards both the value and
+// the error, which is never intentional.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : rep_(std::move(value)) {}
@@ -120,16 +143,32 @@ class Result {
 
 // Assign the value of a Result expression or propagate its status.
 // Usage: S4_ASSIGN_OR_RETURN(auto blk, ReadBlock(addr));
-#define S4_ASSIGN_OR_RETURN(lhs, rexpr)                  \
-  S4_ASSIGN_OR_RETURN_IMPL_(S4_CONCAT_(s4_res_, __LINE__), lhs, rexpr)
-#define S4_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr)       \
-  auto tmp = (rexpr);                                    \
+//
+// The value expression is taken variadically, so commas inside it (multiple
+// call arguments, template arguments) need no extra parentheses. A declared
+// type containing commas must be wrapped in parentheses, which the macro
+// strips:
+//   S4_ASSIGN_OR_RETURN((std::pair<ObjectId, SimTime> hit), Lookup(name));
+#define S4_ASSIGN_OR_RETURN(lhs, ...)                    \
+  S4_ASSIGN_OR_RETURN_IMPL_(S4_CONCAT_(s4_res_, __LINE__), lhs, __VA_ARGS__)
+#define S4_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, ...)         \
+  auto tmp = (__VA_ARGS__);                              \
   if (!tmp.ok()) {                                       \
     return tmp.status();                                 \
   }                                                      \
-  lhs = std::move(tmp).value()
+  S4_STRIP_PARENS_(lhs) = std::move(tmp).value()
 #define S4_CONCAT_(a, b) S4_CONCAT_IMPL_(a, b)
 #define S4_CONCAT_IMPL_(a, b) a##b
+
+// S4_STRIP_PARENS_(x)   -> x
+// S4_STRIP_PARENS_((x)) -> x
+// Expands the argument through a probe macro that swallows one optional
+// layer of parentheses, then pastes away the probe's name.
+#define S4_STRIP_PARENS_(x) S4_SP_ESC_(S4_SP_ISH_ x)
+#define S4_SP_ISH_(...) S4_SP_ISH_ __VA_ARGS__
+#define S4_SP_ESC_(...) S4_SP_ESC2_(__VA_ARGS__)
+#define S4_SP_ESC2_(...) S4_SP_VAN_##__VA_ARGS__
+#define S4_SP_VAN_S4_SP_ISH_
 
 }  // namespace s4
 

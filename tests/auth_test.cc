@@ -121,7 +121,7 @@ TEST_F(AuthTest, AuditAttributionIsTrustworthy) {
   SigningTransport impostor(transport_.get(), 1, 100, alice_key_);
   Credentials forged = User(200, 1);
   S4Client bad_client(&impostor, forged);
-  (void)bad_client.Write(id, 0, BytesOf("forged"));
+  (void)bad_client.Write(id, 0, BytesOf("forged"));  // must be rejected; audited below
 
   AuditQuery as_bob;
   as_bob.user = 200;

@@ -508,6 +508,38 @@ TEST_F(ThrottleTest, NearExhaustionOverShareWritesAreRefused) {
   EXPECT_OK(drive_->Write(bob, id2, 0, Bytes(kBlockSize, 0xCC)));
 }
 
+TEST_F(DriveTest, UnreadableCheckpointDuringFullExpiryIsSurfacedNotSwallowed) {
+  // Regression: when the delete-time checkpoint of a fully expired object
+  // could not be read back, the cleaner silently skipped releasing the
+  // history blocks it references — a permanent, invisible space leak. The
+  // pass must still succeed (one bad object must not wedge expiry), but the
+  // failure now lands on the obs plane.
+  Credentials alice = User(100);
+  ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
+  ASSERT_OK(drive_->Write(alice, id, 0, Bytes(kBlockSize, 0x5A)));
+  clock_->Advance(kSecond);
+  ASSERT_OK(drive_->Delete(alice, id));
+  ASSERT_OK(drive_->Sync(Admin()));
+
+  auto entry = drive_->DebugObjectEntry(id);
+  ASSERT_TRUE(entry.has_value());
+  ASSERT_NE(entry->checkpoint_addr, kNullAddr);
+  ASSERT_GT(entry->checkpoint_sectors, 0u);
+
+  // Remount so the checkpoint is no longer cached, then corrupt it on disk.
+  CrashAndRemount();
+  Bytes garbage(entry->checkpoint_sectors * kSectorSize, 0xFF);
+  ASSERT_OK(device_->Write(entry->checkpoint_addr, garbage));
+
+  clock_->Advance(2 * kHour);  // age the deleted object out of the window
+  ASSERT_OK(drive_->RunCleanerPass(4).status());
+
+  EXPECT_GE(drive_->metrics().CounterValue("cleaner.checkpoint_decode_errors"), 1u);
+  // The object itself is still fully expired despite the bad checkpoint.
+  EXPECT_EQ(drive_->Read(Admin(), id, 0, 64, clock_->Now() - 2 * kHour).status().code(),
+            ErrorCode::kNotFound);
+}
+
 TEST_F(ThrottleTest, AdminIsExemptFromThrottle) {
   SetUpThrottle(/*throttle=*/0.0, /*reject=*/0.0, /*fair_share=*/10.0);
   Credentials admin = Admin();

@@ -100,7 +100,7 @@ TEST_F(DriveTest, AuditLogRecordsAllOperations) {
   Credentials alice = User(100, /*client=*/7);
   ASSERT_OK_AND_ASSIGN(ObjectId id, drive_->Create(alice, {}));
   ASSERT_OK(drive_->Write(alice, id, 0, BytesOf("data")));
-  (void)drive_->Read(alice, id, 0, 4);
+  (void)drive_->Read(alice, id, 0, 4);  // result unused, audit trail is the point
   (void)drive_->Read(User(666, 9), id, 0, 4);  // denied, still audited
 
   AuditQuery all;

@@ -1,0 +1,32 @@
+// Fuzz target: directory stream parsing. Directory objects are stored on the
+// (untrusted-after-compromise) drive and replayed by the NFS translator;
+// ParseDirStream must tolerate arbitrary corruption, and compaction of any
+// accepted directory must be a fixed point: parse(compact(d)) == d with no
+// further compaction needed.
+#include <cstddef>
+#include <cstdint>
+
+#include "src/fs/dir_format.h"
+#include "src/util/check.h"
+
+using s4::Bytes;
+using s4::ByteSpan;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  auto dir = s4::ParseDirStream(ByteSpan(data, size));
+  if (!dir.ok()) {
+    return 0;
+  }
+  Bytes compacted = s4::CompactDirStream(*dir);
+  auto again = s4::ParseDirStream(compacted);
+  S4_CHECK(again.ok());
+  S4_CHECK(again->entries.size() == dir->entries.size());
+  for (const auto& [name, entry] : dir->entries) {
+    auto it = again->entries.find(name);
+    S4_CHECK(it != again->entries.end());
+    S4_CHECK(it->second.handle == entry.handle);
+  }
+  // A freshly compacted stream is minimal: compaction must not re-trigger.
+  S4_CHECK(!again->NeedsCompaction());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fuzz target: JournalEntry decoding. Journal sectors are read back from
+// disk after crashes and torn writes, so the decoder sees arbitrary bytes.
+// It must fail cleanly, and any entry it accepts must satisfy
+// EncodeTo/DecodeFrom/EncodedSize agreement — the sector packer relies on
+// EncodedSize being exact.
+#include <cstddef>
+#include <cstdint>
+
+#include "src/journal/entry.h"
+#include "src/util/check.h"
+#include "src/util/codec.h"
+
+using s4::Bytes;
+using s4::ByteSpan;
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  s4::Decoder dec(ByteSpan(data, size));
+  // A journal sector holds a sequence of entries; decode until failure or
+  // exhaustion, validating every accepted entry.
+  while (!dec.done()) {
+    size_t before = dec.position();
+    auto entry = s4::JournalEntry::DecodeFrom(&dec);
+    if (!entry.ok()) {
+      break;
+    }
+    // Forward progress: an accepting decode that consumes nothing would spin
+    // the sector replayer forever.
+    S4_CHECK(dec.position() > before);
+
+    s4::Encoder enc;
+    entry->EncodeTo(&enc);
+    S4_CHECK(enc.size() == entry->EncodedSize());
+
+    s4::Decoder redec(enc.bytes());
+    auto again = s4::JournalEntry::DecodeFrom(&redec);
+    S4_CHECK(again.ok());
+    S4_CHECK(redec.done());
+    S4_CHECK(again->type == entry->type);
+    S4_CHECK(again->time == entry->time);
+    S4_CHECK(again->new_size == entry->new_size);
+    S4_CHECK(again->blocks.size() == entry->blocks.size());
+  }
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Seed-corpus generator for the fuzz targets. Deterministic (fixed Rng
+// seeds, no wall clock): the same binary always regenerates byte-identical
+// corpora, so the committed files under tests/corpora/ can be refreshed with
+//
+//   make_fuzz_corpora <repo-root>/tests/corpora
+//
+// whenever a wire format changes. Seeds are valid frames (so the fuzzer
+// starts deep inside the parsers), plus truncations and bit-flips of them
+// (so the error paths are seeded too).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/fs/dir_format.h"
+#include "src/journal/entry.h"
+#include "src/rpc/messages.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace s4 {
+namespace {
+
+void WriteCase(const std::filesystem::path& dir, int index, ByteSpan data) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seed_%03d.bin", index);
+  std::ofstream out(dir / name, std::ios::binary);
+  S4_CHECK(out.good());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  S4_CHECK(out.good());
+}
+
+// Emits each base case verbatim, a truncated copy, and a bit-flipped copy.
+void EmitWithMutations(const std::filesystem::path& dir,
+                       const std::vector<Bytes>& bases, uint64_t rng_seed) {
+  Rng rng(rng_seed);
+  int index = 0;
+  for (const Bytes& base : bases) {
+    WriteCase(dir, index++, base);
+    if (base.size() > 2) {
+      Bytes trunc(base.begin(),
+                  base.begin() + static_cast<long>(1 + rng.Below(base.size() - 1)));
+      WriteCase(dir, index++, trunc);
+      Bytes flipped = base;
+      flipped[rng.Below(flipped.size())] ^= uint8_t(1u << rng.Below(8));
+      WriteCase(dir, index++, flipped);
+    }
+  }
+}
+
+std::vector<Bytes> RpcFrameBases() {
+  std::vector<Bytes> bases;
+
+  RpcRequest read;
+  read.op = RpcOp::kRead;
+  read.creds = Credentials{100, 7};
+  read.object = 42;
+  read.offset = 4096;
+  read.length = 512;
+  read.at = 123456789;  // time-based access variant
+  bases.push_back(read.Encode());
+
+  RpcRequest write;
+  write.op = RpcOp::kWrite;
+  write.creds = Credentials{100, 7};
+  write.object = 42;
+  write.data = BytesOf("self-securing storage keeps every version");
+  bases.push_back(write.Encode());
+
+  RpcRequest pmount;
+  pmount.op = RpcOp::kPMount;
+  pmount.creds = Credentials{200, 1};
+  pmount.name = "vol0";
+  bases.push_back(pmount.Encode());
+
+  RpcRequest setacl;
+  setacl.op = RpcOp::kSetAcl;
+  setacl.creds = Credentials{100, 7};
+  setacl.object = 42;
+  setacl.acl_entry = AclEntry{200, 3};
+  bases.push_back(setacl.Encode());
+
+  RpcResponse ok;
+  ok.code = ErrorCode::kOk;
+  ok.data = BytesOf("payload");
+  ok.value = 42;
+  bases.push_back(ok.Encode());
+
+  RpcResponse err;
+  err.code = ErrorCode::kUnavailable;  // regression: the once-rejected code
+  err.message = "device off";
+  bases.push_back(err.Encode());
+
+  RpcResponse listing;
+  listing.code = ErrorCode::kOk;
+  listing.partitions = {{"vol0", 42}, {"vol1", 43}};
+  listing.versions = {{1000, 1}, {2000, 0}};
+  bases.push_back(listing.Encode());
+
+  RpcBatchRequest batch;
+  batch.subs = {read, write, pmount};
+  bases.push_back(batch.Encode());
+
+  RpcBatchResponse bresp;
+  bresp.subs = {ok, err};
+  bases.push_back(bresp.Encode());
+
+  return bases;
+}
+
+std::vector<Bytes> JournalEntryBases() {
+  std::vector<Bytes> bases;
+
+  JournalEntry create;
+  create.type = JournalEntryType::kCreate;
+  create.time = 1000;
+  create.new_blob = BytesOf("attrs");
+  Encoder e1;
+  create.EncodeTo(&e1);
+  bases.push_back(e1.Take());
+
+  JournalEntry write;
+  write.type = JournalEntryType::kWrite;
+  write.time = 2000;
+  write.old_size = 0;
+  write.new_size = 8192;
+  write.blocks = {{0, kNullAddr, 111}, {1, kNullAddr, 112}};
+  Encoder e2;
+  write.EncodeTo(&e2);
+  bases.push_back(e2.Take());
+
+  JournalEntry trunc;
+  trunc.type = JournalEntryType::kTruncate;
+  trunc.time = 3000;
+  trunc.old_size = 8192;
+  trunc.new_size = 4096;
+  trunc.blocks = {{1, 112, kNullAddr}};
+  Encoder e3;
+  trunc.EncodeTo(&e3);
+  bases.push_back(e3.Take());
+
+  JournalEntry ckpt;
+  ckpt.type = JournalEntryType::kCheckpoint;
+  ckpt.time = 4000;
+  ckpt.checkpoint_addr = 777;
+  ckpt.checkpoint_sectors = 3;
+  Encoder e4;
+  ckpt.EncodeTo(&e4);
+  bases.push_back(e4.Take());
+
+  // A whole "sector": several entries back to back, as the replayer sees it.
+  Encoder seq;
+  create.EncodeTo(&seq);
+  write.EncodeTo(&seq);
+  trunc.EncodeTo(&seq);
+  ckpt.EncodeTo(&seq);
+  bases.push_back(seq.Take());
+
+  return bases;
+}
+
+std::vector<Bytes> DirFormatBases() {
+  std::vector<Bytes> bases;
+
+  Bytes stream;
+  auto append = [&stream](const DirRecord& r) {
+    Bytes rec = EncodeDirRecord(r);
+    stream.insert(stream.end(), rec.begin(), rec.end());
+  };
+  append({DirRecord::Op::kAdd, FileType::kFile, 10, "readme.txt"});
+  bases.push_back(stream);
+  append({DirRecord::Op::kAdd, FileType::kDirectory, 11, "src"});
+  append({DirRecord::Op::kAdd, FileType::kFile, 12, "a.out"});
+  append({DirRecord::Op::kRemove, FileType::kFile, 12, "a.out"});
+  bases.push_back(stream);  // adds + a tombstone
+
+  // A compaction-worthy stream: many adds/removes of the same name.
+  Bytes churn;
+  for (int i = 0; i < 12; ++i) {
+    DirRecord add{DirRecord::Op::kAdd, FileType::kFile,
+                  static_cast<FileHandle>(100 + i), "churn"};
+    Bytes rec = EncodeDirRecord(add);
+    churn.insert(churn.end(), rec.begin(), rec.end());
+    DirRecord rm{DirRecord::Op::kRemove, FileType::kFile,
+                 static_cast<FileHandle>(100 + i), "churn"};
+    rec = EncodeDirRecord(rm);
+    churn.insert(churn.end(), rec.begin(), rec.end());
+  }
+  bases.push_back(churn);
+
+  return bases;
+}
+
+int Generate(const std::filesystem::path& out_root) {
+  struct Target {
+    const char* name;
+    std::vector<Bytes> bases;
+    uint64_t seed;
+  };
+  std::vector<Target> targets;
+  targets.push_back({"rpc_frame", RpcFrameBases(), 0x5345454431u});
+  targets.push_back({"journal_entry", JournalEntryBases(), 0x5345454432u});
+  targets.push_back({"dir_format", DirFormatBases(), 0x5345454433u});
+
+  for (const auto& t : targets) {
+    std::filesystem::path dir = out_root / t.name;
+    std::filesystem::create_directories(dir);
+    EmitWithMutations(dir, t.bases, t.seed);
+    std::printf("%s: %zu base case(s)\n", t.name, t.bases.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace s4
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-root> (e.g. tests/corpora)\n",
+                 argv[0]);
+    return 2;
+  }
+  return s4::Generate(argv[1]);
+}

@@ -1,0 +1,66 @@
+// Standalone driver for the fuzz targets: replays a fixed corpus through
+// LLVMFuzzerTestOneInput. This is what ctest runs — a deterministic
+// regression over the committed seeds (tests/corpora/) plus any crash inputs
+// later checked in — and it needs no fuzzer runtime, so it works with any
+// compiler. Link one fuzz_*.cc with this file to get a replay binary; under
+// S4_FUZZ=ON with libFuzzer available, the same fuzz_*.cc links against
+// -fsanitize=fuzzer instead for coverage-guided exploration.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    return 1;
+  }
+  std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(data.data(), data.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir-or-file>...\n", argv[0]);
+    return 2;
+  }
+  size_t cases = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      // Sorted for reproducible ordering across filesystems.
+      std::vector<std::filesystem::path> files;
+      for (const auto& ent : std::filesystem::directory_iterator(arg)) {
+        if (ent.is_regular_file()) {
+          files.push_back(ent.path());
+        }
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& f : files) {
+        if (RunFile(f) != 0) {
+          return 1;
+        }
+        ++cases;
+      }
+    } else {
+      if (RunFile(arg) != 0) {
+        return 1;
+      }
+      ++cases;
+    }
+  }
+  std::printf("replayed %zu corpus case(s) cleanly\n", cases);
+  return 0;
+}

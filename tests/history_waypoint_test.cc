@@ -282,13 +282,21 @@ TEST(WaypointCrashSweep, PowerCutNeverLeavesTornWaypoints) {
   S4DriveOptions o = WaypointOptions();
   o.checkpoint_interval_bytes = 32 << 10;  // checkpoint storms inside the sweep
   std::vector<ScriptOp> script;
-  script.push_back({ScriptOp::kCreate, 0});
-  script.push_back({ScriptOp::kCreate, 1});
+  auto op = [](ScriptOp::Kind kind, size_t slot, uint64_t length = 0, uint8_t fill = 0) {
+    ScriptOp so{};
+    so.kind = kind;
+    so.slot = slot;
+    so.length = length;
+    so.fill = fill;
+    return so;
+  };
+  script.push_back(op(ScriptOp::kCreate, 0));
+  script.push_back(op(ScriptOp::kCreate, 1));
   for (int round = 0; round < 6; ++round) {
     uint8_t fill = static_cast<uint8_t>(0x10 + round);
-    script.push_back({ScriptOp::kWrite, 0, 0, 4096, fill});
-    script.push_back({ScriptOp::kAppend, 1, 0, 2048, fill});
-    script.push_back({ScriptOp::kSync, 0});
+    script.push_back(op(ScriptOp::kWrite, 0, 4096, fill));
+    script.push_back(op(ScriptOp::kAppend, 1, 2048, fill));
+    script.push_back(op(ScriptOp::kSync, 0));
   }
   CrashHarness harness(script, o);
   uint64_t points = harness.CountWritePoints();

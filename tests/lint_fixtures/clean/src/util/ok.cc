@@ -1,0 +1,17 @@
+// Fixture: must produce zero findings. Exercises the negative space of every
+// rule: tokens in comments/strings, variable-silencing (void), and an
+// annotated discard are all allowed.
+#include <string>
+
+namespace s4 {
+
+// The word throw, system_clock, and device_->Write( in a comment are fine.
+std::string Describe(int index) {
+  (void)index;  // not a call: plain unused-variable silencer
+  std::string s = "clients may throw std::rand at the wall, we don't";
+  // Annotated discard of a call result is allowed:
+  (void)s.empty();  // emptiness is irrelevant here; call kept for symmetry
+  return s;
+}
+
+}  // namespace s4

@@ -1,0 +1,9 @@
+// Fixture: S4L006 must fire — util is the bottom layer and may not reach up
+// into drive.
+#include "src/drive/s4_drive.h"
+
+namespace s4 {
+
+void Helper() {}
+
+}  // namespace s4

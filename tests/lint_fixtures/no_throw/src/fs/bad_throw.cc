@@ -1,0 +1,13 @@
+// Fixture: S4L004 must fire — src/ code never throws; fallible paths return
+// Status/Result.
+#include <stdexcept>
+
+namespace s4 {
+
+void Mount(bool ok) {
+  if (!ok) {
+    throw std::runtime_error("mount failed");
+  }
+}
+
+}  // namespace s4

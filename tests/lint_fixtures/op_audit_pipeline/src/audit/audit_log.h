@@ -1,0 +1,12 @@
+// Fixture enum: kDelete is declared but neither implemented through the
+// Execute pipeline nor dispatched by the transport -> S4L002 fires twice.
+namespace s4 {
+
+enum class RpcOp : uint8_t {
+  kInvalid = 0,
+  kCreate = 1,
+  kDelete = 2,
+  kBatch = 3,
+};
+
+}  // namespace s4

@@ -1,0 +1,11 @@
+// Fixture: implements kCreate via the audit pipeline, but kDelete is missing.
+#include "src/audit/audit_log.h"
+
+namespace s4 {
+
+Result<ObjectId> S4Drive::Create(OpContext* ctx, const Bytes& attrs) {
+  OpArgs a{RpcOp::kCreate};
+  return Execute(ctx, a, [&]() -> Result<ObjectId> { return 1; });
+}
+
+}  // namespace s4

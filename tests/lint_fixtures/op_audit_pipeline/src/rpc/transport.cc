@@ -1,0 +1,15 @@
+// Fixture: dispatches kCreate only; kDelete is missing from the switch.
+#include "src/audit/audit_log.h"
+
+namespace s4 {
+
+Bytes Dispatch(RpcOp op) {
+  switch (op) {
+    case RpcOp::kCreate:
+      return HandleCreate();
+    default:
+      return {};
+  }
+}
+
+}  // namespace s4

@@ -1,0 +1,9 @@
+// Fixture: S4L001 must fire — a cache layer writing straight to the device
+// would bypass the versioning/audit write path.
+namespace s4 {
+
+void FlushDirty(BlockDevice* device_, uint64_t lba, const Bytes& data) {
+  device_->Write(lba, data);
+}
+
+}  // namespace s4

@@ -1,0 +1,14 @@
+// Fixture: S4L003 must fire — wall-clock time in the drive layer breaks
+// deterministic replay of the crash/fault harnesses.
+#include <chrono>
+
+namespace s4 {
+
+uint64_t NowMicros() {
+  auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace s4

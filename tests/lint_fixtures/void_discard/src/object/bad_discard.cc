@@ -1,0 +1,9 @@
+// Fixture: S4L005 must fire — a (void)-discarded call (here, almost certainly
+// a [[nodiscard]] Status) with no rationale comment.
+namespace s4 {
+
+void Teardown(Store* store) {
+  (void)store->Flush();
+}
+
+}  // namespace s4

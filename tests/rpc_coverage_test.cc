@@ -145,6 +145,22 @@ TEST_F(RpcCoverageTest, TransportCountsRequestsSentAndResponsesReceived) {
   EXPECT_GT(read_received, big.size());
 }
 
+TEST_F(RpcCoverageTest, ResponseRoundTripsEveryErrorCode) {
+  // Regression: RpcResponse::Decode used to bound-check the code byte
+  // against kInternal (10), so a legitimate kUnavailable (11) response —
+  // e.g. the drive reporting a transient device error — failed to decode
+  // and surfaced to the client as DATA_CORRUPTION instead.
+  for (uint8_t raw = 0; raw < kNumErrorCodes; ++raw) {
+    RpcResponse resp;
+    resp.code = static_cast<ErrorCode>(raw);
+    resp.message = "detail";
+    Bytes frame = resp.Encode();
+    auto decoded = RpcResponse::Decode(frame);
+    ASSERT_OK(decoded.status()) << "code " << ErrorCodeName(resp.code);
+    EXPECT_EQ(decoded->code, resp.code);
+  }
+}
+
 TEST_F(RpcCoverageTest, GarbageFramesGetErrorResponses) {
   Rng rng(71);
   for (int i = 0; i < 20; ++i) {

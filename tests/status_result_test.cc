@@ -1,0 +1,169 @@
+// Status / Result<T> contract tests: the error-propagation primitives every
+// layer leans on. Covers the [[nodiscard]] sweep's companion guarantees —
+// comparison semantics, name exhaustiveness, move-only payloads, and the
+// S4_ASSIGN_OR_RETURN comma/paren behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "src/util/status.h"
+#include "tests/test_util.h"
+
+namespace s4 {
+namespace {
+
+TEST(StatusTest, EqualityComparesCodeAndIgnoresMessage) {
+  // The documented contract: messages are human-readable detail, never
+  // something callers may branch on.
+  EXPECT_EQ(Status::NotFound("object 7"), Status::NotFound("object 8"));
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_NE(Status::NotFound("x"), Status::PermissionDenied("x"));
+  EXPECT_NE(Status::Ok(), Status::Internal(""));
+  // operator!= is the exact negation of operator==.
+  Status a = Status::Throttled("busy");
+  Status b = Status::Throttled("very busy");
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a != b);
+}
+
+TEST(StatusTest, ErrorCodeNamesAreExhaustiveAndDistinct) {
+  // Every defined code must have a real name; if a new ErrorCode is added
+  // without extending ErrorCodeName, the switch in status.cc fails -Wswitch
+  // at compile time and this test fails at runtime (the fallthrough returns
+  // "UNKNOWN").
+  std::set<std::string> names;
+  for (uint8_t raw = 0; raw < kNumErrorCodes; ++raw) {
+    std::string name = ErrorCodeName(static_cast<ErrorCode>(raw));
+    EXPECT_NE(name, "UNKNOWN") << "ErrorCode value " << int(raw) << " has no name";
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  // Out-of-range values (hostile wire bytes) get the sentinel, not garbage.
+  EXPECT_STREQ(ErrorCodeName(static_cast<ErrorCode>(kNumErrorCodes)), "UNKNOWN");
+  EXPECT_STREQ(ErrorCodeName(static_cast<ErrorCode>(0xFF)), "UNKNOWN");
+}
+
+TEST(StatusTest, ToStringIncludesNameAndMessage) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_EQ(Status::DataCorruption("crc mismatch").ToString(),
+            "DATA_CORRUPTION: crc mismatch");
+  EXPECT_EQ(Status(ErrorCode::kUnavailable, "").ToString(), "UNAVAILABLE");
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(41);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 41);
+  // Move the payload out through the rvalue overload.
+  std::unique_ptr<int> owned = std::move(r).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 41);
+
+  Result<std::unique_ptr<int>> err = Status::NotFound("no ptr");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, ErrorToValueRoundTrip) {
+  // Reassignment flips the variant in both directions without leaking the
+  // previous alternative.
+  Result<std::string> r = Status::Unavailable("device off");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+  r = std::string("back online");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "back online");
+  EXPECT_TRUE(r.status().ok());  // status() of an ok Result is kOk
+  r = Status::Internal("gone again");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInternal);
+}
+
+TEST(ResultTest, StatusAccessorOutlivesCall) {
+  // status() on an ok Result returns a reference to a static kOk, so it must
+  // stay valid after the Result dies.
+  const Status* s = nullptr;
+  {
+    Result<int> r = 1;
+    s = &r.status();
+  }
+  EXPECT_TRUE(s->ok());
+}
+
+// --- S4_ASSIGN_OR_RETURN edge cases -----------------------------------
+
+Result<std::pair<int, int>> MakePair(bool ok) {
+  if (!ok) {
+    return Status::InvalidArgument("no pair");
+  }
+  return std::pair<int, int>{3, 4};
+}
+
+Status UsesCommaTypeLhs(bool ok, int* out) {
+  // A declared type containing a comma: wrapped in parentheses, which the
+  // macro strips.
+  S4_ASSIGN_OR_RETURN((std::pair<int, int> p), MakePair(ok));
+  *out = p.first + p.second;
+  return Status::Ok();
+}
+
+Result<int> Add(int a, int b) { return a + b; }
+
+Status UsesCommaExpression(int* out) {
+  // Commas in the *expression* (multiple call arguments) need no wrapping:
+  // the macro takes the expression variadically.
+  S4_ASSIGN_OR_RETURN(int sum, Add(20, 22));
+  *out = sum;
+  return Status::Ok();
+}
+
+Status UsesBareLhs(bool ok, int* out) {
+  S4_ASSIGN_OR_RETURN(auto p, MakePair(ok));
+  *out = p.first;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnHandlesCommasInTypeAndExpression) {
+  int out = 0;
+  ASSERT_OK(UsesCommaTypeLhs(true, &out));
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UsesCommaTypeLhs(false, &out).code(), ErrorCode::kInvalidArgument);
+
+  ASSERT_OK(UsesCommaExpression(&out));
+  EXPECT_EQ(out, 42);
+
+  ASSERT_OK(UsesBareLhs(true, &out));
+  EXPECT_EQ(out, 3);
+  EXPECT_EQ(UsesBareLhs(false, &out).code(), ErrorCode::kInvalidArgument);
+}
+
+Status AssignsToExistingVariable(int* out) {
+  int value = -1;
+  S4_ASSIGN_OR_RETURN(value, Add(1, 2));
+  *out = value;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnAssignsToExistingVariable) {
+  int out = 0;
+  ASSERT_OK(AssignsToExistingVariable(&out));
+  EXPECT_EQ(out, 3);
+}
+
+Status ReturnsEarly(int* side_effect) {
+  S4_RETURN_IF_ERROR(Status::OutOfSpace("full"));
+  *side_effect = 1;  // must not run
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagatesAndShortCircuits) {
+  int side_effect = 0;
+  EXPECT_EQ(ReturnsEarly(&side_effect).code(), ErrorCode::kOutOfSpace);
+  EXPECT_EQ(side_effect, 0);
+}
+
+}  // namespace
+}  // namespace s4

@@ -1,0 +1,461 @@
+#!/usr/bin/env python3
+"""s4_lint: project-specific invariant linter for the S4 tree.
+
+Enforces structural invariants that clang-tidy cannot express — they are
+about *which layer* is allowed to do *what*, mirroring the paper's security
+argument (the drive's history pool is only trustworthy if every mutation
+flows through the audited, versioning write path):
+
+  S4L001 raw-device-write     BlockDevice::Write may only be called from the
+                              segment writer, the superblock/audit paths in
+                              s4_drive.cc, the baselines, and the simulator
+                              itself. Anything else would bypass versioning.
+  S4L002 op-audit-pipeline    Every RpcOp (except kInvalid/kBatch) must be
+                              dispatched in transport.cc AND implemented in
+                              src/drive via the Execute() pipeline (OpArgs ->
+                              Execute), which is what guarantees an audit
+                              record precedes any state mutation. OpArgs
+                              constructions and Execute calls must pair up.
+  S4L003 sim-time-only        No wall-clock or ambient randomness outside
+                              src/sim and src/util/rng: determinism is what
+                              makes the crash/fault harnesses replayable.
+  S4L004 no-throw             src/ never throws; fallible paths return
+                              Status/Result (see src/util/status.h).
+  S4L005 void-discard-comment (void)-discarding a call result (usually a
+                              [[nodiscard]] Status) requires a comment on the
+                              same or preceding line saying why it is safe.
+  S4L006 include-layering     #include edges between src/ subdirectories must
+                              stay within the declared layering DAG.
+
+Usage:
+  tools/s4_lint.py [--root DIR]     lint a tree (default: repo root)
+  tools/s4_lint.py --self-test      run against tests/lint_fixtures and
+                                    verify each rule fires on its fixture
+
+Exit status: 0 = clean, 1 = findings, 2 = self-test failure / bad usage.
+No dependencies beyond the Python 3 standard library.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CXX_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+
+# ---------------------------------------------------------------------------
+# Rule configuration
+# ---------------------------------------------------------------------------
+
+# S4L001: files/directories (relative, '/'-separated) allowed to call
+# BlockDevice::Write directly. Everything else must go through SegmentWriter
+# so the write is versioned, checksummed, and audited.
+RAW_WRITE_ALLOWLIST = (
+    "src/sim/",                    # the device implementation itself
+    "src/lfs/segment_writer.cc",   # the one sanctioned mutation path
+    "src/drive/s4_drive.cc",       # superblock + audit-region persistence
+    "src/baseline/",               # non-S4 comparison filesystems
+)
+
+# S4L002 source locations.
+RPC_ENUM_FILE = "src/audit/audit_log.h"
+TRANSPORT_FILE = "src/rpc/transport.cc"
+DRIVE_DIR = "src/drive"
+# Ops that are not implemented as a single Execute() body: kInvalid is the
+# audit marker for undecodable requests; kBatch is an envelope whose sub-ops
+# are each audited individually.
+RPC_ENUM_EXEMPT = {"kInvalid", "kBatch"}
+
+# S4L003: wall-clock / ambient-randomness tokens and where they are allowed.
+TIME_RAND_PATTERN = re.compile(
+    r"\b(?:std::time\b|time\s*\(\s*(?:NULL|nullptr|0)\s*\)|gettimeofday|"
+    r"clock_gettime|system_clock|steady_clock|high_resolution_clock|"
+    r"std::rand\b|\bsrand\s*\(|random_device|mt19937|minstd_rand|"
+    r"\brandom\s*\(\s*\))"
+)
+TIME_RAND_ALLOWLIST = (
+    "src/sim/",       # SimClock wraps all time
+    "src/util/rng.",  # Rng wraps all randomness (seeded, replayable)
+)
+
+# S4L004: `throw` as a keyword (exception specifications like `throw()` do
+# not appear in this code base; any hit is a violation).
+THROW_PATTERN = re.compile(r"\bthrow\b")
+
+# S4L005: a (void) cast applied to something that is (or dereferences into)
+# a call — i.e. a discarded return value, not an unused-variable silencer
+# like `(void)index;`.
+VOID_DISCARD_PATTERN = re.compile(r"\(void\)\s*[A-Za-z_][\w:]*\s*(?:\(|\.|->)")
+
+# S4L006: allowed #include edges between src/ subdirectories. An edge
+# dir -> dep means files under src/<dir>/ may include headers from
+# src/<dep>/. Self-edges and src/<dir> -> (same dir) are always allowed.
+# sim <-> obs is a sanctioned mutual dependency: the simulator reports into
+# the observability plane, which timestamps via the sim clock.
+LAYERING = {
+    "audit":    {"object", "util"},
+    "baseline": {"cache", "fs", "lfs", "sim", "util"},
+    "cache":    {"lfs", "obs", "sim", "util"},
+    "cluster":  {"drive", "util"},
+    "delta":    {"util"},
+    "drive":    {"audit", "cache", "journal", "lfs", "object", "obs", "sim",
+                 "util"},
+    "fs":       {"cache", "rpc", "sim", "util"},
+    "journal":  {"lfs", "util"},
+    "lfs":      {"sim", "util"},
+    "object":   {"lfs", "util"},
+    "obs":      {"audit", "object", "sim", "util"},
+    "recovery": {"audit", "delta", "drive", "fs", "rpc", "util"},
+    "rpc":      {"audit", "drive", "object", "sim", "util"},
+    "sim":      {"obs", "util"},
+    "util":     set(),
+    "workload": {"delta", "fs", "sim", "util"},
+}
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literal contents, preserving line
+    structure, so token rules do not fire on prose or log messages."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(c)
+            elif c == "'":
+                state = "char"
+                out.append(c)
+            else:
+                out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append(c)
+            elif c == "\n":  # unterminated; bail back to code
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append(c)
+            elif c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def iter_source_files(root, subdirs):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            # The negative fixtures violate the rules on purpose; they are
+            # linted individually by --self-test, not as part of the tree.
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    rel = os.path.relpath(full, root).replace(os.sep, "/")
+                    yield full, rel
+
+
+def read(full):
+    with open(full, "r", encoding="utf-8", errors="replace") as f:
+        return f.read()
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+def check_raw_device_write(root):
+    findings = []
+    pattern = re.compile(r"\bdevice_?\s*(?:->|\.)\s*Write\s*\(")
+    for full, rel in iter_source_files(root, ["src"]):
+        if rel.startswith(RAW_WRITE_ALLOWLIST):
+            continue
+        code = strip_comments_and_strings(read(full))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if pattern.search(line):
+                findings.append(Finding(
+                    "S4L001", rel, lineno,
+                    "direct BlockDevice::Write outside the sanctioned write "
+                    "path (SegmentWriter / superblock / baselines) bypasses "
+                    "versioning and audit"))
+    return findings
+
+
+def parse_rpc_ops(root):
+    """Return RpcOp enumerator names from the audit header, or None if the
+    enum cannot be found (mini fixture trees for other rules omit it)."""
+    path = os.path.join(root, RPC_ENUM_FILE)
+    if not os.path.isfile(path):
+        return None
+    text = strip_comments_and_strings(read(path))
+    m = re.search(r"enum\s+class\s+RpcOp[^{]*\{(.*?)\}", text, re.DOTALL)
+    if not m:
+        return None
+    ops = re.findall(r"\b(k[A-Za-z0-9]+)\b\s*(?:=\s*\d+)?\s*,", m.group(1))
+    return [op for op in ops if op not in RPC_ENUM_EXEMPT]
+
+
+def check_op_audit_pipeline(root):
+    ops = parse_rpc_ops(root)
+    if ops is None:
+        return []
+    findings = []
+
+    drive_texts = {}
+    for full, rel in iter_source_files(root, [DRIVE_DIR]):
+        if rel.endswith(".cc"):
+            drive_texts[rel] = strip_comments_and_strings(read(full))
+
+    transport_path = os.path.join(root, TRANSPORT_FILE)
+    transport_text = (strip_comments_and_strings(read(transport_path))
+                      if os.path.isfile(transport_path) else "")
+
+    for op in ops:
+        # 1. The drive must implement the op through the Execute pipeline:
+        #    `OpArgs a{RpcOp::kX}` is how an op enters BeginOp/EndOp, which
+        #    is where the audit record is emitted before any mutation.
+        impl = re.compile(r"OpArgs\s+\w+\s*\{\s*RpcOp::" + op + r"\b")
+        if not any(impl.search(t) for t in drive_texts.values()):
+            findings.append(Finding(
+                "S4L002", DRIVE_DIR, 0,
+                f"RpcOp::{op} has no OpArgs{{RpcOp::{op}}} Execute-pipeline "
+                "implementation in src/drive — the op would mutate state "
+                "without an audit record"))
+        # 2. The transport must dispatch it.
+        if not re.search(r"case\s+RpcOp::" + op + r"\b", transport_text):
+            findings.append(Finding(
+                "S4L002", TRANSPORT_FILE, 0,
+                f"RpcOp::{op} is not dispatched in the transport switch"))
+
+    # 3. Every OpArgs must reach Execute: an OpArgs constructed but never
+    #    passed to Execute means the body runs outside the audit pipeline.
+    for rel, text in drive_texts.items():
+        n_args = len(re.findall(r"\bOpArgs\s+\w+\s*\{\s*RpcOp::", text))
+        n_exec = len(re.findall(r"\breturn\s+Execute\s*\(\s*ctx\s*,", text))
+        if n_args != n_exec:
+            findings.append(Finding(
+                "S4L002", rel, 0,
+                f"{n_args} OpArgs construction(s) but {n_exec} "
+                "`return Execute(ctx, ...)` call(s): every op body must go "
+                "through the Execute audit pipeline exactly once"))
+    return findings
+
+
+def check_sim_time_only(root):
+    findings = []
+    for full, rel in iter_source_files(root, ["src"]):
+        if rel.startswith(TIME_RAND_ALLOWLIST):
+            continue
+        code = strip_comments_and_strings(read(full))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = TIME_RAND_PATTERN.search(line)
+            if m:
+                findings.append(Finding(
+                    "S4L003", rel, lineno,
+                    f"ambient time/randomness ({m.group(0).strip()}) outside "
+                    "src/sim and src/util/rng breaks deterministic replay; "
+                    "use SimClock / Rng"))
+    return findings
+
+
+def check_no_throw(root):
+    findings = []
+    for full, rel in iter_source_files(root, ["src"]):
+        code = strip_comments_and_strings(read(full))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if THROW_PATTERN.search(line):
+                findings.append(Finding(
+                    "S4L004", rel, lineno,
+                    "`throw` in src/: fallible paths return Status/Result "
+                    "(src/util/status.h); invariant violations use S4_CHECK"))
+    return findings
+
+
+def check_void_discard_comment(root):
+    findings = []
+    for full, rel in iter_source_files(
+            root, ["src", "tests", "bench", "examples"]):
+        lines = read(full).splitlines()
+        for lineno, line in enumerate(lines, 1):
+            if not VOID_DISCARD_PATTERN.search(line):
+                continue
+            prev = lines[lineno - 2].strip() if lineno >= 2 else ""
+            if "//" in line or prev.startswith("//") or "//" in prev:
+                continue
+            findings.append(Finding(
+                "S4L005", rel, lineno,
+                "(void)-discarded call result without a rationale comment; "
+                "say why ignoring the error/value is safe (same or "
+                "preceding line)"))
+    return findings
+
+
+def check_include_layering(root):
+    findings = []
+    include_re = re.compile(r'#include\s+"src/([^/"]+)/')
+    for full, rel in iter_source_files(root, ["src"]):
+        parts = rel.split("/")
+        if len(parts) < 3:  # src/<dir>/<file>
+            continue
+        src_dir = parts[1]
+        allowed = LAYERING.get(src_dir)
+        for lineno, line in enumerate(read(full).splitlines(), 1):
+            m = include_re.search(line)
+            if not m:
+                continue
+            dep = m.group(1)
+            if dep == src_dir:
+                continue
+            if allowed is None:
+                findings.append(Finding(
+                    "S4L006", rel, lineno,
+                    f"directory src/{src_dir} is not in the layering map "
+                    "(tools/s4_lint.py LAYERING); declare its dependencies"))
+                break  # one finding per unknown dir is enough
+            if dep not in allowed:
+                findings.append(Finding(
+                    "S4L006", rel, lineno,
+                    f"illegal include edge src/{src_dir} -> src/{dep}; "
+                    "allowed: " + ", ".join(sorted(allowed))))
+    return findings
+
+
+RULES = [
+    check_raw_device_write,
+    check_op_audit_pipeline,
+    check_sim_time_only,
+    check_no_throw,
+    check_void_discard_comment,
+    check_include_layering,
+]
+
+
+def run_all(root):
+    findings = []
+    for rule in RULES:
+        findings.extend(rule(root))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Self-test: each fixture is a miniature tree under tests/lint_fixtures/<case>
+# that must trigger exactly the expected rule(s); `clean` must trigger none.
+# ---------------------------------------------------------------------------
+
+FIXTURE_EXPECTATIONS = {
+    "raw_device_write": {"S4L001"},
+    "op_audit_pipeline": {"S4L002"},
+    "sim_time_only": {"S4L003"},
+    "no_throw": {"S4L004"},
+    "void_discard": {"S4L005"},
+    "include_layering": {"S4L006"},
+    "clean": set(),
+}
+
+
+def self_test():
+    fixtures = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+    ok = True
+    for case, expected in sorted(FIXTURE_EXPECTATIONS.items()):
+        case_dir = os.path.join(fixtures, case)
+        if not os.path.isdir(case_dir):
+            print(f"SELF-TEST FAIL: missing fixture {case_dir}")
+            ok = False
+            continue
+        fired = {f.rule for f in run_all(case_dir)}
+        if fired != expected:
+            print(f"SELF-TEST FAIL: fixture '{case}' fired {sorted(fired)}, "
+                  f"expected {sorted(expected)}")
+            for f in run_all(case_dir):
+                print(f"    {f}")
+            ok = False
+        else:
+            print(f"self-test: {case}: OK ({sorted(fired) or 'no findings'})")
+    return ok
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="tree to lint (default: repo root)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on its fixture")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return 0 if self_test() else 2
+
+    findings = run_all(os.path.abspath(args.root))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"s4_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
