@@ -19,6 +19,12 @@ namespace {
 std::map<bool, MicrobenchReport> g_micro;
 std::map<bool, PostMarkReport> g_macro;
 
+// Chained-vs-unchained audit framing on the batched PostMark path (the
+// group-commit flush amortises the per-record hashing); the chained server is
+// kept alive so its stats land in BENCH_audit.json.
+std::map<bool, SimDuration> g_chain_time;
+std::unique_ptr<Server> g_chain_server;
+
 ServerOptions WithAudit(bool audit) {
   ServerOptions options;
   options.audit_enabled = audit;
@@ -61,6 +67,52 @@ double Overhead(SimDuration with, SimDuration without) {
   return without == 0 ? 0.0 : 100.0 * (ToSeconds(with) / ToSeconds(without) - 1.0);
 }
 
+void RunChain(::benchmark::State& state, bool chained) {
+  for (auto _ : state) {
+    ServerOptions options;
+    options.audit_enabled = true;
+    options.tweak_drive_options = [chained](S4DriveOptions& o) { o.audit_chain = chained; };
+    auto server = MakeServer(ServerKind::kS4NasBatched, options);
+    PostMarkConfig config;
+    config.file_count = 2000;
+    config.transactions = 8000;
+    config.cleaner_hook = [s = server.get()] { s->Tick(); };
+    PostMark pm(server->fs, server->clock.get(), config);
+    auto report = pm.Run();
+    S4_CHECK(report.ok());
+    server->Drain();
+    SimDuration total = report->create_phase + report->transaction_phase;
+    state.SetIterationTime(ToSeconds(total));
+    g_chain_time[chained] = total;
+    if (chained) {
+      g_chain_server = std::move(server);
+    }
+  }
+}
+
+double ChainOverheadPct() {
+  return Overhead(g_chain_time[true], g_chain_time[false]);
+}
+
+void WriteChainJson() {
+  if (g_chain_server == nullptr) {
+    return;
+  }
+  const MetricRegistry& reg = g_chain_server->drive->metrics();
+  char extra[512];
+  std::snprintf(extra, sizeof(extra),
+                "\"audit\": {\"postmark_unchained_s\": %.6f, \"postmark_chained_s\": %.6f, "
+                "\"chain_overhead_pct\": %.2f, \"records\": %llu, \"blocks_written\": %llu, "
+                "\"marker_writes\": %llu, \"chain_breaks\": %llu}",
+                ToSeconds(g_chain_time[false]), ToSeconds(g_chain_time[true]),
+                ChainOverheadPct(),
+                static_cast<unsigned long long>(reg.CounterValue("audit.records")),
+                static_cast<unsigned long long>(reg.CounterValue("audit.blocks_written")),
+                static_cast<unsigned long long>(reg.CounterValue("audit.marker_writes")),
+                static_cast<unsigned long long>(reg.CounterValue("audit.chain_breaks")));
+  WriteBenchJson(*g_chain_server, "audit", extra);
+}
+
 void PrintFigure6() {
   std::printf("\n=== Figure 6: auditing overhead (small-file microbenchmark) ===\n");
   std::printf("(10,000 1KB files in 10 directories on the S4-enhanced NFS server)\n\n");
@@ -83,6 +135,12 @@ void PrintFigure6() {
               Overhead(total_on, total_off));
   std::printf("\nExpected shape (paper): create/delete ~3%%, read ~7%% (audit blocks\n"
               "interleaved with data reduce segment read locality); macro 1-3%%.\n");
+
+  std::printf("\n=== Hash-chained audit framing (batched PostMark) ===\n");
+  std::printf("%-12s %14s\n", "framing", "total (s)");
+  std::printf("%-12s %14s\n", "bare", Secs(g_chain_time[false]).c_str());
+  std::printf("%-12s %14s\n", "chained", Secs(g_chain_time[true]).c_str());
+  std::printf("chained overhead: %.1f%% (gate: 10%%)\n", ChainOverheadPct());
 }
 
 }  // namespace
@@ -90,6 +148,21 @@ void PrintFigure6() {
 }  // namespace s4
 
 int main(int argc, char** argv) {
+  // --check: exit nonzero if the chained framing costs more than 10% on the
+  // batched PostMark run (stripped before benchmark::Initialize, which
+  // rejects unknown flags).
+  bool check = false;
+  {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--check") {
+        check = true;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
   for (bool audit : {false, true}) {
     std::string micro_name = std::string("Microbench/audit:") + (audit ? "on" : "off");
     ::benchmark::RegisterBenchmark(
@@ -106,8 +179,26 @@ int main(int argc, char** argv) {
         ->Iterations(1)
         ->Unit(::benchmark::kSecond);
   }
+  for (bool chained : {false, true}) {
+    std::string name = std::string("PostMarkBatched/chain:") + (chained ? "on" : "off");
+    ::benchmark::RegisterBenchmark(
+        name.c_str(),
+        [chained](::benchmark::State& state) { s4::bench::RunChain(state, chained); })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(::benchmark::kSecond);
+  }
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   s4::bench::PrintFigure6();
+  s4::bench::WriteChainJson();
+  if (check) {
+    double pct = s4::bench::ChainOverheadPct();
+    if (pct > 10.0) {
+      std::fprintf(stderr, "FAIL: chained audit overhead %.1f%% exceeds 10%% gate\n", pct);
+      return 1;
+    }
+    std::printf("PASS: chained audit overhead %.1f%% within 10%% gate\n", pct);
+  }
   return 0;
 }

@@ -1,0 +1,102 @@
+// Hash-chained framing for the audit log (the tamper-evident chronicle).
+//
+// Raw AuditRecord streams (audit_chain=false) cannot distinguish a flipped
+// byte from a benign unflushed tail. Chained mode frames every record as
+//
+//   u16 len | varint seq | varint self_offset | record payload | u32 link
+//
+// where `len` counts the bytes after the u16 (through the trailing link),
+// `seq` is a strictly monotone per-drive frame number, `self_offset` is the
+// absolute byte offset of the frame inside the audit object (defeating
+// replay/relocation of otherwise-valid frames), and `link` is a CRC32C over
+// the predecessor frame's link followed by this frame's header and payload —
+// a running digest chain anchored at kAuditChainSeed.
+//
+// A commit marker (src/journal/commit_marker.h) records the chain state at
+// the last durability point. When a scan fails, the failing frame's position
+// relative to the marker's committed size decides the verdict: inside the
+// committed prefix it is kCorrupted (tampering/bit-rot), beyond it it is
+// kCleanTail (a torn flush the crash ate).
+//
+// The CRC chain is not cryptographic and carries no secret: an adversary
+// with full disk access can rewrite the whole chain plus both markers
+// consistently. Tamper evidence against that adversary comes from the
+// external challenge/response auditor (VerifyChallengeProof): an auditor
+// that saved (seq, link) at time T forces the drive to produce a chain
+// continuation consistent with the saved state.
+#ifndef S4_SRC_AUDIT_AUDIT_CHAIN_H_
+#define S4_SRC_AUDIT_AUDIT_CHAIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/audit/audit_log.h"
+#include "src/util/bytes.h"
+#include "src/util/codec.h"
+#include "src/util/status.h"
+
+namespace s4 {
+
+// Frame overhead floor: 1-byte seq varint + 1-byte offset varint + the
+// smallest possible AuditRecord encoding (22 bytes) + 4-byte link.
+// (AuditChainState and kAuditChainSeed live in audit_log.h so the codec can
+// embed the state without an include cycle.)
+inline constexpr uint16_t kMinAuditFrameLen = 28;
+
+// Appends one framed record to `out`, advancing `state`.
+void AppendChainFrame(const AuditRecord& record, AuditChainState* state, Encoder* out);
+
+enum class AuditVerdict : uint8_t {
+  kOk = 0,         // every byte accounted for, chain intact
+  kCleanTail = 1,  // chain intact through the committed prefix; bytes past it
+                   // are a torn flush (crash before the final durability point)
+  kCorrupted = 2,  // chain break inside the committed prefix: tampering/bit-rot
+};
+
+const char* AuditVerdictName(AuditVerdict v);
+
+// Result of walking a chained stream.
+struct AuditChainScan {
+  AuditVerdict verdict = AuditVerdict::kOk;
+  uint64_t records = 0;         // frames accepted (chain-verified)
+  uint64_t first_bad_seq = 0;   // expected seq at the failure point
+  uint64_t bad_offset = 0;      // absolute byte offset of the failing frame
+  uint64_t tail_bytes = 0;      // bytes at/after the failure (dropped)
+  AuditChainState end_state;    // chain state after the last accepted frame
+  // Chain state observed exactly at the committed_size boundary; valid only
+  // when `commit_state_seen` (callers compare it against the marker).
+  AuditChainState commit_state;
+  bool commit_state_seen = false;
+  std::string detail;           // human-readable first-divergence description
+};
+
+// Walks chained frames in `stream`, whose first byte sits at absolute object
+// offset `base_offset`, starting from chain state `start` (which must satisfy
+// start.next_offset == base_offset). `committed_size` is the absolute object
+// size the commit marker vouches for; failures strictly below it verdict
+// kCorrupted, failures at/after it verdict kCleanTail. Frames past
+// committed_size that still verify are accepted (a flushed-but-unmarked
+// tail). A non-null `sink` receives every accepted record in order.
+AuditChainScan ScanChain(ByteSpan stream, uint64_t base_offset, const AuditChainState& start,
+                         uint64_t committed_size,
+                         const std::function<void(const AuditRecord&)>& sink);
+
+// One round of the challenge/response protocol: the drive's claimed durable
+// chain end plus the committed frames from the challenged offset (capped per
+// round; the auditor iterates until it catches up to `end_state`).
+struct AuditChallengeProof {
+  AuditChainState end_state;  // chain state at the drive's committed size
+  Bytes frames;               // frames [challenged offset, offset + size)
+};
+
+// Auditor-side check of one proof round: `frames` must be a whole-frame chain
+// continuation starting exactly at saved->next_offset and linking to
+// saved->link (every byte is drive-committed, so any divergence is a failed
+// challenge, never a clean tail). On success `saved` advances past the
+// frames; on failure it is untouched and the error names the divergence.
+Status VerifyChallengeProof(ByteSpan frames, AuditChainState* saved);
+
+}  // namespace s4
+
+#endif  // S4_SRC_AUDIT_AUDIT_CHAIN_H_

@@ -1,6 +1,29 @@
 #include "src/audit/audit_log.h"
 
+#include "src/audit/audit_chain.h"
+#include "src/util/check.h"
+
 namespace s4 {
+namespace {
+
+// Upper bound on one encoded AuditRecord: i64 + 2*u32 + 3 full varints +
+// 3*u8 = 57 bytes; rounded up for slack.
+constexpr size_t kMaxAuditRecordBytes = 64;
+
+// True iff `tail` is a strict prefix of some valid record encoding — i.e.
+// decoding failed only because the stream physically ended (a crash cut the
+// final record short), not because the content is bad. Probes by extending
+// the tail with zeros (zeros terminate varints and decode as legal fields)
+// and checking the decoder needed bytes past the original end.
+bool IsTruncatedTail(ByteSpan tail) {
+  Bytes probe(tail.begin(), tail.end());
+  probe.resize(tail.size() + kMaxAuditRecordBytes, 0);
+  Decoder dec(probe);
+  auto rec = AuditRecord::DecodeFrom(&dec);
+  return rec.ok() && dec.position() > tail.size();
+}
+
+}  // namespace
 
 const char* RpcOpName(RpcOp op) {
   switch (op) {
@@ -48,6 +71,8 @@ const char* RpcOpName(RpcOp op) {
       return "GetVersionList";
     case RpcOp::kBatch:
       return "Batch";
+    case RpcOp::kAuditChallenge:
+      return "AuditChallenge";
   }
   return "Unknown";
 }
@@ -104,28 +129,51 @@ bool AuditQuery::Matches(const AuditRecord& r) const {
 }
 
 void AuditLogCodec::Buffer(const AuditRecord& record) {
-  record.EncodeTo(&buffer_);
+  if (chained_) {
+    AppendChainFrame(record, &chain_state_, &buffer_);
+  } else {
+    record.EncodeTo(&buffer_);
+  }
   ++records_total_;
+  ++buffered_records_;
 }
 
 Bytes AuditLogCodec::TakeBuffered() {
   Bytes out = buffer_.Take();
   buffer_ = Encoder();
+  buffered_records_ = 0;
   return out;
+}
+
+void AuditLogCodec::ResetChain(const AuditChainState& state) {
+  S4_CHECK(buffer_.size() == 0);
+  chain_state_ = state;
 }
 
 Status AuditLogCodec::DecodeAll(ByteSpan stream, const AuditQuery& query,
                                 std::vector<AuditRecord>* out) {
   Decoder dec(stream);
+  uint64_t index = 0;
   while (!dec.done()) {
+    const size_t start = dec.position();
     auto rec = AuditRecord::DecodeFrom(&dec);
     if (!rec.ok()) {
-      // A truncated tail (crash before the final flush) is expected; stop.
-      return Status::Ok();
+      // Tolerate only a short read at the final record: the bytes from the
+      // failure point to the end must be a strict prefix of a valid record
+      // (the crash-truncated unflushed tail). Anything else — a flipped op
+      // byte, a corrupt varint, garbage mid-stream — is real corruption and
+      // must not be masked as truncation.
+      if (IsTruncatedTail(stream.subspan(start))) {
+        return Status::Ok();
+      }
+      return Status::DataCorruption("audit record " + std::to_string(index) +
+                                    " at byte offset " + std::to_string(start) +
+                                    " is corrupt: " + rec.status().message());
     }
     if (query.Matches(*rec)) {
       out->push_back(*rec);
     }
+    ++index;
   }
   return Status::Ok();
 }

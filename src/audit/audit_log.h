@@ -53,10 +53,14 @@ enum class RpcOp : uint8_t {
   // sub-requests under one transport round-trip. Each sub-op is audited
   // individually; a kBatch record marks the envelope itself.
   kBatch = 21,
+  // Audit extension (not in Table 1): an external auditor challenges the
+  // drive to prove its audit chain still extends a previously saved
+  // (seq, offset, link) state. Admin-only; see src/audit/audit_chain.h.
+  kAuditChallenge = 22,
 };
 
 // Highest RpcOp value (codec bound checks).
-inline constexpr uint8_t kMaxRpcOp = 21;
+inline constexpr uint8_t kMaxRpcOp = 22;
 
 const char* RpcOpName(RpcOp op);
 
@@ -75,6 +79,23 @@ struct AuditRecord {
   static Result<AuditRecord> DecodeFrom(Decoder* dec);
 };
 
+// Genesis value of the audit hash chain's link digest ("S4AC").
+inline constexpr uint32_t kAuditChainSeed = 0x53344143u;
+
+// The running tail of the audit hash chain: everything needed to append the
+// next frame or resume a verification scan mid-object. Persisted in the
+// device checkpoint and (as the durable commit point) in the audit commit
+// marker sector. See src/audit/audit_chain.h for the frame format.
+struct AuditChainState {
+  uint64_t next_seq = 0;     // sequence number the next frame will carry
+  uint64_t next_offset = 0;  // byte offset the next frame will start at
+  uint32_t link = kAuditChainSeed;  // link digest of the last frame
+
+  bool operator==(const AuditChainState& o) const {
+    return next_seq == o.next_seq && next_offset == o.next_offset && link == o.link;
+  }
+};
+
 // Query predicate for reading the audit log back.
 struct AuditQuery {
   SimTime from = 0;
@@ -89,26 +110,47 @@ struct AuditQuery {
 
 // Serialises records into the audit object's byte stream and back. The drive
 // owns the underlying object I/O; this class owns framing and buffering.
+//
+// In chained mode (the default) every record is wrapped in a hash-chain frame
+// (src/audit/audit_chain.h); hashing happens at Buffer() time so the cost
+// amortises into the group-commit flush path. Legacy mode emits the bare
+// record stream of pre-chain drives.
 class AuditLogCodec {
  public:
-  // Appends a record to the in-memory tail buffer; returns the buffer so the
-  // caller can decide when to flush it into the audit object.
+  // Appends a record to the in-memory tail buffer; the caller decides when to
+  // flush it into the audit object.
   void Buffer(const AuditRecord& record);
 
   // Takes the buffered bytes (the caller appends them to the audit object).
   Bytes TakeBuffered();
   size_t buffered_bytes() const { return buffer_.size(); }
+  size_t buffered_records() const { return buffered_records_; }
   uint64_t records_buffered_total() const { return records_total_; }
 
-  // Decodes all records from a byte stream (the audit object's contents),
-  // appending matches to `out`. Tolerates a truncated final record (an
-  // unflushed tail after a crash).
+  // Chained-mode control. ResetChain seeds the frame state from the last
+  // durable chain position (mount/recovery); it asserts nothing is buffered.
+  void set_chained(bool chained) { chained_ = chained; }
+  bool chained() const { return chained_; }
+  void ResetChain(const AuditChainState& state);
+  const AuditChainState& chain_state() const { return chain_state_; }
+
+  // Decodes all records from a legacy (unframed) byte stream, appending
+  // matches to `out`. Only a short read at the *final* record — the remaining
+  // bytes being a strict prefix of a valid record, i.e. an unflushed tail
+  // after a crash — is tolerated; any other decode failure returns
+  // DataCorruption naming the failing record index and byte offset. Records
+  // before the failure are still appended to `out`. Chained streams are
+  // decoded with the chain-aware ScanChain (audit_chain.h) instead, which
+  // returns a typed clean-tail vs corrupted verdict.
   static Status DecodeAll(ByteSpan stream, const AuditQuery& query,
                           std::vector<AuditRecord>* out);
 
  private:
   Encoder buffer_;
   uint64_t records_total_ = 0;
+  size_t buffered_records_ = 0;
+  bool chained_ = true;
+  AuditChainState chain_state_;
 };
 
 }  // namespace s4

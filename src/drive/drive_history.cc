@@ -349,11 +349,21 @@ Status S4Drive::FlushObject(OpContext& ctx, ObjectId id, SimTime from, SimTime t
   OpArgs a{RpcOp::kFlushObject};
   a.object = id;
   a.admin_only = true;
-  return Execute(ctx, a, [&](OpArgs& args) -> Status {
+  Status result = Execute(ctx, a, [&](OpArgs& args) -> Status {
     args.offset = static_cast<uint64_t>(from);
     args.length = static_cast<uint64_t>(to);
+    // History purges are irreversible: make the audit trail that led up to
+    // them durable (and marker-committed) before any version disappears.
+    S4_RETURN_IF_ERROR(CommitAuditTail());
     return PurgeObjectVersions(id, from, to);
   });
+  // The record attesting the purge itself must also survive a crash: nothing
+  // acknowledges an irreversible history deletion that the chronicle could
+  // then forget.
+  if (result.ok()) {
+    S4_RETURN_IF_ERROR(CommitAuditTail());
+  }
+  return result;
 }
 
 Status S4Drive::FlushObject(const Credentials& creds, ObjectId id, SimTime from, SimTime to) {
@@ -364,9 +374,11 @@ Status S4Drive::FlushObject(const Credentials& creds, ObjectId id, SimTime from,
 Status S4Drive::Flush(OpContext& ctx, SimTime from, SimTime to) {
   OpArgs a{RpcOp::kFlush};
   a.admin_only = true;
-  return Execute(ctx, a, [&](OpArgs& args) -> Status {
+  Status result = Execute(ctx, a, [&](OpArgs& args) -> Status {
     args.offset = static_cast<uint64_t>(from);
     args.length = static_cast<uint64_t>(to);
+    // As in FlushObject: the pre-purge audit trail must be durable first.
+    S4_RETURN_IF_ERROR(CommitAuditTail());
     std::vector<ObjectId> ids;
     for (const auto& [id, entry] : object_map_.entries()) {
       (void)entry;
@@ -382,6 +394,11 @@ Status S4Drive::Flush(OpContext& ctx, SimTime from, SimTime to) {
     }
     return Status::Ok();
   });
+  // As in FlushObject: the purge's own record is committed before the ack.
+  if (result.ok()) {
+    S4_RETURN_IF_ERROR(CommitAuditTail());
+  }
+  return result;
 }
 
 Status S4Drive::Flush(const Credentials& creds, SimTime from, SimTime to) {

@@ -20,6 +20,10 @@ constexpr size_t kMaxOpaqueAttrBytes = 200;
 constexpr size_t kMaxAclEntries = 40;
 constexpr size_t kMaxPartitionName = 255;
 
+// One challenge/response round returns at most this many proof bytes; the
+// auditor iterates until it catches up to the drive's claimed chain end.
+constexpr uint64_t kMaxChallengeRoundBytes = 1ull << 20;
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -729,8 +733,15 @@ Result<ObjectId> S4Drive::PMount(const Credentials& creds, const std::string& na
 Status S4Drive::Sync(OpContext& ctx) {
   OpArgs a{RpcOp::kSync};
   return Execute(ctx, a, [&](OpArgs&) -> Status {
-    S4_RETURN_IF_ERROR(FlushAllPending());
-    S4_RETURN_IF_ERROR(writer_->Flush(actx_));
+    // Sync is the durability point clients reason about: force the audit tail
+    // out with everything else (a sub-block tail would otherwise sit buffered
+    // in RAM and a power cut would eat records clients believe are durable).
+    // The commit marker deliberately lags — advancing it here would cost a
+    // seek off the log head on every sync-per-op NFS operation. Un-vouched
+    // frames still verify (their chain links must hold); they are merely
+    // eligible for clean-tail trimming, and the marker catches up at the next
+    // checkpoint, purge, challenge, or unmount.
+    S4_RETURN_IF_ERROR(SyncAuditTail());
     // A dirty object whose cache eviction failed to write back has lost the
     // durability this Sync is promising: surface the stored failure to this
     // client instead of swallowing it.
@@ -773,27 +784,108 @@ Status S4Drive::AppendAuditBuffered(bool force) {
   if (!force && audit_codec_.buffered_bytes() < kBlockSize) {
     return Status::Ok();
   }
+  const size_t taken_records = audit_codec_.buffered_records();
+  const AuditChainState chained_to = audit_codec_.chain_state();
   Bytes data = audit_codec_.TakeBuffered();
+  Status appended = [&]() -> Status {
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(kAuditLogObjectId));
+    uint64_t old_size = obj->inode.attrs.size;
+    uint64_t start = old_size;
+    // Chained frames self-address their object offset; the append cursor must
+    // therefore agree with where the codec framed them.
+    S4_CHECK(!audit_codec_.chained() || start == audit_appended_state_.next_offset);
+    SimTime now = clock_->Now();
+    uint64_t first = start / kBlockSize;
+    uint64_t last = (start + data.size() - 1) / kBlockSize;
+    std::vector<BlockDelta> deltas;
+    for (uint64_t b = first; b <= last; ++b) {
+      S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, start, data));
+      S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, kAuditLogObjectId,
+                                                         b, content, actx_));
+      block_cache_->Insert(addr, content);
+      DiskAddr old_addr = obj->inode.BlockAddr(b);
+      deltas.push_back(BlockDelta{b, old_addr, addr});
+      obj->inode.blocks[b] = addr;
+      SupersedeBlock(kAuditLogObjectId, old_addr);
+      m_.audit_blocks_written->Inc();
+    }
+    return ApplyBlockWrite(kAuditLogObjectId, obj.get(), now, old_size, start + data.size(),
+                           std::move(deltas));
+  }();
+  if (!appended.ok()) {
+    // The taken frames never became part of the object (its size is only
+    // advanced by ApplyBlockWrite, the last step). Account the loss and
+    // rewind the codec chain so the next append re-frames contiguously with
+    // what is actually on disk.
+    m_.audit_records_dropped->Add(taken_records);
+    audit_codec_.ResetChain(audit_appended_state_);
+    return appended;
+  }
+  if (audit_codec_.chained()) {
+    audit_appended_state_ = chained_to;
+  }
+  return Status::Ok();
+}
+
+// Truncates the audit object to `new_size` without the Execute/ACL wrapper:
+// mount-time recovery trims torn chain tails before any client op runs. The
+// trim is idempotent — re-running after a crash mid-trim converges on the
+// same verified prefix.
+Status S4Drive::TrimAuditObject(uint64_t new_size) {
   S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(kAuditLogObjectId));
   uint64_t old_size = obj->inode.attrs.size;
-  uint64_t start = old_size;
-  SimTime now = clock_->Now();
-  uint64_t first = start / kBlockSize;
-  uint64_t last = (start + data.size() - 1) / kBlockSize;
-  std::vector<BlockDelta> deltas;
-  for (uint64_t b = first; b <= last; ++b) {
-    S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, start, data));
-    S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, kAuditLogObjectId, b,
-                                                       content, actx_));
-    block_cache_->Insert(addr, content);
-    DiskAddr old_addr = obj->inode.BlockAddr(b);
-    deltas.push_back(BlockDelta{b, old_addr, addr});
-    obj->inode.blocks[b] = addr;
-    SupersedeBlock(kAuditLogObjectId, old_addr);
-    m_.audit_blocks_written->Inc();
+  if (new_size >= old_size) {
+    return Status::Ok();
   }
-  return ApplyBlockWrite(kAuditLogObjectId, obj.get(), now, old_size, start + data.size(),
-                         std::move(deltas));
+  SimTime now = clock_->Now();
+  std::vector<BlockDelta> deltas;
+  uint64_t keep_blocks = (new_size + kBlockSize - 1) / kBlockSize;
+  auto it = obj->inode.blocks.lower_bound(keep_blocks);
+  while (it != obj->inode.blocks.end()) {
+    deltas.push_back(BlockDelta{it->first, it->second, kNullAddr});
+    SupersedeBlock(kAuditLogObjectId, it->second);
+    it = obj->inode.blocks.erase(it);
+  }
+  // Re-zero the boundary block's tail so later appends can rely on the
+  // "bytes beyond size are zero" invariant.
+  if (new_size % kBlockSize != 0) {
+    uint64_t b = new_size / kBlockSize;
+    DiskAddr old_addr = obj->inode.BlockAddr(b);
+    if (old_addr != kNullAddr) {
+      S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, new_size, 0, ByteSpan{}));
+      S4_ASSIGN_OR_RETURN(DiskAddr addr,
+                          writer_->Append(RecordKind::kData, kAuditLogObjectId, b, content,
+                                          actx_));
+      block_cache_->Insert(addr, content);
+      deltas.push_back(BlockDelta{b, old_addr, addr});
+      obj->inode.blocks[b] = addr;
+      SupersedeBlock(kAuditLogObjectId, old_addr);
+      m_.audit_blocks_written->Inc();
+    }
+  }
+  JournalEntry e;
+  e.type = JournalEntryType::kTruncate;
+  e.time = now;
+  e.old_size = old_size;
+  e.new_size = new_size;
+  if (deltas.size() <= options_.max_deltas_per_entry) {
+    e.blocks = std::move(deltas);
+    obj->pending.push_back(std::move(e));
+    m_.journal_entries->Inc();
+  } else {
+    for (size_t i = 0; i < deltas.size(); i += options_.max_deltas_per_entry) {
+      JournalEntry part = e;
+      size_t n = std::min<size_t>(options_.max_deltas_per_entry, deltas.size() - i);
+      part.blocks.assign(deltas.begin() + i, deltas.begin() + i + n);
+      obj->pending.push_back(std::move(part));
+      m_.journal_entries->Inc();
+    }
+  }
+  pending_dirty_.insert(kAuditLogObjectId);
+  obj->inode.attrs.size = new_size;
+  obj->inode.attrs.modify_time = now;
+  obj->dirty = true;
+  return Status::Ok();
 }
 
 Result<std::vector<AuditRecord>> S4Drive::QueryAudit(const Credentials& creds,
@@ -806,8 +898,71 @@ Result<std::vector<AuditRecord>> S4Drive::QueryAudit(const Credentials& creds,
   S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(kAuditLogObjectId));
   S4_ASSIGN_OR_RETURN(Bytes raw, ReadCurrent(*obj, 0, obj->inode.attrs.size));
   std::vector<AuditRecord> out;
+  if (audit_codec_.chained()) {
+    // Post-mount content is chain-verified end to end (mount trims torn
+    // tails), so every byte must account: any break here is corruption.
+    AuditChainScan scan = ScanChain(raw, 0, AuditChainState(), raw.size(),
+                                    [&](const AuditRecord& rec) {
+                                      if (query.Matches(rec)) {
+                                        out.push_back(rec);
+                                      }
+                                    });
+    if (scan.verdict != AuditVerdict::kOk) {
+      m_.audit_chain_breaks->Inc();
+      audit_chain_broken_ = true;
+      return Status::DataCorruption("audit chain break: " + scan.detail);
+    }
+    return out;
+  }
   S4_RETURN_IF_ERROR(AuditLogCodec::DecodeAll(raw, query, &out));
   return out;
+}
+
+Result<AuditChallengeProof> S4Drive::AuditChallenge(OpContext& ctx, uint64_t from_offset) {
+  OpArgs a{RpcOp::kAuditChallenge};
+  a.object = kAuditLogObjectId;
+  a.offset = from_offset;
+  a.admin_only = true;
+  return Execute(ctx, a, [&](OpArgs& args) -> Result<AuditChallengeProof> {
+    if (!options_.audit_enabled || !audit_codec_.chained()) {
+      return Status::FailedPrecondition("audit chain disabled");
+    }
+    // Make the whole buffered tail durable and marked, so the proof can
+    // extend all the way to a committed state the drive stands behind.
+    S4_RETURN_IF_ERROR(CommitAuditTail());
+    const uint64_t committed = audit_marker_.committed_size;
+    if (from_offset > committed) {
+      return Status::InvalidArgument("challenge offset beyond committed audit size");
+    }
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(kAuditLogObjectId));
+    uint64_t want = std::min<uint64_t>(committed - from_offset, kMaxChallengeRoundBytes);
+    S4_ASSIGN_OR_RETURN(Bytes chunk, ReadCurrent(*obj, from_offset, want));
+    // Cut the round at a frame boundary: proofs are verified as whole-frame
+    // chain continuations. Frames are <= 64KB so a full round always makes
+    // progress.
+    size_t cut = 0;
+    while (cut + 2 <= chunk.size()) {
+      size_t frame_len = static_cast<size_t>(chunk[cut]) |
+                         (static_cast<size_t>(chunk[cut + 1]) << 8);
+      if (cut + 2 + frame_len > chunk.size()) {
+        break;
+      }
+      cut += 2 + frame_len;
+    }
+    AuditChallengeProof proof;
+    proof.end_state.next_seq = audit_marker_.chain_seq;
+    proof.end_state.next_offset = audit_marker_.committed_size;
+    proof.end_state.link = audit_marker_.chain_link;
+    proof.frames.assign(chunk.begin(), chunk.begin() + cut);
+    args.length = proof.frames.size();
+    return proof;
+  });
+}
+
+Result<AuditChallengeProof> S4Drive::AuditChallenge(const Credentials& creds,
+                                                    uint64_t from_offset) {
+  OpContext ctx = MakeContext(creds, RpcOp::kAuditChallenge);
+  return AuditChallenge(ctx, from_offset);
 }
 
 }  // namespace s4

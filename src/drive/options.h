@@ -30,6 +30,10 @@ struct S4DriveOptions {
   bool versioning_enabled = true;
   // Audit log of all requests (section 4.2.3).
   bool audit_enabled = true;
+  // Hash-chained, torn-write-safe audit framing with commit markers (see
+  // src/audit/audit_chain.h). Disabling falls back to the bare record stream
+  // (no tamper evidence; used as the bench_audit baseline).
+  bool audit_chain = true;
   // Background/foreground cleaning (section 4.2.1).
   bool cleaner_enabled = true;
 

@@ -71,6 +71,8 @@ const char* DriveOpSpanName(RpcOp op) {
       return "drive.GetVersionList";
     case RpcOp::kBatch:
       return "drive.Batch";
+    case RpcOp::kAuditChallenge:
+      return "drive.AuditChallenge";
   }
   return "drive.Unknown";
 }
@@ -79,6 +81,7 @@ S4Drive::S4Drive(BlockDevice* device, SimClock* clock, S4DriveOptions options)
     : device_(device), clock_(clock), options_(options),
       detection_window_(options.detection_window) {
   InitMetrics();
+  audit_codec_.set_chained(options_.audit_chain);
 }
 
 S4Drive::~S4Drive() = default;
@@ -94,6 +97,10 @@ void S4Drive::InitMetrics() {
   m_.device_checkpoints = metrics_.GetCounter("drive.device_checkpoints");
   m_.audit_records = metrics_.GetCounter("audit.records");
   m_.audit_blocks_written = metrics_.GetCounter("audit.blocks_written");
+  m_.audit_chain_breaks = metrics_.GetCounter("audit.chain_breaks");
+  m_.audit_clean_tail_truncations = metrics_.GetCounter("audit.clean_tail_truncations");
+  m_.audit_records_dropped = metrics_.GetCounter("audit.records_dropped");
+  m_.audit_marker_writes = metrics_.GetCounter("audit.marker_writes");
   m_.cleaner_passes = metrics_.GetCounter("cleaner.passes");
   m_.cleaner_segments_reclaimed = metrics_.GetCounter("cleaner.segments_reclaimed");
   m_.cleaner_segments_compacted = metrics_.GetCounter("cleaner.segments_compacted");
@@ -221,7 +228,11 @@ Status S4Drive::DoFormat() {
   sb_.checkpoint_a = 1;
   sb_.checkpoint_b = 1 + cp_sectors;
   sb_.checkpoint_sectors = cp_sectors;
-  sb_.first_segment = 1 + 2ull * cp_sectors;
+  // Two dedicated sectors (A/B by marker generation parity) for the audit
+  // commit marker, between the checkpoint regions and the segment area.
+  sb_.audit_marker_a = 1 + 2ull * cp_sectors;
+  sb_.audit_marker_b = sb_.audit_marker_a + 1;
+  sb_.first_segment = sb_.audit_marker_b + 1;
   if (sb_.first_segment + options_.segment_sectors > total) {
     return Status::InvalidArgument("device too small for S4 layout");
   }
@@ -306,6 +317,12 @@ Result<Bytes> S4Drive::EncodeDeviceCheckpoint() const {
       enc.PutI64(r.to);
     }
   }
+  // Audit chain state at checkpoint time. Serves as a second committed-size
+  // floor at mount: destroying both marker sectors cannot shrink the audited
+  // prefix below what the checkpoint vouches for.
+  enc.PutVarint(audit_appended_state_.next_seq);
+  enc.PutVarint(audit_appended_state_.next_offset);
+  enc.PutU32(audit_appended_state_.link);
   Bytes out = enc.Take();
   size_t body = out.size();
   size_t total = ((body + 12 + kSectorSize - 1) / kSectorSize) * kSectorSize;
@@ -324,9 +341,18 @@ Result<Bytes> S4Drive::EncodeDeviceCheckpoint() const {
   return framed_bytes;
 }
 
-Status S4Drive::WriteCheckpoint() {
+Status S4Drive::SyncAuditTail() {
   S4_RETURN_IF_ERROR(FlushAllPending(/*force_audit=*/true));
-  S4_RETURN_IF_ERROR(writer_->Flush(actx_));
+  return writer_->Flush(actx_);
+}
+
+Status S4Drive::CommitAuditTail() {
+  S4_RETURN_IF_ERROR(SyncAuditTail());
+  return WriteAuditMarker();
+}
+
+Status S4Drive::WriteCheckpoint() {
+  S4_RETURN_IF_ERROR(CommitAuditTail());
 
   ++checkpoint_generation_;
   S4_ASSIGN_OR_RETURN(Bytes blob, EncodeDeviceCheckpoint());
@@ -412,6 +438,12 @@ Status S4Drive::LoadDeviceCheckpoint() {
     }
     purged_[id] = std::move(ranges);
   }
+  ckpt_chain_state_ = AuditChainState();
+  if (!dec.done()) {
+    S4_ASSIGN_OR_RETURN(ckpt_chain_state_.next_seq, dec.Varint());
+    S4_ASSIGN_OR_RETURN(ckpt_chain_state_.next_offset, dec.Varint());
+    S4_ASSIGN_OR_RETURN(ckpt_chain_state_.link, dec.U32());
+  }
   checkpoint_generation_ = generation;
   checkpoint_seq_ = next_seq;
   return Status::Ok();
@@ -464,7 +496,7 @@ Status S4Drive::DoMount() {
 
   S4_RETURN_IF_ERROR(RollForward(checkpoint_seq_));
   RebuildExpiryIndex();
-  return Status::Ok();
+  return VerifyAuditChainAtMount();
 }
 
 Status S4Drive::RollForward(uint64_t checkpoint_seq) {
@@ -1009,6 +1041,100 @@ void S4Drive::Audit(const Credentials& creds, RpcOp op, ObjectId id, uint64_t of
   }
 }
 
+Status S4Drive::WriteAuditMarker() {
+  if (!options_.audit_enabled || !audit_codec_.chained() || sb_.audit_marker_a == 0) {
+    return Status::Ok();
+  }
+  if (audit_marker_.generation > 0 &&
+      audit_marker_.committed_size == audit_appended_state_.next_offset) {
+    return Status::Ok();  // nothing new became durable since the last marker
+  }
+  AuditCommitMarker next;
+  next.generation = audit_marker_.generation + 1;
+  next.committed_size = audit_appended_state_.next_offset;
+  next.chain_seq = audit_appended_state_.next_seq;
+  next.chain_link = audit_appended_state_.link;
+  // A/B by generation parity: a torn marker write can only hit the sector the
+  // previous good marker is NOT in.
+  DiskAddr sector = (next.generation % 2 == 1) ? sb_.audit_marker_a : sb_.audit_marker_b;
+  S4_RETURN_IF_ERROR(device_->Write(sector, next.EncodeSector(), actx_));
+  audit_marker_ = next;
+  m_.audit_marker_writes->Inc();
+  return Status::Ok();
+}
+
+Status S4Drive::LoadAuditMarker() {
+  audit_marker_ = AuditCommitMarker();
+  if (sb_.audit_marker_a == 0) {
+    return Status::Ok();  // pre-chain volume: no marker sectors
+  }
+  for (DiskAddr addr : {sb_.audit_marker_a, sb_.audit_marker_b}) {
+    Bytes raw;
+    Status read = device_->Read(addr, 1, &raw);
+    if (!read.ok()) {
+      continue;  // unreadable sector: the sibling may still hold a marker
+    }
+    auto marker = AuditCommitMarker::DecodeSector(raw);
+    if (marker.ok() && marker->generation > audit_marker_.generation) {
+      audit_marker_ = *marker;
+    }
+  }
+  return Status::Ok();
+}
+
+Status S4Drive::VerifyAuditChainAtMount() {
+  if (!options_.audit_enabled || !options_.audit_chain) {
+    return Status::Ok();
+  }
+  S4_RETURN_IF_ERROR(LoadAuditMarker());
+  S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(kAuditLogObjectId));
+  const uint64_t raw_size = obj->inode.attrs.size;
+  S4_ASSIGN_OR_RETURN(Bytes raw, ReadCurrent(*obj, 0, raw_size));
+  // Committed floor: the marker's vouched size OR the chain offset recorded
+  // in the device checkpoint, whichever is larger. An attacker who destroys
+  // both marker sectors still cannot pass off a truncated chain as a torn
+  // tail below what the checkpoint saw.
+  const uint64_t committed =
+      std::max(audit_marker_.committed_size, ckpt_chain_state_.next_offset);
+  AuditChainScan scan = ScanChain(raw, 0, AuditChainState(), committed, nullptr);
+  AuditChainState state = scan.end_state;
+  switch (scan.verdict) {
+    case AuditVerdict::kOk:
+      break;
+    case AuditVerdict::kCleanTail:
+      // A torn flush the crash ate: trim it so future appends stay contiguous
+      // with the verified prefix.
+      m_.audit_clean_tail_truncations->Inc();
+      S4_LOG(kInfo) << "audit chain: trimming torn tail, " << scan.detail;
+      S4_RETURN_IF_ERROR(TrimAuditObject(state.next_offset));
+      break;
+    case AuditVerdict::kCorrupted:
+      m_.audit_chain_breaks->Inc();
+      audit_chain_broken_ = true;
+      S4_LOG(kError) << "audit chain BREAK (tampering or bit-rot): " << scan.detail;
+      // Preserve the evidence: keep the damaged bytes on disk and append new
+      // frames after them. The chain stays reported-broken until an
+      // administrator resolves it.
+      state.next_offset = raw_size;
+      break;
+  }
+  // Cross-check the marker against the chain state observed at its boundary:
+  // a marker that vouches for a size the chain reaches with a different
+  // (seq, link) is itself evidence of tampering.
+  if (scan.verdict != AuditVerdict::kCorrupted && audit_marker_.generation > 0 &&
+      committed == audit_marker_.committed_size && scan.commit_state_seen &&
+      (scan.commit_state.next_seq != audit_marker_.chain_seq ||
+       scan.commit_state.link != audit_marker_.chain_link)) {
+    m_.audit_chain_breaks->Inc();
+    audit_chain_broken_ = true;
+    S4_LOG(kError) << "audit chain BREAK: commit marker disagrees with chain state at "
+                   << audit_marker_.committed_size;
+  }
+  audit_codec_.ResetChain(state);
+  audit_appended_state_ = state;
+  return Status::Ok();
+}
+
 Status S4Drive::CheckAccess(const CachedObject& obj, const Credentials& creds,
                             uint8_t needed) const {
   if (IsAdmin(creds)) {
@@ -1080,6 +1206,18 @@ void S4Drive::RebuildExpiryIndex() {
   }
 }
 
+Result<std::vector<DiskAddr>> S4Drive::DebugObjectBlockAddrs(ObjectId id) {
+  S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
+  std::vector<DiskAddr> out;
+  for (const auto& [index, addr] : obj->inode.blocks) {
+    (void)index;
+    if (addr != kNullAddr) {
+      out.push_back(addr);
+    }
+  }
+  return out;
+}
+
 std::optional<ObjectMapEntry> S4Drive::DebugObjectEntry(ObjectId id) const {
   const ObjectMapEntry* e = object_map_.Find(id);
   if (e == nullptr) {
@@ -1147,6 +1285,12 @@ Status S4Drive::VerifyAllWaypoints() {
 }
 
 Status S4Drive::Unmount() {
+  // Append the buffered audit tail before the cache drains: eviction writes
+  // each dirty object's inode checkpoint, and the audit object's checkpoint
+  // must already cover the final records. Appending after would journal them
+  // at the same SimTime as the checkpoint, and replay-at-mount skips entries
+  // at or before the checkpoint time.
+  S4_RETURN_IF_ERROR(FlushAllPending(/*force_audit=*/true));
   object_cache_->Clear();
   S4_RETURN_IF_ERROR(WriteCheckpoint());
   if (!eviction_error_.ok()) {

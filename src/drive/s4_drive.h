@@ -28,11 +28,13 @@
 #include <utility>
 #include <vector>
 
+#include "src/audit/audit_chain.h"
 #include "src/audit/audit_log.h"
 #include "src/cache/block_cache.h"
 #include "src/cache/lru.h"
 #include "src/drive/options.h"
 #include "src/drive/stats.h"
+#include "src/journal/commit_marker.h"
 #include "src/journal/sector.h"
 #include "src/lfs/scan.h"
 #include "src/lfs/segment_writer.h"
@@ -149,8 +151,17 @@ class S4Drive {
   // Enumerates the reconstructible versions of an object, oldest first.
   Result<std::vector<VersionInfo>> GetVersionList(OpContext& ctx, ObjectId id);
   Result<std::vector<VersionInfo>> GetVersionList(const Credentials& creds, ObjectId id);
-  // Reads back audit records matching `query` (admin only).
+  // Reads back audit records matching `query` (admin only). In chained mode
+  // the whole chain is verified first: a break returns DataCorruption naming
+  // the first divergent record and bumps audit.chain_breaks.
   Result<std::vector<AuditRecord>> QueryAudit(const Credentials& creds, const AuditQuery& query);
+  // Admin: one round of the external auditor's challenge/response protocol.
+  // Forces the buffered audit tail durable, then returns the committed chain
+  // frames from `from_offset` (capped per round) plus the drive's claimed
+  // chain end; the auditor verifies them against its saved state with
+  // VerifyChallengeProof and iterates until it catches up.
+  Result<AuditChallengeProof> AuditChallenge(OpContext& ctx, uint64_t from_offset);
+  Result<AuditChallengeProof> AuditChallenge(const Credentials& creds, uint64_t from_offset);
 
   // Audits a request the RPC layer rejected before it could be decoded
   // (bad frame / CRC / op code / size). Recorded with op kInvalid.
@@ -206,6 +217,13 @@ class S4Drive {
   ObjectId PeekNextObjectId() const { return object_map_.PeekNextId(); }
   // Copy of the object-map entry for `id` (test/diagnosis introspection).
   std::optional<ObjectMapEntry> DebugObjectEntry(ObjectId id) const;
+  // Current data-block addresses of an object, in block-index order
+  // (test/diagnosis introspection; tamper tests corrupt these sectors).
+  Result<std::vector<DiskAddr>> DebugObjectBlockAddrs(ObjectId id);
+  // The audit chain state covering every framed record — including frames
+  // still buffered in RAM awaiting their block write (test/diagnosis
+  // introspection). Stable across a clean unmount/remount cycle.
+  AuditChainState DebugAuditChainState() const { return audit_codec_.chain_state(); }
   // Verifies the waypoint invariants of one object / of every object: times
   // strictly ascending and above the history barrier, and every waypoint
   // address reachable by walking the on-disk chain from journal_head. Used by
@@ -322,6 +340,11 @@ class S4Drive {
     Counter* device_checkpoints = nullptr;
     Counter* audit_records = nullptr;
     Counter* audit_blocks_written = nullptr;
+    // Chronicle integrity accounting (chained audit mode).
+    Counter* audit_chain_breaks = nullptr;           // verified-corrupt chain at record N
+    Counter* audit_clean_tail_truncations = nullptr; // torn tails trimmed at mount
+    Counter* audit_records_dropped = nullptr;        // buffered records lost (append failure)
+    Counter* audit_marker_writes = nullptr;
     Counter* cleaner_passes = nullptr;
     Counter* cleaner_segments_reclaimed = nullptr;
     Counter* cleaner_segments_compacted = nullptr;
@@ -375,6 +398,34 @@ class S4Drive {
   Status FlushAllPending(bool force_audit = false);
   Status MaybeAutoCheckpoint();
   Status AppendAuditBuffered(bool force);
+  // --- audit chronicle (s4_drive.cc / drive_ops.cc) ---
+  // Persists the audit commit marker (A/B by generation parity). Must only be
+  // called after writer_->Flush: the marker vouches the covered audit bytes
+  // are on the platter.
+  Status WriteAuditMarker();
+  // Appends the buffered audit tail and flushes everything pending (including
+  // the journal entry carrying the audit object's new size). After this
+  // returns, every framed record so far survives a power cut — but the commit
+  // marker has not moved, so the new frames verify as clean tail, not yet as
+  // committed. This is the cheap per-Sync durability barrier: no marker-sector
+  // seek off the log head.
+  Status SyncAuditTail();
+  // SyncAuditTail plus a commit-marker advance. After this returns, every
+  // framed record so far verifies as committed (damage below the marker is
+  // tamper, never torn tail). Costs a seek to the marker sectors, so it runs
+  // at durability milestones — device checkpoints, history purges, audit
+  // challenges, unmount — not on every client Sync.
+  Status CommitAuditTail();
+  // Loads the newest valid marker sector at mount (none found -> generation
+  // stays 0, meaning "nothing vouched for yet").
+  Status LoadAuditMarker();
+  // Mount-time chain verification: classifies the recovered audit object as
+  // intact / torn tail (trimmed) / tampered, and seeds the codec chain state.
+  Status VerifyAuditChainAtMount();
+  // Shrinks the audit object to `new_size` (drops the torn tail so future
+  // appends stay contiguous with the verified chain). Truncate internals
+  // without the Execute/ACL wrapper; idempotent across repeated crashes.
+  Status TrimAuditObject(uint64_t new_size);
   void Audit(const Credentials& creds, RpcOp op, ObjectId id, uint64_t offset, uint64_t length,
              const Status& result, bool time_based);
   bool ObjectIsVersioned(ObjectId id) const;
@@ -474,6 +525,19 @@ class S4Drive {
 
   SimDuration detection_window_;
   AuditLogCodec audit_codec_;
+  // Chain state covering every byte successfully appended to the audit
+  // object (not necessarily flushed yet); the marker may only ever be
+  // advanced to this state, and only after a writer flush.
+  AuditChainState audit_appended_state_;
+  // Last marker written (or loaded at mount); generation 0 = none yet.
+  AuditCommitMarker audit_marker_;
+  // Chain state recorded in the device checkpoint: a second, generation-voted
+  // committed-size floor so destroying the marker sectors cannot reclassify
+  // checkpointed history as an uncommitted (silently trimmable) tail.
+  AuditChainState ckpt_chain_state_;
+  // Sticky: mount-time verification found a chain break (tamper evidence is
+  // preserved on disk; QueryAudit keeps reporting it).
+  bool audit_chain_broken_ = false;
   uint64_t checkpoint_generation_ = 0;  // alternates A/B
   uint64_t checkpoint_seq_ = 0;         // chunk seq covered by last checkpoint
   uint64_t bytes_since_checkpoint_ = 0;

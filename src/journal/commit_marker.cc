@@ -1,0 +1,50 @@
+#include "src/journal/commit_marker.h"
+
+#include "src/lfs/format.h"
+#include "src/util/codec.h"
+#include "src/util/crc32.h"
+
+namespace s4 {
+
+Bytes AuditCommitMarker::EncodeSector() const {
+  Encoder enc(kSectorSize);
+  enc.PutU32(kAuditMarkerMagic);
+  enc.PutU64(generation);
+  enc.PutU64(committed_size);
+  enc.PutU64(chain_seq);
+  enc.PutU32(chain_link);
+  Bytes out = enc.Take();
+  out.resize(kSectorSize - 4, 0);
+  uint32_t crc = Crc32c(out);
+  Encoder tail;
+  tail.PutU32(crc);
+  out.insert(out.end(), tail.bytes().begin(), tail.bytes().end());
+  return out;
+}
+
+Result<AuditCommitMarker> AuditCommitMarker::DecodeSector(ByteSpan sector) {
+  if (sector.size() != kSectorSize) {
+    return Status::DataCorruption("audit marker wrong size");
+  }
+  uint32_t stored_crc;
+  {
+    Decoder crc_dec(sector.subspan(kSectorSize - 4));
+    S4_ASSIGN_OR_RETURN(stored_crc, crc_dec.U32());
+  }
+  if (Crc32c(sector.subspan(0, kSectorSize - 4)) != stored_crc) {
+    return Status::DataCorruption("audit marker crc mismatch");
+  }
+  Decoder dec(sector.subspan(0, kSectorSize - 4));
+  S4_ASSIGN_OR_RETURN(uint32_t magic, dec.U32());
+  if (magic != kAuditMarkerMagic) {
+    return Status::DataCorruption("audit marker bad magic");
+  }
+  AuditCommitMarker m;
+  S4_ASSIGN_OR_RETURN(m.generation, dec.U64());
+  S4_ASSIGN_OR_RETURN(m.committed_size, dec.U64());
+  S4_ASSIGN_OR_RETURN(m.chain_seq, dec.U64());
+  S4_ASSIGN_OR_RETURN(m.chain_link, dec.U32());
+  return m;
+}
+
+}  // namespace s4

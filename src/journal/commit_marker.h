@@ -1,0 +1,41 @@
+// Audit commit marker (the chronicle's dynamic durability pointer).
+//
+// A pair of reserved sectors (superblock fields audit_marker_a/b) holds the
+// audit chain's last durable commit point: how many bytes of the audit object
+// the drive vouches for, and the chain (seq, link) at that boundary. The
+// marker only advances after the segment writer has flushed the audit blocks
+// it covers, alternating between the A and B sectors by generation parity so
+// a torn marker write can never destroy the previous good marker.
+//
+// At mount the marker splits the audit object into a committed prefix (any
+// chain break there is tampering or bit-rot → kCorrupted) and an uncommitted
+// tail (breaks there are torn flushes → kCleanTail). Without it, every crash
+// would look like tampering and every tampering like a crash.
+#ifndef S4_SRC_JOURNAL_COMMIT_MARKER_H_
+#define S4_SRC_JOURNAL_COMMIT_MARKER_H_
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace s4 {
+
+// On-disk magic for an audit commit marker sector ("S4AM").
+inline constexpr uint32_t kAuditMarkerMagic = 0x5334414Du;
+
+struct AuditCommitMarker {
+  uint64_t generation = 0;      // monotone; highest valid sector wins
+  uint64_t committed_size = 0;  // audit object bytes vouched durable
+  uint64_t chain_seq = 0;       // chain next_seq at committed_size
+  uint32_t chain_link = 0;      // chain link digest at committed_size
+
+  // Serialises into exactly one 512B sector (magic + fields + zero pad +
+  // trailing CRC32C, same shape as the superblock).
+  Bytes EncodeSector() const;
+  static Result<AuditCommitMarker> DecodeSector(ByteSpan sector);
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_JOURNAL_COMMIT_MARKER_H_

@@ -79,6 +79,8 @@ Bytes Superblock::Encode() const {
   enc.PutU64(checkpoint_b);
   enc.PutU32(checkpoint_sectors);
   enc.PutU64(first_segment);
+  enc.PutU64(audit_marker_a);
+  enc.PutU64(audit_marker_b);
   Bytes out = enc.Take();
   out.resize(kSectorSize - 4, 0);
   uint32_t crc = Crc32c(out);
@@ -113,6 +115,10 @@ Result<Superblock> Superblock::Decode(ByteSpan sector) {
   S4_ASSIGN_OR_RETURN(sb.checkpoint_b, dec.U64());
   S4_ASSIGN_OR_RETURN(sb.checkpoint_sectors, dec.U32());
   S4_ASSIGN_OR_RETURN(sb.first_segment, dec.U64());
+  // Pre-chain volumes never wrote these fields; the sector's zero padding
+  // decodes as 0 ("no marker"), which is exactly the legacy meaning.
+  S4_ASSIGN_OR_RETURN(sb.audit_marker_a, dec.U64());
+  S4_ASSIGN_OR_RETURN(sb.audit_marker_b, dec.U64());
   return sb;
 }
 

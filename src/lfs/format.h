@@ -94,6 +94,11 @@ struct Superblock {
   DiskAddr checkpoint_b = 0;
   uint32_t checkpoint_sectors = 0; // size of each checkpoint region
   DiskAddr first_segment = 0;      // first sector of segment 0
+  // Audit commit marker sectors (A/B alternating by generation parity; see
+  // src/journal/commit_marker.h). 0 on pre-chain volumes: chain verification
+  // then treats the whole audit object as uncommitted tail.
+  DiskAddr audit_marker_a = 0;
+  DiskAddr audit_marker_b = 0;
 
   DiskAddr SegmentStart(SegmentId seg) const {
     return first_segment + static_cast<uint64_t>(seg) * segment_sectors;

@@ -1,5 +1,7 @@
 #include "src/rpc/client.h"
 
+#include "src/audit/audit_chain.h"
+
 namespace s4 {
 
 Result<RpcResponse> S4Client::Call(RpcRequest req) {
@@ -233,6 +235,38 @@ Status S4Client::SetWindow(SimDuration window) {
   req.window = window;
   S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
   return resp.ToStatus();
+}
+
+Status S4Client::AuditChallenge(AuditChainState* saved) {
+  while (true) {
+    RpcRequest req;
+    req.op = RpcOp::kAuditChallenge;
+    req.offset = saved->next_offset;
+    S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+    S4_RETURN_IF_ERROR(resp.ToStatus());
+    Decoder dec(resp.data);
+    AuditChainState claimed;
+    S4_ASSIGN_OR_RETURN(claimed.next_seq, dec.U64());
+    S4_ASSIGN_OR_RETURN(claimed.next_offset, dec.U64());
+    S4_ASSIGN_OR_RETURN(claimed.link, dec.U32());
+    S4_ASSIGN_OR_RETURN(Bytes frames, dec.RawBytes(dec.remaining()));
+    if (claimed.next_offset < saved->next_offset) {
+      return Status::DataCorruption(
+          "audit challenge failed: drive chain end is behind the saved state");
+    }
+    S4_RETURN_IF_ERROR(VerifyChallengeProof(frames, saved));
+    if (saved->next_offset >= claimed.next_offset) {
+      // Caught up: the drive's claimed end must be the state we verified.
+      if (!(*saved == claimed)) {
+        return Status::DataCorruption(
+            "audit challenge failed: claimed end state diverges from verified chain");
+      }
+      return Status::Ok();
+    }
+    if (frames.empty()) {
+      return Status::DataCorruption("audit challenge failed: drive made no progress");
+    }
+  }
 }
 
 Result<std::vector<std::pair<SimTime, uint8_t>>> S4Client::GetVersionList(ObjectId id) {

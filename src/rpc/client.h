@@ -43,6 +43,15 @@ class S4Client {
   Status FlushObject(ObjectId id, SimTime from, SimTime to);
   Status SetWindow(SimDuration window);
   Result<std::vector<std::pair<SimTime, uint8_t>>> GetVersionList(ObjectId id);
+  // Challenge/response audit verification (admin-only). `saved` is the chain
+  // state this auditor last verified (genesis AuditChainState{} on the first
+  // run). Iterates challenge rounds, verifying each returned frame span as a
+  // whole-frame chain continuation of `saved`, until it catches up with the
+  // drive's claimed committed chain end; on success `saved` has advanced to
+  // that end. Any divergence — wrong link, wrong seq, wrong self-address, a
+  // shrunk chain — fails with DataCorruption and leaves `saved` at the last
+  // verified state.
+  Status AuditChallenge(AuditChainState* saved);
 
   // Sends a raw single-op request (creds stamped from this client).
   Result<RpcResponse> Call(RpcRequest req);

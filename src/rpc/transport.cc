@@ -207,6 +207,21 @@ RpcResponse S4RpcServer::Dispatch(OpContext& ctx, const RpcRequest& req) {
       }
       break;
     }
+    case RpcOp::kAuditChallenge: {
+      auto r = drive_->AuditChallenge(ctx, req.offset);
+      set_status(r.status());
+      if (r.ok()) {
+        // Proof wire form: claimed chain end (seq, offset, link) followed by
+        // the raw whole-frame bytes for this round.
+        Encoder enc(20 + r->frames.size());
+        enc.PutU64(r->end_state.next_seq);
+        enc.PutU64(r->end_state.next_offset);
+        enc.PutU32(r->end_state.link);
+        enc.PutBytes(r->frames);
+        resp.data = enc.Take();
+      }
+      break;
+    }
     case RpcOp::kInvalid:
     default:
       // Decode rejects out-of-range op bytes, so this is unreachable from the

@@ -105,6 +105,16 @@ class CrashHarness {
     ASSERT_TRUE(mounted.ok()) << "remount failed: " << mounted.status().ToString();
     run.drive = std::move(*mounted);
 
+    // Invariant 5 first: recovering the same media twice is idempotent —
+    // same audit chain state, same clean-tail-vs-tamper classification. Must
+    // run before the other verifications, whose audited admin ops (version
+    // lists, time-based reads) would themselves extend the chain and make
+    // the two mounts' states incomparable.
+    VerifyRecoveryIdempotent(run);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+
     VerifySnapshots(run);
     VerifyVersionMonotonicity(run);
     VerifyAuditLog(run);
@@ -153,6 +163,13 @@ class CrashHarness {
     std::vector<Snapshot> snapshots;
     std::vector<PendingSub> pending;  // batched mode: unsent sub-ops
     size_t failed_at = kNoFailure;  // first script op that did not return OK
+    // Audit accounting: ops acknowledged in total, and as of the last
+    // acknowledged Sync. The Sync body forces the buffered audit tail
+    // durable before the ack, so after a crash the recovered log must hold
+    // at least one record per op acked before that Sync — a power cut loses
+    // at most the post-last-sync tail.
+    uint64_t acked_ops = 0;
+    uint64_t acked_ops_at_last_sync = 0;
   };
 
   Run StartRun() {
@@ -254,6 +271,9 @@ class CrashHarness {
         case ScriptOp::kSync: {
           ok = run->client->Sync().ok();
           if (ok) {
+            // The Sync body flushed every record buffered before it; the
+            // Sync's own record may still ride the next flush.
+            run->acked_ops_at_last_sync = run->acked_ops;
             // Everything acknowledged so far is now durable: snapshot it.
             Snapshot snap;
             snap.time = run->clock->Now();
@@ -267,6 +287,7 @@ class CrashHarness {
         run->failed_at = i;
         return;
       }
+      ++run->acked_ops;
     }
   }
 
@@ -293,6 +314,7 @@ class CrashHarness {
         m.deleted = false;
         m.id = *r;
         m.content.clear();
+        ++run->acked_ops;
         return true;
       }
       case ScriptOp::kWrite: {
@@ -398,7 +420,14 @@ class CrashHarness {
       if (p.apply) {
         p.apply(run);
       }
-      synced = synced || p.req.op == RpcOp::kSync;
+      if (p.req.op == RpcOp::kSync) {
+        // Sub-ops before the Sync in this batch had their records flushed
+        // by the Sync sub-op's body.
+        run->acked_ops_at_last_sync = run->acked_ops;
+        synced = true;
+      } else {
+        ++run->acked_ops;
+      }
     }
     run->pending.clear();
     if (synced) {
@@ -468,11 +497,44 @@ class CrashHarness {
     }
   }
 
-  // Invariant 3: the audit log decodes as a valid prefix.
+  // Invariant 3: the audit log decodes as a valid prefix, the power cut is
+  // classified as a torn flush (never tampering), and at most the
+  // post-last-sync tail of records is missing.
   void VerifyAuditLog(Run& run) {
     auto records = run.drive->QueryAudit(Admin(), AuditQuery{});
     EXPECT_TRUE(records.ok()) << "audit log unreadable after recovery: "
                               << records.status().ToString();
+    const MetricRegistry& reg = run.drive->metrics();
+    EXPECT_EQ(reg.CounterValue("audit.chain_breaks"), 0u)
+        << "power cut misclassified as tampering (chain break)";
+    if (records.ok()) {
+      // One record per acknowledged RPC, and the Sync body forces the
+      // buffered tail durable before acking — so everything acked before
+      // the last acknowledged Sync must have survived.
+      EXPECT_GE(records->size(), run.acked_ops_at_last_sync)
+          << "audit records acked before the last Sync were lost";
+    }
+  }
+
+  // Recovery idempotence: mounting the same post-crash media again must land
+  // on the identical audit-chain state and still report no tampering (the
+  // first mount's clean-tail trim, if any, must be repeatable).
+  void VerifyRecoveryIdempotent(Run& run) {
+    AuditChainState first = run.drive->DebugAuditChainState();
+    uint64_t clean_tails = run.drive->metrics().CounterValue("audit.clean_tail_truncations");
+    run.drive.reset();
+    auto again = S4Drive::Mount(run.device.get(), run.clock.get(), options_);
+    ASSERT_TRUE(again.ok()) << "second remount failed: " << again.status().ToString();
+    run.drive = std::move(*again);
+    EXPECT_TRUE(run.drive->DebugAuditChainState() == first)
+        << "audit chain state differs between two recoveries of the same media";
+    EXPECT_EQ(run.drive->metrics().CounterValue("audit.chain_breaks"), 0u)
+        << "second recovery flagged tampering that the first did not";
+    // The first mount's trim only becomes durable at its next checkpoint;
+    // dropping it cold leaves the same media, so the second mount repeats
+    // the same classification.
+    EXPECT_EQ(run.drive->metrics().CounterValue("audit.clean_tail_truncations"), clean_tails)
+        << "clean-tail classification not idempotent";
   }
 
   std::vector<ScriptOp> script_;

@@ -161,10 +161,11 @@ TEST_F(DriveFaultTest, TransientReadErrorSurfacesAsUnavailable) {
   EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
 
   // The faults are transient, but one drive-level read touches several LBAs
-  // (inode, indirect, data), each armed with its own single-shot error —
-  // retry until the schedule drains.
+  // (inode, journal, data — and with chained audit enabled, audit blocks
+  // interleave and shift the layout), each armed with its own single-shot
+  // error — retry until the schedule drains.
   Bytes again;
-  for (int attempt = 0; attempt < 10; ++attempt) {
+  for (int attempt = 0; attempt < 30; ++attempt) {
     auto retry = drive_->Read(User(1), id, 0, kBlockSize);
     if (retry.ok()) {
       again = std::move(*retry);
@@ -319,6 +320,54 @@ TEST(CrashSweepTest, BatchedGroupCommitCleanCutAtEveryWriteBoundary) {
 
   for (uint64_t k = 1; k <= n; ++k) {
     harness.RunCrashPoint(k, /*torn_tail=*/false);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Audit-chain sweep: many tiny metadata ops with frequent Syncs, so most
+// write boundaries are audit-block flushes (the commit marker itself only
+// advances at checkpoints/unmount and so lags every cut point here). Every
+// cut — clean or torn — must recover as a clean tail (never a chain break),
+// idempotently, losing at most the post-last-sync records. The harness
+// checks all of that in VerifyAuditLog/VerifyRecoveryIdempotent.
+// ---------------------------------------------------------------------------
+
+std::vector<ScriptOp> AuditHeavyScript() {
+  std::vector<ScriptOp> script;
+  script.push_back(Op(ScriptOp::kCreate, 0));
+  for (int round = 0; round < 10; ++round) {
+    script.push_back(Op(ScriptOp::kWrite, 0, 0, 64, static_cast<uint8_t>(0x10 + round)));
+    ScriptOp acl = Op(ScriptOp::kSetAcl, 0);
+    acl.acl = AclEntry{2, kPermRead};
+    script.push_back(acl);
+    script.push_back(Op(ScriptOp::kTruncate, 0, 0, 32));
+    script.push_back(Op(ScriptOp::kSync, 0));
+  }
+  return script;
+}
+
+TEST(CrashSweepTest, AuditChainCleanCutAtEveryFlushBoundary) {
+  CrashHarness harness(AuditHeavyScript(), SweepOptions());
+  uint64_t n = harness.CountWritePoints();
+  ASSERT_GE(n, 8u) << "audit workload produced too few write boundaries";
+  std::cerr << "[ sweep    ] " << n << " write boundaries (audit-heavy)\n";
+  for (uint64_t k = 1; k <= n; ++k) {
+    harness.RunCrashPoint(k, /*torn_tail=*/false);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(CrashSweepTest, AuditChainTornTailAtEveryFlushBoundary) {
+  CrashHarness harness(AuditHeavyScript(), SweepOptions());
+  uint64_t n = harness.CountWritePoints();
+  ASSERT_GE(n, 8u) << "audit workload produced too few write boundaries";
+  for (uint64_t k = 1; k <= n; ++k) {
+    harness.RunCrashPoint(k, /*torn_tail=*/true);
     if (::testing::Test::HasFatalFailure()) {
       return;
     }

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "src/audit/audit_chain.h"
+#include "src/audit/audit_log.h"
 #include "src/fs/dir_format.h"
 #include "src/journal/entry.h"
 #include "src/rpc/messages.h"
@@ -193,6 +195,65 @@ std::vector<Bytes> DirFormatBases() {
   return bases;
 }
 
+std::vector<Bytes> AuditChainBases() {
+  std::vector<Bytes> bases;
+
+  auto record = [](uint64_t i) {
+    AuditRecord rec;
+    rec.time = static_cast<SimTime>(10000 + i * 31);
+    rec.client = static_cast<ClientId>(1 + i % 4);
+    rec.user = static_cast<UserId>(100 + i);
+    rec.op = (i % 3 == 0) ? RpcOp::kWrite : RpcOp::kRead;
+    rec.object = 7 + i;
+    rec.offset = i * 512;
+    rec.length = 64 + i;
+    rec.result = static_cast<uint8_t>(i % 2);
+    rec.time_based = i % 5 == 0;
+    return rec;
+  };
+
+  // Single frame from genesis.
+  {
+    AuditChainState state;
+    Encoder enc;
+    AppendChainFrame(record(0), &state, &enc);
+    bases.push_back(enc.Take());
+  }
+  // A multi-frame chain, as the verifier walks it at mount.
+  {
+    AuditChainState state;
+    Encoder enc;
+    for (uint64_t i = 0; i < 8; ++i) {
+      AppendChainFrame(record(i), &state, &enc);
+    }
+    bases.push_back(enc.Take());
+  }
+  // A chain NOT starting at genesis (frames from a challenge round mid-way
+  // through the object): from-genesis scanning must reject it cleanly.
+  {
+    AuditChainState state;
+    state.next_seq = 40;
+    state.next_offset = 1337;
+    state.link = 0xABCD1234;
+    Encoder enc;
+    for (uint64_t i = 0; i < 3; ++i) {
+      AppendChainFrame(record(i), &state, &enc);
+    }
+    bases.push_back(enc.Take());
+  }
+  // A legacy (unframed) record stream, which the chained scanner must
+  // classify rather than crash on and the legacy decoder must accept.
+  {
+    Encoder enc;
+    for (uint64_t i = 0; i < 6; ++i) {
+      record(i).EncodeTo(&enc);
+    }
+    bases.push_back(enc.Take());
+  }
+
+  return bases;
+}
+
 int Generate(const std::filesystem::path& out_root) {
   struct Target {
     const char* name;
@@ -203,6 +264,7 @@ int Generate(const std::filesystem::path& out_root) {
   targets.push_back({"rpc_frame", RpcFrameBases(), 0x5345454431u});
   targets.push_back({"journal_entry", JournalEntryBases(), 0x5345454432u});
   targets.push_back({"dir_format", DirFormatBases(), 0x5345454433u});
+  targets.push_back({"audit_chain", AuditChainBases(), 0x5345454434u});
 
   for (const auto& t : targets) {
     std::filesystem::path dir = out_root / t.name;

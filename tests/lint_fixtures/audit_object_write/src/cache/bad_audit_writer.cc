@@ -1,0 +1,13 @@
+// Negative fixture for S4L007: a component outside the drive's audit
+// append/trim path writing the reserved audit object. A cache layer that can
+// append to the chronicle could forge records from inside the trust boundary.
+#include "src/util/bytes.h"
+
+namespace s4 {
+
+void BadAuditWriter(SegmentWriter* writer, ByteSpan block) {
+  // VIOLATION: only src/drive/drive_ops.cc may mutate the audit object.
+  (void)writer->Append(RecordKind::kData, kAuditLogObjectId, 0, block);
+}
+
+}  // namespace s4

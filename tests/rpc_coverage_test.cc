@@ -68,6 +68,26 @@ TEST_F(RpcCoverageTest, AllNineteenOpsRoundTrip) {
   ASSERT_OK(alice_->Delete(id));
 }
 
+TEST_F(RpcCoverageTest, AuditChallengeRoundTripsOverTheWire) {
+  ASSERT_OK_AND_ASSIGN(ObjectId id, alice_->Create({}));
+  ASSERT_OK(alice_->Write(id, 0, BytesOf("x")));
+  ASSERT_OK(alice_->Sync());
+
+  // The external auditor verifies the whole chain from genesis, then only
+  // the new frames on the next challenge.
+  AuditChainState saved;
+  ASSERT_OK(admin_client_->AuditChallenge(&saved));
+  EXPECT_GT(saved.next_seq, 0u);
+  uint64_t seq = saved.next_seq;
+  ASSERT_OK(alice_->Write(id, 0, BytesOf("y")));
+  ASSERT_OK(admin_client_->AuditChallenge(&saved));
+  EXPECT_GT(saved.next_seq, seq);
+
+  // Challenges are an admin capability.
+  AuditChainState theirs;
+  EXPECT_EQ(alice_->AuditChallenge(&theirs).code(), ErrorCode::kPermissionDenied);
+}
+
 TEST_F(RpcCoverageTest, TimeBasedAccessColumnMatchesTable1) {
   ASSERT_OK_AND_ASSIGN(ObjectId id, alice_->Create(BytesOf("v1-attrs")));
   ASSERT_OK(alice_->Write(id, 0, BytesOf("version one")));

@@ -108,6 +108,14 @@ def compare_one(name, base, cur, threshold):
             get(base, "cleaner", "steady_state", "ratio"),
             get(cur, "cleaner", "steady_state", "ratio"), invert=True)
 
+    if get(base, "audit") or get(cur, "audit"):
+        row("audit.postmark_chained_s", get(base, "audit", "postmark_chained_s"),
+            get(cur, "audit", "postmark_chained_s"))
+        row("audit.chain_overhead_pct", get(base, "audit", "chain_overhead_pct"),
+            get(cur, "audit", "chain_overhead_pct"))
+        row("audit.blocks_written", get(base, "audit", "blocks_written"),
+            get(cur, "audit", "blocks_written"))
+
     if get(base, "recovery") or get(cur, "recovery"):
         bpts = points_by("recovery", "journal_mb", base)
         cpts = points_by("recovery", "journal_mb", cur)

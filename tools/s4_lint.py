@@ -26,6 +26,11 @@ flows through the audited, versioning write path):
                               same or preceding line saying why it is safe.
   S4L006 include-layering     #include edges between src/ subdirectories must
                               stay within the declared layering DAG.
+  S4L007 audit-object-write   Only the drive's audit append/trim path may
+                              mutate the reserved audit object
+                              (kAuditLogObjectId). Any other writer could
+                              forge or destroy the tamper-evident chronicle
+                              from inside the trust boundary.
 
 Usage:
   tools/s4_lint.py [--root DIR]     lint a tree (default: repo root)
@@ -113,6 +118,17 @@ LAYERING = {
     "util":     set(),
     "workload": {"delta", "fs", "sim", "util"},
 }
+
+# S4L007: files allowed to pass kAuditLogObjectId into a mutating storage
+# call. AppendAuditBuffered and TrimAuditObject (both in drive_ops.cc) are
+# the only sanctioned writers of the audit object; everything else may only
+# read it (QueryAudit, challenge rounds, mount verification).
+AUDIT_OBJECT_WRITE_ALLOWLIST = (
+    "src/drive/drive_ops.cc",
+)
+AUDIT_OBJECT_WRITE_PATTERN = re.compile(
+    r"\b(?:Append|SupersedeBlock|ApplyBlockWrite|BuildBlockContent|Write|"
+    r"Truncate)\s*\([^)]*\bkAuditLogObjectId\b")
 
 # ---------------------------------------------------------------------------
 # Helpers
@@ -292,14 +308,16 @@ def check_op_audit_pipeline(root):
 
     # 3. Every OpArgs must reach Execute: an OpArgs constructed but never
     #    passed to Execute means the body runs outside the audit pipeline.
+    #    Both `return Execute(ctx, ...)` and `<var> = Execute(ctx, ...)` count
+    #    (the purge ops capture the result to run a post-op audit barrier).
     for rel, text in drive_texts.items():
         n_args = len(re.findall(r"\bOpArgs\s+\w+\s*\{\s*RpcOp::", text))
-        n_exec = len(re.findall(r"\breturn\s+Execute\s*\(\s*ctx\s*,", text))
+        n_exec = len(re.findall(r"(?:\breturn\s+|=\s*)Execute\s*\(\s*ctx\s*,", text))
         if n_args != n_exec:
             findings.append(Finding(
                 "S4L002", rel, 0,
                 f"{n_args} OpArgs construction(s) but {n_exec} "
-                "`return Execute(ctx, ...)` call(s): every op body must go "
+                "Execute(ctx, ...) call(s): every op body must go "
                 "through the Execute audit pipeline exactly once"))
     return findings
 
@@ -383,6 +401,23 @@ def check_include_layering(root):
     return findings
 
 
+def check_audit_object_write(root):
+    findings = []
+    for full, rel in iter_source_files(root, ["src"]):
+        if rel.startswith(AUDIT_OBJECT_WRITE_ALLOWLIST):
+            continue
+        code = strip_comments_and_strings(read(full))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if AUDIT_OBJECT_WRITE_PATTERN.search(line):
+                findings.append(Finding(
+                    "S4L007", rel, lineno,
+                    "mutating call targeting the reserved audit object "
+                    "outside the drive's audit append/trim path "
+                    "(src/drive/drive_ops.cc); the chronicle is only "
+                    "tamper-evident if nothing else can write it"))
+    return findings
+
+
 RULES = [
     check_raw_device_write,
     check_op_audit_pipeline,
@@ -390,6 +425,7 @@ RULES = [
     check_no_throw,
     check_void_discard_comment,
     check_include_layering,
+    check_audit_object_write,
 ]
 
 
@@ -412,6 +448,7 @@ FIXTURE_EXPECTATIONS = {
     "no_throw": {"S4L004"},
     "void_discard": {"S4L005"},
     "include_layering": {"S4L006"},
+    "audit_object_write": {"S4L007"},
     "clean": set(),
 }
 
