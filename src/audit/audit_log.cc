@@ -73,6 +73,8 @@ const char* RpcOpName(RpcOp op) {
       return "Batch";
     case RpcOp::kAuditChallenge:
       return "AuditChallenge";
+    case RpcOp::kXorWrite:
+      return "XorWrite";
   }
   return "Unknown";
 }

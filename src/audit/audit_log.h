@@ -57,10 +57,15 @@ enum class RpcOp : uint8_t {
   // drive to prove its audit chain still extends a previously saved
   // (seq, offset, link) state. Admin-only; see src/audit/audit_chain.h.
   kAuditChallenge = 22,
+  // RAID-style small-write offload (not in Table 1): dst = dst XOR payload at
+  // the given offset, extending the object with zeros as needed. One such op
+  // lets an array controller maintain XOR parity without a read round-trip;
+  // versioned like kWrite so parity history stays reconstructable.
+  kXorWrite = 23,
 };
 
 // Highest RpcOp value (codec bound checks).
-inline constexpr uint8_t kMaxRpcOp = 22;
+inline constexpr uint8_t kMaxRpcOp = 23;
 
 const char* RpcOpName(RpcOp op);
 

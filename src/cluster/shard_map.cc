@@ -1,0 +1,255 @@
+#include "src/cluster/shard_map.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/codec.h"
+
+namespace s4 {
+namespace {
+
+constexpr uint32_t kShardMapMagic = 0x5334534Du;  // "S4SM"
+constexpr uint32_t kShardMapVersion = 1;
+
+// splitmix64 finalizer: a stable, well-mixed hash so gid->slot placement is
+// identical across builds and sessions (the map is persisted state).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardMap ShardMap::Fresh(uint32_t shard_count, bool parity_enabled) {
+  ShardMap m;
+  Epoch e;
+  e.from_gid = kFirstUserObjectId;
+  e.shard_count = shard_count;
+  for (uint32_t i = 0; i < kSlots; ++i) {
+    e.slots[i] = static_cast<uint8_t>(i % shard_count);
+  }
+  m.epochs_.push_back(e);
+  m.parity_enabled_ = parity_enabled && shard_count >= 2;
+  m.InitEpochState();
+  return m;
+}
+
+void ShardMap::InitEpochState() {
+  uint32_t shards = epochs_.back().shard_count;
+  next_backend_.assign(shards, kFirstUserObjectId + 1);  // +1: the map object
+  rotor_.assign(epochs_.size(), 0);
+  open_groups_.assign(epochs_.size(), {});
+  creation_order_.assign(shards, {});
+}
+
+Bytes ShardMap::Encode() const {
+  Encoder enc(32 + epochs_.size() * (kSlots + 16));
+  enc.PutU32(kShardMapMagic);
+  enc.PutU32(kShardMapVersion);
+  enc.PutU8(parity_enabled_ ? 1 : 0);
+  enc.PutVarint(epochs_.size());
+  for (const Epoch& e : epochs_) {
+    enc.PutVarint(e.from_gid);
+    enc.PutVarint(e.shard_count);
+    enc.PutBytes(ByteSpan(e.slots.data(), e.slots.size()));
+  }
+  enc.PutVarint(next_gid_);
+  return enc.Take();
+}
+
+Result<ShardMap> ShardMap::Decode(ByteSpan bytes) {
+  Decoder dec(bytes);
+  S4_ASSIGN_OR_RETURN(uint32_t magic, dec.U32());
+  if (magic != kShardMapMagic) {
+    return Status::DataCorruption("shard map: bad magic");
+  }
+  S4_ASSIGN_OR_RETURN(uint32_t version, dec.U32());
+  if (version != kShardMapVersion) {
+    return Status::DataCorruption("shard map: unknown version");
+  }
+  ShardMap m;
+  S4_ASSIGN_OR_RETURN(uint8_t parity, dec.U8());
+  m.parity_enabled_ = parity != 0;
+  S4_ASSIGN_OR_RETURN(uint64_t num_epochs, dec.Varint());
+  if (num_epochs == 0 || num_epochs > 4096) {
+    return Status::DataCorruption("shard map: bad epoch count");
+  }
+  uint32_t prev_count = 0;
+  ObjectId prev_from = 0;
+  for (uint64_t i = 0; i < num_epochs; ++i) {
+    Epoch e;
+    S4_ASSIGN_OR_RETURN(e.from_gid, dec.Varint());
+    S4_ASSIGN_OR_RETURN(uint64_t count, dec.Varint());
+    if (count == 0 || count > 255 || count < prev_count || e.from_gid < prev_from) {
+      return Status::DataCorruption("shard map: bad epoch");
+    }
+    e.shard_count = static_cast<uint32_t>(count);
+    S4_ASSIGN_OR_RETURN(Bytes slots, dec.RawBytes(kSlots));
+    for (uint32_t s = 0; s < kSlots; ++s) {
+      if (slots[s] >= e.shard_count) {
+        return Status::DataCorruption("shard map: slot out of range");
+      }
+      e.slots[s] = slots[s];
+    }
+    prev_count = e.shard_count;
+    prev_from = e.from_gid;
+    m.epochs_.push_back(e);
+  }
+  if (m.epochs_.front().from_gid != kFirstUserObjectId) {
+    return Status::DataCorruption("shard map: first epoch must start at the gid floor");
+  }
+  S4_ASSIGN_OR_RETURN(ObjectId floor, dec.Varint());
+  if (floor < kFirstUserObjectId) {
+    return Status::DataCorruption("shard map: floor below first gid");
+  }
+  m.InitEpochState();
+  // Replay the create sequence: this reconstructs every gid's backend id,
+  // parity group membership and each shard's creation order.
+  while (m.next_gid_ < floor) {
+    m.AllocateCreate();
+  }
+  return m;
+}
+
+size_t ShardMap::EpochIndexOf(ObjectId gid) const {
+  // Epochs are sorted by from_gid; find the last one at or below gid.
+  size_t idx = 0;
+  for (size_t i = 0; i < epochs_.size(); ++i) {
+    if (epochs_[i].from_gid <= gid) idx = i;
+  }
+  return idx;
+}
+
+uint32_t ShardMap::ShardOf(ObjectId gid) const {
+  const Epoch& e = epochs_[EpochIndexOf(gid)];
+  return e.slots[Mix64(gid) % kSlots];
+}
+
+ShardMap::CreateActions ShardMap::AllocateCreate() {
+  CreateActions a;
+  a.gid = next_gid_++;
+  size_t ei = EpochIndexOf(a.gid);
+  const Epoch& e = epochs_[ei];
+  uint32_t s = e.slots[Mix64(a.gid) % kSlots];
+  a.data_shard = s;
+
+  uint32_t width = std::min(e.shard_count - 1, kMaxLanes);
+  if (parity_enabled_ && width >= 1) {
+    // Join the oldest open group whose parity and existing members all avoid
+    // the data shard (single-failure recoverability needs distinct shards).
+    int32_t gidx = -1;
+    for (int32_t cand : open_groups_[ei]) {
+      const Group& g = groups_[static_cast<size_t>(cand)];
+      if (g.parity_shard == s) continue;
+      bool clash = false;
+      for (ObjectId m : g.members) {
+        if (gids_.at(m).shard == s) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        gidx = cand;
+        break;
+      }
+    }
+    if (gidx < 0) {
+      a.prev_rotor = rotor_[ei];
+      uint32_t p = rotor_[ei] % e.shard_count;
+      if (p == s) p = (p + 1) % e.shard_count;
+      rotor_[ei] = (p + 1) % e.shard_count;
+      Group g;
+      g.parity_shard = p;
+      g.parity_backend = next_backend_[p]++;
+      g.epoch = static_cast<uint32_t>(ei);
+      gidx = static_cast<int32_t>(groups_.size());
+      groups_.push_back(g);
+      open_groups_[ei].push_back(gidx);
+      ShardObjectRef ref;
+      ref.group = gidx;
+      ref.is_parity = true;
+      creation_order_[p].push_back(ref);
+      a.opens_group = true;
+    }
+    Group& g = groups_[static_cast<size_t>(gidx)];
+    a.group = gidx;
+    a.lane = static_cast<int32_t>(g.members.size());
+    a.parity_shard = g.parity_shard;
+    a.parity_backend = g.parity_backend;
+    g.members.push_back(a.gid);
+    if (g.members.size() >= width) {
+      auto& open = open_groups_[ei];
+      auto it = std::find(open.begin(), open.end(), gidx);
+      a.closed_group_pos = static_cast<int32_t>(it - open.begin());
+      open.erase(it);
+    }
+  }
+
+  a.data_backend = next_backend_[s]++;
+  gids_[a.gid] = GidInfo{a.gid, s, a.data_backend, a.group, a.lane};
+  ShardObjectRef ref;
+  ref.gid = a.gid;
+  ref.group = a.group;
+  creation_order_[s].push_back(ref);
+  return a;
+}
+
+void ShardMap::UndoCreate(const CreateActions& a) {
+  S4_CHECK(next_gid_ == a.gid + 1);  // must immediately follow its AllocateCreate
+  --next_gid_;
+  gids_.erase(a.gid);
+  creation_order_[a.data_shard].pop_back();
+  --next_backend_[a.data_shard];
+  if (a.group < 0) return;
+
+  size_t ei = groups_[static_cast<size_t>(a.group)].epoch;
+  if (a.closed_group_pos >= 0) {
+    // This create filled the group; reopen it at its original list position
+    // so replay of the surviving creates makes identical choices.
+    auto& open = open_groups_[ei];
+    open.insert(open.begin() + a.closed_group_pos, a.group);
+  }
+  Group& g = groups_[static_cast<size_t>(a.group)];
+  g.members.pop_back();
+  if (a.opens_group) {
+    auto& open = open_groups_[ei];
+    open.erase(std::find(open.begin(), open.end(), a.group));
+    groups_.pop_back();
+    --next_backend_[a.parity_shard];
+    creation_order_[a.parity_shard].pop_back();
+    rotor_[ei] = a.prev_rotor;
+  }
+}
+
+const ShardMap::GidInfo* ShardMap::Find(ObjectId gid) const {
+  auto it = gids_.find(gid);
+  return it == gids_.end() ? nullptr : &it->second;
+}
+
+Status ShardMap::AddEpoch(uint32_t new_shard_count) {
+  if (new_shard_count <= epochs_.back().shard_count) {
+    return Status::InvalidArgument("shard map: epochs can only grow the array");
+  }
+  if (parity_enabled_ && new_shard_count > kMaxLanes + 1) {
+    return Status::InvalidArgument("shard map: shard count exceeds parity lane limit");
+  }
+  if (new_shard_count > 255) {
+    return Status::InvalidArgument("shard map: shard count exceeds slot encoding");
+  }
+  Epoch e;
+  e.from_gid = next_gid_;
+  e.shard_count = new_shard_count;
+  for (uint32_t i = 0; i < kSlots; ++i) {
+    e.slots[i] = static_cast<uint8_t>(i % new_shard_count);
+  }
+  epochs_.push_back(e);
+  next_backend_.resize(new_shard_count, kFirstUserObjectId + 1);
+  rotor_.push_back(0);
+  open_groups_.push_back({});
+  creation_order_.resize(new_shard_count);
+  return Status::Ok();
+}
+
+}  // namespace s4

@@ -1,0 +1,145 @@
+// ShardMap: the deterministic object->shard map of a multi-drive S4 array.
+//
+// The router mints array-visible object ids ("gids") from a single monotone
+// counter. A gid's home shard is a pure function of the persisted map state:
+// the epoch covering the gid supplies a small slot table, indexed by a stable
+// hash of the gid. Growing the array appends a new epoch at the current gid
+// watermark — old gids keep routing through the epoch that placed them, so no
+// data moves.
+//
+// Backend ids (what each drive's own allocator returns) are never persisted
+// per object. S4Drive allocates ids sequentially, so the backend id of every
+// object is reproducible by replaying the create sequence: gids in ascending
+// order, with each parity-group open interleaving one parity-object create on
+// the group's parity shard. ShardMap::Decode performs that replay, which is
+// also what makes rebuild possible — CreationOrder() hands the rebuilder the
+// exact create sequence a lost shard must be re-issued.
+//
+// Parity placement is part of the same deterministic replay: each create in
+// an N-shard epoch joins the oldest open XOR group that has a free lane and
+// no member (or parity) on the data shard; when none fits, a new group opens
+// with its parity object on a rotating shard.
+#ifndef S4_SRC_CLUSTER_SHARD_MAP_H_
+#define S4_SRC_CLUSTER_SHARD_MAP_H_
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "src/object/types.h"
+#include "src/util/status.h"
+
+namespace s4 {
+
+class ShardMap {
+ public:
+  // Slot-table width per epoch. Small enough to persist on every shard,
+  // wide enough to balance a handful of drives.
+  static constexpr uint32_t kSlots = 64;
+  // Upper bound on members per parity group (so lane directories have a
+  // fixed layout). Supports arrays up to kMaxLanes+1 shards.
+  static constexpr uint32_t kMaxLanes = 8;
+
+  struct GidInfo {
+    ObjectId gid = 0;
+    uint32_t shard = 0;       // data shard index
+    ObjectId backend = 0;     // backend id on the data shard
+    int32_t group = -1;       // parity group index, -1 = unprotected
+    int32_t lane = -1;        // lane within the group
+  };
+
+  struct Group {
+    uint32_t parity_shard = 0;
+    ObjectId parity_backend = 0;  // backend id of the parity object
+    uint32_t epoch = 0;
+    std::vector<ObjectId> members;  // lane order
+  };
+
+  // Everything one create decides, returned so the caller can issue the
+  // physical creates (and undo the allocation if the data create fails).
+  struct CreateActions {
+    ObjectId gid = 0;
+    uint32_t data_shard = 0;
+    ObjectId data_backend = 0;
+    int32_t group = -1;
+    int32_t lane = -1;
+    bool opens_group = false;     // a parity object must be created too
+    uint32_t parity_shard = 0;    // valid when group >= 0
+    ObjectId parity_backend = 0;  // valid when group >= 0
+    // Undo bookkeeping (never persisted).
+    uint32_t prev_rotor = 0;
+    int32_t closed_group_pos = -1;  // open-list position if this create filled the group
+  };
+
+  // One entry in a shard's deterministic create sequence.
+  struct ShardObjectRef {
+    ObjectId gid = 0;    // data objects only
+    int32_t group = -1;  // parity objects only (index into groups)
+    bool is_parity = false;
+  };
+
+  static ShardMap Fresh(uint32_t shard_count, bool parity_enabled);
+  // Decodes epochs + the gid floor, then replays the create sequence to
+  // rebuild per-gid and per-group state.
+  static Result<ShardMap> Decode(ByteSpan bytes);
+  Bytes Encode() const;
+
+  uint32_t shard_count() const { return epochs_.back().shard_count; }
+  bool parity_enabled() const { return parity_enabled_; }
+  ObjectId next_gid() const { return next_gid_; }
+  bool Contains(ObjectId gid) const { return gids_.count(gid) != 0; }
+
+  uint32_t ShardOf(ObjectId gid) const;
+  // Where the next create's data object would land (health pre-check).
+  uint32_t NextCreateDataShard() const { return ShardOf(next_gid_); }
+
+  // Commits the next create: advances the gid counter, the per-shard backend
+  // cursors, and parity-group state.
+  CreateActions AllocateCreate();
+  // Rolls back the immediately preceding AllocateCreate (no other allocation
+  // may have happened in between). Used when the physical data create fails.
+  void UndoCreate(const CreateActions& a);
+
+  const GidInfo* Find(ObjectId gid) const;
+  const Group& group(int32_t g) const { return groups_[static_cast<size_t>(g)]; }
+  size_t group_count() const { return groups_.size(); }
+
+  // Appends a growth epoch at the current gid watermark.
+  Status AddEpoch(uint32_t new_shard_count);
+
+  // The exact create sequence of one shard (excluding its map object, which
+  // is always the shard's first create).
+  const std::vector<ShardObjectRef>& CreationOrder(uint32_t shard) const {
+    return creation_order_[shard];
+  }
+  // The backend id the shard's allocator must hand out next if it is in
+  // lockstep with this map.
+  ObjectId ExpectedNextBackend(uint32_t shard) const { return next_backend_[shard]; }
+
+ private:
+  struct Epoch {
+    ObjectId from_gid = 0;
+    uint32_t shard_count = 0;
+    std::array<uint8_t, kSlots> slots{};
+  };
+
+  ShardMap() = default;
+  size_t EpochIndexOf(ObjectId gid) const;
+  void InitEpochState();
+
+  std::vector<Epoch> epochs_;
+  bool parity_enabled_ = false;
+  ObjectId next_gid_ = kFirstUserObjectId;
+
+  // Replay-derived state (not persisted).
+  std::vector<ObjectId> next_backend_;
+  std::unordered_map<ObjectId, GidInfo> gids_;
+  std::vector<Group> groups_;
+  std::vector<uint32_t> rotor_;                    // per epoch
+  std::vector<std::vector<int32_t>> open_groups_;  // per epoch, FIFO
+  std::vector<std::vector<ShardObjectRef>> creation_order_;  // per shard
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_CLUSTER_SHARD_MAP_H_

@@ -226,6 +226,33 @@ Result<uint64_t> S4Drive::Append(const Credentials& creds, ObjectId id, ByteSpan
   return Append(ctx, id, data);
 }
 
+Status S4Drive::XorWrite(OpContext& ctx, ObjectId id, uint64_t offset, ByteSpan data) {
+  OpArgs a{RpcOp::kXorWrite};
+  a.object = id;
+  a.offset = offset;
+  a.length = data.size();
+  a.admission_bytes = data.size();
+  return Execute(ctx, a, [&](OpArgs& args) -> Status {
+    S4_ASSIGN_OR_RETURN(ObjectHandle obj, ResolveForWrite(ctx.creds, id, kPermWrite));
+    Bytes mixed(data.begin(), data.end());
+    if (!mixed.empty()) {
+      // Bytes past the current size XOR against zeros, so only the resident
+      // prefix needs reading.
+      S4_ASSIGN_OR_RETURN(Bytes old, ReadCurrent(*obj, offset, mixed.size()));
+      for (size_t i = 0; i < old.size(); ++i) {
+        mixed[i] = static_cast<uint8_t>(mixed[i] ^ old[i]);
+      }
+    }
+    return WriteBody(ctx, args, id, offset, mixed, /*is_append=*/false);
+  });
+}
+
+Status S4Drive::XorWrite(const Credentials& creds, ObjectId id, uint64_t offset,
+                         ByteSpan data) {
+  OpContext ctx = MakeContext(creds, RpcOp::kXorWrite);
+  return XorWrite(ctx, id, offset, data);
+}
+
 Result<Bytes> S4Drive::ReadCurrent(const CachedObject& obj, uint64_t offset, uint64_t length) {
   uint64_t size = obj.inode.attrs.size;
   if (offset >= size) {

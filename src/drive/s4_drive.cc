@@ -73,6 +73,8 @@ const char* DriveOpSpanName(RpcOp op) {
       return "drive.Batch";
     case RpcOp::kAuditChallenge:
       return "drive.AuditChallenge";
+    case RpcOp::kXorWrite:
+      return "drive.XorWrite";
   }
   return "drive.Unknown";
 }

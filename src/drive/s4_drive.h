@@ -98,6 +98,13 @@ class S4Drive {
   // Appends at end-of-object; returns the new size.
   Result<uint64_t> Append(OpContext& ctx, ObjectId id, ByteSpan data);
   Result<uint64_t> Append(const Credentials& creds, ObjectId id, ByteSpan data);
+
+  // dst = dst XOR data over [offset, offset+len); bytes beyond the current
+  // size XOR against implicit zeros (so the object grows like a write). The
+  // RAID small-write offload: an array controller sends one XorWrite instead
+  // of read-parity + write-parity.
+  Status XorWrite(OpContext& ctx, ObjectId id, uint64_t offset, ByteSpan data);
+  Status XorWrite(const Credentials& creds, ObjectId id, uint64_t offset, ByteSpan data);
   Status Truncate(OpContext& ctx, ObjectId id, uint64_t new_size);
   Status Truncate(const Credentials& creds, ObjectId id, uint64_t new_size);
   Result<ObjectAttrs> GetAttr(OpContext& ctx, ObjectId id,

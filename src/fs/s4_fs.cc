@@ -21,7 +21,7 @@ FileAttr MakeAttr(const NfsAttrBlob& blob, uint64_t size, SimTime mtime, SimTime
 
 }  // namespace
 
-S4FileSystem::S4FileSystem(S4Client* client, S4FileSystemOptions options)
+S4FileSystem::S4FileSystem(S4ClientApi* client, S4FileSystemOptions options)
     : client_(client), options_(options), dir_cache_(kDirCacheBytes),
       attr_cache_(kAttrCacheBytes) {
   if (options_.group_commit_ops == 0) {
@@ -34,7 +34,7 @@ S4FileSystem::~S4FileSystem() {
   (void)Commit();
 }
 
-Result<std::unique_ptr<S4FileSystem>> S4FileSystem::Format(S4Client* client,
+Result<std::unique_ptr<S4FileSystem>> S4FileSystem::Format(S4ClientApi* client,
                                                            const std::string& partition,
                                                            S4FileSystemOptions options) {
   NfsAttrBlob root_attr;
@@ -49,7 +49,7 @@ Result<std::unique_ptr<S4FileSystem>> S4FileSystem::Format(S4Client* client,
   return fs;
 }
 
-Result<std::unique_ptr<S4FileSystem>> S4FileSystem::Mount(S4Client* client,
+Result<std::unique_ptr<S4FileSystem>> S4FileSystem::Mount(S4ClientApi* client,
                                                           const std::string& partition,
                                                           S4FileSystemOptions options) {
   S4_ASSIGN_OR_RETURN(ObjectId root, client->PMount(partition));

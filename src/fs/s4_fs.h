@@ -50,11 +50,11 @@ class S4FileSystem : public FileSystemApi {
  public:
   // Creates a fresh file system: makes the root directory object and binds
   // it to the partition name.
-  static Result<std::unique_ptr<S4FileSystem>> Format(S4Client* client,
+  static Result<std::unique_ptr<S4FileSystem>> Format(S4ClientApi* client,
                                                       const std::string& partition,
                                                       S4FileSystemOptions options = {});
   // Attaches to an existing file system (PMount).
-  static Result<std::unique_ptr<S4FileSystem>> Mount(S4Client* client,
+  static Result<std::unique_ptr<S4FileSystem>> Mount(S4ClientApi* client,
                                                      const std::string& partition,
                                                      S4FileSystemOptions options = {});
 
@@ -79,7 +79,7 @@ class S4FileSystem : public FileSystemApi {
   Result<std::string> ReadLink(FileHandle link) override;
 
   const S4FileSystemStats& stats() const { return stats_; }
-  S4Client* client() { return client_; }
+  S4ClientApi* client() { return client_; }
   const S4FileSystemOptions& options() const { return options_; }
 
   // Forces any deferred sync to the drive now (a group-commit boundary).
@@ -89,7 +89,7 @@ class S4FileSystem : public FileSystemApi {
   Status Commit();
 
  private:
-  S4FileSystem(S4Client* client, S4FileSystemOptions options);
+  S4FileSystem(S4ClientApi* client, S4FileSystemOptions options);
 
   Result<ParsedDir*> LoadDir(FileHandle dir);
   Status AppendDirRecord(FileHandle dir, const DirRecord& record, bool then_sync = false);
@@ -107,7 +107,7 @@ class S4FileSystem : public FileSystemApi {
   // frame (one round-trip).
   Status MutateThenSyncOp(RpcRequest req);
 
-  S4Client* client_;
+  S4ClientApi* client_;
   S4FileSystemOptions options_;
   FileHandle root_ = 0;
   uint32_t unsynced_ops_ = 0;  // mutating ops since the last Sync RPC

@@ -27,6 +27,9 @@ struct OpContext {
   Credentials creds;
   RpcOp op = RpcOp::kRead;
   SimTime start_time = 0;
+  // Which shard of a multi-drive array is serving this request; -1 for a
+  // standalone drive. Stamped at the S4RpcServer boundary.
+  int32_t shard = -1;
 
   // Wiring; null members degrade gracefully (spans become no-ops).
   SimClock* clock = nullptr;

@@ -11,7 +11,7 @@ std::string Tracer::ToChromeJson() const {
   for (const TraceEvent& e : events_) {
     out << (first ? "" : ",") << "\n  {\"name\": \"" << e.name
         << "\", \"ph\": \"X\", \"ts\": " << e.start << ", \"dur\": " << e.duration
-        << ", \"pid\": 1, \"tid\": " << e.request_id << ", \"args\": {\"depth\": "
+        << ", \"pid\": " << pid_ << ", \"tid\": " << e.request_id << ", \"args\": {\"depth\": "
         << static_cast<int>(e.depth) << "}}";
     first = false;
   }

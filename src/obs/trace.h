@@ -52,7 +52,12 @@ class Tracer {
     dropped_ = 0;
   }
 
-  // {"traceEvents": [{"name":..., "ph":"X", "ts":..., "dur":..., "pid":1,
+  // Process lane for the chrome JSON dump. A sharded array sets one pid per
+  // shard so each drive's spans land in their own track; 1 = standalone.
+  void set_pid(int pid) { pid_ = pid; }
+  int pid() const { return pid_; }
+
+  // {"traceEvents": [{"name":..., "ph":"X", "ts":..., "dur":..., "pid":<pid>,
   //  "tid":<request id>}, ...]} — loadable in chrome://tracing or Perfetto.
   std::string ToChromeJson() const;
 
@@ -61,6 +66,7 @@ class Tracer {
   uint64_t last_request_id_ = 0;
   uint64_t dropped_ = 0;
   bool enabled_ = true;
+  int pid_ = 1;
 };
 
 }  // namespace s4

@@ -12,16 +12,26 @@ Result<RpcResponse> S4Client::Call(RpcRequest req) {
 }
 
 Result<std::vector<RpcResponse>> S4Client::CallBatch(std::vector<RpcRequest> reqs) {
-  if (reqs.empty()) {
-    return std::vector<RpcResponse>{};
-  }
-  if (reqs.size() > RpcBatchRequest::kMaxSubRequests) {
-    return Status::InvalidArgument("batch exceeds sub-request cap");
-  }
   RpcBatchRequest batch;
   batch.subs = std::move(reqs);
   for (RpcRequest& sub : batch.subs) {
     sub.creds = creds_;
+  }
+  return SendBatch(std::move(batch));
+}
+
+Result<std::vector<RpcResponse>> S4Client::CallBatchPrestamped(std::vector<RpcRequest> reqs) {
+  RpcBatchRequest batch;
+  batch.subs = std::move(reqs);
+  return SendBatch(std::move(batch));
+}
+
+Result<std::vector<RpcResponse>> S4Client::SendBatch(RpcBatchRequest batch) {
+  if (batch.subs.empty()) {
+    return std::vector<RpcResponse>{};
+  }
+  if (batch.subs.size() > RpcBatchRequest::kMaxSubRequests) {
+    return Status::InvalidArgument("batch exceeds sub-request cap");
   }
   S4_ASSIGN_OR_RETURN(Bytes frame, transport_->Call(batch.Encode()));
   auto decoded = RpcBatchResponse::Decode(frame);
@@ -40,7 +50,7 @@ Result<std::vector<RpcResponse>> S4Client::CallBatch(std::vector<RpcRequest> req
   return std::move(resp.subs);
 }
 
-Result<ObjectId> S4Client::Create(Bytes opaque_attrs) {
+Result<ObjectId> S4ClientApi::Create(Bytes opaque_attrs) {
   RpcRequest req;
   req.op = RpcOp::kCreate;
   req.data = std::move(opaque_attrs);
@@ -51,7 +61,7 @@ Result<ObjectId> S4Client::Create(Bytes opaque_attrs) {
   return resp.value;
 }
 
-Status S4Client::Delete(ObjectId id) {
+Status S4ClientApi::Delete(ObjectId id) {
   RpcRequest req;
   req.op = RpcOp::kDelete;
   req.object = id;
@@ -59,7 +69,7 @@ Status S4Client::Delete(ObjectId id) {
   return resp.ToStatus();
 }
 
-Result<Bytes> S4Client::Read(ObjectId id, uint64_t offset, uint64_t length,
+Result<Bytes> S4ClientApi::Read(ObjectId id, uint64_t offset, uint64_t length,
                              std::optional<SimTime> at) {
   RpcRequest req;
   req.op = RpcOp::kRead;
@@ -74,7 +84,7 @@ Result<Bytes> S4Client::Read(ObjectId id, uint64_t offset, uint64_t length,
   return std::move(resp.data);
 }
 
-Status S4Client::Write(ObjectId id, uint64_t offset, ByteSpan data) {
+Status S4ClientApi::Write(ObjectId id, uint64_t offset, ByteSpan data) {
   RpcRequest req;
   req.op = RpcOp::kWrite;
   req.object = id;
@@ -84,7 +94,17 @@ Status S4Client::Write(ObjectId id, uint64_t offset, ByteSpan data) {
   return resp.ToStatus();
 }
 
-Result<uint64_t> S4Client::Append(ObjectId id, ByteSpan data) {
+Status S4ClientApi::XorWrite(ObjectId id, uint64_t offset, ByteSpan data) {
+  RpcRequest req;
+  req.op = RpcOp::kXorWrite;
+  req.object = id;
+  req.offset = offset;
+  req.data.assign(data.begin(), data.end());
+  S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
+  return resp.ToStatus();
+}
+
+Result<uint64_t> S4ClientApi::Append(ObjectId id, ByteSpan data) {
   RpcRequest req;
   req.op = RpcOp::kAppend;
   req.object = id;
@@ -96,7 +116,7 @@ Result<uint64_t> S4Client::Append(ObjectId id, ByteSpan data) {
   return resp.value;
 }
 
-Status S4Client::Truncate(ObjectId id, uint64_t new_size) {
+Status S4ClientApi::Truncate(ObjectId id, uint64_t new_size) {
   RpcRequest req;
   req.op = RpcOp::kTruncate;
   req.object = id;
@@ -105,7 +125,7 @@ Status S4Client::Truncate(ObjectId id, uint64_t new_size) {
   return resp.ToStatus();
 }
 
-Result<ObjectAttrs> S4Client::GetAttr(ObjectId id, std::optional<SimTime> at) {
+Result<ObjectAttrs> S4ClientApi::GetAttr(ObjectId id, std::optional<SimTime> at) {
   RpcRequest req;
   req.op = RpcOp::kGetAttr;
   req.object = id;
@@ -117,7 +137,7 @@ Result<ObjectAttrs> S4Client::GetAttr(ObjectId id, std::optional<SimTime> at) {
   return std::move(resp.attrs);
 }
 
-Status S4Client::SetAttr(ObjectId id, Bytes opaque_attrs) {
+Status S4ClientApi::SetAttr(ObjectId id, Bytes opaque_attrs) {
   RpcRequest req;
   req.op = RpcOp::kSetAttr;
   req.object = id;
@@ -126,7 +146,7 @@ Status S4Client::SetAttr(ObjectId id, Bytes opaque_attrs) {
   return resp.ToStatus();
 }
 
-Result<AclEntry> S4Client::GetAclByUser(ObjectId id, UserId user, std::optional<SimTime> at) {
+Result<AclEntry> S4ClientApi::GetAclByUser(ObjectId id, UserId user, std::optional<SimTime> at) {
   RpcRequest req;
   req.op = RpcOp::kGetAclByUser;
   req.object = id;
@@ -139,7 +159,7 @@ Result<AclEntry> S4Client::GetAclByUser(ObjectId id, UserId user, std::optional<
   return resp.acl_entry;
 }
 
-Result<AclEntry> S4Client::GetAclByIndex(ObjectId id, uint32_t index,
+Result<AclEntry> S4ClientApi::GetAclByIndex(ObjectId id, uint32_t index,
                                          std::optional<SimTime> at) {
   RpcRequest req;
   req.op = RpcOp::kGetAclByIndex;
@@ -153,7 +173,7 @@ Result<AclEntry> S4Client::GetAclByIndex(ObjectId id, uint32_t index,
   return resp.acl_entry;
 }
 
-Status S4Client::SetAcl(ObjectId id, AclEntry entry) {
+Status S4ClientApi::SetAcl(ObjectId id, AclEntry entry) {
   RpcRequest req;
   req.op = RpcOp::kSetAcl;
   req.object = id;
@@ -162,7 +182,7 @@ Status S4Client::SetAcl(ObjectId id, AclEntry entry) {
   return resp.ToStatus();
 }
 
-Status S4Client::PCreate(const std::string& name, ObjectId id) {
+Status S4ClientApi::PCreate(const std::string& name, ObjectId id) {
   RpcRequest req;
   req.op = RpcOp::kPCreate;
   req.name = name;
@@ -171,7 +191,7 @@ Status S4Client::PCreate(const std::string& name, ObjectId id) {
   return resp.ToStatus();
 }
 
-Status S4Client::PDelete(const std::string& name) {
+Status S4ClientApi::PDelete(const std::string& name) {
   RpcRequest req;
   req.op = RpcOp::kPDelete;
   req.name = name;
@@ -179,7 +199,7 @@ Status S4Client::PDelete(const std::string& name) {
   return resp.ToStatus();
 }
 
-Result<std::vector<std::pair<std::string, ObjectId>>> S4Client::PList(
+Result<std::vector<std::pair<std::string, ObjectId>>> S4ClientApi::PList(
     std::optional<SimTime> at) {
   RpcRequest req;
   req.op = RpcOp::kPList;
@@ -191,7 +211,7 @@ Result<std::vector<std::pair<std::string, ObjectId>>> S4Client::PList(
   return std::move(resp.partitions);
 }
 
-Result<ObjectId> S4Client::PMount(const std::string& name, std::optional<SimTime> at) {
+Result<ObjectId> S4ClientApi::PMount(const std::string& name, std::optional<SimTime> at) {
   RpcRequest req;
   req.op = RpcOp::kPMount;
   req.name = name;
@@ -203,14 +223,14 @@ Result<ObjectId> S4Client::PMount(const std::string& name, std::optional<SimTime
   return resp.value;
 }
 
-Status S4Client::Sync() {
+Status S4ClientApi::Sync() {
   RpcRequest req;
   req.op = RpcOp::kSync;
   S4_ASSIGN_OR_RETURN(RpcResponse resp, Call(std::move(req)));
   return resp.ToStatus();
 }
 
-Status S4Client::Flush(SimTime from, SimTime to) {
+Status S4ClientApi::Flush(SimTime from, SimTime to) {
   RpcRequest req;
   req.op = RpcOp::kFlush;
   req.from = from;
@@ -219,7 +239,7 @@ Status S4Client::Flush(SimTime from, SimTime to) {
   return resp.ToStatus();
 }
 
-Status S4Client::FlushObject(ObjectId id, SimTime from, SimTime to) {
+Status S4ClientApi::FlushObject(ObjectId id, SimTime from, SimTime to) {
   RpcRequest req;
   req.op = RpcOp::kFlushObject;
   req.object = id;
@@ -229,7 +249,7 @@ Status S4Client::FlushObject(ObjectId id, SimTime from, SimTime to) {
   return resp.ToStatus();
 }
 
-Status S4Client::SetWindow(SimDuration window) {
+Status S4ClientApi::SetWindow(SimDuration window) {
   RpcRequest req;
   req.op = RpcOp::kSetWindow;
   req.window = window;
@@ -237,7 +257,7 @@ Status S4Client::SetWindow(SimDuration window) {
   return resp.ToStatus();
 }
 
-Status S4Client::AuditChallenge(AuditChainState* saved) {
+Status S4ClientApi::AuditChallenge(AuditChainState* saved) {
   while (true) {
     RpcRequest req;
     req.op = RpcOp::kAuditChallenge;
@@ -269,7 +289,7 @@ Status S4Client::AuditChallenge(AuditChainState* saved) {
   }
 }
 
-Result<std::vector<std::pair<SimTime, uint8_t>>> S4Client::GetVersionList(ObjectId id) {
+Result<std::vector<std::pair<SimTime, uint8_t>>> S4ClientApi::GetVersionList(ObjectId id) {
   RpcRequest req;
   req.op = RpcOp::kGetVersionList;
   req.object = id;

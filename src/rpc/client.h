@@ -1,5 +1,8 @@
-// S4Client: typed client stub over the RPC transport — the interface file
-// systems and tools program against.
+// S4ClientApi: the typed client surface file systems and tools program
+// against. The typed Table-1 wrappers are implemented once, over the two
+// virtual entry points (Call / CallBatch), so any request router — the
+// single-drive S4Client or the multi-drive ShardRouter — presents the same
+// interface.
 #ifndef S4_SRC_RPC_CLIENT_H_
 #define S4_SRC_RPC_CLIENT_H_
 
@@ -11,19 +14,27 @@
 
 namespace s4 {
 
-class S4Client {
+class S4ClientApi {
  public:
-  S4Client(RpcTransport* transport, Credentials creds)
-      : transport_(transport), creds_(creds) {}
+  virtual ~S4ClientApi() = default;
 
-  const Credentials& creds() const { return creds_; }
-  void set_creds(Credentials creds) { creds_ = creds; }
+  virtual const Credentials& creds() const = 0;
+  virtual void set_creds(Credentials creds) = 0;
 
+  // Sends a raw single-op request (creds stamped by the implementation).
+  virtual Result<RpcResponse> Call(RpcRequest req) = 0;
+  // Sends N requests under one kBatch envelope and one network round-trip.
+  // Returns one response per sub-request, in order. Sub-op failures are
+  // reported in the per-sub response codes, not as a transport error.
+  virtual Result<std::vector<RpcResponse>> CallBatch(std::vector<RpcRequest> reqs) = 0;
+
+  // Typed wrappers over Call(), shared by every implementation.
   Result<ObjectId> Create(Bytes opaque_attrs);
   Status Delete(ObjectId id);
   Result<Bytes> Read(ObjectId id, uint64_t offset, uint64_t length,
                      std::optional<SimTime> at = std::nullopt);
   Status Write(ObjectId id, uint64_t offset, ByteSpan data);
+  Status XorWrite(ObjectId id, uint64_t offset, ByteSpan data);
   Result<uint64_t> Append(ObjectId id, ByteSpan data);
   Status Truncate(ObjectId id, uint64_t new_size);
   Result<ObjectAttrs> GetAttr(ObjectId id, std::optional<SimTime> at = std::nullopt);
@@ -52,15 +63,29 @@ class S4Client {
   // shrunk chain — fails with DataCorruption and leaves `saved` at the last
   // verified state.
   Status AuditChallenge(AuditChainState* saved);
+};
 
-  // Sends a raw single-op request (creds stamped from this client).
-  Result<RpcResponse> Call(RpcRequest req);
-  // Sends N requests under one kBatch envelope and one network round-trip.
-  // Returns one response per sub-request, in order. Sub-op failures are
-  // reported in the per-sub response codes, not as a transport error.
-  Result<std::vector<RpcResponse>> CallBatch(std::vector<RpcRequest> reqs);
+// Single-endpoint client: stamps this client's credentials on every request
+// and ships frames over one transport.
+class S4Client : public S4ClientApi {
+ public:
+  S4Client(RpcTransport* transport, Credentials creds)
+      : transport_(transport), creds_(creds) {}
+
+  const Credentials& creds() const override { return creds_; }
+  void set_creds(Credentials creds) override { creds_ = creds; }
+
+  Result<RpcResponse> Call(RpcRequest req) override;
+  Result<std::vector<RpcResponse>> CallBatch(std::vector<RpcRequest> reqs) override;
+  // Like CallBatch, but each sub-request keeps the credentials already set on
+  // it. An array controller mixes client-credentialed data sub-ops with its
+  // own parity maintenance sub-ops in one frame; the audit log must attribute
+  // each to the principal that issued it.
+  Result<std::vector<RpcResponse>> CallBatchPrestamped(std::vector<RpcRequest> reqs);
 
  private:
+  Result<std::vector<RpcResponse>> SendBatch(RpcBatchRequest batch);
+
   RpcTransport* transport_;
   Credentials creds_;
 };

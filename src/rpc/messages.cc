@@ -73,7 +73,7 @@ Result<RpcRequest> RpcRequest::Decode(ByteSpan frame) {
   // kBatch is deliberately excluded: a batch travels under its own frame
   // magic, and rejecting the op byte here keeps batches from nesting.
   if (op_raw < static_cast<uint8_t>(RpcOp::kCreate) ||
-      op_raw > static_cast<uint8_t>(RpcOp::kAuditChallenge) ||
+      op_raw > static_cast<uint8_t>(RpcOp::kXorWrite) ||
       op_raw == static_cast<uint8_t>(RpcOp::kBatch)) {
     return Status::InvalidArgument("unknown rpc op");
   }

@@ -19,6 +19,10 @@ Result<Bytes> LoopbackTransport::Call(ByteSpan request) {
   stats_.bytes_sent += request.size();
   messages_sent_->Inc();
   bytes_sent_->Add(request.size());
+  if (ep_messages_sent_ != nullptr) {
+    ep_messages_sent_->Inc();
+    ep_bytes_sent_->Add(request.size());
+  }
 
   Bytes response = server_->Handle(request, request_id);
 
@@ -30,12 +34,17 @@ Result<Bytes> LoopbackTransport::Call(ByteSpan request) {
   stats_.bytes_received += response.size();
   messages_received_->Inc();
   bytes_received_->Add(response.size());
+  if (ep_messages_received_ != nullptr) {
+    ep_messages_received_->Inc();
+    ep_bytes_received_->Add(response.size());
+  }
   return response;
 }
 
 Bytes S4RpcServer::Handle(ByteSpan request_frame, uint64_t request_id) {
   auto reject = [&](const Status& s) {
     OpContext ctx = drive_->MakeContext(Credentials{}, RpcOp::kInvalid);
+    ctx.shard = shard_;
     if (request_id != 0) {
       ctx.request_id = request_id;
     }
@@ -61,6 +70,7 @@ Bytes S4RpcServer::Handle(ByteSpan request_frame, uint64_t request_id) {
     // they run so their spans, metrics and audit records stay per-op while
     // sharing the envelope's request id.
     OpContext ctx = drive_->MakeContext(batch->subs.front().creds, RpcOp::kBatch);
+    ctx.shard = shard_;
     if (request_id != 0) {
       ctx.request_id = request_id;
     }
@@ -85,6 +95,7 @@ Bytes S4RpcServer::Handle(ByteSpan request_frame, uint64_t request_id) {
     return reject(req.status());
   }
   OpContext ctx = drive_->MakeContext(req->creds, req->op);
+  ctx.shard = shard_;
   if (request_id != 0) {
     ctx.request_id = request_id;
   }
@@ -121,6 +132,9 @@ RpcResponse S4RpcServer::Dispatch(OpContext& ctx, const RpcRequest& req) {
     }
     case RpcOp::kWrite:
       set_status(drive_->Write(ctx, req.object, req.offset, req.data));
+      break;
+    case RpcOp::kXorWrite:
+      set_status(drive_->XorWrite(ctx, req.object, req.offset, req.data));
       break;
     case RpcOp::kAppend: {
       auto r = drive_->Append(ctx, req.object, req.data);

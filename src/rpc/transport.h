@@ -35,7 +35,14 @@ class S4RpcServer {
   // buffer unbounded payloads.
   static constexpr size_t kMaxFrameBytes = 16u << 20;
 
-  explicit S4RpcServer(S4Drive* drive) : drive_(drive) {}
+  // `shard` is stamped into every OpContext this server mints, so metrics
+  // and traces carry the array position; -1 = standalone drive.
+  explicit S4RpcServer(S4Drive* drive, int32_t shard = -1)
+      : drive_(drive), shard_(shard) {
+    if (shard >= 0) {
+      drive_->tracer().set_pid(shard + 1);
+    }
+  }
 
   Bytes Handle(ByteSpan request_frame) { return Handle(request_frame, 0); }
   // `request_id` ties the server's spans to a transport-allocated id;
@@ -43,21 +50,35 @@ class S4RpcServer {
   Bytes Handle(ByteSpan request_frame, uint64_t request_id);
 
   S4Drive* drive() const { return drive_; }
+  int32_t shard() const { return shard_; }
 
  private:
   RpcResponse Dispatch(OpContext& ctx, const RpcRequest& req);
   S4Drive* drive_;
+  int32_t shard_ = -1;
 };
 
 class LoopbackTransport : public RpcTransport {
  public:
-  LoopbackTransport(S4RpcServer* server, SimClock* clock, NetModel model = NetModel())
+  // `endpoint` names this link in the drive's metric registry. The unlabeled
+  // "net.*" counters aggregate every transport bound to the same drive; the
+  // labeled "net.<endpoint>.*" set keeps per-link accounting honest when a
+  // multi-drive bench or several clients share one registry view.
+  LoopbackTransport(S4RpcServer* server, SimClock* clock, NetModel model = NetModel(),
+                    const std::string& endpoint = "")
       : server_(server), clock_(clock), model_(model) {
     MetricRegistry& reg = server_->drive()->metrics();
     messages_sent_ = reg.GetCounter("net.messages_sent");
     bytes_sent_ = reg.GetCounter("net.bytes_sent");
     messages_received_ = reg.GetCounter("net.messages_received");
     bytes_received_ = reg.GetCounter("net.bytes_received");
+    if (!endpoint.empty()) {
+      std::string prefix = "net." + endpoint + ".";
+      ep_messages_sent_ = reg.GetCounter(prefix + "messages_sent");
+      ep_bytes_sent_ = reg.GetCounter(prefix + "bytes_sent");
+      ep_messages_received_ = reg.GetCounter(prefix + "messages_received");
+      ep_bytes_received_ = reg.GetCounter(prefix + "bytes_received");
+    }
   }
 
   Result<Bytes> Call(ByteSpan request) override;
@@ -75,6 +96,11 @@ class LoopbackTransport : public RpcTransport {
   Counter* bytes_sent_;
   Counter* messages_received_;
   Counter* bytes_received_;
+  // Labeled per-endpoint counters; null when the link is anonymous.
+  Counter* ep_messages_sent_ = nullptr;
+  Counter* ep_bytes_sent_ = nullptr;
+  Counter* ep_messages_received_ = nullptr;
+  Counter* ep_bytes_received_ = nullptr;
 };
 
 }  // namespace s4

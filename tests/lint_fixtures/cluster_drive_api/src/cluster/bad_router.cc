@@ -1,0 +1,10 @@
+// Fixture: cluster code reaching past the S4Drive public API into a drive
+// internal (the audit log type). Must fire S4L008.
+namespace s4 {
+
+void PeekInsideTheDrive() {
+  AuditLog* chronicle = nullptr;  // drive-internal type named in cluster code
+  (void)chronicle;  // fixture only needs the token to appear
+}
+
+}  // namespace s4

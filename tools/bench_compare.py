@@ -116,6 +116,27 @@ def compare_one(name, base, cur, threshold):
         row("audit.blocks_written", get(base, "audit", "blocks_written"),
             get(cur, "audit", "blocks_written"))
 
+    if get(base, "cluster") or get(cur, "cluster"):
+        def scaling_by_n(d):
+            pts = get(d, "cluster", "scaling") or []
+            return {p.get("n"): p for p in pts if isinstance(p, dict)}
+
+        bpts = scaling_by_n(base)
+        cpts = scaling_by_n(cur)
+        for n in sorted(set(bpts) | set(cpts)):
+            row(f"cluster.n{n}.tx_per_s", get(bpts.get(n, {}), "tx_per_s"),
+                get(cpts.get(n, {}), "tx_per_s"), invert=True)
+        row("cluster.speedup_4x", get(base, "cluster", "speedup_4x"),
+            get(cur, "cluster", "speedup_4x"), invert=True)
+        row("cluster.degraded.penalty_x",
+            get(base, "cluster", "degraded", "penalty_x"),
+            get(cur, "cluster", "degraded", "penalty_x"))
+        row("cluster.rebuild.fg_p99_us",
+            get(base, "cluster", "rebuild", "foreground_p99_us"),
+            get(cur, "cluster", "rebuild", "foreground_p99_us"))
+        row("cluster.rebuild.ticks", get(base, "cluster", "rebuild", "ticks"),
+            get(cur, "cluster", "rebuild", "ticks"))
+
     if get(base, "recovery") or get(cur, "recovery"):
         bpts = points_by("recovery", "journal_mb", base)
         cpts = points_by("recovery", "journal_mb", cur)

@@ -31,6 +31,12 @@ flows through the audited, versioning write path):
                               (kAuditLogObjectId). Any other writer could
                               forge or destroy the tamper-evident chronicle
                               from inside the trust boundary.
+  S4L008 cluster-drive-api    src/cluster may program against member drives
+                              only through the S4Drive public API and the RPC
+                              surface. Touching drive internals (journal, LFS,
+                              cache, audit-log types, raw BlockDevice I/O)
+                              would bypass the versioning + audit pipeline the
+                              array's recovery argument depends on.
 
 Usage:
   tools/s4_lint.py [--root DIR]     lint a tree (default: repo root)
@@ -103,7 +109,7 @@ LAYERING = {
     "audit":    {"object", "util"},
     "baseline": {"cache", "fs", "lfs", "sim", "util"},
     "cache":    {"lfs", "obs", "sim", "util"},
-    "cluster":  {"drive", "util"},
+    "cluster":  {"drive", "obs", "object", "rpc", "sim", "util"},
     "delta":    {"util"},
     "drive":    {"audit", "cache", "journal", "lfs", "object", "obs", "sim",
                  "util"},
@@ -401,6 +407,34 @@ def check_include_layering(root):
     return findings
 
 
+# S4L008: drive-internal subsystems and types the cluster layer must never
+# name. The array controller is a *client* of its member drives; everything it
+# does has to flow through S4Drive's public ops so each shard's versioning and
+# audit chronicle see it.
+CLUSTER_FORBIDDEN_INCLUDE = re.compile(
+    r'#include\s+"src/(journal|lfs|cache|audit)/')
+CLUSTER_FORBIDDEN_TOKEN = re.compile(
+    r"\b(BlockDevice|SegmentWriter|SegmentReader|JournalWriter|JournalEntry|"
+    r"AuditLog|BlockCache|ObjectMap|Inode)\b")
+
+
+def check_cluster_drive_api(root):
+    findings = []
+    for full, rel in iter_source_files(root, ["src"]):
+        if not rel.startswith("src/cluster/"):
+            continue
+        code = strip_comments_and_strings(read(full))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if CLUSTER_FORBIDDEN_INCLUDE.search(line) or \
+                    CLUSTER_FORBIDDEN_TOKEN.search(line):
+                findings.append(Finding(
+                    "S4L008", rel, lineno,
+                    "cluster code must drive shards through the S4Drive "
+                    "public API / RPC surface only; drive internals bypass "
+                    "the versioning and audit pipeline"))
+    return findings
+
+
 def check_audit_object_write(root):
     findings = []
     for full, rel in iter_source_files(root, ["src"]):
@@ -426,6 +460,7 @@ RULES = [
     check_void_discard_comment,
     check_include_layering,
     check_audit_object_write,
+    check_cluster_drive_api,
 ]
 
 
@@ -449,6 +484,7 @@ FIXTURE_EXPECTATIONS = {
     "void_discard": {"S4L005"},
     "include_layering": {"S4L006"},
     "audit_object_write": {"S4L007"},
+    "cluster_drive_api": {"S4L008"},
     "clean": set(),
 }
 
