@@ -348,7 +348,7 @@ Result<bool> S4Drive::CleanForegroundSlice() {
     // top, in the per-record relocation work of CompactSegment.
     Bytes segment_bytes;
     S4_RETURN_IF_ERROR(
-        device_->Read(sb_.SegmentStart(seg), sb_.segment_sectors, &segment_bytes, actx_));
+        device_->Read(sb_.SegmentStart(seg), sb_.segment_sectors, &segment_bytes, actx()));
     // Relocation only pays when it can actually free the segment; history
     // still inside the detection window pins it, so copying live data out
     // would consume fresh log space for no gain.
@@ -390,7 +390,7 @@ Result<bool> S4Drive::CompactSegment(SegmentId seg) {
         S4_ASSIGN_OR_RETURN(Bytes content, ReadRecord(rec.addr, rec.sectors));
         S4_ASSIGN_OR_RETURN(
             DiskAddr new_addr,
-            writer_->Append(RecordKind::kData, rec.object_id, rec.block_index, content, actx_));
+            writer_->Append(RecordKind::kData, rec.object_id, rec.block_index, content, actx()));
         block_cache_->Insert(new_addr, content);
         block_cache_->Invalidate(rec.addr);
         obj->inode.blocks[rec.block_index] = new_addr;

@@ -152,7 +152,7 @@ Result<S4Drive::VersionView> S4Drive::ReconstructVersion(ObjectId id, SimTime at
     return Status::FailedPrecondition("version aged out of the history pool");
   }
   m_.history_walks->Inc();
-  ScopedSpan span(actx_, "history.reconstruct");
+  ScopedSpan span(actx(), "history.reconstruct");
   S4_ASSIGN_OR_RETURN(ObjectHandle obj, LoadObject(id));
 
   VersionView view;

@@ -178,7 +178,7 @@ Status S4Drive::WriteBody(OpContext& ctx, OpArgs& args, ObjectId id, uint64_t of
   deltas.reserve(last - first + 1);
   for (uint64_t b = first; b <= last; ++b) {
     S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, start, data));
-    S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, id, b, content, actx_));
+    S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, id, b, content, actx()));
     block_cache_->Insert(addr, content);
     DiskAddr old_addr = obj->inode.BlockAddr(b);
     deltas.push_back(BlockDelta{b, old_addr, addr});
@@ -342,7 +342,7 @@ Status S4Drive::Truncate(OpContext& ctx, ObjectId id, uint64_t new_size) {
         if (old_addr != kNullAddr) {
           S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, new_size, 0, ByteSpan{}));
           S4_ASSIGN_OR_RETURN(DiskAddr addr,
-                              writer_->Append(RecordKind::kData, id, b, content, actx_));
+                              writer_->Append(RecordKind::kData, id, b, content, actx()));
           block_cache_->Insert(addr, content);
           deltas.push_back(BlockDelta{b, old_addr, addr});
           obj->inode.blocks[b] = addr;
@@ -648,7 +648,7 @@ Status S4Drive::WritePartitionTable(
   for (uint64_t b = 0; b <= last && !data.empty(); ++b) {
     S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, 0, data));
     S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, kPartitionTableObjectId,
-                                                       b, content, actx_));
+                                                       b, content, actx()));
     block_cache_->Insert(addr, content);
     DiskAddr old_addr = obj->inode.BlockAddr(b);
     deltas.push_back(BlockDelta{b, old_addr, addr});
@@ -828,7 +828,7 @@ Status S4Drive::AppendAuditBuffered(bool force) {
     for (uint64_t b = first; b <= last; ++b) {
       S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, old_size, start, data));
       S4_ASSIGN_OR_RETURN(DiskAddr addr, writer_->Append(RecordKind::kData, kAuditLogObjectId,
-                                                         b, content, actx_));
+                                                         b, content, actx()));
       block_cache_->Insert(addr, content);
       DiskAddr old_addr = obj->inode.BlockAddr(b);
       deltas.push_back(BlockDelta{b, old_addr, addr});
@@ -882,7 +882,7 @@ Status S4Drive::TrimAuditObject(uint64_t new_size) {
       S4_ASSIGN_OR_RETURN(Bytes content, BuildBlockContent(*obj, b, new_size, 0, ByteSpan{}));
       S4_ASSIGN_OR_RETURN(DiskAddr addr,
                           writer_->Append(RecordKind::kData, kAuditLogObjectId, b, content,
-                                          actx_));
+                                          actx()));
       block_cache_->Insert(addr, content);
       deltas.push_back(BlockDelta{b, old_addr, addr});
       obj->inode.blocks[b] = addr;

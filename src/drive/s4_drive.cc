@@ -163,6 +163,9 @@ OpContext S4Drive::MakeContext(const Credentials& creds, RpcOp op) {
   ctx.start_time = clock_->Now();
   ctx.clock = clock_;
   ctx.tracer = &tracer_;
+  // On a shared executor lane the op overlaps other readers on this drive:
+  // run it in snapshot mode (immutable-state reads only, deferred audit).
+  ctx.snapshot = clock_->ActiveLaneIsShared();
   return ctx;
 }
 
@@ -187,7 +190,15 @@ void S4Drive::EndOp(OpContext& ctx, const OpArgs& args, const Status& result,
   if (result.code() == ErrorCode::kPermissionDenied) {
     m_.ops_denied->Inc();
   }
-  Audit(ctx.creds, args.op, args.object, args.offset, args.length, result, args.time_based);
+  if (ctx.snapshot) {
+    // Concurrent readers must not touch the shared audit buffer; the record
+    // is parked on this lane and replayed by FlushDeferredAudits under
+    // executor exclusivity, before anything could commit the audit tail.
+    DeferAudit(ctx.creds, args.op, args.object, args.offset, args.length, result,
+               args.time_based);
+  } else {
+    Audit(ctx.creds, args.op, args.object, args.offset, args.length, result, args.time_based);
+  }
   m_.op_latency[static_cast<uint8_t>(args.op)]->Record(clock_->Now() - op_start);
 }
 
@@ -195,7 +206,13 @@ void S4Drive::AuditRejectedFrame(OpContext& ctx, const Status& reason) {
   m_.ops_total->Inc();
   metrics_.GetCounter("rpc.rejected_frames")->Inc();
   ChargeCpu(&ctx);
-  Audit(ctx.creds, RpcOp::kInvalid, kInvalidObjectId, 0, 0, reason, false);
+  if (ctx.snapshot) {
+    // A hostile frame can be mis-peeked onto a shared lane; its kInvalid
+    // record defers like any snapshot-mode op's.
+    DeferAudit(ctx.creds, RpcOp::kInvalid, kInvalidObjectId, 0, 0, reason, false);
+  } else {
+    Audit(ctx.creds, RpcOp::kInvalid, kInvalidObjectId, 0, 0, reason, false);
+  }
   m_.op_latency[0]->Record(clock_->Now() - ctx.start_time);
 }
 
@@ -345,7 +362,7 @@ Result<Bytes> S4Drive::EncodeDeviceCheckpoint() const {
 
 Status S4Drive::SyncAuditTail() {
   S4_RETURN_IF_ERROR(FlushAllPending(/*force_audit=*/true));
-  return writer_->Flush(actx_);
+  return writer_->Flush(actx());
 }
 
 Status S4Drive::CommitAuditTail() {
@@ -359,7 +376,7 @@ Status S4Drive::WriteCheckpoint() {
   ++checkpoint_generation_;
   S4_ASSIGN_OR_RETURN(Bytes blob, EncodeDeviceCheckpoint());
   DiskAddr region = (checkpoint_generation_ % 2 == 0) ? sb_.checkpoint_a : sb_.checkpoint_b;
-  S4_RETURN_IF_ERROR(device_->Write(region, blob, actx_));
+  S4_RETURN_IF_ERROR(device_->Write(region, blob, actx()));
   checkpoint_seq_ = writer_->next_seq();
   bytes_since_checkpoint_ = 0;
   m_.device_checkpoints->Inc();
@@ -812,10 +829,10 @@ Result<Bytes> S4Drive::ReadRecord(DiskAddr addr, uint32_t sectors) {
   }
   if (sectors == 1) {
     // Journal sectors: cluster the read backward along the chain direction.
-    S4_RETURN_IF_ERROR(block_cache_->ReadSectorClustered(addr, &out, actx_));
+    S4_RETURN_IF_ERROR(block_cache_->ReadSectorClustered(addr, &out, actx()));
     return out;
   }
-  S4_RETURN_IF_ERROR(block_cache_->Read(addr, sectors, &out, actx_));
+  S4_RETURN_IF_ERROR(block_cache_->Read(addr, sectors, &out, actx()));
   return out;
 }
 
@@ -824,8 +841,12 @@ Result<std::shared_ptr<const JournalSector>> S4Drive::ReadJournalSector(
   if (sectors_visited != nullptr) {
     ++*sectors_visited;
   }
+  // Snapshot mode (concurrent readers): the LRU may not be reordered or
+  // grown, so hits come from Peek and misses stay uncached.
+  bool snapshot = actx() != nullptr && actx()->snapshot;
   if (jsector_cache_ != nullptr) {
-    if (auto* cached = jsector_cache_->Get(addr); cached != nullptr) {
+    auto* cached = snapshot ? jsector_cache_->Peek(addr) : jsector_cache_->Get(addr);
+    if (cached != nullptr) {
       m_.jsector_cache_hits->Inc();
       return *cached;
     }
@@ -839,14 +860,19 @@ Result<std::shared_ptr<const JournalSector>> S4Drive::ReadJournalSector(
     return std::shared_ptr<const JournalSector>();
   }
   auto sector = std::make_shared<const JournalSector>(*std::move(decoded));
-  if (jsector_cache_ != nullptr) {
+  if (jsector_cache_ != nullptr && !snapshot) {
     jsector_cache_->Put(addr, sector, kSectorSize);
   }
   return sector;
 }
 
 Result<S4Drive::ObjectHandle> S4Drive::LoadObject(ObjectId id) {
-  if (ObjectHandle* cached = object_cache_->Get(id); cached != nullptr) {
+  // Snapshot mode: serve cache hits without reordering the LRU and build
+  // transient handles on misses (inserting could evict a dirty object, whose
+  // write-back mutates shared state no concurrent reader may touch).
+  bool snapshot = actx() != nullptr && actx()->snapshot;
+  if (ObjectHandle* cached = snapshot ? object_cache_->Peek(id) : object_cache_->Get(id);
+      cached != nullptr) {
     return *cached;
   }
   const ObjectMapEntry* entry = object_map_.Find(id);
@@ -896,10 +922,12 @@ Result<S4Drive::ObjectHandle> S4Drive::LoadObject(ObjectId id) {
     obj->exists = entry->live();
   }
   obj->inode.id = id;
-  object_cache_->Put(id, obj,
-                     CachedObjectCostImpl(obj->inode.blocks.size(), obj->pending.size(),
-                                          obj->inode.attrs.opaque.size(),
-                                          obj->inode.acl.size()));
+  if (!snapshot) {
+    object_cache_->Put(id, obj,
+                       CachedObjectCostImpl(obj->inode.blocks.size(), obj->pending.size(),
+                                            obj->inode.attrs.opaque.size(),
+                                            obj->inode.acl.size()));
+  }
   // Re-fetch: Put may have evicted other entries but never the fresh one.
   return obj;
 }
@@ -925,7 +953,7 @@ Status S4Drive::FlushObjectJournal(ObjectId id, CachedObject* obj) {
     sector.prev = head;
     S4_ASSIGN_OR_RETURN(Bytes encoded, sector.Encode());
     S4_ASSIGN_OR_RETURN(DiskAddr addr,
-                        writer_->Append(RecordKind::kJournal, id, 0, encoded, actx_));
+                        writer_->Append(RecordKind::kJournal, id, 0, encoded, actx()));
     block_cache_->Insert(addr, encoded);
     if (!sector.entries.empty()) {
       entry->NoteJournalSector(sector.entries.back().time, addr,
@@ -955,7 +983,7 @@ Status S4Drive::CheckpointObject(ObjectId id, CachedObject* obj) {
   Bytes record = obj->inode.EncodeCheckpoint();
   uint32_t sectors = static_cast<uint32_t>(record.size() / kSectorSize);
   S4_ASSIGN_OR_RETURN(DiskAddr addr,
-                      writer_->Append(RecordKind::kInodeCheckpoint, id, 0, record, actx_));
+                      writer_->Append(RecordKind::kInodeCheckpoint, id, 0, record, actx()));
   block_cache_->Insert(addr, record);
 
   // Journal the checkpoint location so chain replay knows where to restart.
@@ -1019,11 +1047,53 @@ Status S4Drive::MaybeAutoCheckpoint() {
 
 void S4Drive::Audit(const Credentials& creds, RpcOp op, ObjectId id, uint64_t offset,
                     uint64_t length, const Status& result, bool time_based) {
+  AuditAt(creds, op, id, offset, length, result, time_based, clock_->Now());
+}
+
+void S4Drive::DeferAudit(const Credentials& creds, RpcOp op, ObjectId id, uint64_t offset,
+                         uint64_t length, const Status& result, bool time_based) {
+  if (!options_.audit_enabled) {
+    return;
+  }
+  DeferredAudit d;
+  d.creds = creds;
+  d.op = op;
+  d.object = id;
+  d.offset = offset;
+  d.length = length;
+  d.result = result;
+  d.time_based = time_based;
+  d.time = clock_->Now();
+  deferred_audits_[clock_->ActiveLaneId()].push_back(d);
+}
+
+SimTime S4Drive::DeviceBusyUntil() const { return device_->busy_until(); }
+
+void S4Drive::FlushDeferredAudits() {
+  std::vector<DeferredAudit> all;
+  for (auto& lane : deferred_audits_) {
+    all.insert(all.end(), lane.begin(), lane.end());
+    lane.clear();
+  }
+  if (all.empty()) {
+    return;
+  }
+  // Replay in time order so the chronicle reads as one serial history even
+  // though the records were minted on overlapping snapshot lanes.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const DeferredAudit& a, const DeferredAudit& b) { return a.time < b.time; });
+  for (const DeferredAudit& d : all) {
+    AuditAt(d.creds, d.op, d.object, d.offset, d.length, d.result, d.time_based, d.time);
+  }
+}
+
+void S4Drive::AuditAt(const Credentials& creds, RpcOp op, ObjectId id, uint64_t offset,
+                      uint64_t length, const Status& result, bool time_based, SimTime at) {
   if (!options_.audit_enabled) {
     return;
   }
   AuditRecord rec;
-  rec.time = clock_->Now();
+  rec.time = at;
   rec.client = creds.client;
   rec.user = creds.user;
   rec.op = op;
@@ -1059,7 +1129,7 @@ Status S4Drive::WriteAuditMarker() {
   // A/B by generation parity: a torn marker write can only hit the sector the
   // previous good marker is NOT in.
   DiskAddr sector = (next.generation % 2 == 1) ? sb_.audit_marker_a : sb_.audit_marker_b;
-  S4_RETURN_IF_ERROR(device_->Write(sector, next.EncodeSector(), actx_));
+  S4_RETURN_IF_ERROR(device_->Write(sector, next.EncodeSector(), actx()));
   audit_marker_ = next;
   m_.audit_marker_writes->Inc();
   return Status::Ok();

@@ -179,6 +179,18 @@ class S4Drive {
   // carries the sub-op count; latency is recorded for the whole envelope.
   void AuditBatchFrame(OpContext& ctx, uint64_t sub_ops, SimTime batch_start);
 
+  // Drains audit records deferred by snapshot-mode ops (concurrent readers
+  // must not mutate the shared audit buffer) into the chronicle, ordered by
+  // op time. The executor calls this with the drive exclusively held —
+  // before every exclusive task and at drain — so every record lands in the
+  // chain before the next Sync could commit it. A no-op on the serial path.
+  void FlushDeferredAudits();
+
+  // Simulated instant until which this drive's device is busy with
+  // already-issued commands: the device frontier an executor consults when
+  // choosing which drive to feed next.
+  SimTime DeviceBusyUntil() const;
+
   // ---- Cleaner (section 4.2.1) ----
   // One cleaning pass: expires versions older than the detection window,
   // reclaims empty segments, and compacts up to `max_compactions` fragmented
@@ -290,19 +302,23 @@ class S4Drive {
     bool admin_only = false;       // reject non-admin credentials up front
   };
 
-  // Sets actx_ (the context deep layers charge) for a scope.
+  // Sets the active context (the context deep layers charge) for a scope.
+  // The slot is per executor lane — concurrent snapshot readers each see
+  // their own active context without the drive holding any thread state.
   class ScopedActiveContext {
    public:
     ScopedActiveContext(S4Drive* drive, OpContext* ctx)
-        : drive_(drive), prev_(drive->actx_) {
-      drive_->actx_ = ctx;
+        : drive_(drive), lane_(drive->clock_->ActiveLaneId()),
+          prev_(drive->actx_[lane_]) {
+      drive_->actx_[lane_] = ctx;
     }
-    ~ScopedActiveContext() { drive_->actx_ = prev_; }
+    ~ScopedActiveContext() { drive_->actx_[lane_] = prev_; }
     ScopedActiveContext(const ScopedActiveContext&) = delete;
     ScopedActiveContext& operator=(const ScopedActiveContext&) = delete;
 
    private:
     S4Drive* drive_;
+    int lane_;
     OpContext* prev_;
   };
 
@@ -435,6 +451,12 @@ class S4Drive {
   Status TrimAuditObject(uint64_t new_size);
   void Audit(const Credentials& creds, RpcOp op, ObjectId id, uint64_t offset, uint64_t length,
              const Status& result, bool time_based);
+  // Audit with an explicit record timestamp (deferred-record replay).
+  void AuditAt(const Credentials& creds, RpcOp op, ObjectId id, uint64_t offset,
+               uint64_t length, const Status& result, bool time_based, SimTime at);
+  // Appends to the calling lane's deferred-audit slot (snapshot-mode ops).
+  void DeferAudit(const Credentials& creds, RpcOp op, ObjectId id, uint64_t offset,
+                  uint64_t length, const Status& result, bool time_based);
   bool ObjectIsVersioned(ObjectId id) const;
   // ACL check against the *current* object state.
   Status CheckAccess(const CachedObject& obj, const Credentials& creds, uint8_t needed) const;
@@ -504,8 +526,12 @@ class S4Drive {
   Tracer tracer_;
   DriveCounters m_;
   // Context of the op currently inside Execute() (null outside any op);
-  // internals that sit below the op bodies charge I/O to it.
-  OpContext* actx_ = nullptr;
+  // internals that sit below the op bodies charge I/O to it. One slot per
+  // executor lane (slot 0 is the serial path): each worker thread only ever
+  // touches its own lane's slot, so no locking is needed and the drive stays
+  // free of threading primitives.
+  OpContext* actx_[SimClock::kMaxLanes] = {};
+  OpContext* actx() const { return actx_[clock_->ActiveLaneId()]; }
 
   Superblock sb_;
   std::unique_ptr<SegmentUsageTable> sut_;
@@ -560,6 +586,22 @@ class S4Drive {
     SimTime last_update = 0;
   };
   std::unordered_map<ClientId, ClientLoad> client_load_;
+
+  // Audit records produced by snapshot-mode (shared-lane) ops, parked until
+  // the executor holds the drive exclusively. One slot per lane: a worker
+  // only appends to its own lane's vector, and FlushDeferredAudits (which
+  // reads all slots) only runs under exclusivity, so no locking is needed.
+  struct DeferredAudit {
+    Credentials creds;
+    RpcOp op = RpcOp::kInvalid;
+    ObjectId object = kInvalidObjectId;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    Status result = Status::Ok();
+    bool time_based = false;
+    SimTime time = 0;
+  };
+  std::vector<DeferredAudit> deferred_audits_[SimClock::kMaxLanes];
 
   Status eviction_error_ = Status::Ok();  // sticky; surfaced by the next Sync
 };

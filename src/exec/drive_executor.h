@@ -1,0 +1,206 @@
+// DriveExecutor: the concurrency substrate between the RPC boundary and the
+// drives. A pool of worker threads executes submitted requests against one or
+// more S4Drives, with three scheduling classes per drive:
+//
+//   kShared    — read-class ops (Read/GetAttr/GetACL*/GetVersionList). Any
+//                number may overlap on one drive; each runs in snapshot mode
+//                (see OpContext::snapshot) touching only immutable state.
+//   kExclusive — mutating single-object ops. Runs alone on its drive, so the
+//                drive interior needs no locks of its own.
+//   kBarrier   — drive-global ops (Sync, Flush, admin, batches, malformed
+//                frames). Runs alone AND in strict submission order: nothing
+//                younger passes it, it passes nothing older.
+//
+// Ordering is striped per object: every task carries a stripe (a hash of the
+// target object), and a task may never pass an older pending task of the same
+// stripe. Independent objects never contend on ordering; same-object request
+// sequences execute in exactly the order the client submitted them. A
+// per-task head-pass budget bounds how long a blocked head task can be
+// overtaken, so no stripe starves.
+//
+// Simulated time: each worker runs tasks inside a private SimClock lane, so
+// overlapped requests accumulate cost in parallel; shared hardware still
+// serialises through BlockDevice's busy timeline. Per drive the executor
+// maintains a time floor raised by each exclusive task's end, which keeps
+// version timestamps strictly ascending per drive — the self-securing
+// history's ordering invariant — no matter which worker runs the op. The
+// global clock converges to the makespan (max over lanes), so a drained
+// executor leaves the clock exactly where a perfectly-overlapped hardware
+// array would.
+//
+// Deferred audit: snapshot readers may not append to the audit log (that
+// would mutate shared state), so the drive parks their records per lane; the
+// executor replays them — in time order — as the prologue of the next
+// exclusive/barrier task on that drive and at Drain(), when exclusivity makes
+// the append safe. No record is ever dropped.
+//
+// Maintenance (cleaner) slices ride in idle gaps: a registered step runs only
+// when a drive has no queued foreground work, except that a starvation floor
+// forces a slice through after too many consecutive foreground completions.
+#ifndef S4_SRC_EXEC_DRIVE_EXECUTOR_H_
+#define S4_SRC_EXEC_DRIVE_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/drive/s4_drive.h"
+#include "src/rpc/messages.h"
+#include "src/rpc/transport.h"
+#include "src/sim/sim_clock.h"
+
+namespace s4 {
+
+class DriveExecutor {
+ public:
+  enum class Mode { kShared, kExclusive, kBarrier };
+
+  struct Options {
+    // Worker threads; capped at SimClock::kMaxLanes - 1 so every worker owns
+    // a clock lane.
+    int workers = 1;
+    // Submit() blocks while a drive already has this many queued tasks.
+    size_t max_pending_per_drive = 512;
+    // Head task overtaken this many times becomes a temporary barrier.
+    int max_head_passes = 64;
+    // Foreground completions after which a requested-but-starved maintenance
+    // slice runs even though the drive is not idle.
+    uint64_t maintenance_starvation_limit = 128;
+    // Workers start parked: Submit/SubmitFrame queue but nothing dispatches
+    // until Start() (Drain() also un-parks). Lets a caller prime every
+    // drive's queue first, so measured schedules reflect a saturated array
+    // rather than the submission ramp. Priming more than
+    // max_pending_per_drive tasks on one drive would deadlock — raise that
+    // cap alongside this flag.
+    bool start_paused = false;
+  };
+
+  DriveExecutor(SimClock* clock, std::vector<S4Drive*> drives, Options opts);
+  ~DriveExecutor();
+
+  DriveExecutor(const DriveExecutor&) = delete;
+  DriveExecutor& operator=(const DriveExecutor&) = delete;
+
+  // Queues `fn` on `drive` under explicit scheduling class + stripe. Blocks
+  // for backpressure when the drive's queue is full. `fn` runs on a worker
+  // thread inside a clock lane.
+  void Submit(int drive, uint64_t stripe, Mode mode, std::function<void()> fn);
+
+  // Peeks the wire frame, derives (stripe, mode) from its op + object, and
+  // queues a task that pushes it through `server`. A frame that does not
+  // peek as a single request (batch, malformed) schedules as a barrier — the
+  // strictest class — so hostile bytes cannot buy extra concurrency. The
+  // response lands in *response (may be null) before Drain() returns.
+  void SubmitFrame(int drive, S4RpcServer* server, Bytes frame, Bytes* response = nullptr);
+
+  // Releases workers parked by Options::start_paused. Idempotent.
+  void Start();
+
+  // Scheduling class + stripe the executor assigns a peeked frame.
+  static void Classify(const FramePeek& peek, uint64_t* stripe, Mode* mode);
+
+  // Registers the idle-slice maintenance hook: one bounded unit of background
+  // work (e.g. a budgeted cleaner pass); returns whether more work remains.
+  void AttachMaintenance(int drive, std::function<bool()> step);
+  // Requests maintenance; slices run in idle gaps until the step reports no
+  // more work.
+  void SubmitMaintenance(int drive);
+
+  // True while the drive has queued (not yet started) foreground work. The
+  // scheduler consults this before granting an idle maintenance slice.
+  bool HasQueuedForeground(int drive) const;
+
+  // Blocks until every queued and running foreground task has finished, then
+  // flushes any remaining deferred audit records. Maintenance is not granted
+  // new slices while a drain is waiting.
+  void Drain();
+
+  // Foreground tasks completed on `drive` so far.
+  uint64_t completed(int drive) const;
+  // Maintenance slices granted on `drive` so far.
+  uint64_t maintenance_slices(int drive) const;
+  // Total simulated time charged to capacity slots for `drive`'s tasks
+  // (lane end minus slot start, summed). The gap between this and the
+  // device's own busy time is scheduling slack: slot time spent queueing on
+  // a busy platter or replaying deferred audits.
+  SimDuration charged_span(int drive) const;
+  // Simulated time inserted as idle gaps into `drive`'s serialized timeline:
+  // sum over tasks of (slot start - drive chain) whenever a task had to start
+  // on a capacity slot that was ahead of the drive's own frontier. Zero means
+  // every task extended its drive's chain seamlessly.
+  SimDuration gap_span(int drive) const;
+
+  int workers() const { return opts_.workers; }
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    uint64_t stripe = 0;
+    Mode mode = Mode::kBarrier;
+    int head_passes = 0;  // times a younger task overtook this one at head
+  };
+
+  struct DriveState {
+    S4Drive* drive = nullptr;
+    std::deque<Task> pending;
+    int running_shared = 0;
+    bool running_exclusive = false;
+    std::vector<uint64_t> running_stripes;  // stripes of running shared tasks
+    // Raised to each exclusive task's lane end; the start-time floor for
+    // every later task on this drive. Monotone, so per-drive version
+    // timestamps strictly ascend.
+    SimTime time_floor = 0;
+    std::function<bool()> maintenance;
+    bool maint_pending = false;
+    uint64_t fg_since_maint = 0;
+    uint64_t completed = 0;
+    uint64_t maint_slices = 0;
+    SimDuration charged_span = 0;  // sum of (lane end - slot start) per task
+    SimDuration gap_span = 0;      // sum of (slot start - chain) idle gaps
+    // Max lane end observed on this drive: a proxy for how far the drive's
+    // simulated timeline (device + floors) has advanced. Dispatch feeds the
+    // laggiest drive first so all devices stay concurrently busy in sim time
+    // instead of one drive's timeline racing ahead and parking slots.
+    SimTime horizon = 0;
+  };
+
+  void WorkerLoop(int worker);
+  // Scans for a runnable task under mu_; returns false if none. On success
+  // the task is dequeued and its drive marked running.
+  bool FindWork(int* drive_out, Task* task_out, bool* is_maint_out);
+  // Index of the first task in ds.pending the scheduling rules allow to run
+  // right now, honouring barriers, stripes, and the head-pass budget.
+  bool FirstRunnable(const DriveState& ds, size_t* index_out) const;
+  bool DriveQuiet(const DriveState& ds) const {
+    return ds.pending.empty() && ds.running_shared == 0 && !ds.running_exclusive;
+  }
+
+  SimClock* clock_;
+  Options opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // workers: new task / state change
+  std::condition_variable cv_space_;  // submitters: queue has room
+  std::condition_variable cv_drain_;  // Drain(): a task finished
+  std::vector<DriveState> drives_;
+  // Virtual worker-capacity slots, one per worker: each task's lane starts at
+  // the earliest-free slot (bounded by its drive's floor) and parks the slot
+  // at its end. Decoupling simulated capacity from which OS thread happens to
+  // win the dispatch race keeps the modelled makespan a function of the
+  // worker COUNT, not of host scheduling luck.
+  std::vector<SimTime> slot_free_;
+  std::vector<bool> slot_busy_;  // reserved at dispatch, released at completion
+  int next_drive_ = 0;  // round-robin scan origin
+  int drain_waiters_ = 0;
+  bool stop_ = false;
+  bool paused_ = false;  // workers parked until Start() (Options::start_paused)
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace s4
+
+#endif  // S4_SRC_EXEC_DRIVE_EXECUTOR_H_

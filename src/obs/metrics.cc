@@ -20,60 +20,89 @@ int64_t BucketUpperBound(int index) {
   return (int64_t{1} << index) - 1;
 }
 
+// Monotone atomic min/max without locks: retry until our sample no longer
+// improves the published extremum.
+void AtomicMin(std::atomic<int64_t>* slot, int64_t sample) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (sample < cur &&
+         !slot->compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>* slot, int64_t sample) {
+  int64_t cur = slot->load(std::memory_order_relaxed);
+  while (sample > cur &&
+         !slot->compare_exchange_weak(cur, sample, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 void Histogram::Record(int64_t sample) {
   if (sample < 0) sample = 0;
-  ++buckets_[BucketIndex(sample)];
-  if (count_ == 0 || sample < min_) min_ = sample;
-  if (sample > max_) max_ = sample;
-  ++count_;
-  sum_ += sample;
+  buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+  // First sample initialises min_; later samples only lower it. count_ is
+  // bumped after min_ so a zero count keeps reporting min() == 0.
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    int64_t expected = 0;
+    min_.compare_exchange_strong(expected, sample, std::memory_order_relaxed);
+  }
+  AtomicMin(&min_, sample);
+  AtomicMax(&max_, sample);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
 }
 
 double Histogram::Mean() const {
-  if (count_ == 0) return 0.0;
-  return static_cast<double>(sum_) / static_cast<double>(count_);
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum()) / static_cast<double>(n);
 }
 
 int64_t Histogram::Percentile(double p) const {
-  if (count_ == 0) return 0;
+  uint64_t n = count();
+  if (n == 0) return 0;
   p = std::clamp(p, 0.0, 1.0);
   // Rank of the sample we want, 1-based; ceil so p=1.0 hits the last sample.
-  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count_));
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n));
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen >= rank) return std::min(BucketUpperBound(b), max_);
+    seen += bucket(b);
+    if (seen >= rank) return std::min(BucketUpperBound(b), max());
   }
-  return max_;
+  return max();
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 const Counter* MetricRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -83,23 +112,44 @@ uint64_t MetricRegistry::CounterValue(const std::string& name) const {
   return c == nullptr ? 0 : c->value();
 }
 
+std::map<std::string, const Counter*> MetricRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, const Counter*> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c.get());
+  return out;
+}
+
+std::map<std::string, const Gauge*> MetricRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, const Gauge*> out;
+  for (const auto& [name, g] : gauges_) out.emplace(name, g.get());
+  return out;
+}
+
+std::map<std::string, const Histogram*> MetricRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, const Histogram*> out;
+  for (const auto& [name, h] : histograms_) out.emplace(name, h.get());
+  return out;
+}
+
 std::string MetricRegistry::ToJson() const {
   std::ostringstream out;
   out << "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, c] : counters()) {
     out << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [name, g] : gauges()) {
     out << (first ? "" : ",") << "\n    \"" << name << "\": " << g->value();
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : histograms()) {
     out << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": " << h->count()
         << ", \"sum\": " << h->sum() << ", \"min\": " << h->min()
         << ", \"max\": " << h->max() << ", \"mean\": " << h->Mean()

@@ -6,10 +6,16 @@
 // The tracer is deliberately dumb: spans are closed TraceEvents appended to a
 // flat ring-bounded vector. Nesting is reconstructed by the viewer from
 // timestamps; `depth` is kept for cheap programmatic assertions in tests.
+//
+// Thread safety: request-id minting is a lone atomic so concurrent workers
+// never hand out duplicate ids, and the event buffer is mutex-guarded (span
+// closure is rare relative to the work inside a span, so the lock is cold).
 #ifndef S4_SRC_OBS_TRACE_H_
 #define S4_SRC_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,11 +37,14 @@ class Tracer {
   // of growing without limit.
   static constexpr size_t kMaxEvents = 1 << 16;
 
-  uint64_t NextRequestId() { return ++last_request_id_; }
+  uint64_t NextRequestId() {
+    return last_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   void Record(const char* name, uint64_t request_id, SimTime start,
               SimDuration duration, uint8_t depth) {
-    if (!enabled_) return;
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> lock(mu_);
     if (events_.size() >= kMaxEvents) {
       ++dropped_;
       return;
@@ -43,11 +52,23 @@ class Tracer {
     events_.push_back({name, request_id, start, duration, depth});
   }
 
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
-  const std::vector<TraceEvent>& events() const { return events_; }
-  uint64_t dropped() const { return dropped_; }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  // Copy, so callers may inspect while workers append. Exact once quiesced.
+  std::vector<TraceEvent> events() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+  size_t event_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     events_.clear();
     dropped_ = 0;
   }
@@ -62,10 +83,11 @@ class Tracer {
   std::string ToChromeJson() const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
-  uint64_t last_request_id_ = 0;
+  std::atomic<uint64_t> last_request_id_{0};
   uint64_t dropped_ = 0;
-  bool enabled_ = true;
+  std::atomic<bool> enabled_{true};
   int pid_ = 1;
 };
 

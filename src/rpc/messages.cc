@@ -223,4 +223,39 @@ bool IsBatchRequestFrame(ByteSpan frame) {
   return magic.ok() && *magic == kBatchRequestMagic;
 }
 
+FramePeek PeekRequestFrame(ByteSpan frame) {
+  FramePeek peek;
+  Decoder dec(frame);
+  auto magic = dec.U32();
+  if (!magic.ok()) {
+    return peek;  // too short to carry any magic: reject path
+  }
+  if (*magic == kBatchRequestMagic) {
+    peek.batch = true;
+    return peek;
+  }
+  if (*magic != kRequestMagic) {
+    return peek;
+  }
+  // Mirror the RpcRequest::Decode prefix (op, creds, object) without the CRC
+  // pass or the tail fields.
+  auto op_raw = dec.U8();
+  if (!op_raw.ok() || *op_raw < static_cast<uint8_t>(RpcOp::kCreate) ||
+      *op_raw > static_cast<uint8_t>(RpcOp::kXorWrite) ||
+      *op_raw == static_cast<uint8_t>(RpcOp::kBatch)) {
+    return peek;
+  }
+  if (!dec.U32().ok() || !dec.U32().ok() || !dec.U64().ok()) {
+    return peek;  // creds
+  }
+  auto object = dec.Varint();
+  if (!object.ok()) {
+    return peek;
+  }
+  peek.single = true;
+  peek.op = static_cast<RpcOp>(*op_raw);
+  peek.object = *object;
+  return peek;
+}
+
 }  // namespace s4

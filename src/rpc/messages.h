@@ -84,6 +84,20 @@ struct RpcBatchResponse {
 // (full validation still happens in RpcBatchRequest::Decode).
 bool IsBatchRequestFrame(ByteSpan frame);
 
+// What a request scheduler needs to classify a frame without paying for a
+// full decode: the op and the target object. Deliberately does NOT verify
+// the CRC or the trailing fields — a frame that peeks one way and decodes
+// another merely lands in a stricter (exclusive) scheduling class or on the
+// reject path, never in a weaker one, so a hostile frame cannot buy itself
+// concurrency it is not entitled to.
+struct FramePeek {
+  bool single = false;  // prefix parses as a single-request frame
+  bool batch = false;   // batch envelope magic
+  RpcOp op = RpcOp::kInvalid;
+  ObjectId object = kInvalidObjectId;
+};
+FramePeek PeekRequestFrame(ByteSpan frame);
+
 }  // namespace s4
 
 #endif  // S4_SRC_RPC_MESSAGES_H_

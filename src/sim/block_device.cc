@@ -129,11 +129,12 @@ void BlockDevice::CopyIn(uint64_t byte_offset, ByteSpan src) {
   }
 }
 
-SimDuration BlockDevice::PositioningCost(uint64_t lba) {
+SimDuration BlockDevice::PositioningCost(uint64_t lba, SimTime start) {
   if (lba == head_lba_) {
     // Sequential: no seek. If the host paused, the platter rotated on and
-    // the sector must come around again.
-    bool idle = clock_->Now() - last_io_end_ > model_.sequential_idle_gap;
+    // the sector must come around again. `start` is when this command
+    // actually reaches the arm (it may have queued behind other lanes).
+    bool idle = start - last_io_end_ > model_.sequential_idle_gap;
     return idle ? model_.average_rotation : 0;
   }
   ++stats_.seeks;
@@ -150,14 +151,22 @@ SimDuration BlockDevice::PositioningCost(uint64_t lba) {
 
 Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out, OpContext* ctx) {
   ScopedSpan span(ctx, "disk.read");
+  std::lock_guard<std::mutex> lock(mu_);
   if (lba + count > sector_count_ || lba + count < lba) {
     return Status::InvalidArgument("read beyond device");
   }
   if (injector_ != nullptr && injector_->powered_off()) {
     return Status::Unavailable("device is powered off");
   }
-  SimDuration cost = model_.command_overhead + PositioningCost(lba) + model_.TransferCost(count);
-  clock_->Advance(cost);
+  // The command starts when both the issuing lane is ready and the arm is
+  // free; on the serial path free_until_ never exceeds Now() and start is
+  // exactly the current time.
+  SimTime start = std::max(clock_->Now(), free_until_);
+  SimDuration cost =
+      model_.command_overhead + PositioningCost(lba, start) + model_.TransferCost(count);
+  SimTime end = start + cost;
+  clock_->AdvanceTo(end);
+  free_until_ = end;
   stats_.busy_time += cost;
   ++stats_.reads;
   stats_.sectors_read += count;
@@ -166,7 +175,7 @@ Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out, OpContext* ct
     ctx->disk_reads += count;
   }
   head_lba_ = lba + count;
-  last_io_end_ = clock_->Now();
+  last_io_end_ = end;
   if (injector_ != nullptr) {
     if (injector_->OnRead(lba, count)) {
       return Status::Unavailable("transient read error");
@@ -184,6 +193,7 @@ Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out, OpContext* ct
 
 Status BlockDevice::Write(uint64_t lba, ByteSpan data, OpContext* ctx) {
   ScopedSpan span(ctx, "disk.write");
+  std::lock_guard<std::mutex> lock(mu_);
   if (data.size() % kSectorSize != 0) {
     return Status::InvalidArgument("write not sector aligned");
   }
@@ -202,9 +212,12 @@ Status BlockDevice::Write(uint64_t lba, ByteSpan data, OpContext* ctx) {
       // never left the buffer. Charge timing for what reached the platter.
       uint64_t persist = std::min<uint64_t>(fault.persist_sectors, count);
       uint64_t corrupt = std::min<uint64_t>(fault.corrupt_sectors, count - persist);
-      SimDuration cost = model_.command_overhead + PositioningCost(lba) +
+      SimTime start = std::max(clock_->Now(), free_until_);
+      SimDuration cost = model_.command_overhead + PositioningCost(lba, start) +
                          model_.TransferCost(persist + corrupt);
-      clock_->Advance(cost);
+      SimTime end = start + cost;
+      clock_->AdvanceTo(end);
+      free_until_ = end;
       stats_.busy_time += cost;
       ++stats_.writes;
       stats_.sectors_written += persist;
@@ -213,7 +226,7 @@ Status BlockDevice::Write(uint64_t lba, ByteSpan data, OpContext* ctx) {
         ctx->disk_writes += persist;
       }
       head_lba_ = lba + persist + corrupt;
-      last_io_end_ = clock_->Now();
+      last_io_end_ = end;
       if (persist > 0) {
         CopyIn(lba * kSectorSize, data.first(persist * kSectorSize));
       }
@@ -223,8 +236,12 @@ Status BlockDevice::Write(uint64_t lba, ByteSpan data, OpContext* ctx) {
       return Status::Unavailable("power lost during write");
     }
   }
-  SimDuration cost = model_.command_overhead + PositioningCost(lba) + model_.TransferCost(count);
-  clock_->Advance(cost);
+  SimTime start = std::max(clock_->Now(), free_until_);
+  SimDuration cost =
+      model_.command_overhead + PositioningCost(lba, start) + model_.TransferCost(count);
+  SimTime end = start + cost;
+  clock_->AdvanceTo(end);
+  free_until_ = end;
   stats_.busy_time += cost;
   ++stats_.writes;
   stats_.sectors_written += count;
@@ -233,7 +250,7 @@ Status BlockDevice::Write(uint64_t lba, ByteSpan data, OpContext* ctx) {
     ctx->disk_writes += count;
   }
   head_lba_ = lba + count;
-  last_io_end_ = clock_->Now();
+  last_io_end_ = end;
   CopyIn(lba * kSectorSize, data);
   return Status::Ok();
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/obs/op_context.h"
@@ -146,12 +147,31 @@ class BlockDevice {
   // Reads `count` sectors starting at `lba` into out (resized to fit).
   // When `ctx` is non-null, the command's modelled time and sector counts are
   // attributed to that request and a "disk.read"/"disk.write" span recorded.
+  //
+  // Commands are internally serialised (there is one disk arm): concurrent
+  // executor lanes queue on the device's busy timeline, so a command issued
+  // while the arm is busy starts when the arm frees up, exactly as real
+  // hardware would. On the serial path the timeline never runs ahead of the
+  // clock and the timing is identical to the pre-concurrency model.
   Status Read(uint64_t lba, uint64_t count, Bytes* out, OpContext* ctx = nullptr);
   // Writes data (must be a whole number of sectors) starting at `lba`.
   Status Write(uint64_t lba, ByteSpan data, OpContext* ctx = nullptr);
 
-  const DiskStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DiskStats(); }
+  DiskStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  // Simulated instant until which the arm is busy serving already-issued
+  // commands. A command issued with a lane clock behind this queues (and is
+  // charged the wait), so schedulers use it as the drive's device frontier.
+  SimTime busy_until() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_until_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DiskStats();
+  }
 
   // Attaches a fault schedule (nullptr detaches). The injector must outlive
   // the device or be detached first.
@@ -175,7 +195,7 @@ class BlockDevice {
   // disks only commit memory for sectors actually written.
   static constexpr uint64_t kChunkBytes = 1 << 20;
 
-  SimDuration PositioningCost(uint64_t lba);
+  SimDuration PositioningCost(uint64_t lba, SimTime start);
   uint8_t* ChunkFor(uint64_t byte_offset, bool allocate);
   void CopyOut(uint64_t byte_offset, uint64_t len, uint8_t* dst);
   void CopyIn(uint64_t byte_offset, ByteSpan src);
@@ -184,9 +204,13 @@ class BlockDevice {
   SimClock* clock_;
   DiskModel model_;
   FaultInjector* injector_ = nullptr;
+  // One command at a time: guards media contents, fault state, stats, and the
+  // arm's busy timeline against concurrent executor lanes.
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<uint8_t[]>> chunks_;
   uint64_t head_lba_ = 0;   // LBA following the last transfer
   SimTime last_io_end_ = 0; // when the previous command completed
+  SimTime free_until_ = 0;  // the arm is busy until this instant
   DiskStats stats_;
 };
 

@@ -5,6 +5,7 @@
 #ifndef S4_SRC_SIM_NET_MODEL_H_
 #define S4_SRC_SIM_NET_MODEL_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/util/time.h"
@@ -26,12 +27,32 @@ struct NetModel {
 };
 
 // Traffic counters from the client's point of view: requests are sent,
-// responses are received.
+// responses are received. A plain value type so callers can snapshot and
+// diff it.
 struct NetStats {
   uint64_t messages_sent = 0;
   uint64_t bytes_sent = 0;
   uint64_t messages_received = 0;
   uint64_t bytes_received = 0;
+};
+
+// The live accumulator an endpoint updates: relaxed atomics so concurrent
+// executor workers pushing frames through one endpoint never race. Readers
+// take a plain NetStats snapshot (exact once the executor has drained).
+struct AtomicNetStats {
+  std::atomic<uint64_t> messages_sent{0};
+  std::atomic<uint64_t> bytes_sent{0};
+  std::atomic<uint64_t> messages_received{0};
+  std::atomic<uint64_t> bytes_received{0};
+
+  NetStats Snapshot() const {
+    NetStats s;
+    s.messages_sent = messages_sent.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+    s.messages_received = messages_received.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received.load(std::memory_order_relaxed);
+    return s;
+  }
 };
 
 }  // namespace s4

@@ -1,0 +1,7 @@
+#include "src/sim/sim_clock.h"
+
+namespace s4 {
+
+thread_local SimClock::Lane* SimClock::tls_lane_ = nullptr;
+
+}  // namespace s4

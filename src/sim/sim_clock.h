@@ -4,8 +4,20 @@
 // may also advance it to represent client think time (e.g. compilation in the
 // SSH-build benchmark). Because no component reads wall-clock time, every
 // benchmark run is deterministic.
+//
+// Concurrency lanes: an executor worker may bind its thread to a private
+// *lane* of the clock (SimClock::Lane). While bound, Now()/Advance()/
+// AdvanceTo() act on the lane's own timestamp instead of the global one, so
+// overlapping requests each accumulate their own simulated time — CPU and
+// transfer costs that genuinely overlap are charged in parallel rather than
+// serialised. Shared resources (the disk arm, via BlockDevice's busy
+// timeline) still serialise lanes where the hardware would. When no lane is
+// bound — every pre-existing single-threaded path — the clock behaves exactly
+// as before, reading and advancing the global now_.
 #ifndef S4_SRC_SIM_SIM_CLOCK_H_
 #define S4_SRC_SIM_SIM_CLOCK_H_
+
+#include <atomic>
 
 #include "src/util/check.h"
 #include "src/util/time.h"
@@ -14,25 +26,104 @@ namespace s4 {
 
 class SimClock {
  public:
+  // Lane ids are small dense integers so per-lane state elsewhere (e.g. the
+  // drive's active-context slots) can be plain arrays indexed by lane. Id 0
+  // is reserved for "no lane" (the serial path); workers use 1..kMaxLanes-1.
+  static constexpr int kMaxLanes = 17;
+
   SimClock() = default;
   explicit SimClock(SimTime start) : now_(start) {}
 
-  SimTime Now() const { return now_; }
+  SimTime Now() const {
+    if (const Lane* lane = ActiveLane(); lane != nullptr) return lane->now_;
+    return now_.load(std::memory_order_relaxed);
+  }
 
   void Advance(SimDuration d) {
     S4_CHECK(d >= 0);
-    now_ += d;
+    if (Lane* lane = ActiveLane(); lane != nullptr) {
+      lane->now_ += d;
+      return;
+    }
+    now_.fetch_add(d, std::memory_order_relaxed);
   }
 
   // Jump directly to a later point (used by capacity models that simulate
-  // multi-day windows).
+  // multi-day windows). On a lane, "later" means later than the lane's own
+  // time; device timelines use this to park a lane behind a busy resource.
   void AdvanceTo(SimTime t) {
-    S4_CHECK(t >= now_);
-    now_ = t;
+    if (Lane* lane = ActiveLane(); lane != nullptr) {
+      S4_CHECK(t >= lane->now_);
+      lane->now_ = t;
+      return;
+    }
+    S4_CHECK(t >= now_.load(std::memory_order_relaxed));
+    now_.store(t, std::memory_order_relaxed);
+  }
+
+  // RAII binding of the calling thread to a private lane of this clock.
+  // The lane's timestamp starts at `start` and lives in the Lane object;
+  // the executor reads it back after the task and folds it into the global
+  // clock (AbsorbLane) once all lanes drain.
+  class Lane {
+   public:
+    Lane(SimClock* clock, int id, SimTime start, bool shared)
+        : clock_(clock), prev_(tls_lane_), id_(id), now_(start), shared_(shared) {
+      S4_CHECK(id > 0 && id < kMaxLanes);
+      tls_lane_ = this;
+    }
+    ~Lane() { tls_lane_ = prev_; }
+
+    Lane(const Lane&) = delete;
+    Lane& operator=(const Lane&) = delete;
+
+    int id() const { return id_; }
+    SimTime now() const { return now_; }
+    void set_now(SimTime t) { now_ = t; }
+    bool shared() const { return shared_; }
+
+   private:
+    friend class SimClock;
+    SimClock* clock_;
+    Lane* prev_;
+    int id_;
+    SimTime now_;
+    bool shared_;
+  };
+
+  // Lane id the calling thread is bound to on *this* clock; 0 when unbound.
+  int ActiveLaneId() const {
+    const Lane* lane = ActiveLane();
+    return lane == nullptr ? 0 : lane->id_;
+  }
+
+  // Whether the calling thread's active lane was opened in shared
+  // (concurrent-reader) mode. The drive uses this to pick snapshot read
+  // paths that never mutate shared state.
+  bool ActiveLaneIsShared() const {
+    const Lane* lane = ActiveLane();
+    return lane != nullptr && lane->shared_;
+  }
+
+  // Fold a finished lane's end time into the global clock: simulated time
+  // after a parallel epoch is the max over the lanes (the makespan), not the
+  // sum. Called by the executor with lanes quiesced or from its own lock.
+  void AbsorbLane(SimTime end) {
+    SimTime cur = now_.load(std::memory_order_relaxed);
+    while (end > cur &&
+           !now_.compare_exchange_weak(cur, end, std::memory_order_relaxed)) {
+    }
   }
 
  private:
-  SimTime now_ = 0;
+  Lane* ActiveLane() const {
+    Lane* lane = tls_lane_;
+    return (lane != nullptr && lane->clock_ == this) ? lane : nullptr;
+  }
+
+  static thread_local Lane* tls_lane_;
+
+  std::atomic<SimTime> now_{0};
 };
 
 }  // namespace s4

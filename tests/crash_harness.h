@@ -22,9 +22,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/drive/s4_drive.h"
+#include "src/exec/drive_executor.h"
 #include "src/rpc/client.h"
 #include "src/rpc/transport.h"
 #include "src/sim/block_device.h"
@@ -541,6 +543,267 @@ class CrashHarness {
   S4DriveOptions options_;
   uint64_t disk_bytes_;
   bool batched_;
+};
+
+// Concurrent crash mode: N client threads push append streams (with periodic
+// Syncs) through a multi-worker DriveExecutor at one drive, power is cut at
+// the kth post-format disk write, and recovery is verified. The serial
+// harness's content-snapshot checks do not transfer (which ops were
+// acknowledged before the cut is scheduling-dependent), so the invariants
+// here are the ones concurrency must not weaken:
+//
+//   1. Remount succeeds, twice, with identical audit-chain state
+//      (recovery idempotence) and zero chain breaks — a power cut under
+//      concurrent load is still classified as a torn flush, never tampering.
+//   2. Per-object ordering: each thread appends a distinct per-step fill
+//      byte to its own object, so the recovered content must be an exact
+//      prefix of that thread's submission sequence. Any executor reordering
+//      of same-stripe ops would surface as a non-prefix.
+//   3. Version history of every surviving object is monotone.
+//   4. Every recovered waypoint is intact.
+class ConcurrentCrashHarness {
+ public:
+  ConcurrentCrashHarness(int threads, int appends_per_thread,
+                         S4DriveOptions options = DriveTest::SmallOptions(),
+                         uint64_t disk_bytes = 64ull << 20)
+      : threads_(threads),
+        appends_per_thread_(appends_per_thread),
+        options_(options),
+        disk_bytes_(disk_bytes) {}
+
+  // Fault-free concurrent run; returns the number of post-setup disk write
+  // commands. Interleaving is scheduling-dependent, so treat the count as a
+  // scale estimate, not an exact sweep bound: pick crash points well inside.
+  uint64_t CountWritePoints() {
+    Run run = StartRun();
+    if (::testing::Test::HasFatalFailure()) {
+      return 0;
+    }
+    uint64_t base = run.device->stats().writes;
+    RunWorkload(&run);
+    return run.device->stats().writes - base;
+  }
+
+  // Cuts power during the kth post-setup write command (1-based). Returns
+  // false (without failing) when the nondeterministic interleave finished in
+  // fewer than k writes — callers sweep points inside CountWritePoints().
+  bool RunConcurrentCrashPoint(uint64_t k, bool torn_tail) {
+    SCOPED_TRACE("concurrent crash point k=" + std::to_string(k) +
+                 (torn_tail ? " (torn tail)" : " (clean cut)"));
+    Run run = StartRun();
+    if (::testing::Test::HasFatalFailure()) {
+      return false;
+    }
+    if (torn_tail) {
+      run.injector.SchedulePowerCut(k, /*persist_sectors=*/options_.segment_sectors / 2,
+                                    /*corrupt_sectors=*/1);
+    } else {
+      run.injector.SchedulePowerCut(k);
+    }
+    RunWorkload(&run);
+    if (!run.injector.power_cut_fired()) {
+      return false;
+    }
+
+    run.injector.PowerOn();
+    run.drive.reset();
+    auto mounted = S4Drive::Mount(run.device.get(), run.clock.get(), options_);
+    EXPECT_TRUE(mounted.ok()) << "remount failed: " << mounted.status().ToString();
+    if (!mounted.ok()) {
+      return true;
+    }
+    run.drive = std::move(*mounted);
+
+    VerifyRecoveryIdempotent(&run);
+    if (::testing::Test::HasFatalFailure()) {
+      return true;
+    }
+    VerifyPerObjectPrefix(run);
+    VerifyVersionMonotonicity(run);
+    VerifyAuditChain(run);
+    EXPECT_OK(run.drive->VerifyAllWaypoints());
+    return true;
+  }
+
+ private:
+  struct Run {
+    std::unique_ptr<SimClock> clock;
+    std::unique_ptr<BlockDevice> device;
+    FaultInjector injector;
+    std::unique_ptr<S4Drive> drive;
+    std::unique_ptr<S4RpcServer> server;
+    std::vector<ObjectId> objects;  // one per client thread
+  };
+
+  static constexpr uint64_t kAppendBytes = 512;
+  static constexpr int kSyncEvery = 8;  // appends between Sync barriers
+
+  // Distinct fill byte for thread t's mth append (nonzero so recovered
+  // content can never be confused with zero-fill).
+  static uint8_t FillByte(int t, int m) {
+    return static_cast<uint8_t>(1 + (static_cast<unsigned>(t) * 37 + static_cast<unsigned>(m)) % 251);
+  }
+
+  Credentials User() const {
+    Credentials c;
+    c.user = 1;
+    c.client = 1;
+    return c;
+  }
+
+  Credentials Admin() const {
+    Credentials c;
+    c.user = 0;
+    c.client = 0;
+    c.admin_key = options_.admin_key;
+    return c;
+  }
+
+  Run StartRun() {
+    Run run;
+    run.clock = std::make_unique<SimClock>(SimTime{1000000});
+    run.device = std::make_unique<BlockDevice>(disk_bytes_ / kSectorSize, run.clock.get());
+    auto drive = S4Drive::Format(run.device.get(), run.clock.get(), options_);
+    EXPECT_TRUE(drive.ok()) << drive.status().ToString();
+    if (!drive.ok()) {
+      return run;
+    }
+    run.drive = std::move(*drive);
+    run.server = std::make_unique<S4RpcServer>(run.drive.get());
+    // Objects are created serially before the clock starts racing: the
+    // concurrent phase then has a stable object->thread mapping.
+    for (int t = 0; t < threads_; ++t) {
+      auto created = run.drive->Create(User(), {});
+      EXPECT_TRUE(created.ok()) << created.status().ToString();
+      if (!created.ok()) {
+        return run;
+      }
+      run.objects.push_back(*created);
+    }
+    // Faults armed only after setup: crash points count workload writes.
+    run.device->set_fault_injector(&run.injector);
+    return run;
+  }
+
+  Bytes AppendFrame(ObjectId id, uint8_t fill) const {
+    RpcRequest req;
+    req.op = RpcOp::kAppend;
+    req.creds = User();
+    req.object = id;
+    req.data.assign(kAppendBytes, fill);
+    return req.Encode();
+  }
+
+  Bytes SyncFrame() const {
+    RpcRequest req;
+    req.op = RpcOp::kSync;
+    req.creds = User();
+    return req.Encode();
+  }
+
+  // N client threads submit concurrently; executor workers execute
+  // concurrently. Responses are deliberately discarded — after the power cut
+  // every remaining op fails, and the verifications below only rely on what
+  // reached the media.
+  void RunWorkload(Run* run) {
+    DriveExecutor::Options eopts;
+    eopts.workers = threads_;
+    DriveExecutor exec(run->clock.get(), {run->drive.get()}, eopts);
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) {
+      clients.emplace_back([this, run, &exec, t] {
+        for (int m = 0; m < appends_per_thread_; ++m) {
+          exec.SubmitFrame(0, run->server.get(),
+                           AppendFrame(run->objects[static_cast<size_t>(t)], FillByte(t, m)));
+          if ((m + 1) % kSyncEvery == 0) {
+            exec.SubmitFrame(0, run->server.get(), SyncFrame());
+          }
+        }
+      });
+    }
+    for (std::thread& c : clients) {
+      c.join();
+    }
+    exec.Drain();
+  }
+
+  // Invariant 2: recovered content of thread t's object is an exact prefix
+  // of its submitted append sequence.
+  void VerifyPerObjectPrefix(Run& run) {
+    for (int t = 0; t < threads_; ++t) {
+      ObjectId id = run.objects[static_cast<size_t>(t)];
+      SCOPED_TRACE("thread " + std::to_string(t) + " object " + std::to_string(id));
+      auto attr = run.drive->GetAttr(Admin(), id);
+      if (!attr.ok()) {
+        continue;  // nothing of this object reached the media: fine
+      }
+      EXPECT_EQ(attr->size % kAppendBytes, 0u)
+          << "recovered size is not a whole number of appends";
+      uint64_t recovered = attr->size / kAppendBytes;
+      EXPECT_LE(recovered, static_cast<uint64_t>(appends_per_thread_));
+      if (attr->size == 0) {
+        continue;
+      }
+      auto data = run.drive->Read(Admin(), id, 0, attr->size);
+      ASSERT_TRUE(data.ok()) << data.status().ToString();
+      for (uint64_t m = 0; m < recovered; ++m) {
+        uint8_t want = FillByte(t, static_cast<int>(m));
+        for (uint64_t b = 0; b < kAppendBytes; ++b) {
+          if ((*data)[m * kAppendBytes + b] != want) {
+            FAIL() << "append " << m << " byte " << b << " is "
+                   << int((*data)[m * kAppendBytes + b]) << ", want " << int(want)
+                   << ": same-object ordering violated or torn append applied";
+          }
+        }
+      }
+    }
+  }
+
+  // Invariant 3: version history of every surviving object is monotone.
+  void VerifyVersionMonotonicity(Run& run) {
+    for (ObjectId id : run.objects) {
+      auto versions = run.drive->GetVersionList(Admin(), id);
+      if (!versions.ok()) {
+        continue;
+      }
+      SimTime prev = 0;
+      for (const VersionInfo& v : *versions) {
+        EXPECT_GE(v.time, prev) << "version list not monotone for object " << id;
+        prev = v.time;
+      }
+    }
+  }
+
+  // Invariant 1b: the chronicle decodes and the cut never reads as tampering.
+  void VerifyAuditChain(Run& run) {
+    auto records = run.drive->QueryAudit(Admin(), AuditQuery{});
+    EXPECT_TRUE(records.ok()) << "audit log unreadable after recovery: "
+                              << records.status().ToString();
+    EXPECT_EQ(run.drive->metrics().CounterValue("audit.chain_breaks"), 0u)
+        << "power cut under concurrent load misclassified as tampering";
+  }
+
+  // Invariant 1a: recovery idempotence, same criteria as the serial harness.
+  void VerifyRecoveryIdempotent(Run* run) {
+    AuditChainState first = run->drive->DebugAuditChainState();
+    uint64_t clean_tails = run->drive->metrics().CounterValue("audit.clean_tail_truncations");
+    run->drive.reset();
+    auto again = S4Drive::Mount(run->device.get(), run->clock.get(), options_);
+    ASSERT_TRUE(again.ok()) << "second remount failed: " << again.status().ToString();
+    run->drive = std::move(*again);
+    EXPECT_TRUE(run->drive->DebugAuditChainState() == first)
+        << "audit chain state differs between two recoveries of the same media";
+    EXPECT_EQ(run->drive->metrics().CounterValue("audit.chain_breaks"), 0u)
+        << "second recovery flagged tampering that the first did not";
+    EXPECT_EQ(run->drive->metrics().CounterValue("audit.clean_tail_truncations"), clean_tails)
+        << "clean-tail classification not idempotent";
+  }
+
+  int threads_;
+  int appends_per_thread_;
+  S4DriveOptions options_;
+  uint64_t disk_bytes_;
 };
 
 }  // namespace s4

@@ -1,0 +1,18 @@
+// Fixture: S4L009 must fire — a drive-layer mutex means the layer is trying
+// to synchronise on its own instead of relying on the executor's
+// stripe/exclusivity scheduling.
+#include <mutex>
+
+namespace s4 {
+
+struct BadDriveState {
+  std::mutex mu;
+  int sequence = 0;
+};
+
+void BumpSequence(BadDriveState* s) {
+  std::lock_guard<std::mutex> lock(s->mu);
+  ++s->sequence;
+}
+
+}  // namespace s4

@@ -132,9 +132,10 @@ TEST(ScopedSpanTest, NestedSpansRecordDepthAndContainment) {
     clock.Advance(10);
   }
   // Children close (and record) before parents.
-  ASSERT_EQ(tracer.events().size(), 2u);
-  const TraceEvent& inner = tracer.events()[0];
-  const TraceEvent& outer = tracer.events()[1];
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
   EXPECT_STREQ(inner.name, "inner");
   EXPECT_STREQ(outer.name, "outer");
   EXPECT_EQ(inner.depth, 1);
@@ -218,8 +219,11 @@ class ObsRpcTest : public DriveTest {
   }
 
   // First event with `name` whose request id is `rid`; nullptr if absent.
-  const TraceEvent* FindEvent(const char* name, uint64_t rid) const {
-    for (const TraceEvent& e : drive_->tracer().events()) {
+  // Takes the snapshot by reference: tracer().events() returns a copy, so
+  // callers must hold one vector alive for as long as they keep pointers.
+  static const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                                     const char* name, uint64_t rid) {
+    for (const TraceEvent& e : events) {
       if (e.request_id == rid && std::string(e.name) == name) {
         return &e;
       }
@@ -244,10 +248,14 @@ TEST_F(ObsRpcTest, OneRequestIdSpansRpcDriveLfsAndDisk) {
   ASSERT_OK(client_->Write(id, 0, BytesOf("trace me")));
   ASSERT_OK(client_->Sync());
 
+  // One snapshot for the whole test: events() copies out under the tracer
+  // lock, and every pointer below aims into this vector.
+  const std::vector<TraceEvent> events = drive_->tracer().events();
+
   // The Write RPC: drive and segment-writer spans share the request id the
   // transport allocated for that call.
   const TraceEvent* drive_write = nullptr;
-  for (const TraceEvent& e : drive_->tracer().events()) {
+  for (const TraceEvent& e : events) {
     if (std::string(e.name) == "drive.Write") {
       drive_write = &e;
       break;
@@ -255,13 +263,13 @@ TEST_F(ObsRpcTest, OneRequestIdSpansRpcDriveLfsAndDisk) {
   }
   ASSERT_NE(drive_write, nullptr);
   uint64_t write_rid = drive_write->request_id;
-  ASSERT_NE(FindEvent("lfs.append", write_rid), nullptr)
+  ASSERT_NE(FindEvent(events, "lfs.append", write_rid), nullptr)
       << "segment-writer span missing from the write request";
 
   // The Sync RPC flushes the log: one request id covers the rpc dispatch,
   // the drive op, the segment-writer flush, and the block-device write.
   const TraceEvent* drive_sync = nullptr;
-  for (const TraceEvent& e : drive_->tracer().events()) {
+  for (const TraceEvent& e : events) {
     if (std::string(e.name) == "drive.Sync") {
       drive_sync = &e;
       break;
@@ -271,9 +279,9 @@ TEST_F(ObsRpcTest, OneRequestIdSpansRpcDriveLfsAndDisk) {
   uint64_t sync_rid = drive_sync->request_id;
   EXPECT_NE(sync_rid, write_rid) << "each RPC must get its own request id";
 
-  const TraceEvent* dispatch = FindEvent("rpc.dispatch", sync_rid);
-  const TraceEvent* flush = FindEvent("lfs.flush", sync_rid);
-  const TraceEvent* disk = FindEvent("disk.write", sync_rid);
+  const TraceEvent* dispatch = FindEvent(events, "rpc.dispatch", sync_rid);
+  const TraceEvent* flush = FindEvent(events, "lfs.flush", sync_rid);
+  const TraceEvent* disk = FindEvent(events, "disk.write", sync_rid);
   ASSERT_NE(dispatch, nullptr);
   ASSERT_NE(flush, nullptr);
   ASSERT_NE(disk, nullptr);

@@ -108,6 +108,14 @@ def compare_one(name, base, cur, threshold):
             get(base, "cleaner", "steady_state", "ratio"),
             get(cur, "cleaner", "steady_state", "ratio"), invert=True)
 
+    if get(base, "cleaner", "idle_slice") or get(cur, "cleaner", "idle_slice"):
+        row("cleaner.idle.fg_p99_us",
+            get(base, "cleaner", "idle_slice", "fg_p99_us"),
+            get(cur, "cleaner", "idle_slice", "fg_p99_us"))
+        row("cleaner.idle.fg_makespan_s",
+            get(base, "cleaner", "idle_slice", "fg_makespan_s"),
+            get(cur, "cleaner", "idle_slice", "fg_makespan_s"))
+
     if get(base, "audit") or get(cur, "audit"):
         row("audit.postmark_chained_s", get(base, "audit", "postmark_chained_s"),
             get(cur, "audit", "postmark_chained_s"))
@@ -136,6 +144,22 @@ def compare_one(name, base, cur, threshold):
             get(cur, "cluster", "rebuild", "foreground_p99_us"))
         row("cluster.rebuild.ticks", get(base, "cluster", "rebuild", "ticks"),
             get(cur, "cluster", "rebuild", "ticks"))
+
+    if get(base, "concurrency") or get(cur, "concurrency"):
+        def scaling_by_workers(d):
+            pts = get(d, "concurrency", "scaling") or []
+            return {p.get("workers"): p for p in pts if isinstance(p, dict)}
+
+        bpts = scaling_by_workers(base)
+        cpts = scaling_by_workers(cur)
+        for w in sorted(set(bpts) | set(cpts)):
+            row(f"concurrency.w{w}.ops_per_s", get(bpts.get(w, {}), "ops_per_s"),
+                get(cpts.get(w, {}), "ops_per_s"), invert=True)
+        row("concurrency.speedup_4x", get(base, "concurrency", "speedup_4x"),
+            get(cur, "concurrency", "speedup_4x"), invert=True)
+        row("concurrency.read_overlap.speedup",
+            get(base, "concurrency", "read_overlap", "speedup"),
+            get(cur, "concurrency", "read_overlap", "speedup"), invert=True)
 
     if get(base, "recovery") or get(cur, "recovery"):
         bpts = points_by("recovery", "journal_mb", base)

@@ -37,6 +37,15 @@ flows through the audited, versioning write path):
                               cache, audit-log types, raw BlockDevice I/O)
                               would bypass the versioning + audit pipeline the
                               array's recovery argument depends on.
+  S4L009 threading-confinement Threading primitives (std::thread/mutex/atomic/
+                              condition_variable/thread_local, their headers)
+                              may only appear in src/exec (the executor owns
+                              all scheduling), src/obs (lock/atomic metric and
+                              trace sinks), and src/sim (the clock's lanes and
+                              the device's busy timeline). The drive, LFS,
+                              journal, cache and RPC layers stay single-
+                              threaded by construction: the executor's
+                              exclusivity rules are their only lock.
 
 Usage:
   tools/s4_lint.py [--root DIR]     lint a tree (default: repo root)
@@ -113,6 +122,7 @@ LAYERING = {
     "delta":    {"util"},
     "drive":    {"audit", "cache", "journal", "lfs", "object", "obs", "sim",
                  "util"},
+    "exec":     {"audit", "drive", "obs", "object", "rpc", "sim", "util"},
     "fs":       {"cache", "rpc", "sim", "util"},
     "journal":  {"lfs", "util"},
     "lfs":      {"sim", "util"},
@@ -435,6 +445,44 @@ def check_cluster_drive_api(root):
     return findings
 
 
+# S4L009: threading primitives and where they are allowed. Everything outside
+# the allowlist runs single-threaded under the executor's exclusivity rules;
+# a stray mutex or atomic elsewhere means a layer is trying to synchronise on
+# its own, which the concurrency argument (DESIGN.md §14) does not cover.
+THREADING_PATTERN = re.compile(
+    r"(?:#include\s*<(?:thread|mutex|shared_mutex|condition_variable|atomic|"
+    r"future|barrier|latch|semaphore|stop_token)>|"
+    r"\bstd::(?:thread|jthread|mutex|recursive_mutex|timed_mutex|shared_mutex|"
+    r"condition_variable(?:_any)?|atomic\w*|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock|future|promise|async|call_once|once_flag|barrier|latch|"
+    r"counting_semaphore|binary_semaphore)\b|"
+    r"\bthread_local\b)"
+)
+THREADING_ALLOWLIST = (
+    "src/exec/",  # the executor owns scheduling, workers and queues
+    "src/obs/",   # thread-safe metric/trace sinks shared by all lanes
+    "src/sim/",   # clock lanes and the device's serialised busy timeline
+)
+
+
+def check_threading_confinement(root):
+    findings = []
+    for full, rel in iter_source_files(root, ["src"]):
+        if rel.startswith(THREADING_ALLOWLIST):
+            continue
+        code = strip_comments_and_strings(read(full))
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = THREADING_PATTERN.search(line)
+            if m:
+                findings.append(Finding(
+                    "S4L009", rel, lineno,
+                    f"threading primitive ({m.group(0).strip()}) outside "
+                    "src/exec, src/obs, src/sim; layers below the executor "
+                    "are single-threaded by construction — rely on its "
+                    "stripe/exclusivity scheduling instead"))
+    return findings
+
+
 def check_audit_object_write(root):
     findings = []
     for full, rel in iter_source_files(root, ["src"]):
@@ -461,6 +509,7 @@ RULES = [
     check_include_layering,
     check_audit_object_write,
     check_cluster_drive_api,
+    check_threading_confinement,
 ]
 
 
@@ -485,6 +534,7 @@ FIXTURE_EXPECTATIONS = {
     "include_layering": {"S4L006"},
     "audit_object_write": {"S4L007"},
     "cluster_drive_api": {"S4L008"},
+    "threading_confinement": {"S4L009"},
     "clean": set(),
 }
 
