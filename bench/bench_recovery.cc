@@ -1,27 +1,40 @@
-// Crash-recovery cost: mount (checkpoint load + log roll-forward) time as a
-// function of journal length since the last checkpoint.
+// Mount cost: clean mounts vs. crash recovery, as a function of journal
+// length since the last checkpoint.
 //
-// The S4 recovery design writes checkpoints on a byte cadence precisely to
-// bound this: roll-forward must rescan every chunk written after the covered
-// sequence number, so mount cost should grow linearly with the
-// post-checkpoint log — and the checkpoint interval is the knob trading
-// steady-state checkpoint traffic against worst-case recovery time.
+// Two series, same workload:
+//   clean  — Unmount() then Mount(): the quorum superblocks record the
+//            checkpoint seq, so the mount skips the log scan entirely.
+//            Disk cost must be flat in the journal length — O(1)-ish.
+//   dirty  — crash (drop the drive) then Mount(): roll-forward must rescan
+//            every chunk written after the covered sequence number, but the
+//            scan is bounded to candidate segments (checkpoint-time active +
+//            allocation-order free chain) and skips payload reads for chunks
+//            the checkpoint already covers, so it grows with the
+//            post-checkpoint journal — not with disk size.
 //
 // Reported per point:
 //   wall_ms   host milliseconds spent inside S4Drive::Mount
-//   disk_ms   simulated disk time consumed by recovery I/O
-//   reads     disk read commands issued by recovery
+//   disk_ms   simulated disk time consumed by mount I/O
+//   reads     disk read commands issued by the mount
 //
-// Usage: bench_recovery [--quick]
+// Usage: bench_recovery [--quick] [--check]
+//   --quick  smaller journal series (CI)
+//   --check  exit non-zero unless (a) dirty recovery at the largest point
+//            beats the pre-bounded-scan baseline by >= 3x, and (b) clean
+//            mount disk cost is flat (max/min <= 1.5) across journal sizes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <map>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/drive/s4_drive.h"
+#include "src/obs/trace.h"
 #include "src/sim/block_device.h"
 #include "src/sim/sim_clock.h"
 #include "src/util/check.h"
@@ -38,9 +51,11 @@ struct Point {
   uint64_t journal_mb = 0;
   double wall_ms = 0;
   double disk_ms = 0;
+  double audit_ms = 0;  // of disk_ms: the audit-chain tamper sweep
   uint64_t reads = 0;
 };
-std::vector<Point> g_points;
+std::vector<Point> g_dirty;
+std::vector<Point> g_clean;
 
 std::vector<uint64_t> JournalMbTargets() {
   if (g_quick) {
@@ -49,13 +64,16 @@ std::vector<uint64_t> JournalMbTargets() {
   return {1, 4, 16, 64};
 }
 
-void RunPoint(::benchmark::State& state, uint64_t journal_mb) {
+// Formats a drive, grows the post-checkpoint journal to the target length,
+// then either crashes (dirty) or unmounts (clean), and measures the
+// subsequent Mount. The measured point lands in g_dirty or g_clean.
+void RunPoint(::benchmark::State& state, uint64_t journal_mb, bool dirty) {
   for (auto _ : state) {
     SimClock clock(SimTime{1000000});
     BlockDevice device(kDiskBytes / kSectorSize, &clock);
     S4DriveOptions options;
     // Effectively disable auto-checkpoints: the only checkpoint on disk is
-    // the one Format wrote, so the whole workload is roll-forward work.
+    // the one Format wrote, so the whole workload is roll-forward territory.
     options.checkpoint_interval_bytes = ~0ull;
     auto drive = S4Drive::Format(&device, &clock, options);
     S4_CHECK(drive.ok());
@@ -86,8 +104,14 @@ void RunPoint(::benchmark::State& state, uint64_t journal_mb) {
     }
     S4_CHECK((*drive)->Sync(user).ok());
 
-    // Crash: the drive object dies with its caches; no checkpoint is written.
-    drive->reset();
+    if (dirty) {
+      // Crash: the drive dies with its caches; no checkpoint is written.
+      drive->reset();
+    } else {
+      // Clean shutdown: checkpoint + clean-marked superblock replicas.
+      S4_CHECK((*drive)->Unmount().ok());
+      drive->reset();
+    }
 
     DiskStats before = device.stats();
     SimTime sim_before = clock.Now();
@@ -102,23 +126,53 @@ void RunPoint(::benchmark::State& state, uint64_t journal_mb) {
     p.wall_ms =
         std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
     p.disk_ms = ToMillis(clock.Now() - sim_before);
+    // The audit-chain tamper sweep runs on every mount (clean included): a
+    // byte flipped offline is only caught by re-hashing the chronicle, so
+    // its cost scales with operation history, not journal length. Pull it
+    // out of the mount span so the clean series isolates recovery cost.
+    for (const TraceEvent& e : (*mounted)->tracer().events()) {
+      if (std::strcmp(e.name, "mount.audit_verify") == 0) {
+        p.audit_ms += ToMillis(e.duration);
+      }
+    }
+    if (std::getenv("BENCH_RECOVERY_SPANS") != nullptr) {
+      std::map<std::string, std::pair<uint64_t, double>> agg;
+      for (const TraceEvent& e : (*mounted)->tracer().events()) {
+        auto& a = agg[e.name];
+        ++a.first;
+        a.second += ToMillis(e.duration);
+      }
+      std::printf("--- spans: %s journal_mb=%llu ---\n", dirty ? "dirty" : "clean",
+                  static_cast<unsigned long long>(journal_mb));
+      for (const auto& [name, a] : agg) {
+        std::printf("  %-28s n=%-6llu %10.2f ms\n", name.c_str(),
+                    static_cast<unsigned long long>(a.first), a.second);
+      }
+    }
     p.reads = delta.reads;
-    g_points.push_back(p);
+    (dirty ? g_dirty : g_clean).push_back(p);
     state.SetIterationTime(p.wall_ms / 1e3);
   }
 }
 
-void PrintSummary() {
-  std::printf("\n=== Recovery cost vs. post-checkpoint journal length ===\n");
-  std::printf("%12s %12s %12s %12s\n", "journal_mb", "wall_ms", "disk_ms", "reads");
-  for (const Point& p : g_points) {
-    std::printf("%12llu %12.2f %12.2f %12llu\n",
+void PrintSeries(const char* title, const std::vector<Point>& points) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%12s %12s %12s %12s %12s\n", "journal_mb", "wall_ms", "disk_ms",
+              "audit_ms", "reads");
+  for (const Point& p : points) {
+    std::printf("%12llu %12.2f %12.2f %12.2f %12llu\n",
                 static_cast<unsigned long long>(p.journal_mb), p.wall_ms, p.disk_ms,
-                static_cast<unsigned long long>(p.reads));
+                p.audit_ms, static_cast<unsigned long long>(p.reads));
   }
-  std::printf("\nExpected shape: both disk time and read count grow linearly with the\n"
-              "journal length — recovery rescans every post-checkpoint chunk. The\n"
-              "checkpoint_interval_bytes option caps this cost in deployment.\n");
+}
+
+void PrintSummary() {
+  PrintSeries("Clean mount cost vs. journal length (expected flat)", g_clean);
+  PrintSeries("Crash-recovery cost vs. post-checkpoint journal length", g_dirty);
+  std::printf("\nExpected shape: clean mounts read the superblock quorum plus the\n"
+              "checkpoint — constant in the journal length. Dirty mounts grow with\n"
+              "the post-checkpoint journal (bounded candidate scan), and the\n"
+              "checkpoint_interval_bytes option caps that cost in deployment.\n");
 }
 
 // This bench has no long-lived Server stack (each point formats and crashes
@@ -132,15 +186,82 @@ void WriteJson() {
     std::fprintf(stderr, "bench_recovery: cannot open BENCH_recovery.json\n");
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"recovery\",\n  \"recovery\": {\"points\": [");
-  for (size_t i = 0; i < g_points.size(); ++i) {
-    const Point& p = g_points[i];
-    std::fprintf(f, "%s{\"journal_mb\": %llu, \"disk_ms\": %.2f, \"reads\": %llu}",
-                 i == 0 ? "" : ", ", static_cast<unsigned long long>(p.journal_mb),
-                 p.disk_ms, static_cast<unsigned long long>(p.reads));
-  }
-  std::fprintf(f, "]}\n}\n");
+  auto dump = [f](const char* section, const std::vector<Point>& points) {
+    std::fprintf(f, "  \"%s\": {\"points\": [", section);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::fprintf(f,
+                   "%s{\"journal_mb\": %llu, \"disk_ms\": %.2f, \"audit_ms\": %.2f, "
+                   "\"reads\": %llu}",
+                   i == 0 ? "" : ", ", static_cast<unsigned long long>(p.journal_mb),
+                   p.disk_ms, p.audit_ms, static_cast<unsigned long long>(p.reads));
+    }
+    std::fprintf(f, "]}");
+  };
+  std::fprintf(f, "{\n  \"bench\": \"recovery\",\n");
+  dump("recovery", g_dirty);
+  std::fprintf(f, ",\n");
+  dump("recovery_clean", g_clean);
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
+}
+
+// Gates, enforced with --check:
+//
+// (a) Dirty recovery at the largest journal must beat the unbounded-scan
+//     baseline (full-disk segment sweep + per-chunk payload CRC) by >= 3x.
+//     Baseline disk_ms, measured before the bounded scan landed:
+//       64 MB journal: 15832.0   (full series largest point)
+//        8 MB journal:  4842.12  (quick series largest point)
+// (b) Clean-mount recovery cost must be flat across journal lengths: the
+//     quorum vote + checkpoint load touches no log segments, so max/min
+//     <= 1.5x regardless of how much journal the previous incarnation
+//     wrote. The audit-chain tamper sweep is excluded: it re-hashes the
+//     whole chronicle on every mount by design (audit_chain_test pins that
+//     a byte flipped offline is detected AT MOUNT), so its cost necessarily
+//     grows with operation history. It is reported as its own column.
+int RunChecks() {
+  S4_CHECK(!g_dirty.empty() && !g_clean.empty());
+  int failures = 0;
+
+  const double baseline_ms = g_quick ? 4842.12 : 15832.0;
+  const Point& worst =
+      *std::max_element(g_dirty.begin(), g_dirty.end(),
+                        [](const Point& a, const Point& b) {
+                          return a.journal_mb < b.journal_mb;
+                        });
+  double speedup = worst.disk_ms > 0 ? baseline_ms / worst.disk_ms : 0;
+  if (speedup < 3.0) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: dirty recovery at %llu MB took %.2f disk_ms; "
+                 "baseline %.2f, speedup %.2fx < 3x\n",
+                 static_cast<unsigned long long>(worst.journal_mb), worst.disk_ms,
+                 baseline_ms, speedup);
+    ++failures;
+  }
+
+  auto recovery_ms = [](const Point& p) { return p.disk_ms - p.audit_ms; };
+  auto minmax = std::minmax_element(g_clean.begin(), g_clean.end(),
+                                    [&](const Point& a, const Point& b) {
+                                      return recovery_ms(a) < recovery_ms(b);
+                                    });
+  double lo = recovery_ms(*minmax.first);
+  double hi = recovery_ms(*minmax.second);
+  double flatness = lo > 0 ? hi / lo : 1e9;
+  if (flatness > 1.5) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: clean mount recovery cost (disk_ms - audit_ms) "
+                 "not flat: min %.2f, max %.2f, ratio %.2fx > 1.5x\n",
+                 lo, hi, flatness);
+    ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf("\nall checks passed: dirty speedup %.2fx >= 3x, "
+                "clean flatness %.2fx <= 1.5x\n",
+                speedup, flatness);
+  }
+  return failures;
 }
 
 }  // namespace
@@ -148,29 +269,37 @@ void WriteJson() {
 }  // namespace s4
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
+  bool check = false;
+  for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       s4::bench::g_quick = true;
-      for (int j = i; j + 1 < argc; ++j) {
-        argv[j] = argv[j + 1];
-      }
-      --argc;
-      break;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      ++i;
+      continue;
     }
+    for (int j = i; j + 1 < argc; ++j) {
+      argv[j] = argv[j + 1];
+    }
+    --argc;
   }
   for (uint64_t mb : s4::bench::JournalMbTargets()) {
-    std::string name = "Recovery/journal_mb:" + std::to_string(mb);
-    ::benchmark::RegisterBenchmark(name.c_str(),
-                                   [mb](::benchmark::State& state) {
-                                     s4::bench::RunPoint(state, mb);
-                                   })
-        ->UseManualTime()
-        ->Iterations(1)
-        ->Unit(::benchmark::kMillisecond);
+    for (bool dirty : {false, true}) {
+      std::string name = std::string(dirty ? "Recovery" : "CleanMount") +
+                         "/journal_mb:" + std::to_string(mb);
+      ::benchmark::RegisterBenchmark(name.c_str(),
+                                     [mb, dirty](::benchmark::State& state) {
+                                       s4::bench::RunPoint(state, mb, dirty);
+                                     })
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(::benchmark::kMillisecond);
+    }
   }
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   s4::bench::PrintSummary();
   s4::bench::WriteJson();
-  return 0;
+  return check ? s4::bench::RunChecks() : 0;
 }

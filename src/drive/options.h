@@ -71,6 +71,12 @@ struct S4DriveOptions {
   // left unvisited stay queued for the next pass. 0 = unlimited.
   uint64_t cleaner_pass_sector_budget = 4096;
 
+  // --- Mount / recovery ---
+  // Clock lanes fanned across independent dirty-segment scans during mount
+  // roll-forward (see src/sim/lane_pool.h). 1 = serial scan on the caller's
+  // thread.
+  int mount_scan_workers = 4;
+
   // --- Costs / internals ---
   SimDuration cpu_per_op = 20;            // per-RPC firmware overhead (us)
   uint64_t journal_flush_entries = 64;    // pack pending entries at this count

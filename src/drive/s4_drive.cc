@@ -4,7 +4,10 @@
 #include "src/drive/s4_drive.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
 
+#include "src/sim/lane_pool.h"
 #include "src/util/check.h"
 #include "src/util/crc32.h"
 #include "src/util/logging.h"
@@ -124,6 +127,12 @@ void S4Drive::InitMetrics() {
   m_.cleaner_objects_skipped_budget = metrics_.GetCounter("cleaner.objects_skipped_budget");
   m_.cleaner_checkpoint_decode_errors =
       metrics_.GetCounter("cleaner.checkpoint_decode_errors");
+  m_.recovery_clean_mounts = metrics_.GetCounter("recovery.clean_mounts");
+  m_.recovery_segments_scanned = metrics_.GetCounter("recovery.segments_scanned");
+  m_.recovery_segments_skipped = metrics_.GetCounter("recovery.segments_skipped");
+  m_.recovery_superblock_votes = metrics_.GetCounter("recovery.superblock_votes");
+  m_.recovery_superblocks_healed = metrics_.GetCounter("recovery.stale_superblocks_healed");
+  m_.recovery_chunks_replayed = metrics_.GetCounter("recovery.chunks_replayed");
   m_.walk_sectors = metrics_.GetHistogram("history.walk_sectors");
   for (int op = 0; op <= kMaxRpcOp; ++op) {
     m_.op_latency[op] = metrics_.GetHistogram(
@@ -241,6 +250,18 @@ Status S4Drive::DoFormat() {
   uint64_t total = device_->sector_count();
   // Checkpoint regions scale with the disk: object map + SUT must fit.
   uint32_t cp_sectors = static_cast<uint32_t>(std::max<uint64_t>(2048, total / 128));
+  // Carry the epoch across reformats: a surviving replica of a previous
+  // layout must never outvote the fresh one.
+  uint64_t base_epoch = 0;
+  {
+    Bytes sector;
+    if (device_->Read(0, 1, &sector).ok()) {
+      auto old_sb = Superblock::Decode(sector);
+      if (old_sb.ok()) {
+        base_epoch = old_sb->epoch;
+      }
+    }
+  }
   sb_ = Superblock();
   sb_.total_sectors = total;
   sb_.segment_sectors = options_.segment_sectors;
@@ -252,13 +273,36 @@ Status S4Drive::DoFormat() {
   sb_.audit_marker_a = 1 + 2ull * cp_sectors;
   sb_.audit_marker_b = sb_.audit_marker_a + 1;
   sb_.first_segment = sb_.audit_marker_b + 1;
-  if (sb_.first_segment + options_.segment_sectors > total) {
+  // Superblock replicas: the tail copy takes the device's last sector; the
+  // mid-disk copy punches a one-sector hole at the would-be start of segment
+  // mid_seg (the first segment boundary at or past the disk midpoint),
+  // shifting every later segment by one sector. Both locations are
+  // re-derivable at mount: the tail from geometry alone, the mid from the
+  // fields of any valid copy.
+  sb_.sb_tail = total - 1;
+  uint64_t mid = total / 2;
+  if (mid > sb_.first_segment && mid + 1 < sb_.sb_tail) {
+    sb_.mid_seg = static_cast<SegmentId>((mid - sb_.first_segment +
+                                          options_.segment_sectors - 1) /
+                                         options_.segment_sectors);
+    sb_.sb_mid = sb_.first_segment +
+                 static_cast<uint64_t>(sb_.mid_seg) * options_.segment_sectors;
+    if (sb_.sb_mid + 1 >= sb_.sb_tail) {
+      sb_.sb_mid = 0;  // too little room past the midpoint: two copies only
+      sb_.mid_seg = 0;
+    }
+  }
+  // Count the segments that fit below the tail replica, hole included.
+  sb_.segment_count = 0;
+  while (sb_.SegmentStart(sb_.segment_count) + options_.segment_sectors <= sb_.sb_tail) {
+    ++sb_.segment_count;
+  }
+  if (sb_.segment_count == 0) {
     return Status::InvalidArgument("device too small for S4 layout");
   }
-  sb_.segment_count =
-      static_cast<uint32_t>((total - sb_.first_segment) / options_.segment_sectors);
+  sb_.epoch = base_epoch;  // WriteSuperblockReplicas bumps to base_epoch + 1
 
-  S4_RETURN_IF_ERROR(device_->Write(0, sb_.Encode()));
+  S4_RETURN_IF_ERROR(WriteSuperblockReplicas(/*clean=*/false, /*clean_seq=*/0));
 
   sut_ = std::make_unique<SegmentUsageTable>(sb_.segment_count, sb_.segment_sectors);
   writer_ = std::make_unique<SegmentWriter>(device_, &sb_, sut_.get(), clock_, /*next_seq=*/1);
@@ -465,6 +509,17 @@ Status S4Drive::LoadDeviceCheckpoint() {
   }
   checkpoint_generation_ = generation;
   checkpoint_seq_ = next_seq;
+  // Mirror the reclaim WriteCheckpoint performs right after encoding: the
+  // live drive freed every checkpointed-reclaimable segment the moment this
+  // checkpoint landed, and may then have reused them. Loading them as kFull
+  // would hide any post-checkpoint chunks inside them from roll-forward, and
+  // would desynchronise the free-segment enumeration from the allocation
+  // order the writer actually followed.
+  for (SegmentId seg = 0; seg < sut_->segment_count(); ++seg) {
+    if (sut_->Reclaimable(seg)) {
+      sut_->Reclaim(seg);
+    }
+  }
   return Status::Ok();
 }
 
@@ -490,12 +545,145 @@ void S4Drive::ConfigureReadahead() {
 // Mount & crash recovery
 // ---------------------------------------------------------------------------
 
-Status S4Drive::DoMount() {
-  Bytes sb_sector;
-  S4_RETURN_IF_ERROR(device_->Read(0, 1, &sb_sector));
-  S4_ASSIGN_OR_RETURN(sb_, Superblock::Decode(sb_sector));
+Status S4Drive::WriteSuperblockReplicas(bool clean, uint64_t clean_seq) {
+  // Every replica write is a new epoch: the vote at mount must be able to
+  // tell a copy from this write apart from one a crash left behind.
+  sb_.epoch += 1;
+  sb_.clean = clean ? 1 : 0;
+  sb_.clean_seq = clean ? clean_seq : 0;
+  Bytes img = sb_.Encode();
+  S4_RETURN_IF_ERROR(device_->Write(0, img, actx()));
+  if (sb_.sb_mid != 0) {
+    S4_RETURN_IF_ERROR(device_->Write(sb_.sb_mid, img, actx()));
+  }
+  if (sb_.sb_tail != 0) {
+    S4_RETURN_IF_ERROR(device_->Write(sb_.sb_tail, img, actx()));
+  }
+  return Status::Ok();
+}
 
-  S4_RETURN_IF_ERROR(LoadDeviceCheckpoint());
+Status S4Drive::LoadSuperblockQuorum(bool* clean) {
+  struct Copy {
+    DiskAddr addr;
+    std::optional<Superblock> sb;
+  };
+  auto read_copy = [&](DiskAddr addr) -> std::optional<Superblock> {
+    Bytes sector;
+    if (!device_->Read(addr, 1, &sector).ok()) {
+      return std::nullopt;
+    }
+    auto sb = Superblock::Decode(sector);
+    if (!sb.ok()) {
+      return std::nullopt;
+    }
+    return *sb;
+  };
+  // Sector 0 and the device tail are derivable from geometry alone. The
+  // mid-disk replica's address is a layout decision, so it can only be
+  // learned from a copy already read — if both outer copies are torn, the
+  // mid copy is unreachable, which is fine: the quorum tolerates one torn
+  // copy, not two.
+  uint64_t total = device_->sector_count();
+  std::vector<Copy> copies;
+  copies.push_back({0, read_copy(0)});
+  if (total > 1) {
+    copies.push_back({total - 1, read_copy(total - 1)});
+  }
+  DiskAddr mid = 0;
+  for (const auto& c : copies) {
+    if (c.sb.has_value() && c.sb->sb_mid != 0) {
+      mid = c.sb->sb_mid;
+      break;
+    }
+  }
+  if (mid != 0 && mid != total - 1) {
+    copies.push_back({mid, read_copy(mid)});
+  }
+
+  // Vote: every copy is self-certifying (CRC), so the highest epoch among the
+  // valid ones is the newest state any completed replica write produced.
+  const Superblock* winner = nullptr;
+  uint64_t valid = 0;
+  for (const auto& c : copies) {
+    if (!c.sb.has_value()) {
+      continue;
+    }
+    ++valid;
+    if (winner == nullptr || c.sb->epoch > winner->epoch) {
+      winner = &*c.sb;
+    }
+  }
+  if (winner == nullptr) {
+    return Status::DataCorruption("no valid superblock replica");
+  }
+  m_.recovery_superblock_votes->Add(valid);
+  sb_ = *winner;
+
+  // Heal copies the winner outvoted (torn or stale), at the addresses the
+  // winner itself declares — never at locations a dead layout named, and
+  // never on a pre-replica volume (sb_tail == 0), whose tail sector is
+  // segment space. Healing runs even for a clean winner: every later
+  // replica-write round (dirty re-mark, clean unmount) bumps the epoch and
+  // writes sector 0 first, so starting a round with a torn tail risks a cut
+  // leaving BOTH outer copies torn — and the mid copy, whose address only an
+  // outer copy can reveal, unreachable. Heal writes carry the winner's exact
+  // image, so a cut mid-heal just leaves the same copy torn for the retry.
+  // Sector 0 is rewritten first in every round, so it can be torn but never
+  // stale while others are newer; healing in declared order therefore fixes
+  // the (at most one) torn copy before any write that could tear another.
+  if (sb_.sb_tail != 0) {
+    std::vector<DiskAddr> declared = {0, sb_.sb_tail};
+    if (sb_.sb_mid != 0) {
+      declared.push_back(sb_.sb_mid);
+    }
+    Bytes img = sb_.Encode();
+    for (DiskAddr addr : declared) {
+      bool current = false;
+      for (const auto& c : copies) {
+        if (c.addr == addr && c.sb.has_value() && c.sb->epoch == sb_.epoch) {
+          current = true;
+          break;
+        }
+      }
+      if (current) {
+        continue;
+      }
+      m_.recovery_superblocks_healed->Inc();
+      S4_RETURN_IF_ERROR(device_->Write(addr, img, actx()));
+    }
+  }
+  *clean = sb_.clean != 0;
+  return Status::Ok();
+}
+
+Status S4Drive::ResumeWriterFromCheckpoint() {
+  // A checkpoint stores at most one active segment (the writer fills one at a
+  // time); written_sectors is its exact on-disk fill, because every pending
+  // record is flushed before the checkpoint encodes the table.
+  for (SegmentId seg = 0; seg < sut_->segment_count(); ++seg) {
+    if (sut_->Info(seg).state == SegmentState::kActive) {
+      writer_->Resume(seg, sut_->Info(seg).written_sectors);
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+Status S4Drive::DoMount() {
+  OpContext mount_ctx;
+  mount_ctx.request_id = tracer_.NextRequestId();
+  mount_ctx.clock = clock_;
+  mount_ctx.tracer = &tracer_;
+
+  bool clean = false;
+  {
+    ScopedSpan span(&mount_ctx, "mount.superblock_vote");
+    S4_RETURN_IF_ERROR(LoadSuperblockQuorum(&clean));
+  }
+  {
+    ScopedSpan span(&mount_ctx, "mount.checkpoint_load");
+    S4_RETURN_IF_ERROR(LoadDeviceCheckpoint());
+  }
 
   block_cache_ = std::make_unique<BlockCache>(device_, options_.block_cache_bytes, &metrics_);
   ConfigureReadahead();
@@ -513,58 +701,155 @@ Status S4Drive::DoMount() {
   }
   writer_ = std::make_unique<SegmentWriter>(device_, &sb_, sut_.get(), clock_, checkpoint_seq_);
 
-  S4_RETURN_IF_ERROR(RollForward(checkpoint_seq_));
+  const bool fast_path = clean && sb_.clean_seq == checkpoint_seq_;
+  if (fast_path) {
+    // Clean unmount vouched for this exact checkpoint: the log holds nothing
+    // newer, so the scan has nothing to find. O(checkpoint), not O(journal).
+    m_.recovery_clean_mounts->Inc();
+    m_.recovery_segments_skipped->Add(sut_->segment_count());
+    S4_RETURN_IF_ERROR(ResumeWriterFromCheckpoint());
+  } else {
+    S4_RETURN_IF_ERROR(RollForward(checkpoint_seq_, &mount_ctx));
+  }
   RebuildExpiryIndex();
+
+  // Mark the volume dirty before anything can touch the log (the audit-chain
+  // pass below may trim a torn tail): a crash from here on must roll forward.
+  if (sb_.clean != 0) {
+    S4_RETURN_IF_ERROR(WriteSuperblockReplicas(/*clean=*/false, /*clean_seq=*/0));
+  }
+
+  // The audit sweep runs on BOTH paths, clean mounts included. The chronicle
+  // is tamper evidence: a byte flipped offline in a committed frame changes
+  // neither the object size nor any marker, so only re-hashing the chain can
+  // catch it. Its cost is O(audit log), proportional to operation count —
+  // not to the journal bytes the skipped log scan would have read.
+  ScopedSpan span(&mount_ctx, "mount.audit_verify");
   return VerifyAuditChainAtMount();
 }
 
-Status S4Drive::RollForward(uint64_t checkpoint_seq) {
-  // Scan every segment that could contain post-checkpoint chunks. Segments
-  // sealed before the checkpoint cannot (the writer never returns to them).
+Status S4Drive::RollForward(uint64_t checkpoint_seq, OpContext* ctx) {
+  // Candidate segments — the only ones that can hold post-checkpoint chunks:
+  //
+  //   1. The checkpoint-time active segment (at most one), which the writer
+  //      may have kept filling past its checkpointed fill.
+  //   2. Free segments, in round-robin order from the persisted allocation
+  //      hint. Between checkpoints the free set only shrinks, and it shrinks
+  //      exactly in Allocate()'s round-robin order, so the allocations the
+  //      crashed writer performed are a prefix of that enumeration.
+  //
+  // Everything else was sealed at (or reclaimed before) the checkpoint and
+  // cannot have been written since. The free-segment chain ends at the first
+  // candidate with no fresh chunk: a rollover flushes the pending tail into
+  // the old segment before sealing it, so every allocated segment except
+  // possibly the newest holds at least one flushed chunk.
   struct SegmentScan {
-    SegmentId seg;
-    std::vector<ScannedChunk> chunks;  // monotonic prefix only
-    uint32_t fill_sectors = 0;
+    SegmentId seg = kNullSegment;
+    uint32_t start = 0;                // checkpointed fill (scan starts here)
+    std::vector<ScannedChunk> chunks;  // fresh chunks only (seq >= checkpoint)
+    uint32_t fill_sectors = 0;         // on-disk fill = start + fresh sectors
   };
-  std::vector<SegmentScan> scans;
-  for (SegmentId seg = 0; seg < sut_->segment_count(); ++seg) {
-    if (sut_->Info(seg).state == SegmentState::kFull) {
-      continue;
-    }
-    S4_ASSIGN_OR_RETURN(std::vector<ScannedChunk> raw, ScanSegment(device_, sb_, seg));
-    SegmentScan scan;
-    scan.seg = seg;
-    uint64_t last_seq = 0;
-    uint32_t fill = 0;
-    for (auto& chunk : raw) {
-      if (chunk.seq < last_seq) {
-        break;  // stale chunk from the segment's previous life
-      }
-      last_seq = chunk.seq;
+  auto scan_one = [&](SegmentScan* s) -> Status {
+    SegmentScanOptions opts;
+    opts.start_offset = s->start;
+    opts.min_seq = checkpoint_seq;
+    S4_ASSIGN_OR_RETURN(s->chunks, ScanSegment(device_, sb_, s->seg, opts));
+    uint32_t fill = s->start;
+    for (const auto& chunk : s->chunks) {
       uint32_t sectors = 1;
       for (const auto& r : chunk.records) {
         sectors += r.sectors;
       }
       fill += sectors;
-      scan.chunks.push_back(std::move(chunk));
     }
-    scan.fill_sectors = fill;
-    if (!scan.chunks.empty()) {
-      scans.push_back(std::move(scan));
+    s->fill_sectors = fill;
+    return Status::Ok();
+  };
+
+  std::vector<SegmentScan> actives;
+  std::vector<SegmentId> free_order;
+  {
+    uint32_t n = sut_->segment_count();
+    for (SegmentId seg = 0; seg < n; ++seg) {
+      if (sut_->Info(seg).state == SegmentState::kActive) {
+        SegmentScan s;
+        s.seg = seg;
+        s.start = sut_->Info(seg).written_sectors;
+        actives.push_back(std::move(s));
+      }
+    }
+    SegmentId hint = sut_->next_alloc_hint();
+    for (uint32_t i = 0; i < n; ++i) {
+      SegmentId seg = (hint + i) % n;
+      if (sut_->Info(seg).state == SegmentState::kFree) {
+        free_order.push_back(seg);
+      }
     }
   }
 
-  // Gather fresh chunks in global seq order.
+  const int workers = std::max(1, options_.mount_scan_workers);
+  std::vector<SegmentScan> scans;  // non-empty scans, for replay and resume
+  uint64_t scanned = 0;
+  {
+    ScopedSpan span(ctx, "mount.scan");
+    // Wave 0: the checkpoint-time active(s), scanned unconditionally — a
+    // rollover with an empty pending queue seals the old active without
+    // planting a chunk in its successor, so "active yielded nothing" must
+    // not end the chain.
+    std::vector<std::function<Status()>> tasks;
+    for (auto& s : actives) {
+      tasks.push_back([&scan_one, ps = &s] { return scan_one(ps); });
+    }
+    S4_RETURN_IF_ERROR(RunOnLanes(clock_, workers, tasks));
+    scanned += actives.size();
+    for (auto& s : actives) {
+      if (!s.chunks.empty()) {
+        scans.push_back(s);  // copy: `actives` also feeds the resume fallback
+      }
+    }
+    // The free chain, in waves of `workers`: scan a wave in parallel, then
+    // inspect it in allocation order and stop at the first empty scan.
+    bool done = false;
+    for (size_t base = 0; base < free_order.size() && !done; base += workers) {
+      size_t count = std::min<size_t>(workers, free_order.size() - base);
+      std::vector<SegmentScan> wave(count);
+      tasks.clear();
+      for (size_t i = 0; i < count; ++i) {
+        wave[i].seg = free_order[base + i];
+        tasks.push_back([&scan_one, ps = &wave[i]] { return scan_one(ps); });
+      }
+      S4_RETURN_IF_ERROR(RunOnLanes(clock_, workers, tasks));
+      // Count only candidates inspected up to (and including) the chain
+      // terminator, so the metric is independent of wave width: a wide wave
+      // may speculatively scan segments past the first empty one, but those
+      // results are discarded and never feed recovery.
+      for (auto& s : wave) {
+        ++scanned;
+        if (s.chunks.empty()) {
+          done = true;
+          break;
+        }
+        scans.push_back(std::move(s));
+      }
+    }
+  }
+  m_.recovery_segments_scanned->Add(scanned);
+  if (sut_->segment_count() > scanned) {
+    m_.recovery_segments_skipped->Add(sut_->segment_count() - scanned);
+  }
+
+  // Gather fresh chunks in global seq order. The scans above only return
+  // chunks at or past the checkpoint seq, so everything here replays.
   std::vector<const ScannedChunk*> fresh;
   for (const auto& scan : scans) {
     for (const auto& chunk : scan.chunks) {
-      if (chunk.seq >= checkpoint_seq) {
-        fresh.push_back(&chunk);
-      }
+      fresh.push_back(&chunk);
     }
   }
   std::sort(fresh.begin(), fresh.end(),
             [](const ScannedChunk* a, const ScannedChunk* b) { return a->seq < b->seq; });
+  m_.recovery_chunks_replayed->Add(fresh.size());
+  ScopedSpan replay_span(ctx, "mount.replay");
 
   // Replay. Objects touched post-checkpoint are materialised from their inode
   // checkpoints and mutated forward so deletes can account their blocks.
@@ -648,8 +933,12 @@ Status S4Drive::RollForward(uint64_t checkpoint_seq) {
         continue;  // accounted when a journal entry references it
       }
       sut_->AddLive(seg, 1, chunk->write_time);
-      Bytes raw;
-      S4_RETURN_IF_ERROR(device_->Read(rec.addr, 1, &raw));
+      // The scan captured the journal sector's bytes while it had the
+      // segment in hand; decode in memory rather than seeking back to it.
+      Bytes raw = rec.raw;
+      if (raw.empty()) {
+        S4_RETURN_IF_ERROR(device_->Read(rec.addr, 1, &raw));
+      }
       S4_ASSIGN_OR_RETURN(JournalSector sector, JournalSector::Decode(raw));
       ObjectId id = sector.object_id;
       ObjectMapEntry* entry = object_map_.Find(id);
@@ -728,7 +1017,10 @@ Status S4Drive::RollForward(uint64_t checkpoint_seq) {
     }
   }
 
-  // Resume the writer in the segment holding the newest chunk.
+  // Resume the writer in the segment holding the newest chunk; with no fresh
+  // chunk anywhere, fall back to the checkpointed active at its checkpointed
+  // fill. Every other active seals: the writer moved past it before the
+  // crash, or it was abandoned by a recovery this one supersedes.
   writer_ = std::make_unique<SegmentWriter>(device_, &sb_, sut_.get(), clock_, max_seq + 1);
   SegmentId resume_seg = kNullSegment;
   uint32_t resume_fill = 0;
@@ -741,11 +1033,13 @@ Status S4Drive::RollForward(uint64_t checkpoint_seq) {
       resume_fill = scan.fill_sectors;
     }
   }
-  for (const auto& scan : scans) {
-    if (scan.seg != resume_seg &&
-        sut_->Info(scan.seg).state == SegmentState::kActive) {
-      // Writer moved past this segment before the crash.
-      sut_->SetState(scan.seg, SegmentState::kFull);
+  if (resume_seg == kNullSegment && !actives.empty()) {
+    resume_seg = actives.front().seg;
+    resume_fill = actives.front().start;
+  }
+  for (SegmentId seg = 0; seg < sut_->segment_count(); ++seg) {
+    if (seg != resume_seg && sut_->Info(seg).state == SegmentState::kActive) {
+      sut_->SetState(seg, SegmentState::kFull);
     }
   }
   if (resume_seg != kNullSegment) {
@@ -753,6 +1047,25 @@ Status S4Drive::RollForward(uint64_t checkpoint_seq) {
       sut_->SetState(resume_seg, SegmentState::kActive);
     }
     writer_->Resume(resume_seg, resume_fill);
+  }
+
+  // The replay just reconstructed every object the fresh journal touched —
+  // the same state LoadObject would rebuild by walking the object's journal
+  // chain backward, one clustered read per link. Seed the cache so the
+  // audit-chain sweep and first post-mount accesses start warm instead of
+  // re-paying that walk (on a long-crashed volume the audit log's chain is
+  // one link per sync since the last checkpoint).
+  for (auto& [id, obj] : rebuilt) {
+    const ObjectMapEntry* entry = object_map_.Find(id);
+    if (entry == nullptr) {
+      continue;
+    }
+    obj->exists = entry->live();
+    obj->inode.id = id;
+    object_cache_->Put(id, obj,
+                       CachedObjectCostImpl(obj->inode.blocks.size(), obj->pending.size(),
+                                            obj->inode.attrs.opaque.size(),
+                                            obj->inode.acl.size()));
   }
   return Status::Ok();
 }
@@ -1365,6 +1678,10 @@ Status S4Drive::Unmount() {
   S4_RETURN_IF_ERROR(FlushAllPending(/*force_audit=*/true));
   object_cache_->Clear();
   S4_RETURN_IF_ERROR(WriteCheckpoint());
+  // The clean mark, recording the checkpoint it vouches for. A crash between
+  // the checkpoint and here just leaves the volume dirty — the next mount
+  // rolls forward and finds an empty delta.
+  S4_RETURN_IF_ERROR(WriteSuperblockReplicas(/*clean=*/true, checkpoint_seq_));
   if (!eviction_error_.ok()) {
     Status err = eviction_error_;
     eviction_error_ = Status::Ok();

@@ -223,6 +223,8 @@ class S4Drive {
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
   SimClock* sim_clock() const { return clock_; }
+  // On-disk geometry incl. superblock replica locations (tests tear replicas).
+  const Superblock& superblock() const { return sb_; }
   const SegmentUsageTable& usage_table() const { return *sut_; }
   const SegmentWriterStats& writer_stats() const { return writer_->stats(); }
   SimDuration detection_window() const { return detection_window_; }
@@ -393,6 +395,13 @@ class S4Drive {
     // blocks they reference cannot be released (a silent space leak without
     // this counter).
     Counter* cleaner_checkpoint_decode_errors = nullptr;
+    // Mount/recovery path (quorum superblocks + bounded roll-forward).
+    Counter* recovery_clean_mounts = nullptr;       // mounts that skipped the log scan
+    Counter* recovery_segments_scanned = nullptr;
+    Counter* recovery_segments_skipped = nullptr;
+    Counter* recovery_superblock_votes = nullptr;   // valid replicas in the vote
+    Counter* recovery_superblocks_healed = nullptr; // stale/torn copies rewritten
+    Counter* recovery_chunks_replayed = nullptr;
     Histogram* walk_sectors = nullptr;  // per-walk journal sectors read
     // Per-op sim-time latency, indexed by RpcOp value (0 = kInvalid unused).
     Histogram* op_latency[kMaxRpcOp + 1] = {};
@@ -402,10 +411,21 @@ class S4Drive {
   // --- setup / recovery (s4_drive.cc) ---
   Status DoFormat();
   Status DoMount();
-  Status RollForward(uint64_t checkpoint_seq);
+  Status RollForward(uint64_t checkpoint_seq, OpContext* ctx);
   Status InitReservedObjects();
   Result<Bytes> EncodeDeviceCheckpoint() const;
   Status LoadDeviceCheckpoint();
+  // Reads every superblock replica, votes (max epoch among valid copies
+  // wins), installs the winner as sb_, and heals stale/torn copies. Sets
+  // *clean to the winner's clean flag.
+  Status LoadSuperblockQuorum(bool* clean);
+  // Rewrites every replica with a bumped epoch and the given lifecycle
+  // state. Write order is fixed (sector 0 -> mid -> tail) so a cut mid-batch
+  // leaves the newest state in the copy the vote prefers.
+  Status WriteSuperblockReplicas(bool clean, uint64_t clean_seq);
+  // Clean-mount writer resume: re-opens the checkpointed active segment at
+  // its checkpointed fill (the checkpoint flushed all pending chunks first).
+  Status ResumeWriterFromCheckpoint();
 
   // --- generic internals (s4_drive.cc) ---
   // Arms the buffer cache's sequential read-ahead, confined to sealed
@@ -574,9 +594,6 @@ class S4Drive {
   uint64_t checkpoint_generation_ = 0;  // alternates A/B
   uint64_t checkpoint_seq_ = 0;         // chunk seq covered by last checkpoint
   uint64_t bytes_since_checkpoint_ = 0;
-  // Segments reclaimed since the last checkpoint: not allocatable until the
-  // next checkpoint lands (keeps log roll-forward sound across reuse).
-  std::vector<SegmentId> deferred_free_;
 
   SegmentId foreground_clean_cursor_ = 0;
 

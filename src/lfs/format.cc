@@ -81,6 +81,12 @@ Bytes Superblock::Encode() const {
   enc.PutU64(first_segment);
   enc.PutU64(audit_marker_a);
   enc.PutU64(audit_marker_b);
+  enc.PutU64(epoch);
+  enc.PutU8(clean);
+  enc.PutU64(clean_seq);
+  enc.PutU64(sb_mid);
+  enc.PutU64(sb_tail);
+  enc.PutU32(mid_seg);
   Bytes out = enc.Take();
   out.resize(kSectorSize - 4, 0);
   uint32_t crc = Crc32c(out);
@@ -119,6 +125,13 @@ Result<Superblock> Superblock::Decode(ByteSpan sector) {
   // decodes as 0 ("no marker"), which is exactly the legacy meaning.
   S4_ASSIGN_OR_RETURN(sb.audit_marker_a, dec.U64());
   S4_ASSIGN_OR_RETURN(sb.audit_marker_b, dec.U64());
+  // Likewise: single-copy volumes decode epoch 0, dirty, no replicas.
+  S4_ASSIGN_OR_RETURN(sb.epoch, dec.U64());
+  S4_ASSIGN_OR_RETURN(sb.clean, dec.U8());
+  S4_ASSIGN_OR_RETURN(sb.clean_seq, dec.U64());
+  S4_ASSIGN_OR_RETURN(sb.sb_mid, dec.U64());
+  S4_ASSIGN_OR_RETURN(sb.sb_tail, dec.U64());
+  S4_ASSIGN_OR_RETURN(sb.mid_seg, dec.U32());
   return sb;
 }
 

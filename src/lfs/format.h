@@ -85,7 +85,11 @@ struct ChunkSummary {
   static Result<ChunkSummary> Decode(ByteSpan sector);
 };
 
-// Superblock: static geometry, written once at format time.
+// Superblock: geometry plus mount lifecycle state. Replicated at up to three
+// deterministic locations (sector 0, mid-disk, last sector); every rewrite
+// bumps `epoch` so mount can vote: the valid copy with the highest epoch
+// wins, stale or torn copies are healed from the winner. A clean unmount
+// stamps `clean`/`clean_seq`, letting the next mount skip the log scan.
 struct Superblock {
   uint64_t total_sectors = 0;
   uint32_t segment_sectors = 0;    // sectors per segment
@@ -99,12 +103,28 @@ struct Superblock {
   // then treats the whole audit object as uncommitted tail.
   DiskAddr audit_marker_a = 0;
   DiskAddr audit_marker_b = 0;
+  // Replica/lifecycle state. Single-copy legacy volumes decode these from
+  // the sector's zero padding: sb_mid == 0 means "no replicas, no mid-disk
+  // hole" and the segment area is linear.
+  uint64_t epoch = 0;      // bumped on every superblock rewrite
+  uint8_t clean = 0;       // 1 = volume was cleanly unmounted
+  uint64_t clean_seq = 0;  // checkpoint seq vouched for by a clean unmount
+  DiskAddr sb_mid = 0;     // mid-disk replica sector (0 = none)
+  DiskAddr sb_tail = 0;    // tail replica sector (0 = none)
+  // Segment index displaced by the one-sector mid-disk replica hole:
+  // segments at or after this index start one sector later. Meaningful only
+  // when sb_mid != 0.
+  SegmentId mid_seg = 0;
 
   DiskAddr SegmentStart(SegmentId seg) const {
-    return first_segment + static_cast<uint64_t>(seg) * segment_sectors;
+    DiskAddr addr = first_segment + static_cast<uint64_t>(seg) * segment_sectors;
+    if (sb_mid != 0 && seg >= mid_seg) addr += 1;
+    return addr;
   }
   SegmentId SegmentOf(DiskAddr addr) const {
-    return static_cast<SegmentId>((addr - first_segment) / segment_sectors);
+    uint64_t rel = addr - first_segment;
+    if (sb_mid != 0 && addr > sb_mid) rel -= 1;
+    return static_cast<SegmentId>(rel / segment_sectors);
   }
 
   Bytes Encode() const;

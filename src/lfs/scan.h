@@ -17,6 +17,10 @@ struct ScannedRecord {
   uint64_t block_index;
   DiskAddr addr;
   uint16_t sectors;
+  // Journal records only: the record's on-platter bytes, captured from the
+  // segment read the scan already paid for. Replay decodes these in memory
+  // instead of re-seeking to every journal sector it just passed over.
+  Bytes raw;
 };
 
 struct ScannedChunk {
@@ -26,11 +30,27 @@ struct ScannedChunk {
   std::vector<ScannedRecord> records;
 };
 
+struct SegmentScanOptions {
+  // Sectors into the segment to start at. Recovery resumes the checkpointed
+  // active segment from its checkpointed fill instead of re-reading chunks
+  // the checkpoint already covers.
+  uint32_t start_offset = 0;
+  // Stop at the first chunk whose seq is below this. A valid-looking chunk
+  // older than the scan's floor is leftover platter data from the segment's
+  // previous life, not log tail — everything after it is equally stale.
+  uint64_t min_seq = 0;
+  // Skip the payload read + CRC for chunks with seq <= this. Chunks at or
+  // below the checkpoint seq were durable before the checkpoint was written,
+  // so they cannot be the torn tail; only their summaries drive the scan.
+  uint64_t verify_after_seq = 0;
+};
+
 // Reads the chunks of `segment` front to back. Stops at the first sector that
 // does not decode as a valid chunk summary (the unwritten tail, or a torn
 // write). Returns the valid chunks found.
 Result<std::vector<ScannedChunk>> ScanSegment(BlockDevice* device, const Superblock& sb,
-                                              SegmentId segment);
+                                              SegmentId segment,
+                                              const SegmentScanOptions& opts = {});
 
 // Scans every segment and returns all chunks with seq > after_seq, sorted by
 // seq — the roll-forward stream for crash recovery.

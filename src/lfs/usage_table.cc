@@ -120,6 +120,7 @@ void SegmentUsageTable::EncodeTo(Encoder* enc) const {
     enc->PutVarint(s.written_sectors);
     enc->PutI64(s.last_write_time);
   }
+  enc->PutVarint(next_alloc_hint_);
 }
 
 Result<SegmentUsageTable> SegmentUsageTable::DecodeFrom(Decoder* dec) {
@@ -142,6 +143,11 @@ Result<SegmentUsageTable> SegmentUsageTable::DecodeFrom(Decoder* dec) {
     s.written_sectors = static_cast<uint32_t>(written);
     table.segments_[i] = s;
   }
+  S4_ASSIGN_OR_RETURN(uint64_t hint, dec->Varint());
+  if (count > 0 && hint >= count) {
+    return Status::DataCorruption("bad allocation hint");
+  }
+  table.next_alloc_hint_ = static_cast<SegmentId>(hint);
   return table;
 }
 

@@ -76,6 +76,12 @@ class SegmentUsageTable {
   // compacting cleaner. Returns nullopt if none sealed.
   std::optional<SegmentId> CompactionVictim() const;
 
+  // Round-robin origin of the next Allocate(). Persisted in the checkpoint:
+  // between checkpoints allocation order is a pure function of this hint and
+  // the table state, which lets recovery enumerate exactly the segments the
+  // writer could have touched since the checkpoint instead of scanning all.
+  SegmentId next_alloc_hint() const { return next_alloc_hint_; }
+
   // Checkpoint serialisation.
   void EncodeTo(class Encoder* enc) const;
   static Result<SegmentUsageTable> DecodeFrom(class Decoder* dec);

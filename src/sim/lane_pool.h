@@ -1,0 +1,35 @@
+// RunOnLanes: fan independent tasks across SimClock lanes.
+//
+// A bounded worker pool for parallel phases outside the request path (mount's
+// dirty-segment scan is the first user). It mirrors the lane discipline of
+// src/exec's DriveExecutor — each worker binds a private clock lane starting
+// at the caller's Now(), shared hardware still serialises through the
+// device's busy timeline, and when all workers join the global clock absorbs
+// the makespan (max over lane ends, not the sum). It lives in src/sim rather
+// than src/exec because the drive layer sits *below* the executor in the
+// include DAG: the executor submits work to drives, while this pool is a leaf
+// utility a drive may call during recovery.
+#ifndef S4_SRC_SIM_LANE_POOL_H_
+#define S4_SRC_SIM_LANE_POOL_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/sim/sim_clock.h"
+#include "src/util/status.h"
+
+namespace s4 {
+
+// Runs every task, fanning them across up to `workers` concurrent lanes with
+// static round-robin assignment (task i runs on worker i % W, in order), so
+// which task runs where never depends on host scheduling. Tasks must be
+// independent: they may share a thread-safe device but must write only their
+// own slots. With workers <= 1 (or a single task) everything runs inline on
+// the caller's thread — the serial path, charging the global clock directly.
+// Returns the first non-OK status any task produced; later tasks still run.
+Status RunOnLanes(SimClock* clock, int workers,
+                  const std::vector<std::function<Status()>>& tasks);
+
+}  // namespace s4
+
+#endif  // S4_SRC_SIM_LANE_POOL_H_

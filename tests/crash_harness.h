@@ -112,20 +112,100 @@ class CrashHarness {
     // run before the other verifications, whose audited admin ops (version
     // lists, time-based reads) would themselves extend the chain and make
     // the two mounts' states incomparable.
-    VerifyRecoveryIdempotent(run);
+    // Invariant 4 rides along inside VerifyAfterRecovery: every version
+    // waypoint rebuilt by recovery points at a reachable, intact journal
+    // sector whose newest entry matches the waypoint time. A power cut
+    // mid-checkpoint or mid-chunk must never leave a waypoint referencing
+    // torn or unreachable territory.
+    VerifyAfterRecovery(run);
+  }
+
+  // Runs the script fault-free, then counts the disk write commands a clean
+  // Unmount issues — the checkpoint plus the three superblock replica
+  // rewrites. The space of unmount crash points to sweep.
+  uint64_t CountUnmountWrites() {
+    Run run = StartRun();
+    if (::testing::Test::HasFatalFailure()) {
+      return 0;
+    }
+    ReplayScript(&run);
+    EXPECT_TRUE(run.failed_at == kNoFailure)
+        << "fault-free run failed at op " << run.failed_at;
+    uint64_t base = run.device->stats().writes;
+    EXPECT_OK(run.drive->Unmount());
+    return run.device->stats().writes - base;
+  }
+
+  // Cuts power during the kth write of a clean Unmount (1-based, counted
+  // from the unmount's first write), remounts, and verifies every invariant.
+  // Sweeping k across CountUnmountWrites() tears the superblock replica
+  // rewrites at every boundary: any prefix of the clean-mark must leave a
+  // mountable volume no worse than a plain dirty crash at the last Sync.
+  void RunUnmountCrashPoint(uint64_t k, bool torn_tail) {
+    SCOPED_TRACE("unmount crash point k=" + std::to_string(k) +
+                 (torn_tail ? " (torn tail)" : " (clean cut)"));
+    Run run = UnmountCrashedRun(k, torn_tail);
     if (::testing::Test::HasFatalFailure()) {
       return;
     }
+    auto mounted = S4Drive::Mount(run.device.get(), run.clock.get(), options_);
+    ASSERT_TRUE(mounted.ok()) << "remount failed: " << mounted.status().ToString();
+    run.drive = std::move(*mounted);
+    VerifyAfterRecovery(run);
+  }
 
-    VerifySnapshots(run);
-    VerifyVersionMonotonicity(run);
-    VerifyAuditLog(run);
+  // Counts the disk writes recovery itself performs after a crash at write
+  // `k` of the chosen phase (superblock healing, the dirty re-mark, a
+  // torn-audit-tail trim) — the space of recovery crash points to sweep.
+  // With `during_unmount`, the first crash interrupts a clean Unmount after
+  // a fault-free script instead of interrupting the script.
+  uint64_t CountRecoveryWrites(uint64_t k, bool torn_tail, bool during_unmount = false) {
+    Run run = during_unmount ? UnmountCrashedRun(k, torn_tail)
+                             : CrashedRun(k, torn_tail);
+    if (::testing::Test::HasFatalFailure()) {
+      return 0;
+    }
+    uint64_t base = run.device->stats().writes;
+    auto mounted = S4Drive::Mount(run.device.get(), run.clock.get(), options_);
+    EXPECT_TRUE(mounted.ok()) << mounted.status().ToString();
+    return run.device->stats().writes - base;
+  }
 
-    // Invariant 4: every version waypoint rebuilt by recovery points at a
-    // reachable, intact journal sector whose newest entry matches the
-    // waypoint time. A power cut mid-checkpoint or mid-chunk must never
-    // leave a waypoint referencing torn or unreachable territory.
-    EXPECT_OK(run.drive->VerifyAllWaypoints());
+  // Power-cut *during recovery*: crash at write `k_first` (of the workload,
+  // or of a clean Unmount with `during_unmount` — the case where recovery
+  // itself rewrites superblock replicas), then cut power again during the
+  // k_recovery'th write the recovering mount issues. Whatever state that
+  // second crash leaves, the next mount must succeed and satisfy every
+  // invariant — recovery is restartable from any prefix of its own writes.
+  void RunRecoveryCrashPoint(uint64_t k_first, uint64_t k_recovery, bool torn_tail,
+                             bool during_unmount = false) {
+    SCOPED_TRACE("recovery crash point k=" + std::to_string(k_recovery) + " after " +
+                 (during_unmount ? "unmount" : "workload") + " crash at " +
+                 std::to_string(k_first) +
+                 (torn_tail ? " (torn tail)" : " (clean cut)"));
+    Run run = during_unmount ? UnmountCrashedRun(k_first, torn_tail)
+                             : CrashedRun(k_first, torn_tail);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+    if (torn_tail) {
+      run.injector.SchedulePowerCut(k_recovery, /*persist_sectors=*/0,
+                                    /*corrupt_sectors=*/1);
+    } else {
+      run.injector.SchedulePowerCut(k_recovery);
+    }
+    {
+      auto interrupted = S4Drive::Mount(run.device.get(), run.clock.get(), options_);
+      EXPECT_TRUE(run.injector.powered_off())
+          << "recovery crash point beyond recovery's writes";
+      EXPECT_FALSE(interrupted.ok()) << "mount succeeded through a power cut";
+    }
+    run.injector.PowerOn();
+    auto mounted = S4Drive::Mount(run.device.get(), run.clock.get(), options_);
+    ASSERT_TRUE(mounted.ok()) << "mount after interrupted recovery failed: "
+                              << mounted.status().ToString();
+    run.drive = std::move(*mounted);
+    VerifyAfterRecovery(run);
   }
 
  private:
@@ -173,6 +253,66 @@ class CrashHarness {
     uint64_t acked_ops = 0;
     uint64_t acked_ops_at_last_sync = 0;
   };
+
+  // Every post-recovery invariant: idempotence first (the other checks'
+  // audited admin ops would extend the chain), then snapshot contents,
+  // version monotonicity, audit-log survival, and waypoint integrity.
+  void VerifyAfterRecovery(Run& run) {
+    VerifyRecoveryIdempotent(run);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+    VerifySnapshots(run);
+    VerifyVersionMonotonicity(run);
+    VerifyAuditLog(run);
+    EXPECT_OK(run.drive->VerifyAllWaypoints());
+  }
+
+  // Runs the script fault-free, then cuts power at write `k` of the clean
+  // Unmount. Returns the run with power restored and the drive dropped cold.
+  Run UnmountCrashedRun(uint64_t k, bool torn_tail) {
+    Run run = StartRun();
+    if (::testing::Test::HasFatalFailure() || run.drive == nullptr) {
+      return run;
+    }
+    ReplayScript(&run);
+    EXPECT_TRUE(run.failed_at == kNoFailure)
+        << "fault-free run failed at op " << run.failed_at;
+    if (torn_tail) {
+      run.injector.SchedulePowerCut(k, /*persist_sectors=*/0, /*corrupt_sectors=*/1);
+    } else {
+      run.injector.SchedulePowerCut(k);
+    }
+    // The unmount dies at the cut; the drive object is dropped cold.
+    Status cut = run.drive->Unmount();
+    EXPECT_FALSE(cut.ok()) << "unmount succeeded through a power cut";
+    EXPECT_TRUE(run.injector.power_cut_fired()) << "crash point beyond the unmount";
+    run.injector.PowerOn();
+    run.drive.reset();
+    return run;
+  }
+
+  // Runs the script into a power cut at workload write `k_workload` and
+  // returns the run with power restored and the crashed drive dropped cold,
+  // ready for a (possibly also-faulted) mount.
+  Run CrashedRun(uint64_t k_workload, bool torn_tail) {
+    Run run = StartRun();
+    if (::testing::Test::HasFatalFailure() || run.drive == nullptr) {
+      return run;
+    }
+    if (torn_tail) {
+      run.injector.SchedulePowerCut(k_workload,
+                                    /*persist_sectors=*/options_.segment_sectors / 2,
+                                    /*corrupt_sectors=*/1);
+    } else {
+      run.injector.SchedulePowerCut(k_workload);
+    }
+    ReplayScript(&run);
+    EXPECT_TRUE(run.injector.power_cut_fired()) << "crash point beyond workload";
+    run.injector.PowerOn();
+    run.drive.reset();
+    return run;
+  }
 
   Run StartRun() {
     Run run;

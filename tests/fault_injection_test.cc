@@ -386,5 +386,92 @@ TEST(CrashSweepTest, BatchedGroupCommitTornTailAtEveryWriteBoundary) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Unmount sweep: cut power at every write of the clean-unmount sequence —
+// the final checkpoint and each of the three superblock replica rewrites.
+// Any prefix of the clean mark (including a torn replica sector) must leave
+// a volume that mounts and preserves every synced state.
+// ---------------------------------------------------------------------------
+
+TEST(CrashSweepTest, UnmountCleanCutAtEveryWriteBoundary) {
+  CrashHarness harness(StandardScript(), SweepOptions());
+  uint64_t n = harness.CountUnmountWrites();
+  ASSERT_GE(n, 4u) << "unmount issued too few writes to tear the clean mark";
+  std::cerr << "[ sweep    ] " << n << " unmount write boundaries\n";
+  for (uint64_t k = 1; k <= n; ++k) {
+    harness.RunUnmountCrashPoint(k, /*torn_tail=*/false);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(CrashSweepTest, UnmountTornTailAtEveryWriteBoundary) {
+  CrashHarness harness(StandardScript(), SweepOptions());
+  uint64_t n = harness.CountUnmountWrites();
+  ASSERT_GE(n, 4u) << "unmount issued too few writes to tear the clean mark";
+  for (uint64_t k = 1; k <= n; ++k) {
+    harness.RunUnmountCrashPoint(k, /*torn_tail=*/true);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Power cut during recovery itself: the first crash interrupts the workload
+// (or the clean unmount), the second interrupts the recovering mount's own
+// writes — superblock healing, the dirty re-mark, a torn-audit-tail trim.
+// Recovery must be restartable from any prefix of its write sequence.
+// ---------------------------------------------------------------------------
+
+TEST(CrashSweepTest, PowerCutDuringRecoveryAfterWorkloadCrash) {
+  CrashHarness harness(StandardScript(), SweepOptions());
+  uint64_t n = harness.CountWritePoints();
+  ASSERT_GE(n, 8u) << "workload too small to exercise multiple boundaries";
+  // A full cross product squares the sweep; sample workload crash points
+  // across the run. Torn tails maximise recovery's own writes (audit trim).
+  for (uint64_t kw : {n / 4, n / 2, n - 1}) {
+    if (kw == 0) {
+      continue;
+    }
+    for (bool torn : {false, true}) {
+      uint64_t r = harness.CountRecoveryWrites(kw, torn);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+      for (uint64_t kr = 1; kr <= r; ++kr) {
+        harness.RunRecoveryCrashPoint(kw, kr, torn);
+        if (::testing::Test::HasFatalFailure()) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+TEST(CrashSweepTest, PowerCutDuringRecoveryAfterUnmountCrash) {
+  CrashHarness harness(StandardScript(), SweepOptions());
+  uint64_t n = harness.CountUnmountWrites();
+  ASSERT_GE(n, 4u) << "unmount issued too few writes to tear the clean mark";
+  // Every unmount crash point, crossed with every write the recovering
+  // mount then issues (this is where a clean-won vote is re-marked dirty
+  // across all three replicas — each of those writes gets torn too).
+  for (uint64_t ku = 1; ku <= n; ++ku) {
+    for (bool torn : {false, true}) {
+      uint64_t r = harness.CountRecoveryWrites(ku, torn, /*during_unmount=*/true);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+      for (uint64_t kr = 1; kr <= r; ++kr) {
+        harness.RunRecoveryCrashPoint(ku, kr, torn, /*during_unmount=*/true);
+        if (::testing::Test::HasFatalFailure()) {
+          return;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace s4

@@ -170,6 +170,17 @@ def compare_one(name, base, cur, threshold):
             row(f"recovery.{mb}mb.reads", get(bpts.get(mb, {}), "reads"),
                 get(cpts.get(mb, {}), "reads"))
 
+    if get(base, "recovery_clean") or get(cur, "recovery_clean"):
+        bpts = points_by("recovery_clean", "journal_mb", base)
+        cpts = points_by("recovery_clean", "journal_mb", cur)
+        for mb in sorted(set(bpts) | set(cpts)):
+            row(f"recovery_clean.{mb}mb.disk_ms", get(bpts.get(mb, {}), "disk_ms"),
+                get(cpts.get(mb, {}), "disk_ms"))
+            row(f"recovery_clean.{mb}mb.audit_ms", get(bpts.get(mb, {}), "audit_ms"),
+                get(cpts.get(mb, {}), "audit_ms"))
+            row(f"recovery_clean.{mb}mb.reads", get(bpts.get(mb, {}), "reads"),
+                get(cpts.get(mb, {}), "reads"))
+
     print(f"\n== {name} ==")
     any_flag = False
     for label, text, flagged in rows:
