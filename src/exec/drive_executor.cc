@@ -30,15 +30,20 @@ DriveExecutor::DriveExecutor(SimClock* clock, std::vector<S4Drive*> drives, Opti
   S4_CHECK(!drives.empty());
   S4_CHECK(opts_.workers >= 1 && opts_.workers <= SimClock::kMaxLanes - 1);
   S4_CHECK(opts_.max_pending_per_drive >= 1);
-  drives_.resize(drives.size());
-  for (size_t i = 0; i < drives.size(); ++i) {
-    S4_CHECK(drives[i] != nullptr);
-    drives_[i].drive = drives[i];
-    drives_[i].time_floor = clock->Now();
+  {
+    // No worker exists yet; the lock scope keeps the guarded-state writes
+    // visibly disciplined for the thread-safety analysis all the same.
+    MutexLock lock(&mu_);
+    drives_.resize(drives.size());
+    for (size_t i = 0; i < drives.size(); ++i) {
+      S4_CHECK(drives[i] != nullptr);
+      drives_[i].drive = drives[i];
+      drives_[i].time_floor = clock->Now();
+    }
+    slot_free_.assign(static_cast<size_t>(opts_.workers), clock->Now());
+    slot_busy_.assign(static_cast<size_t>(opts_.workers), false);
+    paused_ = opts_.start_paused;
   }
-  slot_free_.assign(static_cast<size_t>(opts_.workers), clock->Now());
-  slot_busy_.assign(static_cast<size_t>(opts_.workers), false);
-  paused_ = opts_.start_paused;
   threads_.reserve(static_cast<size_t>(opts_.workers));
   for (int w = 0; w < opts_.workers; ++w) {
     threads_.emplace_back([this, w] { WorkerLoop(w); });
@@ -48,26 +53,28 @@ DriveExecutor::DriveExecutor(SimClock* clock, std::vector<S4Drive*> drives, Opti
 DriveExecutor::~DriveExecutor() {
   Drain();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_work_.notify_all();
+  cv_work_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();
   }
 }
 
 void DriveExecutor::Submit(int drive, uint64_t stripe, Mode mode, std::function<void()> fn) {
+  MutexLock lock(&mu_);
   S4_CHECK(drive >= 0 && drive < static_cast<int>(drives_.size()));
-  std::unique_lock<std::mutex> lock(mu_);
   DriveState& ds = drives_[static_cast<size_t>(drive)];
-  cv_space_.wait(lock, [&] { return ds.pending.size() < opts_.max_pending_per_drive; });
+  while (ds.pending.size() >= opts_.max_pending_per_drive) {
+    cv_space_.Wait(&mu_);
+  }
   Task t;
   t.fn = std::move(fn);
   t.stripe = stripe;
   t.mode = mode;
   ds.pending.push_back(std::move(t));
-  cv_work_.notify_one();
+  cv_work_.NotifyOne();
 }
 
 void DriveExecutor::Classify(const FramePeek& peek, uint64_t* stripe, Mode* mode) {
@@ -121,8 +128,8 @@ void DriveExecutor::SubmitFrame(int drive, S4RpcServer* server, Bytes frame, Byt
 }
 
 void DriveExecutor::AttachMaintenance(int drive, std::function<bool()> step) {
+  MutexLock lock(&mu_);
   S4_CHECK(drive >= 0 && drive < static_cast<int>(drives_.size()));
-  std::lock_guard<std::mutex> lock(mu_);
   DriveState& ds = drives_[static_cast<size_t>(drive)];
   // The hook may only be (re)bound while the drive is quiet: a worker invokes
   // it outside the lock.
@@ -131,68 +138,63 @@ void DriveExecutor::AttachMaintenance(int drive, std::function<bool()> step) {
 }
 
 void DriveExecutor::SubmitMaintenance(int drive) {
-  S4_CHECK(drive >= 0 && drive < static_cast<int>(drives_.size()));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    S4_CHECK(drive >= 0 && drive < static_cast<int>(drives_.size()));
     drives_[static_cast<size_t>(drive)].maint_pending = true;
   }
-  cv_work_.notify_all();
+  cv_work_.NotifyAll();
 }
 
 bool DriveExecutor::HasQueuedForeground(int drive) const {
+  MutexLock lock(&mu_);
   S4_CHECK(drive >= 0 && drive < static_cast<int>(drives_.size()));
-  std::lock_guard<std::mutex> lock(mu_);
   return !drives_[static_cast<size_t>(drive)].pending.empty();
 }
 
 uint64_t DriveExecutor::completed(int drive) const {
+  MutexLock lock(&mu_);
   S4_CHECK(drive >= 0 && drive < static_cast<int>(drives_.size()));
-  std::lock_guard<std::mutex> lock(mu_);
   return drives_[static_cast<size_t>(drive)].completed;
 }
 
 uint64_t DriveExecutor::maintenance_slices(int drive) const {
+  MutexLock lock(&mu_);
   S4_CHECK(drive >= 0 && drive < static_cast<int>(drives_.size()));
-  std::lock_guard<std::mutex> lock(mu_);
   return drives_[static_cast<size_t>(drive)].maint_slices;
 }
 
 SimDuration DriveExecutor::charged_span(int drive) const {
+  MutexLock lock(&mu_);
   S4_CHECK(drive >= 0 && drive < static_cast<int>(drives_.size()));
-  std::lock_guard<std::mutex> lock(mu_);
   return drives_[static_cast<size_t>(drive)].charged_span;
 }
 
 SimDuration DriveExecutor::gap_span(int drive) const {
+  MutexLock lock(&mu_);
   S4_CHECK(drive >= 0 && drive < static_cast<int>(drives_.size()));
-  std::lock_guard<std::mutex> lock(mu_);
   return drives_[static_cast<size_t>(drive)].gap_span;
 }
 
 void DriveExecutor::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (paused_) {
     paused_ = false;
-    cv_work_.notify_all();
+    cv_work_.NotifyAll();
   }
 }
 
 void DriveExecutor::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Draining a parked executor would hang on its own queue: un-park first.
   if (paused_) {
     paused_ = false;
-    cv_work_.notify_all();
+    cv_work_.NotifyAll();
   }
   ++drain_waiters_;
-  cv_drain_.wait(lock, [&] {
-    for (const DriveState& ds : drives_) {
-      if (!DriveQuiet(ds)) {
-        return false;
-      }
-    }
-    return true;
-  });
+  while (!AllQuiet()) {
+    cv_drain_.Wait(&mu_);
+  }
   // Exclusivity established (workers cannot start anything while we hold the
   // lock and nothing is running): replay audit records parked by trailing
   // snapshot readers.
@@ -200,7 +202,16 @@ void DriveExecutor::Drain() {
     ds.drive->FlushDeferredAudits();
   }
   --drain_waiters_;
-  cv_work_.notify_all();
+  cv_work_.NotifyAll();
+}
+
+bool DriveExecutor::AllQuiet() const {
+  for (const DriveState& ds : drives_) {
+    if (!DriveQuiet(ds)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool DriveExecutor::FirstRunnable(const DriveState& ds, size_t* index_out) const {
@@ -326,12 +337,12 @@ bool DriveExecutor::FindWork(int* drive_out, Task* task_out, bool* is_maint_out)
   *drive_out = best;
   *is_maint_out = false;
   next_drive_ = (best + 1) % n;
-  cv_space_.notify_all();
+  cv_space_.NotifyAll();
   return true;
 }
 
 void DriveExecutor::WorkerLoop(int worker) {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
     int d = -1;
     Task task;
@@ -380,7 +391,7 @@ void DriveExecutor::WorkerLoop(int worker) {
       const SimTime frontier = std::max(ds.time_floor, ds.horizon);
       ds.gap_span += start > frontier ? start - frontier : 0;
       bool more_maint = false;
-      lock.unlock();
+      mu_.Unlock();
       SimTime end;
       {
         // Lane ids are 1-based; 0 is the serial (no-lane) path.
@@ -398,7 +409,7 @@ void DriveExecutor::WorkerLoop(int worker) {
         end = lane.now();
       }
       clock_->AbsorbLane(end);
-      lock.lock();
+      mu_.Lock();
       slot_free_[slot] = end;
       slot_busy_[slot] = false;
       ds.charged_span += end - start;
@@ -424,15 +435,16 @@ void DriveExecutor::WorkerLoop(int worker) {
         ++ds.completed;
         ++ds.fg_since_maint;
       }
-      cv_work_.notify_all();
-      cv_drain_.notify_all();
+      cv_work_.NotifyAll();
+      cv_drain_.NotifyAll();
       continue;
     }
     if (stop_) {
-      return;
+      break;
     }
-    cv_work_.wait(lock);
+    cv_work_.Wait(&mu_);
   }
+  mu_.Unlock();
 }
 
 }  // namespace s4

@@ -40,10 +40,8 @@
 #ifndef S4_SRC_EXEC_DRIVE_EXECUTOR_H_
 #define S4_SRC_EXEC_DRIVE_EXECUTOR_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -51,6 +49,7 @@
 #include "src/rpc/messages.h"
 #include "src/rpc/transport.h"
 #include "src/sim/sim_clock.h"
+#include "src/util/sync.h"
 
 namespace s4 {
 
@@ -87,51 +86,53 @@ class DriveExecutor {
   // Queues `fn` on `drive` under explicit scheduling class + stripe. Blocks
   // for backpressure when the drive's queue is full. `fn` runs on a worker
   // thread inside a clock lane.
-  void Submit(int drive, uint64_t stripe, Mode mode, std::function<void()> fn);
+  void Submit(int drive, uint64_t stripe, Mode mode, std::function<void()> fn)
+      S4_EXCLUDES(mu_);
 
   // Peeks the wire frame, derives (stripe, mode) from its op + object, and
   // queues a task that pushes it through `server`. A frame that does not
   // peek as a single request (batch, malformed) schedules as a barrier — the
   // strictest class — so hostile bytes cannot buy extra concurrency. The
   // response lands in *response (may be null) before Drain() returns.
-  void SubmitFrame(int drive, S4RpcServer* server, Bytes frame, Bytes* response = nullptr);
+  void SubmitFrame(int drive, S4RpcServer* server, Bytes frame, Bytes* response = nullptr)
+      S4_EXCLUDES(mu_);
 
   // Releases workers parked by Options::start_paused. Idempotent.
-  void Start();
+  void Start() S4_EXCLUDES(mu_);
 
   // Scheduling class + stripe the executor assigns a peeked frame.
   static void Classify(const FramePeek& peek, uint64_t* stripe, Mode* mode);
 
   // Registers the idle-slice maintenance hook: one bounded unit of background
   // work (e.g. a budgeted cleaner pass); returns whether more work remains.
-  void AttachMaintenance(int drive, std::function<bool()> step);
+  void AttachMaintenance(int drive, std::function<bool()> step) S4_EXCLUDES(mu_);
   // Requests maintenance; slices run in idle gaps until the step reports no
   // more work.
-  void SubmitMaintenance(int drive);
+  void SubmitMaintenance(int drive) S4_EXCLUDES(mu_);
 
   // True while the drive has queued (not yet started) foreground work. The
   // scheduler consults this before granting an idle maintenance slice.
-  bool HasQueuedForeground(int drive) const;
+  bool HasQueuedForeground(int drive) const S4_EXCLUDES(mu_);
 
   // Blocks until every queued and running foreground task has finished, then
   // flushes any remaining deferred audit records. Maintenance is not granted
   // new slices while a drain is waiting.
-  void Drain();
+  void Drain() S4_EXCLUDES(mu_);
 
   // Foreground tasks completed on `drive` so far.
-  uint64_t completed(int drive) const;
+  uint64_t completed(int drive) const S4_EXCLUDES(mu_);
   // Maintenance slices granted on `drive` so far.
-  uint64_t maintenance_slices(int drive) const;
+  uint64_t maintenance_slices(int drive) const S4_EXCLUDES(mu_);
   // Total simulated time charged to capacity slots for `drive`'s tasks
   // (lane end minus slot start, summed). The gap between this and the
   // device's own busy time is scheduling slack: slot time spent queueing on
   // a busy platter or replaying deferred audits.
-  SimDuration charged_span(int drive) const;
+  SimDuration charged_span(int drive) const S4_EXCLUDES(mu_);
   // Simulated time inserted as idle gaps into `drive`'s serialized timeline:
   // sum over tasks of (slot start - drive chain) whenever a task had to start
   // on a capacity slot that was ahead of the drive's own frontier. Zero means
   // every task extended its drive's chain seamlessly.
-  SimDuration gap_span(int drive) const;
+  SimDuration gap_span(int drive) const S4_EXCLUDES(mu_);
 
   int workers() const { return opts_.workers; }
 
@@ -170,34 +171,42 @@ class DriveExecutor {
   void WorkerLoop(int worker);
   // Scans for a runnable task under mu_; returns false if none. On success
   // the task is dequeued and its drive marked running.
-  bool FindWork(int* drive_out, Task* task_out, bool* is_maint_out);
+  bool FindWork(int* drive_out, Task* task_out, bool* is_maint_out) S4_REQUIRES(mu_);
   // Index of the first task in ds.pending the scheduling rules allow to run
   // right now, honouring barriers, stripes, and the head-pass budget.
-  bool FirstRunnable(const DriveState& ds, size_t* index_out) const;
-  bool DriveQuiet(const DriveState& ds) const {
+  bool FirstRunnable(const DriveState& ds, size_t* index_out) const S4_REQUIRES(mu_);
+  bool DriveQuiet(const DriveState& ds) const S4_REQUIRES(mu_) {
     return ds.pending.empty() && ds.running_shared == 0 && !ds.running_exclusive;
   }
+  // Every drive quiet: Drain()'s wake condition.
+  bool AllQuiet() const S4_REQUIRES(mu_);
 
   SimClock* clock_;
   Options opts_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;   // workers: new task / state change
-  std::condition_variable cv_space_;  // submitters: queue has room
-  std::condition_variable cv_drain_;  // Drain(): a task finished
-  std::vector<DriveState> drives_;
+  // Rank kExecutor: the bottom of the lock hierarchy — FindWork consults
+  // BlockDevice::busy_until() (rank kDevice) while holding it.
+  mutable Mutex mu_{LockRank::kExecutor, "DriveExecutor"};
+  CondVar cv_work_;   // workers: new task / state change
+  CondVar cv_space_;  // submitters: queue has room
+  CondVar cv_drain_;  // Drain(): a task finished
+  std::vector<DriveState> drives_ S4_GUARDED_BY(mu_);
   // Virtual worker-capacity slots, one per worker: each task's lane starts at
   // the earliest-free slot (bounded by its drive's floor) and parks the slot
   // at its end. Decoupling simulated capacity from which OS thread happens to
   // win the dispatch race keeps the modelled makespan a function of the
   // worker COUNT, not of host scheduling luck.
-  std::vector<SimTime> slot_free_;
-  std::vector<bool> slot_busy_;  // reserved at dispatch, released at completion
-  int next_drive_ = 0;  // round-robin scan origin
-  int drain_waiters_ = 0;
-  bool stop_ = false;
-  bool paused_ = false;  // workers parked until Start() (Options::start_paused)
+  std::vector<SimTime> slot_free_ S4_GUARDED_BY(mu_);
+  // Reserved at dispatch, released at completion.
+  std::vector<bool> slot_busy_ S4_GUARDED_BY(mu_);
+  int next_drive_ S4_GUARDED_BY(mu_) = 0;  // round-robin scan origin
+  int drain_waiters_ S4_GUARDED_BY(mu_) = 0;
+  bool stop_ S4_GUARDED_BY(mu_) = false;
+  // Workers parked until Start() (Options::start_paused).
+  bool paused_ S4_GUARDED_BY(mu_) = false;
 
+  // Written in the constructor before any worker exists and joined in the
+  // destructor after all workers have stopped; never touched concurrently.
   std::vector<std::thread> threads_;
 };
 

@@ -75,34 +75,34 @@ int64_t Histogram::Percentile(double p) const {
 }
 
 Counter* MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(&mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(&mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(&mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 const Counter* MetricRegistry::FindCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* MetricRegistry::FindHistogram(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
@@ -113,21 +113,21 @@ uint64_t MetricRegistry::CounterValue(const std::string& name) const {
 }
 
 std::map<std::string, const Counter*> MetricRegistry::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::map<std::string, const Counter*> out;
   for (const auto& [name, c] : counters_) out.emplace(name, c.get());
   return out;
 }
 
 std::map<std::string, const Gauge*> MetricRegistry::gauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::map<std::string, const Gauge*> out;
   for (const auto& [name, g] : gauges_) out.emplace(name, g.get());
   return out;
 }
 
 std::map<std::string, const Histogram*> MetricRegistry::histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  ReaderLock lock(&mu_);
   std::map<std::string, const Histogram*> out;
   for (const auto& [name, h] : histograms_) out.emplace(name, h.get());
   return out;

@@ -23,8 +23,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "src/util/sync.h"
 
 namespace s4 {
 
@@ -80,31 +81,36 @@ class MetricRegistry {
  public:
   // Creation is idempotent; returned pointers are stable for the registry's
   // lifetime. Safe to call from concurrent workers.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  Histogram* GetHistogram(const std::string& name);
+  Counter* GetCounter(const std::string& name) S4_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) S4_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) S4_EXCLUDES(mu_);
 
   // Lookup without creating; nullptr when the instrument does not exist.
-  const Counter* FindCounter(const std::string& name) const;
-  const Histogram* FindHistogram(const std::string& name) const;
+  // Lookups take the reader side of the lock, so concurrent hot-path
+  // resolution never serialises against other readers.
+  const Counter* FindCounter(const std::string& name) const S4_EXCLUDES(mu_);
+  const Histogram* FindHistogram(const std::string& name) const S4_EXCLUDES(mu_);
   // Value of a counter, 0 when it does not exist.
-  uint64_t CounterValue(const std::string& name) const;
+  uint64_t CounterValue(const std::string& name) const S4_EXCLUDES(mu_);
 
   // Snapshot of the instrument maps (name -> stable instrument pointer).
   // The pointers stay valid for the registry's lifetime; the snapshot itself
   // is a copy, so callers may iterate while other threads create instruments.
-  std::map<std::string, const Counter*> counters() const;
-  std::map<std::string, const Gauge*> gauges() const;
-  std::map<std::string, const Histogram*> histograms() const;
+  std::map<std::string, const Counter*> counters() const S4_EXCLUDES(mu_);
+  std::map<std::string, const Gauge*> gauges() const S4_EXCLUDES(mu_);
+  std::map<std::string, const Histogram*> histograms() const S4_EXCLUDES(mu_);
 
   // Full dump: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
-  std::string ToJson() const;
+  std::string ToJson() const S4_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Rank kMetrics: a leaf lock — no code path acquires another lock while
+  // holding it. Instrument *values* are relaxed atomics and never need it;
+  // the lock only guards the name -> instrument maps.
+  mutable SharedMutex mu_{LockRank::kMetrics, "MetricRegistry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ S4_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ S4_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ S4_GUARDED_BY(mu_);
 };
 
 }  // namespace s4

@@ -8,7 +8,7 @@ std::string Tracer::ToChromeJson() const {
   std::ostringstream out;
   out << "{\"traceEvents\": [";
   bool first = true;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const TraceEvent& e : events_) {
     out << (first ? "" : ",") << "\n  {\"name\": \"" << e.name
         << "\", \"ph\": \"X\", \"ts\": " << e.start << ", \"dur\": " << e.duration

@@ -15,10 +15,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/util/sync.h"
 #include "src/util/time.h"
 
 namespace s4 {
@@ -42,9 +42,9 @@ class Tracer {
   }
 
   void Record(const char* name, uint64_t request_id, SimTime start,
-              SimDuration duration, uint8_t depth) {
+              SimDuration duration, uint8_t depth) S4_EXCLUDES(mu_) {
     if (!enabled_.load(std::memory_order_relaxed)) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (events_.size() >= kMaxEvents) {
       ++dropped_;
       return;
@@ -55,40 +55,47 @@ class Tracer {
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   // Copy, so callers may inspect while workers append. Exact once quiesced.
-  std::vector<TraceEvent> events() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events() const S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return events_;
   }
-  size_t event_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t event_count() const S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return events_.size();
   }
-  uint64_t dropped() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped() const S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return dropped_;
   }
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     events_.clear();
     dropped_ = 0;
   }
 
   // Process lane for the chrome JSON dump. A sharded array sets one pid per
   // shard so each drive's spans land in their own track; 1 = standalone.
-  void set_pid(int pid) { pid_ = pid; }
-  int pid() const { return pid_; }
+  void set_pid(int pid) S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    pid_ = pid;
+  }
+  int pid() const S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return pid_;
+  }
 
   // {"traceEvents": [{"name":..., "ph":"X", "ts":..., "dur":..., "pid":<pid>,
   //  "tid":<request id>}, ...]} — loadable in chrome://tracing or Perfetto.
-  std::string ToChromeJson() const;
+  std::string ToChromeJson() const S4_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  // Rank kTracer: a leaf lock; span closure never calls anything that locks.
+  mutable Mutex mu_{LockRank::kTracer, "Tracer"};
+  std::vector<TraceEvent> events_ S4_GUARDED_BY(mu_);
   std::atomic<uint64_t> last_request_id_{0};
-  uint64_t dropped_ = 0;
+  uint64_t dropped_ S4_GUARDED_BY(mu_) = 0;
   std::atomic<bool> enabled_{true};
-  int pid_ = 1;
+  int pid_ S4_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace s4

@@ -151,7 +151,7 @@ SimDuration BlockDevice::PositioningCost(uint64_t lba, SimTime start) {
 
 Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out, OpContext* ctx) {
   ScopedSpan span(ctx, "disk.read");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (lba + count > sector_count_ || lba + count < lba) {
     return Status::InvalidArgument("read beyond device");
   }
@@ -193,7 +193,7 @@ Status BlockDevice::Read(uint64_t lba, uint64_t count, Bytes* out, OpContext* ct
 
 Status BlockDevice::Write(uint64_t lba, ByteSpan data, OpContext* ctx) {
   ScopedSpan span(ctx, "disk.write");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (data.size() % kSectorSize != 0) {
     return Status::InvalidArgument("write not sector aligned");
   }
@@ -231,7 +231,7 @@ Status BlockDevice::Write(uint64_t lba, ByteSpan data, OpContext* ctx) {
         CopyIn(lba * kSectorSize, data.first(persist * kSectorSize));
       }
       if (corrupt > 0) {
-        CorruptSectors(lba + persist, corrupt);
+        CorruptSectorsLocked(lba + persist, corrupt);
       }
       return Status::Unavailable("power lost during write");
     }
@@ -256,6 +256,11 @@ Status BlockDevice::Write(uint64_t lba, ByteSpan data, OpContext* ctx) {
 }
 
 void BlockDevice::CorruptSectors(uint64_t lba, uint64_t count) {
+  MutexLock lock(&mu_);
+  CorruptSectorsLocked(lba, count);
+}
+
+void BlockDevice::CorruptSectorsLocked(uint64_t lba, uint64_t count) {
   for (uint64_t i = 0; i < count && lba + i < sector_count_; ++i) {
     // Fill with a recognisable garbage pattern; checksums must catch this.
     Bytes garbage(kSectorSize, 0xDE);

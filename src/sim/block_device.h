@@ -11,13 +11,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/obs/op_context.h"
 #include "src/sim/sim_clock.h"
 #include "src/util/bytes.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 #include "src/util/time.h"
 
 namespace s4 {
@@ -153,35 +153,47 @@ class BlockDevice {
   // while the arm is busy starts when the arm frees up, exactly as real
   // hardware would. On the serial path the timeline never runs ahead of the
   // clock and the timing is identical to the pre-concurrency model.
-  Status Read(uint64_t lba, uint64_t count, Bytes* out, OpContext* ctx = nullptr);
+  Status Read(uint64_t lba, uint64_t count, Bytes* out, OpContext* ctx = nullptr)
+      S4_EXCLUDES(mu_);
   // Writes data (must be a whole number of sectors) starting at `lba`.
-  Status Write(uint64_t lba, ByteSpan data, OpContext* ctx = nullptr);
+  Status Write(uint64_t lba, ByteSpan data, OpContext* ctx = nullptr) S4_EXCLUDES(mu_);
 
-  DiskStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  DiskStats stats() const S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return stats_;
   }
   // Simulated instant until which the arm is busy serving already-issued
   // commands. A command issued with a lane clock behind this queues (and is
   // charged the wait), so schedulers use it as the drive's device frontier.
-  SimTime busy_until() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  // Deliberately a mutex acquisition, not a lock-free read: the executor
+  // calls it from dispatch (rank kExecutor -> kDevice is the sanctioned
+  // nesting) and a stale frontier would mis-schedule, not just mis-report.
+  SimTime busy_until() const S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return free_until_;
   }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void ResetStats() S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     stats_ = DiskStats();
   }
 
   // Attaches a fault schedule (nullptr detaches). The injector must outlive
-  // the device or be detached first.
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
-  FaultInjector* fault_injector() const { return injector_; }
+  // the device or be detached first. Swapping injectors while commands are
+  // in flight is a programming error; the lock still makes it a data-race-
+  // free one.
+  void set_fault_injector(FaultInjector* injector) S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    injector_ = injector;
+  }
+  FaultInjector* fault_injector() const S4_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return injector_;
+  }
 
   // Directly overwrites `count` sectors starting at `lba` with a
   // recognisable garbage pattern — media damage with no timing cost, for
   // tests that corrupt state out-of-band.
-  void CorruptSectors(uint64_t lba, uint64_t count = 1);
+  void CorruptSectors(uint64_t lba, uint64_t count = 1) S4_EXCLUDES(mu_);
 
   // Simulates power loss: in-memory sector contents persist (they model the
   // platters), but the caller's caches are gone. Provided for crash tests.
@@ -195,23 +207,32 @@ class BlockDevice {
   // disks only commit memory for sectors actually written.
   static constexpr uint64_t kChunkBytes = 1 << 20;
 
-  SimDuration PositioningCost(uint64_t lba, SimTime start);
-  uint8_t* ChunkFor(uint64_t byte_offset, bool allocate);
-  void CopyOut(uint64_t byte_offset, uint64_t len, uint8_t* dst);
-  void CopyIn(uint64_t byte_offset, ByteSpan src);
+  SimDuration PositioningCost(uint64_t lba, SimTime start) S4_REQUIRES(mu_);
+  uint8_t* ChunkFor(uint64_t byte_offset, bool allocate) S4_REQUIRES(mu_);
+  void CopyOut(uint64_t byte_offset, uint64_t len, uint8_t* dst) S4_REQUIRES(mu_);
+  void CopyIn(uint64_t byte_offset, ByteSpan src) S4_REQUIRES(mu_);
+  // CorruptSectors body; Write calls it with the command lock already held.
+  void CorruptSectorsLocked(uint64_t lba, uint64_t count) S4_REQUIRES(mu_);
 
   uint64_t sector_count_;
   SimClock* clock_;
   DiskModel model_;
-  FaultInjector* injector_ = nullptr;
   // One command at a time: guards media contents, fault state, stats, and the
-  // arm's busy timeline against concurrent executor lanes.
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
-  uint64_t head_lba_ = 0;   // LBA following the last transfer
-  SimTime last_io_end_ = 0; // when the previous command completed
-  SimTime free_until_ = 0;  // the arm is busy until this instant
-  DiskStats stats_;
+  // arm's busy timeline against concurrent executor lanes. Rank kDevice: the
+  // executor's dispatch lock (kExecutor) is the only lock ever held when a
+  // command arrives, via busy_until() from FindWork.
+  mutable Mutex mu_{LockRank::kDevice, "BlockDevice"};
+  // The injector is passive state consulted and mutated under the command
+  // lock; both the pointer and the pointee are covered by mu_.
+  FaultInjector* injector_ S4_GUARDED_BY(mu_) S4_PT_GUARDED_BY(mu_) = nullptr;
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_ S4_GUARDED_BY(mu_);
+  // LBA following the last transfer.
+  uint64_t head_lba_ S4_GUARDED_BY(mu_) = 0;
+  // When the previous command completed.
+  SimTime last_io_end_ S4_GUARDED_BY(mu_) = 0;
+  // The arm is busy until this instant.
+  SimTime free_until_ S4_GUARDED_BY(mu_) = 0;
+  DiskStats stats_ S4_GUARDED_BY(mu_);
 };
 
 }  // namespace s4

@@ -39,6 +39,10 @@ struct NetStats {
 // The live accumulator an endpoint updates: relaxed atomics so concurrent
 // executor workers pushing frames through one endpoint never race. Readers
 // take a plain NetStats snapshot (exact once the executor has drained).
+// Deliberately lock-free (audited for the lock-discipline pass): each field
+// is an independent monotone counter with no cross-field invariant, so
+// per-field atomicity is already the full consistency contract and a mutex
+// would only add a hot-path serialisation point.
 struct AtomicNetStats {
   std::atomic<uint64_t> messages_sent{0};
   std::atomic<uint64_t> bytes_sent{0};

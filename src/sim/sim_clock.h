@@ -121,6 +121,11 @@ class SimClock {
     return (lane != nullptr && lane->clock_ == this) ? lane : nullptr;
   }
 
+  // Deliberately lock-free (audited for the lock-discipline pass): the lane
+  // pointer is thread-local (each worker reads/writes only its own), and the
+  // global clock is a single monotone word advanced by CAS in AbsorbLane —
+  // a mutex here would serialise every Charge() on the hot path. Cross-lane
+  // ordering comes from the executor's dispatch lock, not from this word.
   static thread_local Lane* tls_lane_;
 
   std::atomic<SimTime> now_{0};

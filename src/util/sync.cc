@@ -1,0 +1,78 @@
+#include "src/util/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace s4 {
+namespace internal {
+namespace {
+
+// Per-thread set of held locks. A fixed array keeps the checker allocation-
+// free (it runs inside every Lock/Unlock); depth is bounded by the lock
+// hierarchy, which is four ranks deep today.
+struct HeldLock {
+  const void* mu;
+  int rank;
+  const char* name;
+};
+
+constexpr int kMaxHeld = 32;
+
+thread_local HeldLock tls_held[kMaxHeld];
+thread_local int tls_held_count = 0;
+
+[[noreturn]] void RankFailure(const char* what, const char* acquiring_name,
+                              int acquiring_rank, const char* held_name,
+                              int held_rank) {
+  std::fprintf(stderr,
+               "s4 lock-rank violation: %s \"%s\" (rank %d) while holding "
+               "\"%s\" (rank %d); see the lock hierarchy in DESIGN.md "
+               "section 16\n",
+               what, acquiring_name, acquiring_rank, held_name, held_rank);
+  std::abort();
+}
+
+}  // namespace
+
+void PushLockRank(const void* mu, int rank, const char* name) {
+  for (int i = 0; i < tls_held_count; ++i) {
+    if (tls_held[i].mu == mu) {
+      RankFailure("recursive acquisition of", name, rank, tls_held[i].name,
+                  tls_held[i].rank);
+    }
+    if (tls_held[i].rank >= rank) {
+      RankFailure("acquiring", name, rank, tls_held[i].name,
+                  tls_held[i].rank);
+    }
+  }
+  if (tls_held_count >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "s4 lock-rank checker: thread holds more than %d locks "
+                 "(acquiring \"%s\")\n",
+                 kMaxHeld, name);
+    std::abort();
+  }
+  tls_held[tls_held_count++] = HeldLock{mu, rank, name};
+}
+
+void PopLockRank(const void* mu) {
+  // Search newest-first: unlocks are almost always LIFO, but a CondVar wait
+  // may release a mid-stack entry while leaf locks churn above it.
+  for (int i = tls_held_count - 1; i >= 0; --i) {
+    if (tls_held[i].mu != mu) {
+      continue;
+    }
+    for (int j = i; j + 1 < tls_held_count; ++j) {
+      tls_held[j] = tls_held[j + 1];
+    }
+    --tls_held_count;
+    return;
+  }
+  std::fprintf(stderr,
+               "s4 lock-rank checker: releasing a lock this thread does not "
+               "hold\n");
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace s4

@@ -1,0 +1,18 @@
+// Fixture: S4L010 must fire — a naked std::mutex outside src/util/sync.*
+// bypasses both the Clang Thread Safety annotations and the runtime
+// lock-rank checker. The sanctioned spelling is s4::Mutex + s4::MutexLock.
+#include <mutex>
+
+namespace s4 {
+
+struct NakedState {
+  std::mutex mu;
+  int value = 0;
+};
+
+void Bump(NakedState* s) {
+  std::lock_guard<std::mutex> lock(s->mu);
+  ++s->value;
+}
+
+}  // namespace s4

@@ -1,18 +1,17 @@
-// Fixture: S4L009 must fire — a drive-layer mutex means the layer is trying
-// to synchronise on its own instead of relying on the executor's
-// stripe/exclusivity scheduling.
-#include <mutex>
+// Fixture: S4L009 must fire — a drive-layer thread means the layer is trying
+// to schedule work on its own instead of relying on the executor's
+// stripe/exclusivity scheduling. (Raw mutexes are S4L010's fixture.)
+#include <thread>
 
 namespace s4 {
 
 struct BadDriveState {
-  std::mutex mu;
   int sequence = 0;
 };
 
-void BumpSequence(BadDriveState* s) {
-  std::lock_guard<std::mutex> lock(s->mu);
-  ++s->sequence;
+void BumpSequenceAsync(BadDriveState* s) {
+  std::thread t([s] { ++s->sequence; });
+  t.join();
 }
 
 }  // namespace s4

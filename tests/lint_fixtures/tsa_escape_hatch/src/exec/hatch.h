@@ -1,0 +1,20 @@
+// Fixture: S4L010 must fire — an S4_NO_THREAD_SAFETY_ANALYSIS escape hatch
+// with no rationale comment on the same or preceding line. Note the blank
+// line below keeps this header comment from counting as the rationale.
+#ifndef FIXTURE_HATCH_H_
+#define FIXTURE_HATCH_H_
+
+namespace s4 {
+
+class Hatch {
+ public:
+  void Sneak() S4_NO_THREAD_SAFETY_ANALYSIS;
+
+ private:
+  Mutex mu_{LockRank::kExecutor, "Hatch"};
+  int hidden_ S4_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace s4
+
+#endif  // FIXTURE_HATCH_H_

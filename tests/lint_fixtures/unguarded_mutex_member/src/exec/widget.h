@@ -1,0 +1,22 @@
+// Fixture: S4L010 must fire — an s4::Mutex member with no
+// S4_GUARDED_BY(mu_) referent anywhere in the file. A lock that no
+// annotation names guards nothing the static analysis can see; either
+// annotate the state it protects or delete it. (Lives under src/exec so the
+// wrapper types themselves are allowed — S4L009 stays quiet.)
+#ifndef FIXTURE_WIDGET_H_
+#define FIXTURE_WIDGET_H_
+
+namespace s4 {
+
+class Widget {
+ public:
+  void Poke();
+
+ private:
+  Mutex mu_{LockRank::kExecutor, "Widget"};
+  int pokes_ = 0;
+};
+
+}  // namespace s4
+
+#endif  // FIXTURE_WIDGET_H_

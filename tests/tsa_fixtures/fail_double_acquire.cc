@@ -1,0 +1,29 @@
+// TSA fixture (must FAIL under -Werror=thread-safety): acquiring a mutex
+// the thread already holds (s4::Mutex is non-recursive; at runtime the rank
+// checker would abort, but clang rejects it before it can run).
+#include "src/util/sync.h"
+
+namespace {
+
+class Box {
+ public:
+  void Poke() S4_EXCLUDES(mu_) {
+    mu_.Lock();
+    mu_.Lock();  // second acquisition of a held lock
+    ++value_;
+    mu_.Unlock();
+    mu_.Unlock();
+  }
+
+ private:
+  s4::Mutex mu_{s4::LockRank::kExecutor, "Box"};
+  int value_ S4_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+  b.Poke();
+  return 0;
+}

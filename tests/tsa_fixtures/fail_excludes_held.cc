@@ -1,0 +1,31 @@
+// TSA fixture (must FAIL under -Werror=thread-safety): calling an
+// S4_EXCLUDES(mu_) entry point while already holding mu_ — the callee would
+// self-deadlock acquiring it again.
+#include "src/util/sync.h"
+
+namespace {
+
+class Box {
+ public:
+  void Poke() S4_EXCLUDES(mu_) {
+    s4::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  void Reenter() S4_EXCLUDES(mu_) {
+    s4::MutexLock lock(&mu_);
+    Poke();  // Poke excludes mu_, but we hold it
+  }
+
+ private:
+  s4::Mutex mu_{s4::LockRank::kExecutor, "Box"};
+  int value_ S4_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+  b.Reenter();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// TSA fixture (must FAIL under -Werror=thread-safety): a path that returns
+// with the mutex still held (manual Lock with no matching Unlock).
+#include "src/util/sync.h"
+
+namespace {
+
+class Box {
+ public:
+  void Poke() S4_EXCLUDES(mu_) {
+    mu_.Lock();
+    ++value_;
+    // missing mu_.Unlock(): still held at end of function
+  }
+
+ private:
+  s4::Mutex mu_{s4::LockRank::kExecutor, "Box"};
+  int value_ S4_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+  b.Poke();
+  return 0;
+}

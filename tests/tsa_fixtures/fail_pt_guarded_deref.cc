@@ -1,0 +1,34 @@
+// TSA fixture (must FAIL under -Werror=thread-safety): dereferencing a
+// PT_GUARDED_BY pointer without holding the guarding mutex (mirrors
+// BlockDevice::injector_: the pointer itself and its pointee are both
+// lock-protected).
+#include "src/util/sync.h"
+
+namespace {
+
+class Box {
+ public:
+  void Poke() {
+    s4::MutexLock lock(&mu_);
+    target_ = &slot_;
+  }
+
+  void Stab() {
+    *target_ = 9;  // pointee access without mu_ (and an unguarded read of
+                   // the pointer itself)
+  }
+
+ private:
+  s4::Mutex mu_{s4::LockRank::kExecutor, "Box"};
+  int slot_ = 0;
+  int* target_ S4_GUARDED_BY(mu_) S4_PT_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+  b.Poke();
+  b.Stab();
+  return 0;
+}

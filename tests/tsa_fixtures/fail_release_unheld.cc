@@ -1,0 +1,24 @@
+// TSA fixture (must FAIL under -Werror=thread-safety): releasing a mutex
+// the thread does not hold (the runtime checker would also abort here, but
+// only on the executed path; clang rejects every path).
+#include "src/util/sync.h"
+
+namespace {
+
+class Box {
+ public:
+  void Oops() {
+    mu_.Unlock();  // never locked
+  }
+
+ private:
+  s4::Mutex mu_{s4::LockRank::kExecutor, "Box"};
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+  b.Oops();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// TSA fixture (must FAIL under -Werror=thread-safety): calling an
+// S4_REQUIRES(mu_) helper without holding the lock.
+#include "src/util/sync.h"
+
+namespace {
+
+class Box {
+ public:
+  void Poke() {
+    PokeLocked();  // requires mu_, not held
+  }
+
+ private:
+  void PokeLocked() S4_REQUIRES(mu_) { ++value_; }
+
+  s4::Mutex mu_{s4::LockRank::kExecutor, "Box"};
+  int value_ S4_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+  b.Poke();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// TSA fixture (must FAIL under -Werror=thread-safety): writing a GUARDED_BY
+// member while holding only the shared (reader) side of its SharedMutex —
+// concurrent readers would race with the write.
+#include "src/util/sync.h"
+
+namespace {
+
+class Table {
+ public:
+  void Sneak(int v) S4_EXCLUDES(mu_) {
+    s4::ReaderLock lock(&mu_);
+    value_ = v;  // write under a shared lock
+  }
+
+ private:
+  mutable s4::SharedMutex mu_{s4::LockRank::kMetrics, "Table"};
+  int value_ S4_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.Sneak(3);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// TSA fixture (must FAIL under -Werror=thread-safety): reading a
+// GUARDED_BY member without holding its mutex.
+#include "src/util/sync.h"
+
+namespace {
+
+class Box {
+ public:
+  int Peek() const {
+    return value_;  // read without mu_
+  }
+
+ private:
+  mutable s4::Mutex mu_{s4::LockRank::kExecutor, "Box"};
+  int value_ S4_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+  return b.Peek();
+}

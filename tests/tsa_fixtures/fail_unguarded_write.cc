@@ -1,0 +1,24 @@
+// TSA fixture (must FAIL under -Werror=thread-safety): writing a
+// GUARDED_BY member without holding its mutex.
+#include "src/util/sync.h"
+
+namespace {
+
+class Box {
+ public:
+  void Poke() {
+    value_ = 7;  // write without mu_
+  }
+
+ private:
+  s4::Mutex mu_{s4::LockRank::kExecutor, "Box"};
+  int value_ S4_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Box b;
+  b.Poke();
+  return 0;
+}

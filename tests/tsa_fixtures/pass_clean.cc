@@ -1,0 +1,69 @@
+// TSA fixture (must COMPILE under -Werror=thread-safety): the sanctioned
+// idioms — scoped locks around guarded state, REQUIRES helpers called under
+// the lock, EXCLUDES entry points, reader locks for shared reads, and a
+// manual Lock/Unlock pair. If this file fails, the harness flags are broken,
+// not the negative fixtures.
+#include "src/util/sync.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(long amount) S4_EXCLUDES(mu_) {
+    s4::MutexLock lock(&mu_);
+    balance_ += amount;
+    AuditLocked();
+  }
+
+  long balance() const S4_EXCLUDES(mu_) {
+    s4::MutexLock lock(&mu_);
+    return balance_;
+  }
+
+  void ManualBump() S4_EXCLUDES(mu_) {
+    mu_.Lock();
+    balance_ += 1;
+    mu_.Unlock();
+  }
+
+ private:
+  void AuditLocked() S4_REQUIRES(mu_) { ++audits_; }
+
+  mutable s4::Mutex mu_{s4::LockRank::kExecutor, "Account"};
+  long balance_ S4_GUARDED_BY(mu_) = 0;
+  long audits_ S4_GUARDED_BY(mu_) = 0;
+};
+
+class Table {
+ public:
+  void Put(int v) S4_EXCLUDES(mu_) {
+    s4::WriterLock lock(&mu_);
+    value_ = v;
+  }
+
+  int Get() const S4_EXCLUDES(mu_) {
+    s4::ReaderLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  mutable s4::SharedMutex mu_{s4::LockRank::kMetrics, "Table"};
+  int value_ S4_GUARDED_BY(mu_) = 0;
+};
+
+void Use() {
+  Account a;
+  a.Deposit(5);
+  a.ManualBump();
+  (void)a.balance();  // fixture exercises the call, not the result
+  Table t;
+  t.Put(1);
+  (void)t.Get();  // fixture exercises the call, not the result
+}
+
+}  // namespace
+
+int main() {
+  Use();
+  return 0;
+}

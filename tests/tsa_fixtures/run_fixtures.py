@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compile-fail harness for the Clang Thread Safety Analysis fixtures.
+
+Every fail_*.cc in this directory demonstrates one distinct misuse of the
+annotated sync layer (src/util/sync.h) and must be REJECTED by
+`-Werror=thread-safety`; pass_*.cc files show the sanctioned idioms and must
+be accepted. To prove a rejection comes from the analysis and not from an
+ordinary compile error, each fail fixture must also compile cleanly with the
+analysis switched off.
+
+Thread Safety Analysis is clang-only. When the compiler does not understand
+`-Werror=thread-safety` (gcc), the harness exits 77 — the ctest skip code —
+so the tier-1 suite stays green on gcc-only hosts while the clang CI job
+enforces the matrix.
+
+Usage: run_fixtures.py [--cxx COMPILER] [--root REPO_ROOT]
+Exit: 0 = all fixtures behaved, 1 = a fixture misbehaved, 77 = no TSA support.
+"""
+
+import argparse
+import glob
+import os
+import shutil
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_ROOT = os.path.dirname(os.path.dirname(HERE))
+
+BASE_FLAGS = ["-std=c++20", "-fsyntax-only"]
+TSA_FLAGS = ["-Wthread-safety", "-Werror=thread-safety"]
+
+
+def compile_ok(cxx, root, path, tsa):
+    cmd = [cxx] + BASE_FLAGS + ["-I", root] + (TSA_FLAGS if tsa else []) + [path]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                          text=True)
+    return proc.returncode == 0, proc.stderr
+
+
+def pick_compiler(arg):
+    candidates = [arg, os.environ.get("CXX"), "clang++", "c++"]
+    for c in candidates:
+        if c and shutil.which(c):
+            return c
+    return None
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cxx", default=None, help="compiler to use")
+    parser.add_argument("--root", default=DEFAULT_ROOT, help="repo root (-I)")
+    args = parser.parse_args(argv)
+
+    cxx = pick_compiler(args.cxx)
+    if cxx is None:
+        print("tsa_fixtures: no C++ compiler found; skipping")
+        return 77
+
+    passes = sorted(glob.glob(os.path.join(HERE, "pass_*.cc")))
+    fails = sorted(glob.glob(os.path.join(HERE, "fail_*.cc")))
+    if not passes or not fails:
+        print("tsa_fixtures: fixture files missing")
+        return 1
+
+    # Probe: a compiler with no thread-safety analysis either rejects the
+    # flag outright or accepts it as a no-op. Require that it (a) accepts the
+    # clean fixture under the flags and (b) rejects at least the unguarded
+    # read — otherwise the analysis is not really running and the matrix
+    # proves nothing, so skip.
+    ok, err = compile_ok(cxx, args.root, passes[0], tsa=True)
+    if not ok:
+        if "thread-safety" in err or "unrecognized" in err or "unknown" in err:
+            print(f"tsa_fixtures: {cxx} does not support -Werror=thread-safety; "
+                  "skipping (enforced by the clang CI job)")
+            return 77
+        print(f"tsa_fixtures: FAIL {os.path.basename(passes[0])} must compile "
+              f"under the analysis:\n{err}")
+        return 1
+    probe_ok, _ = compile_ok(cxx, args.root,
+                             os.path.join(HERE, "fail_unguarded_read.cc"),
+                             tsa=True)
+    if probe_ok:
+        print(f"tsa_fixtures: {cxx} silently ignores the thread-safety "
+              "analysis; skipping (enforced by the clang CI job)")
+        return 77
+
+    failures = 0
+    for path in passes:
+        name = os.path.basename(path)
+        ok, err = compile_ok(cxx, args.root, path, tsa=True)
+        if ok:
+            print(f"tsa_fixtures: {name}: OK (accepted)")
+        else:
+            failures += 1
+            print(f"tsa_fixtures: FAIL {name} rejected by the analysis:\n{err}")
+
+    for path in fails:
+        name = os.path.basename(path)
+        ok, err = compile_ok(cxx, args.root, path, tsa=False)
+        if not ok:
+            failures += 1
+            print(f"tsa_fixtures: FAIL {name} must compile without the "
+                  f"analysis (plain compile error, not a TSA rejection):\n{err}")
+            continue
+        ok, err = compile_ok(cxx, args.root, path, tsa=True)
+        if ok:
+            failures += 1
+            print(f"tsa_fixtures: FAIL {name} was NOT rejected by "
+                  "-Werror=thread-safety")
+        else:
+            first = err.strip().splitlines()[0] if err.strip() else ""
+            print(f"tsa_fixtures: {name}: OK (rejected: {first})")
+
+    if failures:
+        print(f"tsa_fixtures: {failures} fixture(s) misbehaved")
+        return 1
+    print(f"tsa_fixtures: {len(passes)} pass + {len(fails)} fail fixtures "
+          "all behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -37,15 +37,32 @@ flows through the audited, versioning write path):
                               cache, audit-log types, raw BlockDevice I/O)
                               would bypass the versioning + audit pipeline the
                               array's recovery argument depends on.
-  S4L009 threading-confinement Threading primitives (std::thread/mutex/atomic/
-                              condition_variable/thread_local, their headers)
-                              may only appear in src/exec (the executor owns
-                              all scheduling), src/obs (lock/atomic metric and
-                              trace sinks), and src/sim (the clock's lanes and
-                              the device's busy timeline). The drive, LFS,
-                              journal, cache and RPC layers stay single-
-                              threaded by construction: the executor's
-                              exclusivity rules are their only lock.
+  S4L009 threading-confinement Threading primitives (std::thread/atomic/
+                              thread_local/futures and the s4::Mutex wrapper
+                              family) may only appear in src/exec (the
+                              executor owns all scheduling), src/obs (lock/
+                              atomic metric and trace sinks), src/sim (the
+                              clock's lanes and the device's busy timeline),
+                              and src/util/sync.* (the wrappers themselves).
+                              The drive, LFS, journal, cache and RPC layers
+                              stay single-threaded by construction: the
+                              executor's exclusivity rules are their only
+                              lock. (Raw mutex/lock/condvar primitives are
+                              S4L010's business.)
+  S4L010 lock-discipline      (a) The raw std:: locking primitives (mutex,
+                              condition_variable, lock_guard, unique_lock,
+                              ...) appear only in src/util/sync.*; everyone
+                              else uses s4::Mutex / s4::MutexLock etc., which
+                              carry the Clang Thread Safety annotations and
+                              the runtime lock-rank checker. (b) Every
+                              s4::Mutex / s4::SharedMutex member must have at
+                              least one S4_GUARDED_BY / S4_PT_GUARDED_BY
+                              referring to it in the same file — an
+                              unreferenced lock protects nothing and the
+                              static analysis cannot see through it. (c)
+                              Every S4_NO_THREAD_SAFETY_ANALYSIS escape hatch
+                              needs a rationale comment on the same or the
+                              preceding line; the target for src/ is zero.
 
 Usage:
   tools/s4_lint.py [--root DIR]     lint a tree (default: repo root)
@@ -447,21 +464,28 @@ def check_cluster_drive_api(root):
 
 # S4L009: threading primitives and where they are allowed. Everything outside
 # the allowlist runs single-threaded under the executor's exclusivity rules;
-# a stray mutex or atomic elsewhere means a layer is trying to synchronise on
+# a stray thread or atomic elsewhere means a layer is trying to synchronise on
 # its own, which the concurrency argument (DESIGN.md §14) does not cover.
+# Raw mutex/condvar/lock-RAII primitives are covered by S4L010, which confines
+# them to src/util/sync.* tree-wide; this rule confines everything else —
+# threads, atomics, thread_local, futures, AND the s4 sync wrappers.
 THREADING_PATTERN = re.compile(
-    r"(?:#include\s*<(?:thread|mutex|shared_mutex|condition_variable|atomic|"
+    r"(?:#include\s*<(?:thread|atomic|"
     r"future|barrier|latch|semaphore|stop_token)>|"
-    r"\bstd::(?:thread|jthread|mutex|recursive_mutex|timed_mutex|shared_mutex|"
-    r"condition_variable(?:_any)?|atomic\w*|lock_guard|unique_lock|shared_lock|"
-    r"scoped_lock|future|promise|async|call_once|once_flag|barrier|latch|"
+    r'#include\s*"src/util/sync\.h"|'
+    r"\bstd::(?:thread|jthread|"
+    r"atomic\w*|"
+    r"future|promise|async|call_once|once_flag|barrier|latch|"
     r"counting_semaphore|binary_semaphore)\b|"
-    r"\bthread_local\b)"
+    r"\bthread_local\b|"
+    r"\b(?:s4::)?(?:Mutex|SharedMutex|CondVar|MutexLock|WriterLock|"
+    r"ReaderLock|LockRank)\b)"
 )
 THREADING_ALLOWLIST = (
-    "src/exec/",  # the executor owns scheduling, workers and queues
-    "src/obs/",   # thread-safe metric/trace sinks shared by all lanes
-    "src/sim/",   # clock lanes and the device's serialised busy timeline
+    "src/exec/",       # the executor owns scheduling, workers and queues
+    "src/obs/",        # thread-safe metric/trace sinks shared by all lanes
+    "src/sim/",        # clock lanes and the device's serialised busy timeline
+    "src/util/sync.",  # the annotated wrappers themselves
 )
 
 
@@ -480,6 +504,67 @@ def check_threading_confinement(root):
                     "src/exec, src/obs, src/sim; layers below the executor "
                     "are single-threaded by construction — rely on its "
                     "stripe/exclusivity scheduling instead"))
+    return findings
+
+
+# S4L010: the annotated-sync-layer discipline. Three sub-checks:
+#   (a) raw std:: locking primitives confined to src/util/sync.*;
+#   (b) every s4::Mutex/SharedMutex member declared with a LockRank must be
+#       referenced by at least one S4_GUARDED_BY/S4_PT_GUARDED_BY in the same
+#       file (a lock no annotation names is invisible to the Clang analysis);
+#   (c) every S4_NO_THREAD_SAFETY_ANALYSIS carries a rationale comment on the
+#       same or preceding line.
+NAKED_SYNC_PATTERN = re.compile(
+    r"(?:#include\s*<(?:mutex|shared_mutex|condition_variable)>|"
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock)\b)"
+)
+SYNC_WRAPPER_FILES = ("src/util/sync.",)
+MUTEX_MEMBER_PATTERN = re.compile(
+    r"\b(?:s4::)?(?:Mutex|SharedMutex)\s+(\w+)\s*\{\s*LockRank::")
+TSA_ESCAPE_TOKEN = "S4_NO_THREAD_SAFETY_ANALYSIS"
+
+
+def check_lock_discipline(root):
+    findings = []
+    for full, rel in iter_source_files(root, ["src"]):
+        raw = read(full)
+        code = strip_comments_and_strings(raw)
+        in_sync = rel.startswith(SYNC_WRAPPER_FILES)
+        code_lines = code.splitlines()
+        raw_lines = raw.splitlines()
+        for lineno, line in enumerate(code_lines, 1):
+            if not in_sync:
+                m = NAKED_SYNC_PATTERN.search(line)
+                if m:
+                    findings.append(Finding(
+                        "S4L010", rel, lineno,
+                        f"naked locking primitive ({m.group(0).strip()}) "
+                        "outside src/util/sync.*; use s4::Mutex / "
+                        "s4::MutexLock etc. so the lock participates in "
+                        "thread-safety analysis and rank checking"))
+                for mm in MUTEX_MEMBER_PATTERN.finditer(line):
+                    member = mm.group(1)
+                    if (f"S4_GUARDED_BY({member})" not in code and
+                            f"S4_PT_GUARDED_BY({member})" not in code):
+                        findings.append(Finding(
+                            "S4L010", rel, lineno,
+                            f"s4 mutex member '{member}' has no "
+                            f"S4_GUARDED_BY({member}) / "
+                            f"S4_PT_GUARDED_BY({member}) referent in this "
+                            "file; a lock that guards nothing declared is "
+                            "invisible to the static analysis"))
+            if TSA_ESCAPE_TOKEN in line and not in_sync:
+                this = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+                prev = raw_lines[lineno - 2].strip() if lineno >= 2 else ""
+                if "//" not in this and "//" not in prev:
+                    findings.append(Finding(
+                        "S4L010", rel, lineno,
+                        "S4_NO_THREAD_SAFETY_ANALYSIS without a rationale "
+                        "comment (same or preceding line); the escape hatch "
+                        "needs a written justification — and the target for "
+                        "src/ is zero uses"))
     return findings
 
 
@@ -510,6 +595,7 @@ RULES = [
     check_audit_object_write,
     check_cluster_drive_api,
     check_threading_confinement,
+    check_lock_discipline,
 ]
 
 
@@ -535,6 +621,9 @@ FIXTURE_EXPECTATIONS = {
     "audit_object_write": {"S4L007"},
     "cluster_drive_api": {"S4L008"},
     "threading_confinement": {"S4L009"},
+    "naked_mutex": {"S4L010"},
+    "unguarded_mutex_member": {"S4L010"},
+    "tsa_escape_hatch": {"S4L010"},
     "clean": set(),
 }
 
